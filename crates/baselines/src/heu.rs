@@ -1,0 +1,238 @@
+use crate::select_heuristic_masks;
+use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
+use duo_retrieval::{ndcg_cooccurrence, BlackBox};
+use duo_tensor::{Rng64, Tensor};
+use duo_video::{Video, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// Shared configuration of the HEU attacks (Wei et al., AAAI'20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeuConfig {
+    /// Pixel budget on the heuristic support.
+    pub k: usize,
+    /// Frame budget on the heuristic support.
+    pub n: usize,
+    /// Per-pixel perturbation bound τ.
+    pub tau: f32,
+    /// Optimization iterations (NES rounds or SimBA steps).
+    pub iters: usize,
+    /// Antithetic sample pairs per NES round.
+    pub nes_samples: usize,
+    /// NES exploration standard deviation, in pixel units.
+    pub sigma: f32,
+    /// Margin constant η of the objective.
+    pub eta: f32,
+}
+
+impl Default for HeuConfig {
+    fn default() -> Self {
+        HeuConfig { k: 3_000, n: 4, tau: 30.0, iters: 25, nes_samples: 3, sigma: 4.0, eta: 1.0 }
+    }
+}
+
+/// HEU-Nes: motion-saliency support selection + NES gradient estimation
+/// on the black-box objective, with signed updates on the support.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuNesAttack {
+    config: HeuConfig,
+}
+
+impl HeuNesAttack {
+    /// Creates the attack.
+    pub fn new(config: HeuConfig) -> Self {
+        HeuNesAttack { config }
+    }
+
+    /// Runs the attack on the pair `(v, v_t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn run(
+        &self,
+        blackbox: &mut BlackBox,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let cfg = self.config;
+        let queries_before = blackbox.queries_used();
+        let masks = select_heuristic_masks(v, cfg.k, cfg.n, cfg.tau, rng);
+        let support = masks.support_indices();
+        let r_v = blackbox.retrieve(v)?;
+        let r_t = blackbox.retrieve(v_t)?;
+        let objective = |list: &[VideoId]| -> f32 {
+            ndcg_cooccurrence(list, &r_v) - ndcg_cooccurrence(list, &r_t) + cfg.eta
+        };
+
+        let mut v_adv = v.add_perturbation(&masks.phi())?;
+        let mut t_cur = objective(&blackbox.retrieve(&v_adv)?);
+        let mut trajectory = vec![t_cur];
+        let alpha = cfg.tau / 6.0;
+        let original = v.tensor().as_slice().to_vec();
+
+        'outer: for _ in 0..cfg.iters {
+            // NES gradient estimate over antithetic pairs on the support.
+            let mut grad = vec![0.0f32; support.len()];
+            for _ in 0..cfg.nes_samples {
+                if blackbox.budget_remaining().is_some_and(|r| r < 2) {
+                    break 'outer;
+                }
+                let noise: Vec<f32> = (0..support.len()).map(|_| rng.normal()).collect();
+                let mut plus = v_adv.clone();
+                let mut minus = v_adv.clone();
+                for (&idx, &u) in support.iter().zip(&noise) {
+                    plus.tensor_mut().as_mut_slice()[idx] += cfg.sigma * u;
+                    minus.tensor_mut().as_mut_slice()[idx] -= cfg.sigma * u;
+                }
+                let t_plus = objective(&blackbox.retrieve(&plus)?);
+                let t_minus = objective(&blackbox.retrieve(&minus)?);
+                let weight = (t_plus - t_minus) / (2.0 * cfg.sigma);
+                for (g, &u) in grad.iter_mut().zip(&noise) {
+                    *g += weight * u / cfg.nes_samples as f32;
+                }
+            }
+            // Signed descent step on the support, clamped into the τ-ball.
+            let mut candidate = v_adv.clone();
+            for (&idx, &g) in support.iter().zip(&grad) {
+                let cur = candidate.tensor().as_slice()[idx];
+                let lo = (original[idx] - cfg.tau).max(0.0);
+                let hi = (original[idx] + cfg.tau).min(255.0);
+                candidate.tensor_mut().as_mut_slice()[idx] =
+                    (cur - alpha * g.signum()).clamp(lo, hi);
+            }
+            if blackbox.budget_remaining() == Some(0) {
+                break;
+            }
+            let t_new = objective(&blackbox.retrieve(&candidate)?);
+            if t_new <= t_cur {
+                v_adv = candidate;
+                t_cur = t_new;
+            }
+            trajectory.push(t_cur);
+        }
+
+        let perturbation = v_adv.perturbation_from(v)?;
+        Ok(AttackOutcome {
+            adversarial: v_adv,
+            perturbation,
+            queries: blackbox.queries_used() - queries_before,
+            loss_trajectory: trajectory,
+        })
+    }
+}
+
+/// HEU-Sim: the heuristic motion-saliency support of HEU-Nes with the
+/// random coordinate-descent (SimBA) strategy of the Vanilla attack.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuSimAttack {
+    config: HeuConfig,
+}
+
+impl HeuSimAttack {
+    /// Creates the attack.
+    pub fn new(config: HeuConfig) -> Self {
+        HeuSimAttack { config }
+    }
+
+    /// Runs the attack on the pair `(v, v_t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn run(
+        &self,
+        blackbox: &mut BlackBox,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let cfg = self.config;
+        let masks = select_heuristic_masks(v, cfg.k, cfg.n, cfg.tau, rng);
+        let start = v.add_perturbation(&masks.phi())?;
+        let query_cfg =
+            QueryConfig { iter_num_q: cfg.iters, tau: cfg.tau, eta: cfg.eta, ..QueryConfig::default() };
+        SparseQuery::new(query_cfg).run(blackbox, v, v_t, &masks, start, rng)
+    }
+}
+
+/// Cheap mean used by the NES averaging (kept for clarity in tests).
+#[allow(dead_code)]
+fn mean(xs: &Tensor) -> f32 {
+    xs.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+
+    fn setup() -> (BlackBox, SyntheticDataset) {
+        let mut rng = Rng64::new(231);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 9, 1, 0);
+        let gallery: Vec<_> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+        let victim =
+            Backbone::new(Architecture::SlowFast, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 4, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        (BlackBox::new(sys), ds)
+    }
+
+    fn quick() -> HeuConfig {
+        HeuConfig { k: 200, n: 3, iters: 4, nes_samples: 2, ..HeuConfig::default() }
+    }
+
+    #[test]
+    fn heu_nes_stays_sparse_and_bounded() {
+        let (mut bb, ds) = setup();
+        let v = ds.video(VideoId { class: 0, instance: 0 });
+        let vt = ds.video(VideoId { class: 6, instance: 0 });
+        let mut rng = Rng64::new(232);
+        let outcome = HeuNesAttack::new(quick()).run(&mut bb, &v, &vt, &mut rng).unwrap();
+        assert!(outcome.spa() <= 200, "Spa {} exceeds support", outcome.spa());
+        assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3);
+        assert!(outcome.queries > 0);
+    }
+
+    #[test]
+    fn heu_nes_objective_is_monotone() {
+        let (mut bb, ds) = setup();
+        let v = ds.video(VideoId { class: 1, instance: 0 });
+        let vt = ds.video(VideoId { class: 7, instance: 0 });
+        let mut rng = Rng64::new(233);
+        let outcome = HeuNesAttack::new(quick()).run(&mut bb, &v, &vt, &mut rng).unwrap();
+        for w in outcome.loss_trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6);
+        }
+    }
+
+    #[test]
+    fn heu_sim_uses_heuristic_support() {
+        let (mut bb, ds) = setup();
+        let v = ds.video(VideoId { class: 2, instance: 0 });
+        let vt = ds.video(VideoId { class: 5, instance: 0 });
+        let mut rng = Rng64::new(234);
+        let outcome =
+            HeuSimAttack::new(quick()).run(&mut bb, &v, &vt, &mut rng).unwrap();
+        assert!(outcome.spa() <= 200);
+        assert!(outcome.queries > 0);
+    }
+
+    #[test]
+    fn heu_nes_respects_budget() {
+        let (bb, ds) = setup();
+        let mut bb = BlackBox::with_budget(bb.into_inner(), 9);
+        let v = ds.video(VideoId { class: 3, instance: 0 });
+        let vt = ds.video(VideoId { class: 4, instance: 0 });
+        let mut rng = Rng64::new(235);
+        let outcome = HeuNesAttack::new(quick()).run(&mut bb, &v, &vt, &mut rng).unwrap();
+        assert!(outcome.queries <= 9);
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline adversarial attacks from the DUO evaluation (paper §V-B).
+//!
+//! * [`VanillaAttack`] — random sparse pixel/frame selection followed by
+//!   SimBA-style query rectification (the paper's "Vanilla" baseline).
+//! * [`TimiAttack`] — transfer-only, *dense* momentum-iterative attack
+//!   with translation-invariant gradient smoothing (Dong et al., CVPR'19);
+//!   perturbs every pixel of every frame, which is what makes its Spa
+//!   column in Table II equal to the full clip element count.
+//! * [`HeuNesAttack`] — heuristic saliency-guided support selection plus
+//!   NES gradient estimation on the black box (Wei et al., AAAI'20).
+//! * [`HeuSimAttack`] — the same heuristic support with the random
+//!   coordinate-descent strategy of Vanilla (the paper's HEU-Sim).
+//!
+//! All attacks produce a [`duo_attack::AttackOutcome`], so the experiment
+//! harness scores every method with identical code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod heu;
+mod saliency;
+mod timi;
+mod vanilla;
+
+pub use heu::{HeuConfig, HeuNesAttack, HeuSimAttack};
+pub use saliency::{motion_saliency, select_heuristic_masks, select_random_masks};
+pub use timi::{TimiAttack, TimiConfig};
+pub use vanilla::{VanillaAttack, VanillaConfig};

@@ -1,0 +1,161 @@
+//! Support-selection priors shared by the baseline attacks.
+
+use duo_attack::SparseMasks;
+use duo_tensor::{Rng64, Tensor};
+use duo_video::Video;
+
+/// Motion-energy saliency: per-scalar absolute temporal difference
+/// `|v[t] − v[t−1]|` (frame 0 uses the forward difference).
+///
+/// This is the "prior knowledge" heuristic attacks use to guess which
+/// pixels matter — moving content dominates video-model predictions.
+pub fn motion_saliency(video: &Video) -> Tensor {
+    let dims = video.tensor().dims().to_vec();
+    let frames = dims[0];
+    let per_frame: usize = dims[1..].iter().product();
+    let v = video.tensor().as_slice();
+    let mut out = Tensor::zeros(&dims);
+    let ov = out.as_mut_slice();
+    for f in 0..frames {
+        let (a, b) = if f == 0 { (0usize, 1usize.min(frames - 1)) } else { (f, f - 1) };
+        for i in 0..per_frame {
+            ov[f * per_frame + i] = (v[a * per_frame + i] - v[b * per_frame + i]).abs();
+        }
+    }
+    out
+}
+
+fn top_n_frames(scores: &Tensor, frames: usize, per_frame: usize, n: usize) -> Vec<bool> {
+    let sv = scores.as_slice();
+    let mut energy: Vec<(usize, f32)> = (0..frames)
+        .map(|f| (f, sv[f * per_frame..(f + 1) * per_frame].iter().sum::<f32>()))
+        .collect();
+    energy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut mask = vec![false; frames];
+    for &(f, _) in energy.iter().take(n.min(frames)) {
+        mask[f] = true;
+    }
+    mask
+}
+
+fn masks_from_scores(
+    video: &Video,
+    scores: &Tensor,
+    k: usize,
+    n: usize,
+    tau: f32,
+    rng: &mut Rng64,
+) -> SparseMasks {
+    let dims = video.tensor().dims().to_vec();
+    let frames = dims[0];
+    let per_frame: usize = dims[1..].iter().product();
+    let elements = frames * per_frame;
+    let k = k.min(elements);
+
+    let frame_mask = top_n_frames(scores, frames, per_frame, n);
+
+    // Select the k highest-scoring pixels, preferring active frames by
+    // masking scores outside them.
+    let sv = scores.as_slice();
+    let mut order: Vec<usize> = (0..elements).collect();
+    order.sort_by(|&a, &b| {
+        let fa = frame_mask[a / per_frame] as u8;
+        let fb = frame_mask[b / per_frame] as u8;
+        fb.cmp(&fa).then(sv[b].total_cmp(&sv[a])).then(a.cmp(&b))
+    });
+    let mut pixel_mask = Tensor::zeros(&dims);
+    let mut theta = Tensor::zeros(&dims);
+    for &i in order.iter().take(k) {
+        pixel_mask.as_mut_slice()[i] = 1.0;
+        theta.as_mut_slice()[i] = (rng.uniform() * 2.0 - 1.0) * tau;
+    }
+    SparseMasks { pixel_mask, frame_mask, theta }
+}
+
+/// Heuristic masks: motion-salient frames and pixels, random magnitudes in
+/// `[−τ, τ]` (the HEU attacks' prior).
+pub fn select_heuristic_masks(
+    video: &Video,
+    k: usize,
+    n: usize,
+    tau: f32,
+    rng: &mut Rng64,
+) -> SparseMasks {
+    let scores = motion_saliency(video);
+    masks_from_scores(video, &scores, k, n, tau, rng)
+}
+
+/// Random masks: uniformly random frames and pixels, random magnitudes in
+/// `[−τ, τ]` (the Vanilla attack's selection strategy).
+pub fn select_random_masks(
+    video: &Video,
+    k: usize,
+    n: usize,
+    tau: f32,
+    rng: &mut Rng64,
+) -> SparseMasks {
+    let dims = video.tensor().dims().to_vec();
+    let scores = Tensor::rand_uniform(&dims, 0.0, 1.0, rng.as_rng());
+    masks_from_scores(video, &scores, k, n, tau, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_video::{ClipSpec, SyntheticVideoGenerator};
+
+    fn video() -> Video {
+        SyntheticVideoGenerator::new(ClipSpec::tiny(), 11).generate(2, 0)
+    }
+
+    #[test]
+    fn motion_saliency_is_nonnegative_and_shaped() {
+        let v = video();
+        let s = motion_saliency(&v);
+        assert_eq!(s.dims(), v.tensor().dims());
+        assert!(s.min() >= 0.0);
+        assert!(s.max() > 0.0, "a moving synthetic clip has motion energy");
+    }
+
+    #[test]
+    fn heuristic_masks_satisfy_budgets() {
+        let v = video();
+        let mut rng = Rng64::new(201);
+        let masks = select_heuristic_masks(&v, 200, 3, 30.0, &mut rng);
+        assert_eq!(masks.pixel_mask.l0_norm(), 200);
+        assert_eq!(masks.active_frames(), 3);
+        assert!(masks.theta.linf_norm() <= 30.0);
+    }
+
+    #[test]
+    fn heuristic_pixels_prefer_active_frames() {
+        let v = video();
+        let mut rng = Rng64::new(202);
+        let per_frame = v.spec().frame_elements();
+        let masks = select_heuristic_masks(&v, 100, 2, 30.0, &mut rng);
+        let in_active = masks
+            .pixel_mask
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(i, &m)| m != 0.0 && masks.frame_mask[i / per_frame])
+            .count();
+        assert_eq!(in_active, 100, "with small k, all pixels should land on active frames");
+    }
+
+    #[test]
+    fn random_masks_differ_across_seeds() {
+        let v = video();
+        let a = select_random_masks(&v, 50, 2, 30.0, &mut Rng64::new(1));
+        let b = select_random_masks(&v, 50, 2, 30.0, &mut Rng64::new(2));
+        assert_ne!(a.pixel_mask, b.pixel_mask);
+    }
+
+    #[test]
+    fn oversized_k_is_clamped() {
+        let v = video();
+        let mut rng = Rng64::new(203);
+        let masks = select_random_masks(&v, usize::MAX, 2, 30.0, &mut rng);
+        assert_eq!(masks.pixel_mask.l0_norm(), v.tensor().len());
+    }
+}

@@ -1,0 +1,106 @@
+use crate::select_random_masks;
+use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
+use duo_retrieval::BlackBox;
+use duo_tensor::Rng64;
+use duo_video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Vanilla baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VanillaConfig {
+    /// Number of randomly selected pixels (fixes the attack's Spa).
+    pub k: usize,
+    /// Number of randomly selected frames.
+    pub n: usize,
+    /// Per-pixel perturbation bound τ.
+    pub tau: f32,
+    /// SimBA iteration budget.
+    pub iter_num_q: usize,
+}
+
+impl Default for VanillaConfig {
+    fn default() -> Self {
+        VanillaConfig { k: 3_000, n: 4, tau: 30.0, iter_num_q: 200 }
+    }
+}
+
+/// The paper's Vanilla baseline: *random* pixel/frame selection, then the
+/// same SimBA-style query rectification DUO uses — the ablation isolating
+/// the value of DUO's frame-pixel dual search.
+#[derive(Debug, Clone, Copy)]
+pub struct VanillaAttack {
+    config: VanillaConfig,
+}
+
+impl VanillaAttack {
+    /// Creates the attack.
+    pub fn new(config: VanillaConfig) -> Self {
+        VanillaAttack { config }
+    }
+
+    /// Runs the attack on the pair `(v, v_t)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn run(
+        &self,
+        blackbox: &mut BlackBox,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let cfg = self.config;
+        let masks = select_random_masks(v, cfg.k, cfg.n, cfg.tau, rng);
+        let start = v.add_perturbation(&masks.phi())?;
+        let query_cfg = QueryConfig { iter_num_q: cfg.iter_num_q, tau: cfg.tau, ..QueryConfig::default() };
+        SparseQuery::new(query_cfg).run(blackbox, v, v_t, &masks, start, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, VideoId};
+
+    fn setup() -> (BlackBox, SyntheticDataset) {
+        let mut rng = Rng64::new(211);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 8, 1, 0);
+        let gallery: Vec<_> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+        let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 4, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        (BlackBox::new(sys), ds)
+    }
+
+    #[test]
+    fn vanilla_produces_sparse_bounded_outcome() {
+        let (mut bb, ds) = setup();
+        let v = ds.video(VideoId { class: 0, instance: 0 });
+        let vt = ds.video(VideoId { class: 5, instance: 0 });
+        let cfg = VanillaConfig { k: 200, n: 3, tau: 30.0, iter_num_q: 10 };
+        let mut rng = Rng64::new(212);
+        let outcome = VanillaAttack::new(cfg).run(&mut bb, &v, &vt, &mut rng).unwrap();
+        assert!(outcome.spa() <= 200 + 1, "Spa bounded by k, got {}", outcome.spa());
+        assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3);
+        assert!(outcome.queries > 0);
+    }
+
+    #[test]
+    fn vanilla_is_seed_sensitive() {
+        let (mut bb, ds) = setup();
+        let v = ds.video(VideoId { class: 1, instance: 0 });
+        let vt = ds.video(VideoId { class: 6, instance: 0 });
+        let cfg = VanillaConfig { k: 100, n: 2, tau: 30.0, iter_num_q: 5 };
+        let o1 = VanillaAttack::new(cfg).run(&mut bb, &v, &vt, &mut Rng64::new(1)).unwrap();
+        let o2 = VanillaAttack::new(cfg).run(&mut bb, &v, &vt, &mut Rng64::new(2)).unwrap();
+        assert_ne!(o1.perturbation, o2.perturbation);
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! ADMM pixel selection vs plain top-k, informed frame selection vs
+//! random, and support-restricted vs unrestricted query search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duo_attack::{lp_box_admm, QueryConfig, SparseMasks, SparseQuery, SparseTransfer};
+use duo_baselines::select_random_masks;
+use duo_bench::Fixture;
+use duo_tensor::{Rng64, Tensor};
+use std::hint::black_box;
+
+/// ADMM binary projection vs a plain top-k sort over the same scores.
+fn bench_pixel_selection(c: &mut Criterion) {
+    let mut rng = Rng64::new(4001);
+    let scores: Vec<f32> = (0..6144).map(|_| rng.normal()).collect();
+    c.bench_function("ablation/pixel_select_lp_box_admm", |b| {
+        b.iter(|| black_box(lp_box_admm(&scores, 400, 40).unwrap()))
+    });
+    c.bench_function("ablation/pixel_select_topk_sort", |b| {
+        b.iter(|| {
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&x, &y| scores[y].total_cmp(&scores[x]));
+            black_box(order[..400].to_vec())
+        })
+    });
+}
+
+/// SparseTransfer's informed frame-pixel search vs the Vanilla random
+/// selection producing the same budgets.
+fn bench_mask_construction(c: &mut Criterion) {
+    let mut fx = Fixture::new(4002);
+    let mut rng = Rng64::new(4003);
+    let cfg = {
+        let mut t = fx.scale.duo_config().transfer;
+        t.outer_iters = 1;
+        t.theta_steps = 2;
+        t.admm_iters = 10;
+        t
+    };
+    c.bench_function("ablation/masks_sparse_transfer", |b| {
+        b.iter(|| {
+            black_box(
+                SparseTransfer::new(&mut fx.surrogate, cfg)
+                    .run(&fx.pair.0, &fx.pair.1)
+                    .unwrap()
+                    .active_frames(),
+            )
+        })
+    });
+    c.bench_function("ablation/masks_random_selection", |b| {
+        b.iter(|| {
+            black_box(select_random_masks(&fx.pair.0, cfg.k, cfg.n, cfg.tau, &mut rng).active_frames())
+        })
+    });
+}
+
+/// Query search restricted to the sparse support vs the full pixel grid.
+fn bench_query_support(c: &mut Criterion) {
+    let mut fx = Fixture::new(4004);
+    let mut rng = Rng64::new(4005);
+    let dims = fx.pair.0.tensor().dims().to_vec();
+    let sparse = select_random_masks(&fx.pair.0, 300, 3, 30.0, &mut rng);
+    let dense = SparseMasks {
+        pixel_mask: Tensor::ones(&dims),
+        frame_mask: vec![true; dims[0]],
+        theta: Tensor::full(&dims, 10.0),
+    };
+    let cfg = QueryConfig { iter_num_q: 4, ..QueryConfig::default() };
+    for (name, masks) in [("restricted", &sparse), ("unrestricted", &dense)] {
+        let start = fx.pair.0.add_perturbation(&masks.phi()).unwrap();
+        c.bench_function(&format!("ablation/query_support_{name}"), |b| {
+            b.iter(|| {
+                black_box(
+                    SparseQuery::new(cfg)
+                        .run(
+                            &mut fx.blackbox,
+                            &fx.pair.0,
+                            &fx.pair.1,
+                            masks,
+                            start.clone(),
+                            &mut rng,
+                        )
+                        .unwrap()
+                        .queries,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pixel_selection, bench_mask_construction, bench_query_support
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! One bench per paper figure: the computation each figure measures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duo_attack::{QueryConfig, SparseQuery, SparseTransfer};
+use duo_bench::Fixture;
+use duo_experiments::{backbone_map, victim_map};
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+use std::hint::black_box;
+
+/// Figure 3: victim mAP evaluation over the test probes.
+fn bench_fig3(c: &mut Criterion) {
+    let scale = duo_experiments::Scale::smoke();
+    let mut world = duo_experiments::build_world(
+        DatasetKind::Hmdb51Like,
+        Architecture::Tpn,
+        LossKind::ArcFace,
+        scale,
+        3001,
+    )
+    .unwrap();
+    c.bench_function("fig3/victim_map", |b| {
+        b.iter(|| black_box(victim_map(&mut world).unwrap()))
+    });
+}
+
+/// Figure 4: surrogate mAP evaluation (gallery re-embedding + probes).
+fn bench_fig4(c: &mut Criterion) {
+    let mut fx = Fixture::new(3002);
+    let scale = fx.scale;
+    c.bench_function("fig4/surrogate_map", |b| {
+        b.iter(|| black_box(backbone_map(&mut fx.surrogate, &fx.dataset, scale).unwrap()))
+    });
+}
+
+/// Figure 5: a SparseQuery rectification run (the 𝕋-vs-queries curve).
+fn bench_fig5(c: &mut Criterion) {
+    let mut fx = Fixture::new(3003);
+    let mut rng = Rng64::new(3004);
+    let transfer_cfg = {
+        let mut t = fx.scale.duo_config().transfer;
+        t.outer_iters = 1;
+        t.theta_steps = 2;
+        t.admm_iters = 10;
+        t
+    };
+    let masks = SparseTransfer::new(&mut fx.surrogate, transfer_cfg)
+        .run(&fx.pair.0, &fx.pair.1)
+        .unwrap();
+    let start = fx.pair.0.add_perturbation(&masks.phi()).unwrap();
+    let query_cfg = QueryConfig { iter_num_q: 5, ..QueryConfig::default() };
+    c.bench_function("fig5/sparse_query_5_iters", |b| {
+        b.iter(|| {
+            black_box(
+                SparseQuery::new(query_cfg)
+                    .run(&mut fx.blackbox, &fx.pair.0, &fx.pair.1, &masks, start.clone(), &mut rng)
+                    .unwrap()
+                    .queries,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4, bench_fig5
+}
+criterion_main!(benches);

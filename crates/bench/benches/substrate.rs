@@ -1,0 +1,67 @@
+//! Microbenchmarks of the numeric substrate the reproduction stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duo_models::{Architecture, Backbone, BackboneConfig};
+use duo_tensor::{im2col3d, Conv3dSpec, Rng64, Tensor};
+use duo_video::{ClipSpec, SyntheticVideoGenerator};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let a = Tensor::randn(&[64, 128], 1.0, rng.as_rng());
+    let b = Tensor::randn(&[128, 64], 1.0, rng.as_rng());
+    c.bench_function("substrate/matmul_64x128x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_im2col3d(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    let x = Tensor::randn(&[3, 8, 16, 16], 1.0, rng.as_rng());
+    let spec = Conv3dSpec::cubic(3, 3, (1, 2, 2), 1);
+    c.bench_function("substrate/im2col3d_tiny_clip", |bench| {
+        bench.iter(|| black_box(im2col3d(&x, &spec).unwrap()))
+    });
+}
+
+fn bench_backbone_forward(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 5).generate(0, 0);
+    for arch in [Architecture::C3d, Architecture::I3d, Architecture::SlowFast] {
+        let mut model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
+        c.bench_function(&format!("substrate/extract_{arch}"), |bench| {
+            bench.iter(|| black_box(model.extract(&video).unwrap()))
+        });
+    }
+}
+
+fn bench_input_gradient(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 5).generate(0, 0);
+    let mut model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let grad = Tensor::ones(&[BackboneConfig::tiny().feature_dim]);
+    c.bench_function("substrate/input_gradient_c3d", |bench| {
+        bench.iter(|| {
+            model.extract(&video).unwrap();
+            black_box(model.input_gradient(&video, &grad).unwrap())
+        })
+    });
+}
+
+fn bench_video_generation(c: &mut Criterion) {
+    let generator = SyntheticVideoGenerator::new(ClipSpec::tiny(), 6);
+    c.bench_function("substrate/generate_tiny_video", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(generator.generate(i % 50, i))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_im2col3d, bench_backbone_forward, bench_input_gradient, bench_video_generation
+}
+criterion_main!(benches);

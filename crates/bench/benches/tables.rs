@@ -1,0 +1,169 @@
+//! One bench per paper table: times the core computation path each table
+//! exercises, at smoke scale (see `duo-experiments` for the full
+//! regeneration binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use duo_attack::{steal_surrogate, DuoAttack, SparseTransfer, StealConfig};
+use duo_baselines::{TimiAttack, TimiConfig, VanillaAttack, VanillaConfig};
+use duo_bench::Fixture;
+use duo_defenses::{DetectionHarness, FeatureSqueezing, Noise2Self};
+use duo_experiments::Scale;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::VideoId;
+use std::hint::black_box;
+
+/// Table II: one full DUO attack plus one Vanilla attack.
+fn bench_table2(c: &mut Criterion) {
+    let mut fx = Fixture::new(1001);
+    let scale = fx.scale;
+    let mut rng = Rng64::new(1002);
+    c.bench_function("table2/duo_attack_one_pair", |b| {
+        b.iter(|| {
+            let mut cfg = scale.duo_config();
+            cfg.iter_num_h = 1;
+            cfg.query.iter_num_q = 5;
+            let surrogate = std::mem::replace(
+                &mut fx.surrogate,
+                duo_models::Backbone::new(
+                    Architecture::C3d,
+                    scale.backbone,
+                    &mut Rng64::new(0),
+                )
+                .unwrap(),
+            );
+            let mut attack = DuoAttack::new(surrogate, cfg);
+            let out = attack.run(&mut fx.blackbox, &fx.pair.0, &fx.pair.1, &mut rng).unwrap();
+            fx.surrogate = attack.into_surrogate();
+            black_box(out.spa())
+        })
+    });
+    c.bench_function("table2/vanilla_attack_one_pair", |b| {
+        b.iter(|| {
+            let cfg = VanillaConfig { k: 300, n: 4, tau: 30.0, iter_num_q: 5 };
+            black_box(
+                VanillaAttack::new(cfg)
+                    .run(&mut fx.blackbox, &fx.pair.0, &fx.pair.1, &mut rng)
+                    .unwrap()
+                    .spa(),
+            )
+        })
+    });
+}
+
+/// Table III / Figure 4: one surrogate-stealing run.
+fn bench_table3(c: &mut Criterion) {
+    let mut fx = Fixture::new(1003);
+    let mut rng = Rng64::new(1004);
+    let probes: Vec<VideoId> =
+        fx.dataset.test().iter().filter(|id| id.class < fx.scale.classes).copied().collect();
+    c.bench_function("table3/steal_surrogate", |b| {
+        b.iter(|| {
+            let cfg = StealConfig { rounds: 1, max_triplets: 10, epochs: 1, ..StealConfig::quick() };
+            black_box(
+                steal_surrogate(&mut fx.blackbox, &fx.dataset, &probes, cfg, &mut rng)
+                    .unwrap()
+                    .1
+                    .triplets_used,
+            )
+        })
+    });
+}
+
+/// Table IV: one loss-head evaluation step per loss kind.
+fn bench_table4(c: &mut Criterion) {
+    let mut rng = Rng64::new(1005);
+    let dim = 32;
+    let emb = duo_tensor::Tensor::randn(&[dim], 1.0, rng.as_rng())
+        .scale(1.0 / (dim as f32).sqrt());
+    for kind in LossKind::all() {
+        let mut head = kind.build_head(51, dim, &mut rng);
+        c.bench_function(&format!("table4/loss_and_grad_{kind}"), |b| {
+            b.iter(|| {
+                let out = head.loss_and_grad(&emb, 3).unwrap();
+                head.zero_grad();
+                black_box(out.0)
+            })
+        });
+    }
+}
+
+/// Tables V–VIII: one SparseTransfer run (the component all four sweeps
+/// re-run per cell).
+fn bench_table5678(c: &mut Criterion) {
+    let mut fx = Fixture::new(1006);
+    let cfg = {
+        let mut t = fx.scale.duo_config().transfer;
+        t.outer_iters = 1;
+        t.theta_steps = 3;
+        t.admm_iters = 15;
+        t
+    };
+    c.bench_function("table5678/sparse_transfer", |b| {
+        b.iter(|| {
+            let masks =
+                SparseTransfer::new(&mut fx.surrogate, cfg).run(&fx.pair.0, &fx.pair.1).unwrap();
+            black_box(masks.phi().l0_norm())
+        })
+    });
+}
+
+/// Table IX: one TIMI transfer run.
+fn bench_table9(c: &mut Criterion) {
+    let mut fx = Fixture::new(1007);
+    let cfg = TimiConfig { iters: 4, ..TimiConfig::default() };
+    c.bench_function("table9/timi_transfer", |b| {
+        b.iter(|| {
+            black_box(
+                TimiAttack::new(&mut fx.surrogate, cfg).run(&fx.pair.0, &fx.pair.1).unwrap().spa(),
+            )
+        })
+    });
+}
+
+/// Table X: one defense score per defense.
+fn bench_table10(c: &mut Criterion) {
+    let mut fx = Fixture::new(1008);
+    let video = fx.pair.0.clone();
+    let squeeze = FeatureSqueezing::default();
+    let n2s = Noise2Self::default();
+    c.bench_function("table10/feature_squeezing_score", |b| {
+        b.iter(|| {
+            black_box(
+                DetectionHarness::score(fx.blackbox.system_mut(), &squeeze, &video).unwrap(),
+            )
+        })
+    });
+    c.bench_function("table10/noise2self_score", |b| {
+        b.iter(|| {
+            black_box(DetectionHarness::score(fx.blackbox.system_mut(), &n2s, &video).unwrap())
+        })
+    });
+}
+
+/// Victim-world construction (amortized cost behind every table).
+fn bench_world_build(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    c.bench_function("tables/build_world", |b| {
+        let mut seed = 2000u64;
+        b.iter(|| {
+            seed += 1;
+            let world = duo_experiments::build_world(
+                duo_video::DatasetKind::Hmdb51Like,
+                Architecture::C3d,
+                LossKind::ArcFace,
+                scale,
+                seed,
+            )
+            .unwrap();
+            black_box(world.system.gallery_len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_table3, bench_table4, bench_table5678, bench_table9, bench_table10, bench_world_build
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared fixtures for the DUO benchmark suite.
+//!
+//! Criterion benches time the core computation of every paper table and
+//! figure at smoke scale (`duo_experiments::Scale::smoke`), plus the
+//! ablations called out in `DESIGN.md`. Expensive world construction
+//! happens once per bench via [`Fixture::new`]; the timed closures only
+//! exercise the experiment path itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use duo_attack::steal_surrogate;
+use duo_experiments::{attack_pairs, build_world, Scale};
+use duo_models::{Architecture, Backbone, LossKind};
+use duo_retrieval::BlackBox;
+use duo_tensor::Rng64;
+use duo_video::{DatasetKind, SyntheticDataset, Video, VideoId};
+
+/// A ready-to-attack smoke-scale world shared by benches.
+pub struct Fixture {
+    /// Black-boxed victim service.
+    pub blackbox: BlackBox,
+    /// The synthetic corpus.
+    pub dataset: SyntheticDataset,
+    /// A stolen C3D surrogate.
+    pub surrogate: Backbone,
+    /// One attack pair (v, v_t).
+    pub pair: (Video, Video),
+    /// The scale used.
+    pub scale: Scale,
+}
+
+impl Fixture {
+    /// Builds the fixture (I3D victim, ArcFace, HMDB51-like corpus).
+    ///
+    /// # Panics
+    ///
+    /// Panics on construction failure — benches have no error channel.
+    pub fn new(seed: u64) -> Self {
+        let scale = Scale::smoke();
+        let world =
+            build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, seed)
+                .expect("smoke world builds");
+        let (mut blackbox, dataset) = world.into_blackbox();
+        let mut rng = Rng64::new(seed ^ 0xBE7C);
+        let probes: Vec<VideoId> =
+            dataset.test().iter().filter(|id| id.class < scale.classes).copied().collect();
+        let (surrogate, _) = steal_surrogate(
+            &mut blackbox,
+            &dataset,
+            &probes,
+            scale.steal_config(Architecture::C3d),
+            &mut rng,
+        )
+        .expect("surrogate steals");
+        let (a, b) = attack_pairs(&dataset, scale.classes, 1, &mut rng)[0];
+        let pair = (dataset.video(a), dataset.video(b));
+        Fixture { blackbox, dataset, surrogate, pair, scale }
+    }
+}

@@ -1,0 +1,60 @@
+use duo_models::ModelError;
+use duo_retrieval::RetrievalError;
+use duo_tensor::TensorError;
+use std::fmt;
+
+/// Error type for attack construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A surrogate/victim model operation failed.
+    Model(ModelError),
+    /// A black-box query failed (budget exhausted, nodes offline, …).
+    Retrieval(RetrievalError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// The attack was configured with invalid parameters.
+    BadConfig(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Model(e) => write!(f, "model error: {e}"),
+            AttackError::Retrieval(e) => write!(f, "retrieval error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::BadConfig(msg) => write!(f, "bad attack config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Model(e) => Some(e),
+            AttackError::Retrieval(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            AttackError::BadConfig(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelError> for AttackError {
+    fn from(e: ModelError) -> Self {
+        AttackError::Model(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<RetrievalError> for AttackError {
+    fn from(e: RetrievalError) -> Self {
+        AttackError::Retrieval(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! The DUO attack: stealthy targeted black-box adversarial examples for
+//! video retrieval systems via frame-pixel dual search (ICDCS 2023).
+//!
+//! DUO is a sequential pipeline over two components:
+//!
+//! 1. [`SparseTransfer`] (Algorithm 1) — on a stolen surrogate model,
+//!    alternately optimizes the perturbation magnitude θ (projected
+//!    gradient descent under ‖θ‖∞ ≤ τ), the binary pixel mask 𝕀 (lp-box
+//!    ADMM under 1ᵀ𝕀 = k), and the binary frame mask 𝓕 (continuous
+//!    relaxation 𝓒 followed by top-n selection on ‖𝓒‖₂).
+//! 2. [`SparseQuery`] (Algorithm 2) — rectifies the transferred
+//!    perturbation against the real black-box service with SimBA-style
+//!    Cartesian-basis steps restricted to the sparse support, driven by
+//!    the list-similarity objective 𝕋 of Eq. 2.
+//!
+//! The outer [`DuoAttack`] pipeline loops the two (`iter_numH ≤ 4`) to
+//! escape local optima, and [`steal_surrogate`] implements the paper's
+//! query-driven surrogate training-set construction (§IV-B1).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use duo_attack::{DuoAttack, DuoConfig};
+//! # fn f(mut blackbox: duo_retrieval::BlackBox,
+//! #      surrogate: duo_models::Backbone,
+//! #      v: duo_video::Video, v_t: duo_video::Video,
+//! #      rng: &mut duo_tensor::Rng64) -> Result<(), duo_attack::AttackError> {
+//! let mut attack = DuoAttack::new(surrogate, DuoConfig::default());
+//! let outcome = attack.run(&mut blackbox, &v, &v_t, rng)?;
+//! println!("queries used: {}", outcome.queries);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admm;
+mod error;
+mod metrics;
+mod pipeline;
+mod sparse_query;
+mod sparse_transfer;
+mod steal;
+mod trace;
+
+pub use admm::lp_box_admm;
+pub use error::AttackError;
+pub use metrics::{pscore, spa, success_rate, AttackOutcome, AttackReport};
+pub use pipeline::{evaluate_outcome, DuoAttack, DuoConfig};
+pub use sparse_query::{QueryConfig, SparseQuery};
+pub use sparse_transfer::{AttackGoal, PerturbNorm, SparseMasks, SparseTransfer, TransferConfig};
+pub use steal::{steal_surrogate, StealConfig, StealReport};
+pub use trace::{downsample, query_stats, write_trajectories_csv, QueryStats};
+
+/// Convenient result alias used across the attack crate.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,141 @@
+//! Perturbation-level attack metrics (paper §V-A) and outcome containers.
+
+use duo_tensor::Tensor;
+use duo_video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Sparsity metric `Spa = Σ_i ‖φ_i‖₀`: the number of perturbed scalars
+/// across all frames. Lower is stealthier.
+pub fn spa(perturbation: &Tensor) -> usize {
+    perturbation.l0_norm()
+}
+
+/// Perceptibility score `PScore = (1/(N·B·C)) Σ |φ_i|`: mean absolute
+/// perturbation per scalar. Lower is stealthier.
+pub fn pscore(perturbation: &Tensor) -> f32 {
+    if perturbation.is_empty() {
+        return 0.0;
+    }
+    perturbation.l1_norm() / perturbation.len() as f32
+}
+
+/// The raw product of an attack run.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The adversarial video `v_adv`.
+    pub adversarial: Video,
+    /// The applied perturbation `φ = v_adv − v` (after range clipping).
+    pub perturbation: Tensor,
+    /// Black-box queries consumed by the run.
+    pub queries: u64,
+    /// Trajectory of the query objective 𝕋 (one entry per accepted or
+    /// evaluated query iteration) — the data behind Figure 5.
+    pub loss_trajectory: Vec<f32>,
+}
+
+impl AttackOutcome {
+    /// Sparsity of the applied perturbation.
+    pub fn spa(&self) -> usize {
+        spa(&self.perturbation)
+    }
+
+    /// Perceptibility of the applied perturbation.
+    pub fn pscore(&self) -> f32 {
+        pscore(&self.perturbation)
+    }
+}
+
+/// Paper-style evaluation row: targeted precision and stealthiness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// `AP@m` between `R^m(v_adv)` and `R^m(v_t)`, in percent.
+    pub ap_at_m: f32,
+    /// Number of perturbed scalars.
+    pub spa: usize,
+    /// Mean absolute perturbation.
+    pub pscore: f32,
+    /// Black-box queries consumed.
+    pub queries: u64,
+}
+
+impl AttackReport {
+    /// The paper's success criterion (§V-C): "a targeted AE attack
+    /// succeeds if AP@m from R(v) and R(v_t) [the `baseline`] is lower
+    /// than that from R(v_adv) and R(v_t)".
+    pub fn succeeds_against(&self, baseline: &AttackReport) -> bool {
+        self.ap_at_m > baseline.ap_at_m
+    }
+}
+
+/// Fraction (%) of attack reports that beat their per-pair baselines —
+/// the aggregate success rate of a batch of targeted attacks.
+pub fn success_rate(attacked: &[AttackReport], baselines: &[AttackReport]) -> f32 {
+    if attacked.is_empty() || attacked.len() != baselines.len() {
+        return 0.0;
+    }
+    let wins = attacked
+        .iter()
+        .zip(baselines)
+        .filter(|(a, b)| a.succeeds_against(b))
+        .count();
+    100.0 * wins as f32 / attacked.len() as f32
+}
+
+impl std::fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AP@m {:>6.2}%  Spa {:>8}  PScore {:>6.3}  queries {:>6}",
+            self.ap_at_m, self.spa, self.pscore, self.queries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spa_counts_nonzero_scalars() {
+        let phi = Tensor::from_vec(vec![0.0, 3.0, -2.0, 0.0], &[4]).unwrap();
+        assert_eq!(spa(&phi), 2);
+    }
+
+    #[test]
+    fn pscore_is_mean_absolute_perturbation() {
+        let phi = Tensor::from_vec(vec![0.0, 4.0, -4.0, 0.0], &[4]).unwrap();
+        assert_eq!(pscore(&phi), 2.0);
+        assert_eq!(pscore(&Tensor::zeros(&[0])), 0.0);
+    }
+
+    #[test]
+    fn dense_perturbation_has_maximal_spa() {
+        // TIMI-style dense perturbations touch every scalar: Spa equals the
+        // clip element count, matching the 602,112 figures of Table II at
+        // paper scale.
+        let phi = Tensor::full(&[2, 3, 3, 3], 1.0);
+        assert_eq!(spa(&phi), 54);
+        assert!((pscore(&phi) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn success_criterion_matches_paper_definition() {
+        let baseline = AttackReport { ap_at_m: 48.67, spa: 0, pscore: 0.0, queries: 0 };
+        let win = AttackReport { ap_at_m: 56.40, spa: 2800, pscore: 0.14, queries: 100 };
+        let lose = AttackReport { ap_at_m: 40.0, spa: 2800, pscore: 0.14, queries: 100 };
+        assert!(win.succeeds_against(&baseline));
+        assert!(!lose.succeeds_against(&baseline));
+        assert!(!baseline.succeeds_against(&baseline), "equality is not success");
+        assert_eq!(success_rate(&[win, lose], &[baseline, baseline]), 50.0);
+        assert_eq!(success_rate(&[], &[]), 0.0);
+        assert_eq!(success_rate(&[win], &[]), 0.0, "length mismatch yields 0");
+    }
+
+    #[test]
+    fn report_display_is_stable() {
+        let r = AttackReport { ap_at_m: 56.4, spa: 2800, pscore: 0.14, queries: 1000 };
+        let s = r.to_string();
+        assert!(s.contains("56.40"));
+        assert!(s.contains("2800"));
+    }
+}

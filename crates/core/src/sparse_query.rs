@@ -1,0 +1,320 @@
+//! SparseQuery (paper Algorithm 2): query-based rectification restricted
+//! to the sparse support found by SparseTransfer.
+//!
+//! The objective (Eq. 2) is
+//! `𝕋(v_adv) = ℍ(R^m(v_adv), R^m(v)) − ℍ(R^m(v_adv), R^m(v_t)) + η`,
+//! where ℍ is the NDCG-based co-occurrence similarity: decreasing 𝕋 moves
+//! the adversarial retrieval list away from the original's and toward the
+//! target's. Each iteration samples one coordinate of the Cartesian basis
+//! (without replacement) *inside the support of 𝕀⊙𝓕⊙θ* (Eq. 4), tries
+//! `±ε`, and keeps whichever candidate lowers 𝕋 (Eq. 3).
+
+use crate::{AttackError, AttackGoal, AttackOutcome, Result, SparseMasks};
+use duo_retrieval::{ndcg_cooccurrence, BlackBox};
+use duo_tensor::Rng64;
+use duo_video::{Video, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the SparseQuery component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Maximum iterations (`iter_numQ`; the paper uses 1,000).
+    pub iter_num_q: usize,
+    /// Margin constant η of Eq. 2 (shifts 𝕋, does not affect decisions).
+    pub eta: f32,
+    /// Per-pixel bound τ the rectified video must keep with respect to the
+    /// *original* video.
+    pub tau: f32,
+    /// Step size ε; `None` derives it from θ as `clamp(mean |θ| on the
+    /// support, 1, τ)` (Algorithm 2 line 3).
+    pub epsilon: Option<f32>,
+    /// Support coordinates moved per iteration. The retrieval list is the
+    /// only feedback the black box exposes, and a single-pixel step almost
+    /// never flips a top-m list; moving a small *group* of basis
+    /// directions per query makes the discrete objective responsive.
+    /// `0` selects `max(1, support/16)` automatically.
+    pub group_size: usize,
+    /// Targeted (default) or untargeted objective.
+    pub goal: AttackGoal,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            iter_num_q: 200,
+            eta: 1.0,
+            tau: 30.0,
+            epsilon: None,
+            group_size: 0,
+            goal: AttackGoal::Targeted,
+        }
+    }
+}
+
+/// The query-based component of DUO.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseQuery {
+    config: QueryConfig,
+}
+
+impl SparseQuery {
+    /// Creates the component.
+    pub fn new(config: QueryConfig) -> Self {
+        SparseQuery { config }
+    }
+
+    /// Runs Algorithm 2.
+    ///
+    /// * `v` / `v_t` — original and target videos (for the reference lists).
+    /// * `masks` — the prior knowledge from SparseTransfer; only its
+    ///   support is ever perturbed.
+    /// * `start` — the initial adversarial video (`v + 𝕀⊙𝓕⊙θ`, clipped).
+    ///
+    /// Stops at `iter_numQ` iterations, support exhaustion with no
+    /// progress, or black-box budget exhaustion (returning the best video
+    /// found so far).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] if the support is empty, and
+    /// propagates retrieval failures other than budget exhaustion.
+    pub fn run(
+        &self,
+        blackbox: &mut BlackBox,
+        v: &Video,
+        v_t: &Video,
+        masks: &SparseMasks,
+        start: Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let support = masks.support_indices();
+        if support.is_empty() {
+            return Err(AttackError::BadConfig("SparseQuery needs a non-empty support".into()));
+        }
+        let queries_before = blackbox.queries_used();
+        let r_v = blackbox.retrieve(v)?;
+        // Untargeted runs skip the target-list query entirely: the
+        // objective degenerates to ℍ(R(v_adv), R(v)) + η.
+        let r_t = match self.config.goal {
+            AttackGoal::Targeted => blackbox.retrieve(v_t)?,
+            AttackGoal::Untargeted => Vec::new(),
+        };
+        let goal = self.config.goal;
+        let objective = |list: &[VideoId]| -> f32 {
+            let away = ndcg_cooccurrence(list, &r_v) + self.config.eta;
+            match goal {
+                AttackGoal::Targeted => away - ndcg_cooccurrence(list, &r_t),
+                AttackGoal::Untargeted => away,
+            }
+        };
+
+        let epsilon = self.config.epsilon.unwrap_or_else(|| {
+            let theta = masks.theta.as_slice();
+            let mean: f32 = support.iter().map(|&i| theta[i].abs()).sum::<f32>()
+                / support.len() as f32;
+            mean.clamp(1.0, self.config.tau)
+        });
+
+        let mut v_adv = start;
+        let mut t_cur = objective(&blackbox.retrieve(&v_adv)?);
+        let mut trajectory = vec![t_cur];
+
+        // Cartesian-basis sampling without replacement (reshuffle when the
+        // support is exhausted); each iteration consumes one group of
+        // basis directions.
+        let mut group = if self.config.group_size == 0 {
+            (support.len() / 16).max(1)
+        } else {
+            self.config.group_size.min(support.len())
+        };
+        let mut order = support.clone();
+        rng.shuffle(&mut order);
+        let mut cursor = 0usize;
+        // Adaptive escalation: when many consecutive groups fail to move
+        // the discrete list objective, coordinate moves are too small to
+        // cross any retrieval boundary — double the block size (up to the
+        // full support) until progress resumes.
+        let mut stale = 0usize;
+
+        let original = v.tensor().as_slice().to_vec();
+        let theta = masks.theta.as_slice();
+        'outer: for _ in 0..self.config.iter_num_q {
+            if blackbox.budget_remaining() == Some(0) {
+                break;
+            }
+            if stale >= 16 && group < support.len() {
+                group = (group * 2).min(support.len());
+                stale = 0;
+            }
+            if cursor + group > order.len() {
+                rng.shuffle(&mut order);
+                cursor = 0;
+            }
+            let indices = &order[cursor..cursor + group];
+            cursor += group;
+            // A fresh random sign pattern per iteration: the group step is
+            // one random direction q of the (restricted) Cartesian-product
+            // basis, probed at +ε and −ε (Eq. 3/4). Biasing the pattern
+            // toward the transfer prior's signs keeps the search centred
+            // on the direction SparseTransfer found while still exploring.
+            let signs: Vec<f32> = indices
+                .iter()
+                .map(|&idx| {
+                    let prior = if theta[idx] < 0.0 { -1.0 } else { 1.0 };
+                    if rng.uniform() < 0.7 {
+                        prior
+                    } else {
+                        -prior
+                    }
+                })
+                .collect();
+
+            for &direction in &[1.0f32, -1.0] {
+                if blackbox.budget_remaining() == Some(0) {
+                    break 'outer;
+                }
+                let mut candidate = v_adv.clone();
+                let cv = candidate.tensor_mut().as_mut_slice();
+                let mut changed = false;
+                for (&idx, &orient) in indices.iter().zip(&signs) {
+                    let cur = cv[idx];
+                    // Keep within both the 8-bit range and the τ-ball
+                    // around the original video (CLIP of Eq. 3).
+                    let lo = (original[idx] - self.config.tau).max(0.0);
+                    let hi = (original[idx] + self.config.tau).min(255.0);
+                    let proposed = (cur + direction * orient * epsilon).clamp(lo, hi);
+                    if (proposed - cur).abs() > 1e-6 {
+                        cv[idx] = proposed;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    continue;
+                }
+                let t_new = objective(&blackbox.retrieve(&candidate)?);
+                if t_new < t_cur {
+                    v_adv = candidate;
+                    t_cur = t_new;
+                    stale = 0;
+                    break;
+                }
+                stale += 1;
+            }
+            trajectory.push(t_cur);
+        }
+
+        let perturbation = v_adv.perturbation_from(v)?;
+        Ok(AttackOutcome {
+            adversarial: v_adv,
+            perturbation,
+            queries: blackbox.queries_used() - queries_before,
+            loss_trajectory: trajectory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SparseTransfer, TransferConfig};
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+
+    fn setup() -> (BlackBox, SyntheticDataset, Backbone) {
+        let mut rng = Rng64::new(171);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 5, 1, 0);
+        let gallery: Vec<_> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+        let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        let surrogate =
+            Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        (BlackBox::new(sys), ds, surrogate)
+    }
+
+    fn masks_for(
+        surrogate: &mut Backbone,
+        v: &duo_video::Video,
+        vt: &duo_video::Video,
+    ) -> SparseMasks {
+        let cfg = TransferConfig {
+            k: 300,
+            n: 3,
+            outer_iters: 1,
+            theta_steps: 3,
+            admm_iters: 15,
+            ..TransferConfig::default()
+        };
+        SparseTransfer::new(surrogate, cfg).run(v, vt).unwrap()
+    }
+
+    #[test]
+    fn objective_never_increases_along_trajectory() {
+        let (mut bb, ds, mut surrogate) = setup();
+        let v = ds.video(duo_video::VideoId { class: 0, instance: 0 });
+        let vt = ds.video(duo_video::VideoId { class: 7, instance: 0 });
+        let masks = masks_for(&mut surrogate, &v, &vt);
+        let start = v.add_perturbation(&masks.phi()).unwrap();
+        let mut rng = Rng64::new(172);
+        let sq = SparseQuery::new(QueryConfig { iter_num_q: 25, ..QueryConfig::default() });
+        let outcome = sq.run(&mut bb, &v, &vt, &masks, start, &mut rng).unwrap();
+        for w in outcome.loss_trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "greedy acceptance must be monotone");
+        }
+    }
+
+    #[test]
+    fn perturbation_stays_on_support_and_in_tau_ball() {
+        let (mut bb, ds, mut surrogate) = setup();
+        let v = ds.video(duo_video::VideoId { class: 1, instance: 0 });
+        let vt = ds.video(duo_video::VideoId { class: 8, instance: 0 });
+        let masks = masks_for(&mut surrogate, &v, &vt);
+        let start = v.add_perturbation(&masks.phi()).unwrap();
+        let mut rng = Rng64::new(173);
+        let cfg = QueryConfig { iter_num_q: 20, tau: 30.0, ..QueryConfig::default() };
+        let outcome = SparseQuery::new(cfg).run(&mut bb, &v, &vt, &masks, start, &mut rng).unwrap();
+        assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3);
+        // Every perturbed index must belong to the support.
+        let mask = masks.mask();
+        for (i, &p) in outcome.perturbation.as_slice().iter().enumerate() {
+            if p != 0.0 {
+                assert_eq!(mask.as_slice()[i], 1.0, "perturbed pixel {i} outside support");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_query_budget() {
+        let (bb, ds, mut surrogate) = setup();
+        let mut bb = BlackBox::with_budget(bb.into_inner(), 12);
+        let v = ds.video(duo_video::VideoId { class: 2, instance: 0 });
+        let vt = ds.video(duo_video::VideoId { class: 9, instance: 0 });
+        let masks = masks_for(&mut surrogate, &v, &vt);
+        let start = v.add_perturbation(&masks.phi()).unwrap();
+        let mut rng = Rng64::new(174);
+        let sq = SparseQuery::new(QueryConfig { iter_num_q: 500, ..QueryConfig::default() });
+        let outcome = sq.run(&mut bb, &v, &vt, &masks, start, &mut rng).unwrap();
+        assert!(outcome.queries <= 12, "budget must cap queries, used {}", outcome.queries);
+    }
+
+    #[test]
+    fn empty_support_is_rejected() {
+        let (mut bb, ds, _) = setup();
+        let v = ds.video(duo_video::VideoId { class: 0, instance: 0 });
+        let dims = v.tensor().dims().to_vec();
+        let masks = SparseMasks {
+            pixel_mask: duo_tensor::Tensor::zeros(&dims),
+            frame_mask: vec![false; dims[0]],
+            theta: duo_tensor::Tensor::zeros(&dims),
+        };
+        let mut rng = Rng64::new(175);
+        let sq = SparseQuery::new(QueryConfig::default());
+        assert!(sq.run(&mut bb, &v, &v, &masks, v.clone(), &mut rng).is_err());
+    }
+}

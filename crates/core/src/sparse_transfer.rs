@@ -1,0 +1,401 @@
+//! SparseTransfer (paper Algorithm 1): frame-pixel dual search on a
+//! surrogate model.
+//!
+//! Solves Eq. 1 approximately by alternating three updates until the
+//! iteration budget is spent:
+//!
+//! 1. **θ** — projected (sign) gradient descent on the surrogate feature
+//!    loss `‖Fea(v_adv) − Fea(v_t)‖² + λ‖θ⊙𝕀⊙𝓕‖²` under `‖θ‖∞ ≤ τ`
+//!    (or an ℓ2-ball projection for the Table IX variant).
+//! 2. **𝕀** — lp-box ADMM selection of the `k` pixels with the highest
+//!    benefit score `|∂L/∂φ| · (|θ| + τ/4)`.
+//! 3. **𝓕** — the binary frame mask is relaxed to a continuous per-frame
+//!    importance 𝓒 (perturbation-energy plus gradient-energy), then the
+//!    top-`n` frames by `‖𝓒‖₂` are re-binarized (Algorithm 1 lines 5–7).
+
+use crate::{lp_box_admm, AttackError, Result};
+use duo_models::Backbone;
+use duo_tensor::Tensor;
+use duo_video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Which norm bounds the perturbation magnitude (Table IX compares both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PerturbNorm {
+    /// `‖θ‖∞ ≤ τ` (the paper's default formulation).
+    Linf,
+    /// `‖θ‖₂ ≤ τ·√(support)` — same per-pixel RMS budget, rounder geometry.
+    L2,
+}
+
+/// What the attack optimizes for (paper §I: "we focus on the more
+/// challenging targeted attacks, while our method can be easily extended
+/// to launch untargeted attacks as well").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AttackGoal {
+    /// Pull `R^m(v_adv)` toward `R^m(v_t)` (the paper's main setting).
+    #[default]
+    Targeted,
+    /// Push `R^m(v_adv)` away from `R^m(v)`; the target video is ignored.
+    Untargeted,
+}
+
+/// Configuration of the SparseTransfer component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferConfig {
+    /// Total pixel budget `k` (`1ᵀ𝕀 = k`).
+    pub k: usize,
+    /// Frame budget `n` (`‖𝓕‖₂,₀ = n`).
+    pub n: usize,
+    /// Per-pixel perturbation bound τ, in 8-bit pixel units.
+    pub tau: f32,
+    /// Regularization weight λ of Eq. 1 (paper: e⁻⁵).
+    pub lambda: f32,
+    /// Alternation rounds of the θ/𝕀/𝓕 loop.
+    pub outer_iters: usize,
+    /// Gradient-descent steps per θ update.
+    pub theta_steps: usize,
+    /// lp-box ADMM iterations per 𝕀 update.
+    pub admm_iters: usize,
+    /// Norm constraining θ.
+    pub norm: PerturbNorm,
+    /// Targeted (default) or untargeted optimization.
+    pub goal: AttackGoal,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            k: 3_000,
+            n: 4,
+            tau: 30.0,
+            lambda: (-5.0f32).exp(),
+            outer_iters: 3,
+            theta_steps: 8,
+            admm_iters: 40,
+            norm: PerturbNorm::Linf,
+            goal: AttackGoal::Targeted,
+        }
+    }
+}
+
+/// The "prior knowledge" SparseTransfer hands to SparseQuery: the selected
+/// pixels 𝕀, the selected frames 𝓕 and the magnitudes θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMasks {
+    /// Binary pixel mask 𝕀 over `[N, H, W, C]` (1 = perturbed).
+    pub pixel_mask: Tensor,
+    /// Binary frame mask 𝓕 (length N, exactly `n` entries true).
+    pub frame_mask: Vec<bool>,
+    /// Perturbation magnitudes θ over `[N, H, W, C]`.
+    pub theta: Tensor,
+}
+
+impl SparseMasks {
+    /// All-selected masks with zero magnitude (the Algorithm 1 init).
+    pub fn dense_init(dims: &[usize]) -> Self {
+        SparseMasks {
+            pixel_mask: Tensor::ones(dims),
+            frame_mask: vec![true; dims[0]],
+            theta: Tensor::zeros(dims),
+        }
+    }
+
+    /// The combined binary mask `𝕀 ⊙ 𝓕` as a tensor.
+    pub fn mask(&self) -> Tensor {
+        let dims = self.pixel_mask.dims().to_vec();
+        let per_frame: usize = dims[1..].iter().product();
+        let mut out = self.pixel_mask.clone();
+        let ov = out.as_mut_slice();
+        for (f, &keep) in self.frame_mask.iter().enumerate() {
+            if !keep {
+                ov[f * per_frame..(f + 1) * per_frame].fill(0.0);
+            }
+        }
+        out
+    }
+
+    /// The perturbation `φ = 𝕀 ⊙ 𝓕 ⊙ θ`.
+    pub fn phi(&self) -> Tensor {
+        self.mask().mul(&self.theta).expect("mask and theta share dims by construction")
+    }
+
+    /// Flat indices of the sparse support (`𝕀⊙𝓕 = 1`).
+    pub fn support_indices(&self) -> Vec<usize> {
+        self.mask()
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| (m != 0.0).then_some(i))
+            .collect()
+    }
+
+    /// Number of active frames.
+    pub fn active_frames(&self) -> usize {
+        self.frame_mask.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The transfer-based component of DUO.
+pub struct SparseTransfer<'a> {
+    surrogate: &'a mut Backbone,
+    config: TransferConfig,
+}
+
+impl<'a> SparseTransfer<'a> {
+    /// Binds the component to a (stolen) surrogate model.
+    pub fn new(surrogate: &'a mut Backbone, config: TransferConfig) -> Self {
+        SparseTransfer { surrogate, config }
+    }
+
+    /// Runs Algorithm 1: returns the prior knowledge `(𝕀, 𝓕, θ)` for the
+    /// pair `(v, v_t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::BadConfig`] for zero budgets and propagates
+    /// surrogate evaluation failures.
+    pub fn run(&mut self, v: &Video, v_t: &Video) -> Result<SparseMasks> {
+        let cfg = self.config;
+        let dims = v.tensor().dims().to_vec();
+        let frames = dims[0];
+        let elements: usize = dims.iter().product();
+        if cfg.n == 0 || cfg.k == 0 {
+            return Err(AttackError::BadConfig("k and n must be positive".into()));
+        }
+        let n = cfg.n.min(frames);
+        let k = cfg.k.min(elements);
+
+        // Targeted: descend toward Fea(v_t). Untargeted: ascend away from
+        // Fea(v) — same machinery with the reference feature and gradient
+        // sign flipped.
+        let (reference_feat, loss_sign) = match cfg.goal {
+            AttackGoal::Targeted => (self.surrogate.extract(v_t)?, 1.0f32),
+            AttackGoal::Untargeted => (self.surrogate.extract(v)?, -1.0f32),
+        };
+        let target_feat = reference_feat;
+        let mut masks = SparseMasks::dense_init(&dims);
+        if cfg.goal == AttackGoal::Untargeted {
+            // The untargeted loss −‖Fea(v+φ) − Fea(v)‖² has an exact
+            // stationary point at φ = 0; kick θ off it with a
+            // deterministic ± pattern so the first gradient is informative.
+            let kick = cfg.tau / 8.0;
+            for (i, t) in masks.theta.as_mut_slice().iter_mut().enumerate() {
+                *t = if (i.wrapping_mul(0x9E37_79B9) >> 16) & 1 == 0 { kick } else { -kick };
+            }
+        }
+        let mut last_grad = Tensor::zeros(&dims);
+
+        // θ update (Algorithm 1, line 3): sign/normalized gradient descent
+        // with a geometrically decaying step (the paper decays its 0.1
+        // step by 0.9 every 50 iterations; a faster decay suits our much
+        // smaller step count and avoids ±step oscillation cancelling θ).
+        let theta_pass = |masks: &mut SparseMasks,
+                              last_grad: &mut Tensor,
+                              surrogate: &mut Backbone|
+         -> Result<()> {
+            let mut step = cfg.tau * 0.5;
+            for _ in 0..cfg.theta_steps {
+                let mask = masks.mask();
+                let phi = mask.mul(&masks.theta)?;
+                let v_adv = v.add_perturbation(&phi)?;
+                let feat = surrogate.extract(&v_adv)?;
+                let grad_feat = feat.sub(&target_feat)?.scale(2.0 * loss_sign);
+                let g_raw = surrogate.input_gradient(&v_adv, &grad_feat)?;
+                *last_grad = g_raw.clone();
+                // dL/dθ = (∂L/∂φ)⊙mask + 2λ·φ⊙mask. The paper's λ = e⁻⁵
+                // balances a loss whose pixel gradients are O(1); our
+                // models (and the 1/255 input scaling) produce far smaller
+                // raw gradients, so the feature term is ℓ∞-normalized
+                // before the regularizer is added — otherwise 2λφ would
+                // dominate and silently anneal θ to zero.
+                let gmax = g_raw.linf_norm().max(1e-12);
+                let mut g_theta = g_raw.scale(1.0 / gmax).mul(&mask)?;
+                g_theta.axpy(2.0 * cfg.lambda / cfg.tau.max(1.0), &phi.mul(&mask)?)?;
+                match cfg.norm {
+                    PerturbNorm::Linf => {
+                        // Sign step then ℓ∞ projection.
+                        masks.theta = masks
+                            .theta
+                            .zip(&g_theta, |t, g| t - step * sign(g))?
+                            .clamp(-cfg.tau, cfg.tau);
+                    }
+                    PerturbNorm::L2 => {
+                        // RMS-normalized step then ℓ2-ball projection.
+                        let rms =
+                            (g_theta.l2_norm() / (g_theta.len() as f32).sqrt()).max(1e-12);
+                        masks.theta.axpy(-step / rms, &g_theta)?;
+                        let support = masks.mask().l0_norm().max(1);
+                        let radius = cfg.tau * (support as f32).sqrt();
+                        let norm = masks.theta.l2_norm();
+                        if norm > radius {
+                            masks.theta = masks.theta.scale(radius / norm);
+                        }
+                        // Per-pixel values must stay within valid 8-bit
+                        // perturbation range regardless of the ball.
+                        masks.theta = masks.theta.clamp(-255.0, 255.0);
+                    }
+                }
+                step *= 0.7;
+            }
+            Ok(())
+        };
+
+        for _round in 0..cfg.outer_iters {
+            theta_pass(&mut masks, &mut last_grad, self.surrogate)?;
+
+            // --- 𝕀 update with ADMM (line 4) ----------------------------
+            let scores: Vec<f32> = last_grad
+                .as_slice()
+                .iter()
+                .zip(masks.theta.as_slice())
+                .map(|(&g, &t)| g.abs() * (t.abs() + 0.25 * cfg.tau))
+                .collect();
+            let selected = lp_box_admm(&scores, k, cfg.admm_iters)?;
+            let pv = masks.pixel_mask.as_mut_slice();
+            for (p, keep) in pv.iter_mut().zip(&selected) {
+                *p = if *keep { 1.0 } else { 0.0 };
+            }
+
+            // --- 𝓕 update via continuous relaxation (lines 5–7) --------
+            let per_frame: usize = dims[1..].iter().product();
+            let theta_masked = masks.pixel_mask.mul(&masks.theta)?;
+            let grad_masked = masks.pixel_mask.mul(&last_grad)?;
+            let mut c: Vec<(usize, f32)> = (0..frames)
+                .map(|f| {
+                    let lo = f * per_frame;
+                    let hi = lo + per_frame;
+                    let e_theta: f32 = theta_masked.as_slice()[lo..hi]
+                        .iter()
+                        .map(|x| x * x)
+                        .sum::<f32>()
+                        .sqrt();
+                    let e_grad: f32 = grad_masked.as_slice()[lo..hi]
+                        .iter()
+                        .map(|x| x * x)
+                        .sum::<f32>()
+                        .sqrt();
+                    (f, e_theta + cfg.tau * e_grad)
+                })
+                .collect();
+            c.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            masks.frame_mask = vec![false; frames];
+            for &(f, _) in c.iter().take(n) {
+                masks.frame_mask[f] = true;
+            }
+        }
+        // Final θ polish under the final masks, so the returned magnitudes
+        // are adapted to exactly the pixels/frames SparseQuery will keep.
+        theta_pass(&mut masks, &mut last_grad, self.surrogate)?;
+        Ok(masks)
+    }
+}
+
+fn sign(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, BackboneConfig};
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, SyntheticVideoGenerator};
+
+    fn setup() -> (Backbone, Video, Video) {
+        let mut rng = Rng64::new(161);
+        let surrogate =
+            Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let gen = SyntheticVideoGenerator::new(ClipSpec::tiny(), 9);
+        (surrogate, gen.generate(0, 0), gen.generate(5, 0))
+    }
+
+    fn quick_config() -> TransferConfig {
+        TransferConfig {
+            k: 400,
+            n: 3,
+            outer_iters: 2,
+            theta_steps: 4,
+            admm_iters: 20,
+            ..TransferConfig::default()
+        }
+    }
+
+    #[test]
+    fn masks_satisfy_budgets() {
+        let (mut s, v, vt) = setup();
+        let masks = SparseTransfer::new(&mut s, quick_config()).run(&v, &vt).unwrap();
+        assert_eq!(masks.pixel_mask.l0_norm(), 400, "exactly k pixels selected");
+        assert_eq!(masks.active_frames(), 3, "exactly n frames selected");
+        assert!(masks.phi().l0_norm() <= 400);
+    }
+
+    #[test]
+    fn theta_respects_linf_budget() {
+        let (mut s, v, vt) = setup();
+        let cfg = quick_config();
+        let masks = SparseTransfer::new(&mut s, cfg).run(&v, &vt).unwrap();
+        assert!(masks.theta.linf_norm() <= cfg.tau + 1e-4);
+        assert!(masks.phi().linf_norm() <= cfg.tau + 1e-4);
+    }
+
+    #[test]
+    fn transfer_moves_features_toward_target() {
+        let (mut s, v, vt) = setup();
+        let masks = SparseTransfer::new(&mut s, quick_config()).run(&v, &vt).unwrap();
+        let target = s.extract(&vt).unwrap();
+        let before = s.extract(&v).unwrap().sq_distance(&target).unwrap();
+        let v_adv = v.add_perturbation(&masks.phi()).unwrap();
+        let after = s.extract(&v_adv).unwrap().sq_distance(&target).unwrap();
+        assert!(
+            after < before,
+            "surrogate feature distance should shrink: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn l2_variant_produces_bounded_perturbation() {
+        let (mut s, v, vt) = setup();
+        let cfg = TransferConfig { norm: PerturbNorm::L2, ..quick_config() };
+        let masks = SparseTransfer::new(&mut s, cfg).run(&v, &vt).unwrap();
+        let support = masks.mask().l0_norm().max(1);
+        let radius = cfg.tau * (support as f32).sqrt();
+        assert!(masks.phi().l2_norm() <= radius * 1.01);
+    }
+
+    #[test]
+    fn support_indices_match_mask() {
+        let (mut s, v, vt) = setup();
+        let masks = SparseTransfer::new(&mut s, quick_config()).run(&v, &vt).unwrap();
+        let support = masks.support_indices();
+        let mask = masks.mask();
+        assert_eq!(support.len(), mask.l0_norm());
+        for &i in support.iter().take(20) {
+            assert_eq!(mask.as_slice()[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_budgets() {
+        let (mut s, v, vt) = setup();
+        let cfg = TransferConfig { k: 0, ..quick_config() };
+        assert!(SparseTransfer::new(&mut s, cfg).run(&v, &vt).is_err());
+        let cfg = TransferConfig { n: 0, ..quick_config() };
+        assert!(SparseTransfer::new(&mut s, cfg).run(&v, &vt).is_err());
+    }
+
+    #[test]
+    fn oversized_budgets_are_clamped() {
+        let (mut s, v, vt) = setup();
+        let cfg = TransferConfig { k: 10_000_000, n: 99, ..quick_config() };
+        let masks = SparseTransfer::new(&mut s, cfg).run(&v, &vt).unwrap();
+        assert_eq!(masks.active_frames(), v.frames());
+        assert_eq!(masks.pixel_mask.l0_norm(), v.tensor().len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Structured attack telemetry.
+//!
+//! [`AttackOutcome::loss_trajectory`] carries the raw 𝕋 curve; this module
+//! adds the derived views the evaluation needs: per-query series for
+//! Figure 5, acceptance statistics, and CSV export for external plotting.
+
+use crate::AttackOutcome;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+
+/// Summary statistics of one attack run's query phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Number of recorded objective samples.
+    pub samples: usize,
+    /// Initial 𝕋 value.
+    pub initial: f32,
+    /// Final 𝕋 value.
+    pub final_value: f32,
+    /// Total objective decrease (`initial − final`).
+    pub total_drop: f32,
+    /// Number of iterations that strictly improved the objective.
+    pub improvements: usize,
+    /// Largest single-step improvement.
+    pub best_step: f32,
+    /// Black-box queries consumed.
+    pub queries: u64,
+}
+
+/// Computes query-phase statistics from an attack outcome.
+///
+/// Returns `None` when the outcome recorded no trajectory (e.g. pure
+/// transfer attacks such as TIMI).
+pub fn query_stats(outcome: &AttackOutcome) -> Option<QueryStats> {
+    let traj = &outcome.loss_trajectory;
+    let (&initial, &final_value) = (traj.first()?, traj.last()?);
+    let mut improvements = 0usize;
+    let mut best_step = 0.0f32;
+    for w in traj.windows(2) {
+        let drop = w[0] - w[1];
+        if drop > 0.0 {
+            improvements += 1;
+            best_step = best_step.max(drop);
+        }
+    }
+    Some(QueryStats {
+        samples: traj.len(),
+        initial,
+        final_value,
+        total_drop: initial - final_value,
+        improvements,
+        best_step,
+        queries: outcome.queries,
+    })
+}
+
+/// Downsamples a trajectory to at most `points` evenly spaced samples
+/// (always keeping the first and last), the series Figure 5 plots.
+pub fn downsample(trajectory: &[f32], points: usize) -> Vec<(usize, f32)> {
+    if trajectory.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    if trajectory.len() <= points {
+        return trajectory.iter().copied().enumerate().collect();
+    }
+    let step = (trajectory.len() - 1) as f64 / (points - 1).max(1) as f64;
+    (0..points)
+        .map(|i| {
+            let idx = ((i as f64 * step).round() as usize).min(trajectory.len() - 1);
+            (idx, trajectory[idx])
+        })
+        .collect()
+}
+
+/// Writes one or more named trajectories as CSV (`iteration,<name>,…`),
+/// padding shorter series with their final value so rows stay rectangular.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trajectories_csv<W: Write>(
+    series: &[(&str, &[f32])],
+    mut w: W,
+) -> std::io::Result<()> {
+    write!(w, "iteration")?;
+    for (name, _) in series {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w)?;
+    let rows = series.iter().map(|(_, t)| t.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        write!(w, "{i}")?;
+        for (_, t) in series {
+            let v = t.get(i).or_else(|| t.last()).copied().unwrap_or(f32::NAN);
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_tensor::Tensor;
+    use duo_video::{ClipSpec, Video};
+
+    fn outcome_with(traj: Vec<f32>, queries: u64) -> AttackOutcome {
+        let spec = ClipSpec::tiny();
+        AttackOutcome {
+            adversarial: Video::zeros(spec),
+            perturbation: Tensor::zeros(&[spec.frames, spec.height, spec.width, spec.channels]),
+            queries,
+            loss_trajectory: traj,
+        }
+    }
+
+    #[test]
+    fn stats_capture_monotone_improvements() {
+        let o = outcome_with(vec![2.0, 1.8, 1.8, 1.5, 1.5], 40);
+        let s = query_stats(&o).unwrap();
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.initial, 2.0);
+        assert_eq!(s.final_value, 1.5);
+        assert!((s.total_drop - 0.5).abs() < 1e-6);
+        assert_eq!(s.improvements, 2);
+        assert!((s.best_step - 0.3).abs() < 1e-6);
+        assert_eq!(s.queries, 40);
+    }
+
+    #[test]
+    fn stats_none_for_empty_trajectory() {
+        assert!(query_stats(&outcome_with(vec![], 0)).is_none());
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let traj: Vec<f32> = (0..100).map(|i| 100.0 - i as f32).collect();
+        let d = downsample(&traj, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], (0, 100.0));
+        assert_eq!(d[4], (99, 1.0));
+        // Short series pass through untouched.
+        let short = downsample(&[3.0, 2.0], 10);
+        assert_eq!(short, vec![(0, 3.0), (1, 2.0)]);
+        assert!(downsample(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn csv_is_rectangular_with_padding() {
+        let a = vec![2.0f32, 1.5, 1.0];
+        let b = vec![2.0f32, 1.9];
+        let mut buf = Vec::new();
+        write_trajectories_csv(&[("duo", &a), ("vanilla", &b)], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "iteration,duo,vanilla");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[3], "2,1,1.9", "short series pads with its final value");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests on the attack crate's algorithmic kernels.
+
+use duo_attack::{lp_box_admm, pscore, spa, SparseMasks};
+use duo_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// lp-box ADMM selects exactly k entries and, for linear objectives,
+    /// captures at least as much score mass as any random selection.
+    #[test]
+    fn admm_beats_random_selection(
+        scores in prop::collection::vec(-5.0f32..5.0, 8..64),
+        seed in 0u64..1000,
+    ) {
+        let k = scores.len() / 2;
+        let mask = lp_box_admm(&scores, k, 40).unwrap();
+        prop_assert_eq!(mask.iter().filter(|&&b| b).count(), k);
+        let admm_mass: f32 =
+            mask.iter().zip(&scores).filter(|(&b, _)| b).map(|(_, &s)| s).sum();
+        let mut rng = Rng64::new(seed);
+        let random_mass: f32 =
+            rng.sample_indices(scores.len(), k).into_iter().map(|i| scores[i]).sum();
+        prop_assert!(
+            admm_mass >= random_mass - 1e-4,
+            "ADMM mass {admm_mass} below random {random_mass}"
+        );
+    }
+
+    /// The φ composition bounds: ‖φ‖∞ ≤ ‖θ‖∞ and supp(φ) ⊆ supp(𝕀⊙𝓕).
+    #[test]
+    fn phi_composition_bounds(seed in 0u64..500, frames in 2usize..6) {
+        let dims = [frames, 4, 4, 3];
+        let mut rng = Rng64::new(seed);
+        let mut masks = SparseMasks::dense_init(&dims);
+        masks.theta = Tensor::rand_uniform(&dims, -30.0, 30.0, rng.as_rng());
+        masks.pixel_mask = Tensor::rand_uniform(&dims, 0.0, 1.0, rng.as_rng())
+            .map(|x| if x > 0.5 { 1.0 } else { 0.0 });
+        masks.frame_mask = (0..frames).map(|_| rng.uniform() > 0.4).collect();
+        let phi = masks.phi();
+        prop_assert!(phi.linf_norm() <= masks.theta.linf_norm() + 1e-6);
+        prop_assert!(phi.l0_norm() <= masks.mask().l0_norm());
+        prop_assert_eq!(masks.support_indices().len(), masks.mask().l0_norm());
+    }
+
+    /// Spa/PScore scale linearly with the perturbation support and size.
+    #[test]
+    fn metrics_scale_with_support(count in 1usize..60, magnitude in 0.5f32..30.0) {
+        let mut phi = Tensor::zeros(&[4, 4, 4, 3]);
+        for i in 0..count {
+            phi.as_mut_slice()[i * 3] = magnitude;
+        }
+        prop_assert_eq!(spa(&phi), count);
+        let expected = count as f32 * magnitude / phi.len() as f32;
+        prop_assert!((pscore(&phi) - expected).abs() < 1e-4);
+    }
+
+    /// Active-frame bookkeeping matches the boolean mask exactly.
+    #[test]
+    fn active_frames_counts_mask(pattern in prop::collection::vec(any::<bool>(), 1..10)) {
+        let frames = pattern.len();
+        let dims = [frames, 2, 2, 3];
+        let mut masks = SparseMasks::dense_init(&dims);
+        masks.frame_mask = pattern.clone();
+        prop_assert_eq!(masks.active_frames(), pattern.iter().filter(|&&b| b).count());
+    }
+}
+
+/// Deterministic: ADMM agrees with exhaustive search on tiny instances.
+#[test]
+fn admm_matches_exhaustive_optimum_on_tiny_instances() {
+    let mut rng = Rng64::new(701);
+    for _ in 0..20 {
+        let n = 8;
+        let scores: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        for k in 1..n {
+            let mask = lp_box_admm(&scores, k, 60).unwrap();
+            let admm_mass: f32 =
+                mask.iter().zip(&scores).filter(|(&b, _)| b).map(|(_, &s)| s).sum();
+            // Exhaustive best k-subset mass.
+            let mut best = f32::NEG_INFINITY;
+            for bits in 0u32..(1 << n) {
+                if bits.count_ones() as usize != k {
+                    continue;
+                }
+                let mass: f32 =
+                    (0..n).filter(|i| bits & (1 << i) != 0).map(|i| scores[i]).sum();
+                best = best.max(mass);
+            }
+            assert!(
+                (admm_mass - best).abs() < 1e-4,
+                "k={k}: admm {admm_mass} vs optimum {best}"
+            );
+        }
+    }
+}

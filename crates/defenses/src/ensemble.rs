@@ -1,0 +1,246 @@
+//! The paper's *proposed* defense (§V-D): "ensemble models built from
+//! multiple backbones would be more robust against most AE attacks, DUO
+//! included."
+//!
+//! [`EnsembleDetector`] implements that idea as a cross-model agreement
+//! check: a secondary backbone of a *different architecture* indexes the
+//! same gallery, and a query is flagged when the primary service's
+//! retrieval list disagrees with the secondary's beyond a clean-calibrated
+//! threshold. Adversarial perturbations are optimized against (a surrogate
+//! of) the primary model and transfer imperfectly to the secondary, so
+//! they widen exactly the gap this detector measures.
+
+use crate::{DefenseError, Result};
+use duo_models::Backbone;
+use duo_retrieval::{ndcg_cooccurrence, RetrievalSystem};
+use duo_tensor::Tensor;
+use duo_video::{SyntheticDataset, Video, VideoId};
+
+/// Cross-backbone agreement detector over a shared gallery.
+pub struct EnsembleDetector {
+    secondary: Backbone,
+    gallery: Vec<(VideoId, Tensor)>,
+    m: usize,
+    threshold: f32,
+}
+
+impl std::fmt::Debug for EnsembleDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleDetector")
+            .field("secondary", &self.secondary.arch())
+            .field("gallery", &self.gallery.len())
+            .field("m", &self.m)
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl EnsembleDetector {
+    /// Indexes the gallery under the secondary backbone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadCalibration`] for an empty gallery and
+    /// propagates feature-extraction failures.
+    pub fn build(
+        mut secondary: Backbone,
+        dataset: &SyntheticDataset,
+        gallery_ids: &[VideoId],
+        m: usize,
+    ) -> Result<Self> {
+        if gallery_ids.is_empty() || m == 0 {
+            return Err(DefenseError::BadCalibration(
+                "ensemble detector needs a non-empty gallery and positive m".into(),
+            ));
+        }
+        let mut gallery = Vec::with_capacity(gallery_ids.len());
+        for &id in gallery_ids {
+            let feat = secondary
+                .extract(&dataset.video(id))
+                .map_err(|e| DefenseError::BadCalibration(format!("secondary extract: {e}")))?;
+            gallery.push((id, feat));
+        }
+        Ok(EnsembleDetector { secondary, gallery, m, threshold: 0.5 })
+    }
+
+    /// The secondary model's own top-`m` list for a query.
+    fn secondary_retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+        let q = self
+            .secondary
+            .extract(video)
+            .map_err(|e| DefenseError::BadCalibration(format!("secondary extract: {e}")))?;
+        let mut scored: Vec<(VideoId, f32)> = self
+            .gallery
+            .iter()
+            .map(|(id, feat)| (*id, feat.sq_distance(&q).expect("gallery dims match")))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.1.total_cmp(&b.1)
+                .then_with(|| (a.0.class, a.0.instance).cmp(&(b.0.class, b.0.instance)))
+        });
+        scored.truncate(self.m);
+        Ok(scored.into_iter().map(|(id, _)| id).collect())
+    }
+
+    /// Disagreement score in `[0, 1]` between the primary service's list
+    /// and the secondary model's list (0 = full agreement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn score(&mut self, primary: &mut RetrievalSystem, video: &Video) -> Result<f32> {
+        let primary_list = primary.retrieve(video)?;
+        let secondary_list = self.secondary_retrieve(video)?;
+        Ok(1.0 - ndcg_cooccurrence(&primary_list, &secondary_list))
+    }
+
+    /// Calibrates the flag threshold to a clean false-positive rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadCalibration`] for an empty clean set or
+    /// an FPR outside `[0, 1]`.
+    pub fn calibrate(
+        &mut self,
+        primary: &mut RetrievalSystem,
+        clean: &[Video],
+        fpr: f32,
+    ) -> Result<()> {
+        if clean.is_empty() {
+            return Err(DefenseError::BadCalibration("need clean videos to calibrate".into()));
+        }
+        if !(0.0..=1.0).contains(&fpr) {
+            return Err(DefenseError::BadCalibration(format!("fpr {fpr} outside [0,1]")));
+        }
+        let mut scores = Vec::with_capacity(clean.len());
+        for v in clean {
+            scores.push(self.score(primary, v)?);
+        }
+        scores.sort_by(f32::total_cmp);
+        let idx = (((1.0 - fpr) * (scores.len() - 1) as f32).round() as usize)
+            .min(scores.len() - 1);
+        self.threshold = scores[idx] + 1e-6;
+        Ok(())
+    }
+
+    /// The current decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Whether a query is flagged as adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn is_flagged(&mut self, primary: &mut RetrievalSystem, video: &Video) -> Result<bool> {
+        Ok(self.score(primary, video)? > self.threshold)
+    }
+
+    /// Detection rate (%) over a batch of adversarial videos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn detection_rate(
+        &mut self,
+        primary: &mut RetrievalSystem,
+        adversarial: &[Video],
+    ) -> Result<f32> {
+        if adversarial.is_empty() {
+            return Ok(0.0);
+        }
+        let mut flagged = 0usize;
+        for v in adversarial {
+            if self.is_flagged(primary, v)? {
+                flagged += 1;
+            }
+        }
+        Ok(100.0 * flagged as f32 / adversarial.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, BackboneConfig};
+    use duo_retrieval::RetrievalConfig;
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, DatasetKind};
+
+    fn setup() -> (RetrievalSystem, EnsembleDetector, SyntheticDataset) {
+        let mut rng = Rng64::new(261);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 11, 2, 1);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 8).copied().collect();
+        let primary = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let system = RetrievalSystem::build(
+            primary,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        let secondary =
+            Backbone::new(Architecture::SlowFast, BackboneConfig::tiny(), &mut rng).unwrap();
+        let detector = EnsembleDetector::build(secondary, &ds, &gallery, 5).unwrap();
+        (system, detector, ds)
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (mut sys, mut det, ds) = setup();
+        for c in 0..4 {
+            let v = ds.video(VideoId { class: c, instance: 0 });
+            let s = det.score(&mut sys, &v).unwrap();
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn calibration_bounds_clean_flags() {
+        let (mut sys, mut det, ds) = setup();
+        let clean: Vec<Video> =
+            (0..8).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+        det.calibrate(&mut sys, &clean, 0.15).unwrap();
+        let mut flagged = 0;
+        for v in &clean {
+            if det.is_flagged(&mut sys, v).unwrap() {
+                flagged += 1;
+            }
+        }
+        assert!(flagged <= 2, "calibration must bound clean flags, got {flagged}/8");
+    }
+
+    #[test]
+    fn empty_gallery_rejected() {
+        let mut rng = Rng64::new(262);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 11, 1, 0);
+        let secondary =
+            Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        assert!(EnsembleDetector::build(secondary, &ds, &[], 5).is_err());
+    }
+
+    #[test]
+    fn detection_rate_is_well_formed() {
+        let (mut sys, mut det, ds) = setup();
+        let clean: Vec<Video> =
+            (0..6).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+        det.calibrate(&mut sys, &clean, 0.1).unwrap();
+        // Heavily corrupted queries as adversarial stand-ins.
+        let mut rng = Rng64::new(263);
+        let adv: Vec<Video> = clean
+            .iter()
+            .map(|v| {
+                let mut n = v.clone();
+                for x in n.tensor_mut().as_mut_slice() {
+                    *x = (*x + 40.0 * rng.normal()).clamp(0.0, 255.0);
+                }
+                n
+            })
+            .collect();
+        let rate = det.detection_rate(&mut sys, &adv).unwrap();
+        assert!((0.0..=100.0).contains(&rate));
+        assert_eq!(det.detection_rate(&mut sys, &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+use duo_retrieval::RetrievalError;
+use std::fmt;
+
+/// Error type for defense evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenseError {
+    /// The underlying retrieval system failed.
+    Retrieval(RetrievalError),
+    /// Calibration was requested with no clean samples or an invalid FPR.
+    BadCalibration(String),
+}
+
+impl fmt::Display for DefenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefenseError::Retrieval(e) => write!(f, "retrieval error: {e}"),
+            DefenseError::BadCalibration(msg) => write!(f, "bad calibration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DefenseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DefenseError::Retrieval(e) => Some(e),
+            DefenseError::BadCalibration(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<RetrievalError> for DefenseError {
+    fn from(e: RetrievalError) -> Self {
+        DefenseError::Retrieval(e)
+    }
+}

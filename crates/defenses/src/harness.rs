@@ -1,0 +1,198 @@
+use crate::{Defense, DefenseError, Result};
+use duo_retrieval::{ndcg_cooccurrence, RetrievalSystem};
+use duo_video::Video;
+
+/// Detection harness: flags a query as adversarial when its retrieval
+/// list diverges from the list of its defensively transformed copy.
+///
+/// The divergence score is `1 − ℍ(R^m(v), R^m(T(v)))` with ℍ the NDCG
+/// co-occurrence similarity; the threshold is calibrated on clean videos
+/// to a target false-positive rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionHarness {
+    threshold: f32,
+}
+
+impl DetectionHarness {
+    /// Creates a harness with an explicit threshold in `[0, 1]`.
+    pub fn with_threshold(threshold: f32) -> Self {
+        DetectionHarness { threshold }
+    }
+
+    /// The current decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Divergence score of one video under the defense (0 = identical
+    /// lists, 1 = disjoint).
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn score(
+        system: &mut RetrievalSystem,
+        defense: &dyn Defense,
+        video: &Video,
+    ) -> Result<f32> {
+        let raw = system.retrieve(video)?;
+        let squeezed = system.retrieve(&defense.transform(video))?;
+        Ok(1.0 - ndcg_cooccurrence(&raw, &squeezed))
+    }
+
+    /// Calibrates the threshold so that at most `fpr` of the clean videos
+    /// are flagged (the usual deployment procedure for both defenses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DefenseError::BadCalibration`] for an empty clean set or
+    /// an out-of-range FPR.
+    pub fn calibrate(
+        system: &mut RetrievalSystem,
+        defense: &dyn Defense,
+        clean: &[Video],
+        fpr: f32,
+    ) -> Result<Self> {
+        if clean.is_empty() {
+            return Err(DefenseError::BadCalibration("need clean videos to calibrate".into()));
+        }
+        if !(0.0..=1.0).contains(&fpr) {
+            return Err(DefenseError::BadCalibration(format!("fpr {fpr} outside [0,1]")));
+        }
+        let mut scores = Vec::with_capacity(clean.len());
+        for v in clean {
+            scores.push(Self::score(system, defense, v)?);
+        }
+        scores.sort_by(f32::total_cmp);
+        // The threshold sits at the (1−fpr) quantile of clean scores, with
+        // a small epsilon so scores exactly at the quantile pass.
+        let idx = (((1.0 - fpr) * (scores.len() - 1) as f32).round() as usize)
+            .min(scores.len() - 1);
+        Ok(DetectionHarness { threshold: scores[idx] + 1e-6 })
+    }
+
+    /// Whether one video is flagged as adversarial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn is_flagged(
+        &self,
+        system: &mut RetrievalSystem,
+        defense: &dyn Defense,
+        video: &Video,
+    ) -> Result<bool> {
+        Ok(Self::score(system, defense, video)? > self.threshold)
+    }
+
+    /// Detection rate (%) over a batch of adversarial videos — the paper's
+    /// Table X quantity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates retrieval failures.
+    pub fn detection_rate(
+        &mut self,
+        system: &mut RetrievalSystem,
+        defense: &dyn Defense,
+        adversarial: &[Video],
+    ) -> Result<f32> {
+        if adversarial.is_empty() {
+            return Ok(0.0);
+        }
+        let mut flagged = 0usize;
+        for v in adversarial {
+            if self.is_flagged(system, defense, v)? {
+                flagged += 1;
+            }
+        }
+        Ok(100.0 * flagged as f32 / adversarial.len() as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FeatureSqueezing, Noise2Self};
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_retrieval::RetrievalConfig;
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, VideoId};
+
+    fn setup() -> (RetrievalSystem, SyntheticDataset) {
+        let mut rng = Rng64::new(251);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 10, 1, 1);
+        let gallery: Vec<_> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+        let backbone = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            backbone,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        (sys, ds)
+    }
+
+    #[test]
+    fn calibration_respects_clean_fpr() {
+        let (mut sys, ds) = setup();
+        let clean: Vec<Video> =
+            (0..6).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+        let defense = FeatureSqueezing::default();
+        let harness = DetectionHarness::calibrate(&mut sys, &defense, &clean, 0.2).unwrap();
+        let mut flagged = 0;
+        for v in &clean {
+            if harness.is_flagged(&mut sys, &defense, v).unwrap() {
+                flagged += 1;
+            }
+        }
+        assert!(flagged <= 2, "at 20% FPR no more than ~1 of 6 clean videos flags, got {flagged}");
+    }
+
+    #[test]
+    fn dense_noise_is_detected_more_than_clean() {
+        let (mut sys, ds) = setup();
+        let clean: Vec<Video> =
+            (0..5).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+        let defense = Noise2Self::default();
+        // Heavy dense noise = a crude stand-in for a dense AE.
+        let mut rng = Rng64::new(252);
+        let noisy: Vec<Video> = clean
+            .iter()
+            .map(|v| {
+                let mut n = v.clone();
+                for x in n.tensor_mut().as_mut_slice() {
+                    *x = (*x + 35.0 * rng.normal()).clamp(0.0, 255.0);
+                }
+                n
+            })
+            .collect();
+        let mut clean_sum = 0.0;
+        let mut noisy_sum = 0.0;
+        for (c, n) in clean.iter().zip(&noisy) {
+            clean_sum += DetectionHarness::score(&mut sys, &defense, c).unwrap();
+            noisy_sum += DetectionHarness::score(&mut sys, &defense, n).unwrap();
+        }
+        assert!(
+            noisy_sum >= clean_sum,
+            "noisy queries should diverge at least as much: clean {clean_sum} vs noisy {noisy_sum}"
+        );
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let (mut sys, _) = setup();
+        let defense = FeatureSqueezing::default();
+        assert!(DetectionHarness::calibrate(&mut sys, &defense, &[], 0.05).is_err());
+        let mut harness = DetectionHarness::with_threshold(0.5);
+        assert_eq!(harness.detection_rate(&mut sys, &defense, &[]).ok(), Some(0.0));
+        let _ = harness;
+    }
+
+    #[test]
+    fn threshold_accessor_round_trips() {
+        let h = DetectionHarness::with_threshold(0.42);
+        assert_eq!(h.threshold(), 0.42);
+    }
+}

@@ -1,0 +1,58 @@
+//! Defenses evaluated against DUO (paper §V-D).
+//!
+//! Both defenses share one detection principle: apply an input transform
+//! that barely changes natural videos but disrupts adversarial
+//! perturbations, re-query, and flag the input when the two retrieval
+//! lists diverge more than a threshold calibrated to a clean-video
+//! false-positive rate.
+//!
+//! * [`FeatureSqueezing`] (Xu et al., NDSS'18) — bit-depth reduction plus
+//!   spatial median smoothing.
+//! * [`Noise2Self`] (Batson & Royer, ICML'19) — J-invariant masked
+//!   denoising: each pixel is replaced by an estimate computed *without*
+//!   looking at itself (donut interpolation), treating adversarial noise
+//!   as self-correlated signal that cannot survive the masking.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use duo_defenses::{Defense, DetectionHarness, FeatureSqueezing};
+//! # fn f(mut sys: duo_retrieval::RetrievalSystem,
+//! #      clean: Vec<duo_video::Video>, adv: Vec<duo_video::Video>)
+//! # -> Result<(), duo_defenses::DefenseError> {
+//! let defense = FeatureSqueezing::default();
+//! let mut harness = DetectionHarness::calibrate(&mut sys, &defense, &clean, 0.05)?;
+//! let rate = harness.detection_rate(&mut sys, &defense, &adv)?;
+//! println!("{}: {:.1}% detected", defense.name(), rate);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ensemble;
+mod error;
+mod harness;
+mod noise2self;
+mod squeeze;
+
+pub use ensemble::EnsembleDetector;
+pub use error::DefenseError;
+pub use harness::DetectionHarness;
+pub use noise2self::Noise2Self;
+pub use squeeze::FeatureSqueezing;
+
+use duo_video::Video;
+
+/// An input-transformation defense.
+pub trait Defense: Send + Sync {
+    /// Applies the defensive transform to a query video.
+    fn transform(&self, video: &Video) -> Video;
+
+    /// Human-readable defense name.
+    fn name(&self) -> &'static str;
+}
+
+/// Convenient result alias used across the defenses crate.
+pub type Result<T> = std::result::Result<T, DefenseError>;

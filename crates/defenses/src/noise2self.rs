@@ -1,0 +1,121 @@
+use crate::Defense;
+use duo_video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Noise2Self-style J-invariant denoising (Batson & Royer, ICML'19).
+///
+/// The paper's defense trains a self-supervised denoiser; the J-invariant
+/// principle it relies on is that each pixel is predicted *without seeing
+/// itself*. This implementation uses the classic training-free J-invariant
+/// estimator from the same paper's baselines: every pixel is replaced by
+/// the mean of its spatial "donut" neighbourhood (excluding itself),
+/// optionally blended with the original to control strength. Adversarial
+/// energy concentrated in individual pixels cannot survive the masking,
+/// while natural content (spatially smooth) does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Noise2Self {
+    /// Neighbourhood half-width (1 ⇒ 3×3 donut of 8 neighbours).
+    pub radius: usize,
+    /// Blend factor in `[0, 1]`: 1 = fully denoised, 0 = identity.
+    pub strength: f32,
+}
+
+impl Default for Noise2Self {
+    fn default() -> Self {
+        Noise2Self { radius: 1, strength: 1.0 }
+    }
+}
+
+impl Defense for Noise2Self {
+    fn transform(&self, video: &Video) -> Video {
+        let spec = video.spec();
+        let (n, h, w, c) = (spec.frames, spec.height, spec.width, spec.channels);
+        let src = video.tensor().as_slice().to_vec();
+        let mut out = video.clone();
+        let dst = out.tensor_mut().as_mut_slice();
+        let r = self.radius as isize;
+        for f in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    for ch in 0..c {
+                        let mut sum = 0.0f32;
+                        let mut count = 0u32;
+                        for dy in -r..=r {
+                            for dx in -r..=r {
+                                if dy == 0 && dx == 0 {
+                                    continue; // J-invariance: never read self
+                                }
+                                let yy = y as isize + dy;
+                                let xx = x as isize + dx;
+                                if yy >= 0 && (yy as usize) < h && xx >= 0 && (xx as usize) < w {
+                                    sum += src
+                                        [(((f * h + yy as usize) * w) + xx as usize) * c + ch];
+                                    count += 1;
+                                }
+                            }
+                        }
+                        let idx = (((f * h + y) * w) + x) * c + ch;
+                        let denoised = if count > 0 { sum / count as f32 } else { src[idx] };
+                        dst[idx] = ((1.0 - self.strength) * src[idx]
+                            + self.strength * denoised)
+                            .clamp(0.0, 255.0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "Noise2Self"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, SyntheticVideoGenerator};
+
+    #[test]
+    fn isolated_pixel_does_not_survive() {
+        let d = Noise2Self::default();
+        let mut v = Video::zeros(ClipSpec::tiny());
+        v.set_pixel(1, 4, 4, 0, 255.0).unwrap();
+        let out = d.transform(&v);
+        // The spike is replaced by the mean of its zero neighbours.
+        assert_eq!(out.pixel(1, 4, 4, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn denoising_reduces_gaussian_noise_energy() {
+        let spec = ClipSpec::tiny();
+        let gen = SyntheticVideoGenerator::new(spec, 15).with_noise_sigma(0.0);
+        let clean = gen.generate(0, 0);
+        let mut rng = Rng64::new(241);
+        let mut noisy = clean.clone();
+        for x in noisy.tensor_mut().as_mut_slice() {
+            *x = (*x + 20.0 * rng.normal()).clamp(0.0, 255.0);
+        }
+        let d = Noise2Self::default();
+        let denoised = d.transform(&noisy);
+        let err_before = noisy.tensor().sq_distance(clean.tensor()).unwrap();
+        let err_after = denoised.tensor().sq_distance(clean.tensor()).unwrap();
+        assert!(err_after < err_before, "denoising must reduce error: {err_before} -> {err_after}");
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let d = Noise2Self { radius: 1, strength: 0.0 };
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 16).generate(2, 0);
+        assert_eq!(d.transform(&v), v);
+    }
+
+    #[test]
+    fn output_stays_in_range() {
+        let d = Noise2Self::default();
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 17).generate(3, 0);
+        let out = d.transform(&v);
+        assert!(out.tensor().min() >= 0.0 && out.tensor().max() <= 255.0);
+    }
+}

@@ -1,0 +1,118 @@
+use crate::Defense;
+use duo_video::Video;
+use serde::{Deserialize, Serialize};
+
+/// Feature squeezing (Xu et al., NDSS'18): reduce color bit depth, then
+/// median-smooth each frame spatially. Adversarial perturbations that
+/// live in the low-order bits or isolated pixels are erased; natural
+/// content survives nearly unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureSqueezing {
+    /// Bits of color depth to keep (paper default 4).
+    pub bits: u8,
+    /// Median filter half-width (1 ⇒ 3×3 window).
+    pub median_radius: usize,
+}
+
+impl Default for FeatureSqueezing {
+    fn default() -> Self {
+        FeatureSqueezing { bits: 4, median_radius: 1 }
+    }
+}
+
+impl FeatureSqueezing {
+    fn squeeze_depth(&self, value: f32) -> f32 {
+        let levels = (1u32 << self.bits) as f32 - 1.0;
+        ((value / 255.0 * levels).round() / levels * 255.0).clamp(0.0, 255.0)
+    }
+}
+
+impl Defense for FeatureSqueezing {
+    fn transform(&self, video: &Video) -> Video {
+        let spec = video.spec();
+        let (n, h, w, c) = (spec.frames, spec.height, spec.width, spec.channels);
+        let mut out = video.clone();
+        // Pass 1: bit-depth reduction.
+        out.tensor_mut().map_inplace(|x| self.squeeze_depth(x));
+        if self.median_radius == 0 {
+            return out;
+        }
+        // Pass 2: spatial median smoothing per frame/channel.
+        let src = out.tensor().as_slice().to_vec();
+        let dst = out.tensor_mut().as_mut_slice();
+        let r = self.median_radius as isize;
+        let mut window = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        for f in 0..n {
+            for y in 0..h {
+                for x in 0..w {
+                    for ch in 0..c {
+                        window.clear();
+                        for dy in -r..=r {
+                            for dx in -r..=r {
+                                let yy = y as isize + dy;
+                                let xx = x as isize + dx;
+                                if yy >= 0 && (yy as usize) < h && xx >= 0 && (xx as usize) < w {
+                                    window.push(
+                                        src[(((f * h + yy as usize) * w) + xx as usize) * c + ch],
+                                    );
+                                }
+                            }
+                        }
+                        window.sort_by(f32::total_cmp);
+                        dst[(((f * h + y) * w) + x) * c + ch] = window[window.len() / 2];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "feature squeezing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_video::{ClipSpec, SyntheticVideoGenerator};
+
+    #[test]
+    fn bit_depth_reduction_quantizes_levels() {
+        let fs = FeatureSqueezing { bits: 1, median_radius: 0 };
+        let mut v = Video::zeros(ClipSpec::tiny());
+        v.set_pixel(0, 0, 0, 0, 100.0).unwrap();
+        v.set_pixel(0, 0, 1, 0, 200.0).unwrap();
+        let out = fs.transform(&v);
+        // 1 bit: only 0 and 255 survive.
+        assert_eq!(out.pixel(0, 0, 0, 0).unwrap(), 0.0);
+        assert_eq!(out.pixel(0, 0, 1, 0).unwrap(), 255.0);
+    }
+
+    #[test]
+    fn median_removes_isolated_spikes() {
+        let fs = FeatureSqueezing { bits: 8, median_radius: 1 };
+        let mut v = Video::zeros(ClipSpec::tiny());
+        v.set_pixel(2, 5, 5, 1, 255.0).unwrap();
+        let out = fs.transform(&v);
+        assert_eq!(out.pixel(2, 5, 5, 1).unwrap(), 0.0, "isolated spike must be erased");
+    }
+
+    #[test]
+    fn natural_video_survives_roughly_unchanged() {
+        let fs = FeatureSqueezing::default();
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 13).generate(0, 0);
+        let out = fs.transform(&v);
+        let delta = out.tensor().sub(v.tensor()).unwrap();
+        let mean_change = delta.l1_norm() / delta.len() as f32;
+        assert!(mean_change < 20.0, "mean change {mean_change} too large for natural input");
+    }
+
+    #[test]
+    fn output_stays_in_range() {
+        let fs = FeatureSqueezing::default();
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 14).generate(1, 0);
+        let out = fs.transform(&v);
+        assert!(out.tensor().min() >= 0.0 && out.tensor().max() <= 255.0);
+    }
+}

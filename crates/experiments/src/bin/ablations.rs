@@ -1,0 +1,9 @@
+//! Regenerates the design-choice quality ablations (set DUO_SCALE=smoke for a fast pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::ablations::run(scale) {
+        eprintln!("ablations failed: {e}");
+        std::process::exit(1);
+    }
+}

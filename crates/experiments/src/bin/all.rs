@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in sequence.
+
+use duo_experiments::runs;
+
+type Step = (&'static str, fn(duo_experiments::Scale) -> runs::RunResult);
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    let steps: Vec<Step> = vec![
+        ("fig3", runs::fig3::run),
+        ("fig4", runs::fig4::run),
+        ("table2", runs::table2::run),
+        ("table3", runs::table3::run),
+        ("table4", runs::table4::run),
+        ("table5", runs::table5::run),
+        ("table6", runs::table6::run),
+        ("table7", runs::table7::run),
+        ("fig5", runs::fig5::run),
+        ("table8", runs::table8::run),
+        ("table9", runs::table9::run),
+        ("table10", runs::table10::run),
+        ("ext_ensemble", runs::ext_ensemble::run),
+        ("ablations", runs::ablations::run),
+    ];
+    for (name, f) in steps {
+        let start = std::time::Instant::now();
+        if let Err(e) = f(scale) {
+            eprintln!("{name} failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[{name} done in {:.1}s]", start.elapsed().as_secs_f32());
+    }
+}

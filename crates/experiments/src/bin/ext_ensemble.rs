@@ -1,0 +1,9 @@
+//! Regenerates the ensemble-defense extension experiment (set DUO_SCALE=smoke for a fast pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::ext_ensemble::run(scale) {
+        eprintln!("ext_ensemble failed: {e}");
+        std::process::exit(1);
+    }
+}

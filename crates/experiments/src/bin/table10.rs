@@ -1,0 +1,9 @@
+//! Regenerates the paper's table10 from the reproduction (set DUO_SCALE=smoke for a fast pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::table10::run(scale) {
+        eprintln!("table10 failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Quality ablations for the design choices DESIGN.md calls out — the
+//! *effectiveness* counterpart of the criterion speed benches:
+//!
+//! * A1 — SparseTransfer's ADMM/gradient pixel-frame search vs random
+//!   selection at identical (k, n, τ) budgets.
+//! * A2 — SparseQuery restricted to the sparse support vs running on the
+//!   full pixel grid (the sparsity-for-free question).
+//! * A3 — the outer SparseTransfer↔SparseQuery loop vs a single pass.
+
+use super::RunResult;
+use crate::{build_world, overlapping_attack_pairs, steal_surrogates, Scale};
+use duo_attack::{
+    evaluate_outcome, AttackOutcome, SparseMasks, SparseQuery, SparseTransfer,
+};
+use duo_baselines::select_random_masks;
+use duo_models::{Architecture, LossKind};
+use duo_retrieval::BlackBox;
+use duo_tensor::{Rng64, Tensor};
+use duo_video::{DatasetKind, SyntheticDataset, VideoId};
+
+/// Runs all three quality ablations on one HMDB51-like world.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Ablations — design-choice quality comparisons (scale: {}) ===", scale.name);
+    let world =
+        build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, 0x7AB1)?;
+    let world_scale = world.scale;
+    let (mut bb, ds) = world.into_blackbox();
+    let mut rng = Rng64::new(0x7AB2);
+    let pairs =
+        overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+    let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+    let cfg = world_scale.duo_config();
+
+    println!(
+        "{:<40}{:>10}{:>9}{:>8}{:>9}",
+        "variant", "AP@m", "Spa", "PScr", "queries"
+    );
+
+    // --- A1: informed vs random masks, transfer start only -------------
+    let mut informed = Vec::new();
+    let mut random = Vec::new();
+    for &(a, b) in &pairs {
+        let v = ds.video(a);
+        let v_t = ds.video(b);
+        let masks =
+            SparseTransfer::new(&mut surrogates.c3d, cfg.transfer).run(&v, &v_t)?;
+        informed.push(transfer_report(&mut bb, &ds, a, b, &masks)?);
+        let rnd =
+            select_random_masks(&v, cfg.transfer.k, cfg.transfer.n, cfg.transfer.tau, &mut rng);
+        random.push(transfer_report(&mut bb, &ds, a, b, &rnd)?);
+    }
+    print_mean("A1 transfer: frame-pixel search (DUO)", &informed);
+    print_mean("A1 transfer: random selection", &random);
+
+    // --- A2: restricted vs unrestricted query support ------------------
+    let mut restricted = Vec::new();
+    let mut unrestricted = Vec::new();
+    for &(a, b) in &pairs {
+        let v = ds.video(a);
+        let v_t = ds.video(b);
+        let masks =
+            SparseTransfer::new(&mut surrogates.c3d, cfg.transfer).run(&v, &v_t)?;
+        let start = v.add_perturbation(&masks.phi())?;
+        let out = SparseQuery::new(cfg.query)
+            .run(&mut bb, &v, &v_t, &masks, start, &mut rng)?;
+        restricted.push(evaluate_outcome(&mut bb, &out, &v_t)?);
+
+        // Dense variant: the same θ prior but every pixel/frame eligible.
+        let dims = v.tensor().dims().to_vec();
+        let dense = SparseMasks {
+            pixel_mask: Tensor::ones(&dims),
+            frame_mask: vec![true; dims[0]],
+            theta: masks.theta.clone(),
+        };
+        let start = v.add_perturbation(&dense.phi())?;
+        let out = SparseQuery::new(cfg.query)
+            .run(&mut bb, &v, &v_t, &dense, start, &mut rng)?;
+        unrestricted.push(evaluate_outcome(&mut bb, &out, &v_t)?);
+    }
+    print_mean("A2 query: support-restricted (DUO)", &restricted);
+    print_mean("A2 query: unrestricted grid", &unrestricted);
+
+    // --- A3: iter_numH = 1 vs 2 ----------------------------------------
+    for h in [1usize, 2] {
+        let mut reports = Vec::new();
+        for &(a, b) in &pairs {
+            let v = ds.video(a);
+            let v_t = ds.video(b);
+            let mut duo_cfg = cfg;
+            duo_cfg.iter_num_h = h;
+            let report = crate::run_attack(
+                crate::AttackKind::DuoC3d,
+                &mut bb,
+                &ds,
+                &mut surrogates,
+                (a, b),
+                world_scale,
+                Some(duo_cfg),
+                &mut rng,
+            )?;
+            let _ = (v, v_t);
+            reports.push(report);
+        }
+        print_mean(&format!("A3 pipeline: iter_numH = {h}"), &reports);
+    }
+    Ok(())
+}
+
+fn transfer_report(
+    bb: &mut BlackBox,
+    ds: &SyntheticDataset,
+    a: VideoId,
+    b: VideoId,
+    masks: &SparseMasks,
+) -> Result<duo_attack::AttackReport, Box<dyn std::error::Error>> {
+    let v = ds.video(a);
+    let v_t = ds.video(b);
+    let adversarial = v.add_perturbation(&masks.phi())?;
+    let perturbation = adversarial.perturbation_from(&v)?;
+    let outcome =
+        AttackOutcome { adversarial, perturbation, queries: 0, loss_trajectory: Vec::new() };
+    Ok(evaluate_outcome(bb, &outcome, &v_t)?)
+}
+
+fn print_mean(label: &str, reports: &[duo_attack::AttackReport]) {
+    let m = crate::mean_report(reports);
+    println!("{label:<40}{:>9.2}%{:>9}{:>8.3}{:>9}", m.ap_at_m, m.spa, m.pscore, m.queries);
+}

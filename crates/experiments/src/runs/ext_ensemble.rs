@@ -1,0 +1,81 @@
+//! Extension experiment (beyond the paper's tables): detection rates of
+//! the paper's *proposed* defense — a multi-backbone ensemble (§V-D,
+//! "ensemble models built from multiple backbones would be more robust
+//! against most AE attacks, DUO included") — implemented as the
+//! cross-architecture agreement detector `EnsembleDetector`.
+
+use super::RunResult;
+use crate::{build_world, overlapping_attack_pairs, steal_surrogates, Scale};
+use duo_attack::DuoAttack;
+use duo_baselines::{TimiAttack, TimiConfig, VanillaAttack, VanillaConfig};
+use duo_defenses::EnsembleDetector;
+use duo_models::{Architecture, Backbone, LossKind};
+use duo_tensor::Rng64;
+use duo_video::{DatasetKind, Video, VideoId};
+
+/// Runs the ensemble-defense extension experiment.
+pub fn run(scale: Scale) -> RunResult {
+    println!(
+        "\n=== Extension — ensemble (multi-backbone) defense proposed in §V-D (scale: {}) ===",
+        scale.name
+    );
+    println!(
+        "{:<12}{:>16}{:>16}{:>16}",
+        "dataset", "Vanilla caught", "TIMI caught", "DUO caught"
+    );
+    for (di, kind) in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like].into_iter().enumerate() {
+        let world = build_world(kind, Architecture::I3d, LossKind::ArcFace, scale, 0x7AE0 + di as u64)?;
+        let world_scale = world.scale;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(0x7AE1 + di as u64);
+        let pairs =
+            overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+        let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+
+        // Build the secondary ensemble member over the same gallery.
+        let gallery: Vec<VideoId> = ds
+            .train()
+            .iter()
+            .filter(|id| {
+                id.class < world_scale.classes && id.instance >= world_scale.train_per_class
+            })
+            .copied()
+            .collect();
+        let secondary = Backbone::new(Architecture::SlowFast, world_scale.backbone, &mut rng)?;
+        let mut detector = EnsembleDetector::build(secondary, &ds, &gallery, world_scale.m)?;
+        let clean: Vec<Video> = (0..world_scale.classes)
+            .map(|c| ds.video(VideoId { class: c, instance: 0 }))
+            .collect();
+        detector.calibrate(bb.system_mut(), &clean, 0.1)?;
+
+        // Adversarial traffic from three representative attacks.
+        let k = world_scale.default_k();
+        let mut vanilla_advs = Vec::new();
+        let mut timi_advs = Vec::new();
+        let mut duo_advs = Vec::new();
+        for &(a, b) in &pairs {
+            let v = ds.video(a);
+            let v_t = ds.video(b);
+            let vcfg = VanillaConfig { k, n: 4, tau: 30.0, iter_num_q: world_scale.iter_num_q };
+            vanilla_advs.push(VanillaAttack::new(vcfg).run(&mut bb, &v, &v_t, &mut rng)?.adversarial);
+            timi_advs.push(
+                TimiAttack::new(&mut surrogates.c3d, TimiConfig::default())
+                    .run(&v, &v_t)?
+                    .adversarial,
+            );
+            let placeholder =
+                Backbone::new(surrogates.c3d.arch(), surrogates.c3d.config(), &mut Rng64::new(0))?;
+            let owned = std::mem::replace(&mut surrogates.c3d, placeholder);
+            let mut duo = DuoAttack::new(owned, world_scale.duo_config());
+            let out = duo.run(&mut bb, &v, &v_t, &mut rng);
+            surrogates.c3d = duo.into_surrogate();
+            duo_advs.push(out?.adversarial);
+        }
+        let van = detector.detection_rate(bb.system_mut(), &vanilla_advs)?;
+        let timi = detector.detection_rate(bb.system_mut(), &timi_advs)?;
+        let duo = detector.detection_rate(bb.system_mut(), &duo_advs)?;
+        println!("{:<12}{:>15.1}%{:>15.1}%{:>15.1}%", kind.name(), van, timi, duo);
+    }
+    println!("(cross-architecture disagreement flags transfer-optimized perturbations)");
+    Ok(())
+}

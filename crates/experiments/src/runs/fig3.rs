@@ -1,0 +1,39 @@
+//! Figure 3: mAP of every victim backbone × loss function × dataset.
+
+use super::RunResult;
+use crate::{build_world, victim_map, Scale};
+use duo_models::{Architecture, LossKind};
+use duo_video::DatasetKind;
+
+/// Reproduces Figure 3.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Figure 3: mAP of victim video retrieval systems (scale: {}) ===", scale.name);
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        println!("\n[{kind}]");
+        print!("{:<14}", "loss \\ arch");
+        for arch in Architecture::victims() {
+            print!("{:>10}", arch.name());
+        }
+        println!();
+        for loss in LossKind::all() {
+            print!("{:<14}", loss.name());
+            for arch in Architecture::victims() {
+                let mut world = build_world(kind, arch, loss, scale, seed(kind, arch, loss))?;
+                let map = victim_map(&mut world)?;
+                print!("{map:>9.2}%");
+            }
+            println!();
+        }
+    }
+    Ok(())
+}
+
+fn seed(kind: DatasetKind, arch: Architecture, loss: LossKind) -> u64 {
+    let k = match kind {
+        DatasetKind::Ucf101Like => 1,
+        DatasetKind::Hmdb51Like => 2,
+    };
+    let a = arch.name().bytes().map(u64::from).sum::<u64>();
+    let l = loss.name().bytes().map(u64::from).sum::<u64>();
+    0xF1_6300 + k * 1000 + a * 31 + l
+}

@@ -1,0 +1,77 @@
+//! Figure 4: surrogate mAP vs surrogate-dataset size and output feature
+//! size.
+
+use super::RunResult;
+use crate::{backbone_map, build_world, Scale};
+use duo_attack::steal_surrogate;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Paper surrogate dataset sizes and the fraction of the train split they
+/// correspond to (UCF101: 9,324 train videos).
+const PAPER_SIZES_UCF: [usize; 4] = [165, 1_111, 3_616, 8_421];
+const PAPER_SIZES_HMDB: [usize; 4] = [165, 1_111, 1_885, 2_995];
+/// Paper output feature sizes.
+const PAPER_DIMS: [usize; 4] = [256, 512, 768, 1_024];
+
+/// Reproduces Figure 4.
+pub fn run(scale: Scale) -> RunResult {
+    println!(
+        "\n=== Figure 4: surrogate mAP vs #samples and feature size (scale: {}) ===",
+        scale.name
+    );
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        let world = build_world(kind, Architecture::I3d, LossKind::ArcFace, scale, 0xF4)?;
+        let catalog = world.dataset.train().len()
+            .min((scale.classes * (scale.train_per_class + scale.gallery_per_class)) as usize);
+        let (mut bb, ds) = world.into_blackbox();
+        let paper_sizes = match kind {
+            DatasetKind::Ucf101Like => PAPER_SIZES_UCF,
+            DatasetKind::Hmdb51Like => PAPER_SIZES_HMDB,
+        };
+        let paper_total = match kind {
+            DatasetKind::Ucf101Like => 9_324f64,
+            DatasetKind::Hmdb51Like => 4_900f64,
+        };
+        println!("\n[{kind}] (catalog in use: {catalog} videos)");
+        println!("{:<28}{:>12}{:>10}", "sweep", "value", "mAP");
+
+        // Sweep 1: dataset size at the default feature dim.
+        let mut rng = Rng64::new(0xF4_01);
+        for paper_size in paper_sizes {
+            let frac = paper_size as f64 / paper_total;
+            let size = ((frac * catalog as f64).ceil() as usize).clamp(4, catalog);
+            let mut cfg = scale.steal_config(Architecture::C3d);
+            cfg.target_dataset_size = size;
+            let probes: Vec<_> =
+                ds.test().iter().filter(|id| id.class < scale.classes).copied().collect();
+            let (mut surrogate, report) =
+                steal_surrogate(&mut bb, &ds, &probes, cfg, &mut rng)?;
+            let map = backbone_map(&mut surrogate, &ds, scale)?;
+            println!(
+                "{:<28}{:>12}{:>9.2}%   (paper size {paper_size}, stolen {})",
+                "dataset-size", size, map, report.distinct_videos
+            );
+        }
+
+        // Sweep 2: output feature size at the default dataset size.
+        for paper_dim in PAPER_DIMS {
+            // Scale 768 → the configured experiment dim; others proportional.
+            let dim = ((paper_dim as f64 / 768.0) * scale.backbone.feature_dim as f64)
+                .round()
+                .max(8.0) as usize;
+            let mut cfg = scale.steal_config(Architecture::C3d);
+            cfg.backbone = cfg.backbone.with_feature_dim(dim);
+            let probes: Vec<_> =
+                ds.test().iter().filter(|id| id.class < scale.classes).copied().collect();
+            let (mut surrogate, _) = steal_surrogate(&mut bb, &ds, &probes, cfg, &mut rng)?;
+            let map = backbone_map(&mut surrogate, &ds, scale)?;
+            println!(
+                "{:<28}{:>12}{:>9.2}%   (paper dim {paper_dim})",
+                "feature-size", dim, map
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Figure 5: the SparseQuery objective 𝕋 versus the number of queries,
+//! for Vanilla, HEU-Sim, DUO-C3D and DUO-Res18.
+
+use super::RunResult;
+use crate::{overlapping_attack_pairs, build_world, run_duo_outcome, steal_surrogates, Scale};
+use duo_baselines::{HeuConfig, HeuSimAttack, VanillaAttack, VanillaConfig};
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Reproduces Figure 5 (printed as one series per attack; each row is
+/// `query-index, 𝕋`).
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Figure 5 — query objective T vs #queries (scale: {}) ===", scale.name);
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        // The paper plots TPN on UCF101 and HMDB51.
+        let world = build_world(kind, Architecture::Tpn, LossKind::ArcFace, scale, 0x7AF5)?;
+        let world_scale = world.scale;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(0x7AF6);
+        let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+        let (v_id, t_id) = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, 1, &mut rng)?[0];
+        let v = ds.video(v_id);
+        let v_t = ds.video(t_id);
+        let k = world_scale.default_k();
+
+        let mut series: Vec<(&str, Vec<f32>)> = Vec::new();
+        let vanilla_cfg =
+            VanillaConfig { k, n: 4, tau: 30.0, iter_num_q: world_scale.iter_num_q };
+        series.push((
+            "Vanilla",
+            VanillaAttack::new(vanilla_cfg).run(&mut bb, &v, &v_t, &mut rng)?.loss_trajectory,
+        ));
+        let heu_cfg =
+            HeuConfig { k, n: 4, iters: world_scale.iter_num_q, ..HeuConfig::default() };
+        series.push((
+            "HEU-Sim",
+            HeuSimAttack::new(heu_cfg).run(&mut bb, &v, &v_t, &mut rng)?.loss_trajectory,
+        ));
+        let duo_cfg = world_scale.duo_config();
+        series.push((
+            "DUO-C3D",
+            run_duo_outcome(&mut surrogates.c3d, duo_cfg, &mut bb, &v, &v_t, &mut rng)?
+                .loss_trajectory,
+        ));
+        series.push((
+            "DUO-Res18",
+            run_duo_outcome(&mut surrogates.res18, duo_cfg, &mut bb, &v, &v_t, &mut rng)?
+                .loss_trajectory,
+        ));
+
+        println!("\n[{kind}] (victim TPN; series sampled every few iterations)");
+        for (name, traj) in &series {
+            let step = (traj.len() / 10).max(1);
+            let samples: Vec<String> = traj
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % step == 0 || *i == traj.len() - 1)
+                .map(|(i, t)| format!("({i}, {t:.4})"))
+                .collect();
+            println!("{name:<10} {}", samples.join(" "));
+            if let (Some(first), Some(last)) = (traj.first(), traj.last()) {
+                println!(
+                    "{:<10} start {:.4} -> end {:.4} (drop {:.4})",
+                    "", first, last, first - last
+                );
+            }
+        }
+    }
+    Ok(())
+}

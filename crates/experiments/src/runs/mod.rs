@@ -1,0 +1,83 @@
+//! One module per paper table/figure; each exposes `run(scale)` printing
+//! the reproduced rows. The binaries in `src/bin/` are thin wrappers, and
+//! the bench crate calls the same entry points.
+
+pub mod ablations;
+pub mod ext_ensemble;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table10;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+pub mod table9;
+
+/// Shared error alias for experiment runs.
+pub type RunResult = Result<(), Box<dyn std::error::Error>>;
+
+use crate::{
+    overlapping_attack_pairs, build_world, mean_report, run_attack, steal_surrogates, AttackKind, Scale,
+};
+use duo_attack::DuoConfig;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// One labelled DUO configuration cell of a Table V–VIII sweep.
+pub(crate) type ConfigCell = (String, Box<dyn Fn(Scale) -> DuoConfig>);
+
+/// Shared sweep harness for Tables V–VIII: one I3D/ArcFace world per
+/// dataset, surrogates stolen once, DUO evaluated under each configuration
+/// cell for both surrogate architectures.
+pub(crate) fn duo_sweep(
+    scale: Scale,
+    title: &str,
+    cells: &[ConfigCell],
+    seed: u64,
+) -> RunResult {
+    println!("\n=== {title} (scale: {}) ===", scale.name);
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        println!("\n[{kind}]");
+        println!(
+            "{:<16}{:>10}{:>9}{:>8}{:>6}{:>10}{:>9}{:>8}",
+            "cell", "C3D AP@m", "Spa", "PScr", "", "R18 AP@m", "Spa", "PScr"
+        );
+        let world = build_world(kind, Architecture::I3d, LossKind::ArcFace, scale, seed)?;
+        let world_scale = world.scale;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(seed ^ 0x5EED);
+        let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+        let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+        for (label, make) in cells {
+            let cfg = make(world_scale);
+            let mut row = Vec::new();
+            for attack in [AttackKind::DuoC3d, AttackKind::DuoRes18] {
+                let mut reports = Vec::new();
+                for &pair in &pairs {
+                    reports.push(run_attack(
+                        attack,
+                        &mut bb,
+                        &ds,
+                        &mut surrogates,
+                        pair,
+                        world_scale,
+                        Some(cfg),
+                        &mut rng,
+                    )?);
+                }
+                row.push(mean_report(&reports));
+            }
+            println!(
+                "{:<16}{:>9.2}%{:>9}{:>8.3}{:>6}{:>9.2}%{:>9}{:>8.3}",
+                label, row[0].ap_at_m, row[0].spa, row[0].pscore, "",
+                row[1].ap_at_m, row[1].spa, row[1].pscore
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Table X: attack detection rate (%) of feature squeezing and Noise2Self
+//! against every attack, on both datasets.
+
+use super::RunResult;
+use crate::{
+    overlapping_attack_pairs, build_world, steal_surrogates, AttackKind, Scale,
+};
+use duo_attack::DuoAttack;
+use duo_baselines::{
+    HeuConfig, HeuNesAttack, HeuSimAttack, TimiAttack, TimiConfig, VanillaAttack, VanillaConfig,
+};
+use duo_defenses::{Defense, DetectionHarness, FeatureSqueezing, Noise2Self};
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::{DatasetKind, Video};
+
+const ROWS: [AttackKind; 7] = [
+    AttackKind::Vanilla,
+    AttackKind::TimiC3d,
+    AttackKind::TimiRes18,
+    AttackKind::HeuNes,
+    AttackKind::HeuSim,
+    AttackKind::DuoC3d,
+    AttackKind::DuoRes18,
+];
+
+/// Reproduces Table X.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Table X — attack detection rate (%) of two defenses (scale: {}) ===", scale.name);
+    // detection[attack][defense×dataset]
+    let mut detection: Vec<Vec<f32>> = vec![Vec::new(); ROWS.len()];
+    let datasets = [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like];
+    for (di, &kind) in datasets.iter().enumerate() {
+        let world = build_world(kind, Architecture::I3d, LossKind::ArcFace, scale, 0x7AA0 + di as u64)?;
+        let world_scale = world.scale;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(0x7AA1 + di as u64);
+        let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+        let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+        let k = world_scale.default_k();
+
+        // Generate adversarial videos for every attack row.
+        let mut adversarial: Vec<Vec<Video>> = vec![Vec::new(); ROWS.len()];
+        for &(v_id, t_id) in &pairs {
+            let v = ds.video(v_id);
+            let v_t = ds.video(t_id);
+            for (ri, &attack) in ROWS.iter().enumerate() {
+                let adv = match attack {
+                    AttackKind::Vanilla => {
+                        let cfg = VanillaConfig { k, n: 4, tau: 30.0, iter_num_q: world_scale.iter_num_q };
+                        VanillaAttack::new(cfg).run(&mut bb, &v, &v_t, &mut rng)?.adversarial
+                    }
+                    AttackKind::TimiC3d => {
+                        TimiAttack::new(&mut surrogates.c3d, TimiConfig::default())
+                            .run(&v, &v_t)?
+                            .adversarial
+                    }
+                    AttackKind::TimiRes18 => {
+                        TimiAttack::new(&mut surrogates.res18, TimiConfig::default())
+                            .run(&v, &v_t)?
+                            .adversarial
+                    }
+                    AttackKind::HeuNes => {
+                        let cfg = HeuConfig { k, n: 4, iters: world_scale.iter_num_q / 8, ..HeuConfig::default() };
+                        HeuNesAttack::new(cfg).run(&mut bb, &v, &v_t, &mut rng)?.adversarial
+                    }
+                    AttackKind::HeuSim => {
+                        let cfg = HeuConfig { k, n: 4, iters: world_scale.iter_num_q, ..HeuConfig::default() };
+                        HeuSimAttack::new(cfg).run(&mut bb, &v, &v_t, &mut rng)?.adversarial
+                    }
+                    AttackKind::DuoC3d | AttackKind::DuoRes18 => {
+                        let cfg = world_scale.duo_config();
+                        let arch = if attack == AttackKind::DuoC3d {
+                            Architecture::C3d
+                        } else {
+                            Architecture::Resnet18
+                        };
+                        let surrogate = match arch {
+                            Architecture::C3d => &mut surrogates.c3d,
+                            _ => &mut surrogates.res18,
+                        };
+                        let placeholder = duo_models::Backbone::new(
+                            surrogate.arch(),
+                            surrogate.config(),
+                            &mut Rng64::new(0),
+                        )?;
+                        let owned = std::mem::replace(surrogate, placeholder);
+                        let mut duo = DuoAttack::new(owned, cfg);
+                        let out = duo.run(&mut bb, &v, &v_t, &mut rng);
+                        *surrogate = duo.into_surrogate();
+                        out?.adversarial
+                    }
+                    AttackKind::WithoutAttack => unreachable!("not a Table X row"),
+                };
+                adversarial[ri].push(adv);
+            }
+        }
+
+        // Calibrate each defense on clean videos, then score detections.
+        let clean: Vec<Video> = (0..world_scale.classes)
+            .map(|c| ds.video(duo_video::VideoId { class: c, instance: 0 }))
+            .collect();
+        let defenses: [Box<dyn Defense>; 2] =
+            [Box::new(FeatureSqueezing::default()), Box::new(Noise2Self::default())];
+        for defense in &defenses {
+            let system = bb.system_mut();
+            let mut harness =
+                DetectionHarness::calibrate(system, defense.as_ref(), &clean, 0.1)?;
+            for (ri, advs) in adversarial.iter().enumerate() {
+                let rate = harness.detection_rate(system, defense.as_ref(), advs)?;
+                detection[ri].push(rate);
+            }
+        }
+    }
+
+    // Column order: FS-UCF, N2S-UCF, FS-HMDB, N2S-HMDB → print as paper:
+    // FS (UCF, HMDB) then N2S (UCF, HMDB).
+    println!(
+        "{:<14}{:>18}{:>12}{:>18}{:>12}",
+        "attack", "squeeze UCF101", "HMDB51", "Noise2Self UCF", "HMDB51"
+    );
+    for (ri, attack) in ROWS.iter().enumerate() {
+        let d = &detection[ri];
+        // Per dataset we pushed [FS, N2S]; datasets in order UCF, HMDB.
+        println!(
+            "{:<14}{:>17.2}%{:>11.2}%{:>17.2}%{:>11.2}%",
+            attack.label(),
+            d[0],
+            d[2],
+            d[1],
+            d[3]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Table II: attack performance of every AE attack on every victim model
+//! and both datasets.
+
+use super::RunResult;
+use crate::{
+    overlapping_attack_pairs, build_world, mean_report, print_header, print_row, run_attack,
+    steal_surrogates, AttackKind, Scale,
+};
+use duo_attack::AttackReport;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Reproduces Table II.
+pub fn run(scale: Scale) -> RunResult {
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        let victims = Architecture::victims();
+        let labels: Vec<&str> = victims.iter().map(|a| a.name()).collect();
+        print_header(
+            &format!("Table II — {kind} (scale: {})", scale.name),
+            &labels,
+        );
+        // Collect per-victim columns for each attack row.
+        let mut rows: Vec<(AttackKind, Vec<AttackReport>)> = AttackKind::table2_rows()
+            .into_iter()
+            .map(|k| (k, Vec::new()))
+            .collect();
+        for (vi, &arch) in victims.iter().enumerate() {
+            let world = build_world(kind, arch, LossKind::ArcFace, scale, 0x7A20 + vi as u64)?;
+            let world_scale = world.scale;
+            let (mut bb, ds) = world.into_blackbox();
+            let mut rng = Rng64::new(0x7A21 + vi as u64);
+            let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+            let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+            for (attack, column) in rows.iter_mut() {
+                let mut reports = Vec::with_capacity(pairs.len());
+                for &pair in &pairs {
+                    reports.push(run_attack(
+                        *attack,
+                        &mut bb,
+                        &ds,
+                        &mut surrogates,
+                        pair,
+                        world_scale,
+                        None,
+                        &mut rng,
+                    )?);
+                }
+                column.push(mean_report(&reports));
+            }
+        }
+        for (attack, column) in &rows {
+            print_row(attack.label(), column);
+        }
+    }
+    Ok(())
+}

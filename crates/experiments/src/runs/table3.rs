@@ -1,0 +1,75 @@
+//! Table III: DUO attack performance vs surrogate-dataset size.
+
+use super::RunResult;
+use crate::{overlapping_attack_pairs, build_world, mean_report, run_attack, AttackKind, Scale, Surrogates};
+use duo_attack::steal_surrogate;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Reproduces Table III.
+pub fn run(scale: Scale) -> RunResult {
+    println!(
+        "\n=== Table III — DUO vs surrogate dataset size (scale: {}) ===",
+        scale.name
+    );
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        let paper_sizes: [usize; 4] = match kind {
+            DatasetKind::Ucf101Like => [165, 1_111, 3_616, 8_421],
+            DatasetKind::Hmdb51Like => [165, 1_111, 1_885, 2_995],
+        };
+        let paper_total = match kind {
+            DatasetKind::Ucf101Like => 9_324f64,
+            DatasetKind::Hmdb51Like => 4_900f64,
+        };
+        println!("\n[{kind}]");
+        println!(
+            "{:<14}{:>14}{:>10}{:>9}{:>8}{:>12}{:>10}{:>9}{:>8}",
+            "paper size", "scaled size", "C3D AP@m", "Spa", "PScr", "", "R18 AP@m", "Spa", "PScr"
+        );
+        let world = build_world(kind, Architecture::I3d, LossKind::ArcFace, scale, 0x7A30)?;
+        let world_scale = world.scale;
+        let catalog = (world_scale.classes
+            * (world_scale.train_per_class + world_scale.gallery_per_class))
+            as usize;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(0x7A31);
+        let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+        let probes: Vec<_> =
+            ds.test().iter().filter(|id| id.class < world_scale.classes).copied().collect();
+        for paper_size in paper_sizes {
+            let frac = paper_size as f64 / paper_total;
+            let size = ((frac * catalog as f64).ceil() as usize).clamp(4, catalog);
+            let mut c3d_cfg = world_scale.steal_config(Architecture::C3d);
+            c3d_cfg.target_dataset_size = size;
+            let mut r18_cfg = world_scale.steal_config(Architecture::Resnet18);
+            r18_cfg.target_dataset_size = size;
+            let (c3d, _) = steal_surrogate(&mut bb, &ds, &probes, c3d_cfg, &mut rng)?;
+            let (res18, _) = steal_surrogate(&mut bb, &ds, &probes, r18_cfg, &mut rng)?;
+            let mut surrogates = Surrogates { c3d, res18 };
+            let mut row = Vec::new();
+            for attack in [AttackKind::DuoC3d, AttackKind::DuoRes18] {
+                let mut reports = Vec::new();
+                for &pair in &pairs {
+                    reports.push(run_attack(
+                        attack,
+                        &mut bb,
+                        &ds,
+                        &mut surrogates,
+                        pair,
+                        world_scale,
+                        None,
+                        &mut rng,
+                    )?);
+                }
+                row.push(mean_report(&reports));
+            }
+            println!(
+                "{:<14}{:>14}{:>9.2}%{:>9}{:>8.3}{:>12}{:>9.2}%{:>9}{:>8.3}",
+                paper_size, size, row[0].ap_at_m, row[0].spa, row[0].pscore, "",
+                row[1].ap_at_m, row[1].spa, row[1].pscore
+            );
+        }
+    }
+    Ok(())
+}

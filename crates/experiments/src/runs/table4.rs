@@ -1,0 +1,52 @@
+//! Table IV: DUO attack performance against victims trained with
+//! different loss functions.
+
+use super::RunResult;
+use crate::{
+    overlapping_attack_pairs, build_world, mean_report, print_header, print_row, run_attack,
+    steal_surrogates, AttackKind, Scale,
+};
+use duo_attack::AttackReport;
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Reproduces Table IV.
+pub fn run(scale: Scale) -> RunResult {
+    for kind in [DatasetKind::Ucf101Like, DatasetKind::Hmdb51Like] {
+        let losses = LossKind::all();
+        let labels: Vec<&str> = losses.iter().map(|l| l.name()).collect();
+        print_header(&format!("Table IV — {kind} (scale: {})", scale.name), &labels);
+        let mut c3d_row: Vec<AttackReport> = Vec::new();
+        let mut r18_row: Vec<AttackReport> = Vec::new();
+        for (li, &loss) in losses.iter().enumerate() {
+            let world = build_world(kind, Architecture::I3d, loss, scale, 0x7A40 + li as u64)?;
+            let world_scale = world.scale;
+            let (mut bb, ds) = world.into_blackbox();
+            let mut rng = Rng64::new(0x7A41 + li as u64);
+            let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+            let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+            for (attack, row) in
+                [(AttackKind::DuoC3d, &mut c3d_row), (AttackKind::DuoRes18, &mut r18_row)]
+            {
+                let mut reports = Vec::new();
+                for &pair in &pairs {
+                    reports.push(run_attack(
+                        attack,
+                        &mut bb,
+                        &ds,
+                        &mut surrogates,
+                        pair,
+                        world_scale,
+                        None,
+                        &mut rng,
+                    )?);
+                }
+                row.push(mean_report(&reports));
+            }
+        }
+        print_row("DUO-C3D", &c3d_row);
+        print_row("DUO-Res18", &r18_row);
+    }
+    Ok(())
+}

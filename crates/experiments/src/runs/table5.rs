@@ -1,0 +1,22 @@
+//! Table V: DUO performance vs the pixel budget
+//! `k ∈ {20K, 30K, 40K, 50K}` (paper-resolution budgets, scaled onto the
+//! experiment clip geometry).
+
+use super::{duo_sweep, ConfigCell, RunResult};
+use crate::{duo_config_with, Scale};
+
+/// Reproduces Table V.
+pub fn run(scale: Scale) -> RunResult {
+    let cells: Vec<ConfigCell> =
+        [20_000usize, 30_000, 40_000, 50_000]
+            .into_iter()
+            .map(|paper_k| {
+                let label = format!("k={}K", paper_k / 1000);
+                let f: Box<dyn Fn(Scale) -> duo_attack::DuoConfig> = Box::new(move |s: Scale| {
+                    duo_config_with(s, Some(s.scale_k(paper_k)), None, None, None)
+                });
+                (label, f)
+            })
+            .collect();
+    duo_sweep(scale, "Table V — DUO vs pixel budget k (n=4)", &cells, 0x7A50)
+}

@@ -1,0 +1,19 @@
+//! Table VI: DUO performance vs the frame budget `n ∈ {2, 3, 4, 5}` at
+//! the default pixel budget (paper k = 40K).
+
+use super::{duo_sweep, ConfigCell, RunResult};
+use crate::{duo_config_with, Scale};
+
+/// Reproduces Table VI.
+pub fn run(scale: Scale) -> RunResult {
+    let cells: Vec<ConfigCell> = [2usize, 3, 4, 5]
+        .into_iter()
+        .map(|n| {
+            let label = format!("n={n}");
+            let f: Box<dyn Fn(Scale) -> duo_attack::DuoConfig> =
+                Box::new(move |s: Scale| duo_config_with(s, None, Some(n), None, None));
+            (label, f)
+        })
+        .collect();
+    duo_sweep(scale, "Table VI — DUO vs frame budget n (k=40K)", &cells, 0x7A60)
+}

@@ -1,0 +1,20 @@
+//! Table VII: DUO performance vs the per-pixel perturbation budget
+//! `τ ∈ {15, 30, 40, 50}`.
+
+use super::{duo_sweep, ConfigCell, RunResult};
+use crate::{duo_config_with, Scale};
+
+/// Reproduces Table VII.
+pub fn run(scale: Scale) -> RunResult {
+    let cells: Vec<ConfigCell> =
+        [15.0f32, 30.0, 40.0, 50.0]
+            .into_iter()
+            .map(|tau| {
+                let label = format!("tau={tau}");
+                let f: Box<dyn Fn(Scale) -> duo_attack::DuoConfig> =
+                    Box::new(move |s: Scale| duo_config_with(s, None, None, Some(tau), None));
+                (label, f)
+            })
+            .collect();
+    duo_sweep(scale, "Table VII — DUO vs perturbation budget tau", &cells, 0x7A70)
+}

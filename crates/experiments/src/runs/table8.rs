@@ -1,0 +1,19 @@
+//! Table VIII: DUO performance vs the outer loop count
+//! `iter_numH ∈ {1, 2, 3, 4}`.
+
+use super::{duo_sweep, ConfigCell, RunResult};
+use crate::{duo_config_with, Scale};
+
+/// Reproduces Table VIII.
+pub fn run(scale: Scale) -> RunResult {
+    let cells: Vec<ConfigCell> = [1usize, 2, 3, 4]
+        .into_iter()
+        .map(|h| {
+            let label = format!("iter_numH={h}");
+            let f: Box<dyn Fn(Scale) -> duo_attack::DuoConfig> =
+                Box::new(move |s: Scale| duo_config_with(s, None, None, None, Some(h)));
+            (label, f)
+        })
+        .collect();
+    duo_sweep(scale, "Table VIII — DUO vs outer loop count iter_numH", &cells, 0x7A80)
+}

@@ -1,0 +1,91 @@
+//! Table IX: transferability of SparseTransfer perturbations (ℓ2 and ℓ∞
+//! variants) compared against TIMI, evaluated directly on each victim
+//! without query rectification (UCF101, as in the paper).
+
+use super::RunResult;
+use crate::{
+    overlapping_attack_pairs, build_world, mean_report, print_header, print_row, run_attack,
+    steal_surrogates, AttackKind, Scale,
+};
+use duo_attack::{evaluate_outcome, AttackOutcome, AttackReport, SparseTransfer};
+use duo_models::{Architecture, LossKind};
+use duo_tensor::Rng64;
+use duo_video::DatasetKind;
+
+/// Reproduces Table IX.
+pub fn run(scale: Scale) -> RunResult {
+    let victims = Architecture::victims();
+    let labels: Vec<&str> = victims.iter().map(|a| a.name()).collect();
+    print_header(
+        &format!("Table IX — SparseTransfer transferability, UCF101 (scale: {})", scale.name),
+        &labels,
+    );
+    let rows = [
+        ("TIMI-C3D (n=16)", Row::Timi(AttackKind::TimiC3d)),
+        ("TIMI-Res (n=16)", Row::Timi(AttackKind::TimiRes18)),
+        ("DUO-C3D (l2)", Row::Transfer(Architecture::C3d, duo_attack::PerturbNorm::L2)),
+        ("DUO-Res18 (l2)", Row::Transfer(Architecture::Resnet18, duo_attack::PerturbNorm::L2)),
+        ("DUO-C3D (linf)", Row::Transfer(Architecture::C3d, duo_attack::PerturbNorm::Linf)),
+        ("DUO-Res18 (linf)", Row::Transfer(Architecture::Resnet18, duo_attack::PerturbNorm::Linf)),
+    ];
+    let mut table: Vec<(&str, Vec<AttackReport>)> =
+        rows.iter().map(|(l, _)| (*l, Vec::new())).collect();
+
+    for (vi, &arch) in victims.iter().enumerate() {
+        let world =
+            build_world(DatasetKind::Ucf101Like, arch, LossKind::ArcFace, scale, 0x7A90 + vi as u64)?;
+        let world_scale = world.scale;
+        let (mut bb, ds) = world.into_blackbox();
+        let mut rng = Rng64::new(0x7A91 + vi as u64);
+        let mut surrogates = steal_surrogates(&mut bb, &ds, world_scale, &mut rng)?;
+        let pairs = overlapping_attack_pairs(&mut bb, &ds, world_scale.classes, world_scale.pairs, &mut rng)?;
+        for ((_, row_kind), (_, column)) in rows.iter().zip(table.iter_mut()) {
+            let mut reports = Vec::new();
+            for &pair in &pairs {
+                let report = match row_kind {
+                    Row::Timi(kind) => run_attack(
+                        *kind,
+                        &mut bb,
+                        &ds,
+                        &mut surrogates,
+                        pair,
+                        world_scale,
+                        None,
+                        &mut rng,
+                    )?,
+                    Row::Transfer(surrogate_arch, norm) => {
+                        let v = ds.video(pair.0);
+                        let v_t = ds.video(pair.1);
+                        let mut cfg = world_scale.duo_config().transfer;
+                        cfg.norm = *norm;
+                        let surrogate = match surrogate_arch {
+                            Architecture::C3d => &mut surrogates.c3d,
+                            _ => &mut surrogates.res18,
+                        };
+                        let masks = SparseTransfer::new(surrogate, cfg).run(&v, &v_t)?;
+                        let adversarial = v.add_perturbation(&masks.phi())?;
+                        let perturbation = adversarial.perturbation_from(&v)?;
+                        let outcome = AttackOutcome {
+                            adversarial,
+                            perturbation,
+                            queries: 0,
+                            loss_trajectory: Vec::new(),
+                        };
+                        evaluate_outcome(&mut bb, &outcome, &v_t)?
+                    }
+                };
+                reports.push(report);
+            }
+            column.push(mean_report(&reports));
+        }
+    }
+    for (label, column) in &table {
+        print_row(label, column);
+    }
+    Ok(())
+}
+
+enum Row {
+    Timi(AttackKind),
+    Transfer(Architecture, duo_attack::PerturbNorm),
+}

@@ -1,0 +1,58 @@
+use duo_nn::NnError;
+use duo_tensor::TensorError;
+use std::fmt;
+
+/// Error type for model construction, feature extraction and training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A lower-level network operation failed.
+    Nn(NnError),
+    /// A tensor-level operation failed.
+    Tensor(TensorError),
+    /// The model was constructed with an invalid configuration.
+    BadConfig(String),
+    /// A label was outside the configured class range.
+    BadLabel {
+        /// The offending label.
+        label: u32,
+        /// Number of classes the head was built with.
+        classes: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Nn(e) => write!(f, "network error: {e}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::BadConfig(msg) => write!(f, "bad model config: {msg}"),
+            ModelError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Nn(e) => Some(e),
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NnError> for ModelError {
+    fn from(e: NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}

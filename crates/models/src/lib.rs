@@ -1,0 +1,60 @@
+//! Video feature-extraction model zoo and metric-learning losses.
+//!
+//! The paper evaluates DUO against four victim backbones — I3D, TPN,
+//! SlowFast and (per-frame) ResNet-34 — trained with three metric losses
+//! (ArcFace, Lifted, Angular), and steals surrogates using C3D or
+//! ResNet-18 trained with a triplet loss. This crate provides all of them
+//! as small-scale but architecturally faithful models on the `duo-nn`
+//! substrate:
+//!
+//! * [`Architecture::I3d`] — single pathway of inflated 3-D convolutions
+//!   with a residual block.
+//! * [`Architecture::Tpn`] — shared trunk fanning out into a temporal
+//!   pyramid of multi-rate branches, fused by concatenation.
+//! * [`Architecture::SlowFast`] — a temporally-strided slow pathway with
+//!   more channels plus a full-rate fast pathway with fewer, fused late.
+//! * [`Architecture::Resnet34`] / [`Architecture::Resnet18`] — per-frame
+//!   2-D residual networks (kt = 1 convolutions) with temporal averaging.
+//! * [`Architecture::C3d`] — plain stacked 3-D convolutions.
+//!
+//! Every backbone maps a `[C, T, H, W]` clip to an L2-normalized feature
+//! embedding, and supports input gradients for the transfer attack.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_models::{Architecture, Backbone, BackboneConfig};
+//! use duo_video::{ClipSpec, SyntheticVideoGenerator};
+//! use duo_tensor::Rng64;
+//!
+//! let mut rng = Rng64::new(1);
+//! let mut model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
+//! let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 1).generate(0, 0);
+//! let feat = model.extract(&video)?;
+//! assert_eq!(feat.len(), BackboneConfig::tiny().feature_dim);
+//! # Ok::<(), duo_models::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backbone;
+mod error;
+mod loss;
+mod multipath;
+mod params;
+mod trainer;
+
+pub use backbone::{Architecture, Backbone, BackboneConfig};
+pub use error::ModelError;
+pub use loss::{
+    AngularHead, ArcFaceHead, LiftedHead, LossKind, PrototypeHead, TripletLoss,
+};
+pub use multipath::MultiPath;
+pub use params::{
+    export_params, import_params, load_backbone, read_params, save_backbone, write_params,
+};
+pub use trainer::{train_embedding_model, TrainConfig, TrainReport};
+
+/// Convenient result alias used across the models crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,225 @@
+//! Parameter checkpointing for backbones.
+//!
+//! Victim and surrogate models are expensive to train relative to the
+//! attacks that use them, so the library supports exporting a backbone's
+//! parameters (in deterministic `visit_params` order) and re-importing
+//! them into a freshly constructed backbone of the same architecture and
+//! configuration. The on-disk format is a minimal self-describing binary
+//! layout (magic, tensor count, then `rank, dims…, f32-LE data` per
+//! tensor) — no external serialization dependency required.
+
+use crate::{Backbone, ModelError, Result};
+use duo_nn::Parameterized;
+use duo_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DUOPARM1";
+
+/// Snapshots every parameter tensor of a backbone, in visit order.
+pub fn export_params(backbone: &mut Backbone) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    backbone.visit_params(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+/// Restores parameters exported by [`export_params`] into a backbone of
+/// the same architecture/configuration.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] if the tensor count or any shape
+/// disagrees with the target backbone.
+pub fn import_params(backbone: &mut Backbone, params: &[Tensor]) -> Result<()> {
+    let mut idx = 0usize;
+    let mut error: Option<ModelError> = None;
+    backbone.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        match params.get(idx) {
+            Some(t) if t.dims() == p.value.dims() => {
+                p.value = t.clone();
+                p.zero_grad();
+            }
+            Some(t) => {
+                error = Some(ModelError::BadConfig(format!(
+                    "parameter {idx}: shape {:?} does not match checkpoint {:?}",
+                    p.value.dims(),
+                    t.dims()
+                )));
+            }
+            None => {
+                error = Some(ModelError::BadConfig(format!(
+                    "checkpoint has {} tensors but the backbone expects more",
+                    params.len()
+                )));
+            }
+        }
+        idx += 1;
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if idx != params.len() {
+        return Err(ModelError::BadConfig(format!(
+            "checkpoint has {} tensors but the backbone consumed {idx}",
+            params.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Writes a parameter snapshot to a writer in the `DUOPARM1` format.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] wrapping any I/O failure.
+pub fn write_params<W: Write>(params: &[Tensor], mut w: W) -> Result<()> {
+    let io = |e: std::io::Error| ModelError::BadConfig(format!("checkpoint write: {e}"));
+    w.write_all(MAGIC).map_err(io)?;
+    w.write_all(&(params.len() as u64).to_le_bytes()).map_err(io)?;
+    for t in params {
+        w.write_all(&(t.rank() as u64).to_le_bytes()).map_err(io)?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes()).map_err(io)?;
+        }
+        for &x in t.as_slice() {
+            w.write_all(&x.to_le_bytes()).map_err(io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a parameter snapshot written by [`write_params`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] for I/O failures, a bad magic value,
+/// or malformed shape data.
+pub fn read_params<R: Read>(mut r: R) -> Result<Vec<Tensor>> {
+    let io = |e: std::io::Error| ModelError::BadConfig(format!("checkpoint read: {e}"));
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io)?;
+    if &magic != MAGIC {
+        return Err(ModelError::BadConfig("not a DUOPARM1 checkpoint".into()));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf).map_err(io)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    if count > 1_000_000 {
+        return Err(ModelError::BadConfig(format!("implausible tensor count {count}")));
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        r.read_exact(&mut u64buf).map_err(io)?;
+        let rank = u64::from_le_bytes(u64buf) as usize;
+        if rank > 8 {
+            return Err(ModelError::BadConfig(format!("implausible tensor rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf).map_err(io)?;
+            dims.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let len: usize = dims.iter().product();
+        if len > 256_000_000 {
+            return Err(ModelError::BadConfig(format!("implausible tensor length {len}")));
+        }
+        let mut data = Vec::with_capacity(len);
+        let mut f32buf = [0u8; 4];
+        for _ in 0..len {
+            r.read_exact(&mut f32buf).map_err(io)?;
+            data.push(f32::from_le_bytes(f32buf));
+        }
+        params.push(Tensor::from_vec(data, &dims)?);
+    }
+    Ok(params)
+}
+
+/// Saves a backbone's parameters to a file.
+///
+/// # Errors
+///
+/// Propagates checkpoint/IO failures as [`ModelError::BadConfig`].
+pub fn save_backbone<P: AsRef<Path>>(backbone: &mut Backbone, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| ModelError::BadConfig(format!("checkpoint create: {e}")))?;
+    write_params(&export_params(backbone), std::io::BufWriter::new(file))
+}
+
+/// Loads parameters from a file into a backbone of matching shape.
+///
+/// # Errors
+///
+/// Propagates checkpoint/IO failures as [`ModelError::BadConfig`].
+pub fn load_backbone<P: AsRef<Path>>(backbone: &mut Backbone, path: P) -> Result<()> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| ModelError::BadConfig(format!("checkpoint open: {e}")))?;
+    let params = read_params(std::io::BufReader::new(file))?;
+    import_params(backbone, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Architecture, BackboneConfig};
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, SyntheticVideoGenerator};
+
+    #[test]
+    fn export_import_round_trips_features() {
+        let mut rng = Rng64::new(271);
+        let mut a = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let mut b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 272).generate(0, 0);
+        let fa = a.extract(&video).unwrap();
+        assert_ne!(fa, b.extract(&video).unwrap(), "fresh models should differ");
+        let params = export_params(&mut a);
+        import_params(&mut b, &params).unwrap();
+        assert_eq!(fa, b.extract(&video).unwrap(), "imported model must match exactly");
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_tensors() {
+        let mut rng = Rng64::new(273);
+        let params = vec![
+            Tensor::randn(&[2, 3, 4], 1.0, rng.as_rng()),
+            Tensor::randn(&[5], 0.5, rng.as_rng()),
+            Tensor::zeros(&[1, 1]),
+        ];
+        let mut buf = Vec::new();
+        write_params(&params, &mut buf).unwrap();
+        let back = read_params(buf.as_slice()).unwrap();
+        assert_eq!(params, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_shape_mismatch() {
+        assert!(read_params(&b"NOTDUO00"[..]).is_err());
+        let mut rng = Rng64::new(274);
+        let mut c3d = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let mut i3d = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let params = export_params(&mut c3d);
+        assert!(import_params(&mut i3d, &params).is_err(), "architectures differ");
+        // Truncated checkpoint.
+        assert!(import_params(&mut c3d, &params[..1]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = Rng64::new(275);
+        let mut a =
+            Backbone::new(Architecture::Resnet18, BackboneConfig::tiny(), &mut rng).unwrap();
+        let dir = std::env::temp_dir().join("duo_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resnet18.duoparm");
+        save_backbone(&mut a, &path).unwrap();
+        let mut b =
+            Backbone::new(Architecture::Resnet18, BackboneConfig::tiny(), &mut rng).unwrap();
+        load_backbone(&mut b, &path).unwrap();
+        let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 276).generate(2, 0);
+        assert_eq!(a.extract(&video).unwrap(), b.extract(&video).unwrap());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,569 @@
+use crate::{NnError, Param, Result};
+use duo_tensor::Tensor;
+
+/// Anything that owns trainable parameters.
+///
+/// Optimizers step over `Parameterized` values, which lets composite
+/// training targets (e.g. a backbone plus a metric-loss head with class
+/// prototypes) be stepped jointly even when the composite itself is not a
+/// [`Layer`]. Every `Layer` is `Parameterized` via a blanket impl.
+pub trait Parameterized {
+    /// Visits every trainable parameter in a deterministic order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradient accumulators.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+}
+
+/// Implements an empty [`Parameterized`] for layers without parameters.
+#[macro_export]
+macro_rules! param_free {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl $crate::Parameterized for $ty {
+            fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut $crate::Param)) {}
+        })+
+    };
+}
+
+/// A differentiable computation node with explicit forward/backward passes.
+///
+/// Layers are stateful: `forward` caches whatever the matching `backward`
+/// needs, and `backward` both *returns the input gradient* and *accumulates
+/// parameter gradients* into each [`Param::grad`]. This contract is what
+/// lets the attack crates differentiate a whole backbone down to video
+/// pixels (for SparseTransfer) with the same code path used for training.
+///
+/// Implementations must tolerate repeated `forward` calls (the latest cache
+/// wins) and must return an error — not panic — when `backward` is called
+/// before any `forward`.
+pub trait Layer: Parameterized + Send {
+    /// Computes the layer output for `input`, caching for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Propagates `grad_out` back through the layer, returning the gradient
+    /// with respect to the input and accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] if called before `forward`,
+    /// or a shape error if `grad_out` does not match the cached output.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Short human-readable layer name used in error messages.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------
+
+/// A chain of layers applied in order.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Appends a layer to the end of the chain.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of contained layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+impl Parameterized for Sequential {
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+}
+
+param_free!(Relu, GlobalAvgPool, L2Normalize, TemporalStride);
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+/// Rectified linear activation, `max(x, 0)` elementwise.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.mask = Some(input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
+        if mask.len() != grad_out.len() {
+            return Err(NnError::BadInput {
+                layer: "Relu",
+                reason: format!("grad length {} != cached {}", grad_out.len(), mask.len()),
+            });
+        }
+        let mut g = grad_out.clone();
+        for (x, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *x = 0.0;
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+// ---------------------------------------------------------------------
+// GlobalAvgPool
+// ---------------------------------------------------------------------
+
+/// Global average pooling: `[C, …]` → `[C]`, averaging over all trailing
+/// dimensions.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() < 2 {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool",
+                reason: format!("needs rank >= 2, got {}", input.rank()),
+            });
+        }
+        let c = input.dims()[0];
+        let per: usize = input.dims()[1..].iter().product();
+        self.in_dims = Some(input.dims().to_vec());
+        let mut out = Tensor::zeros(&[c]);
+        let iv = input.as_slice();
+        for ch in 0..c {
+            let s: f32 = iv[ch * per..(ch + 1) * per].iter().sum();
+            out.as_mut_slice()[ch] = s / per as f32;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .in_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "GlobalAvgPool" })?;
+        let c = dims[0];
+        let per: usize = dims[1..].iter().product();
+        if grad_out.len() != c {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool",
+                reason: format!("grad length {} != channels {}", grad_out.len(), c),
+            });
+        }
+        let mut g = Tensor::zeros(dims);
+        let gv = g.as_mut_slice();
+        for ch in 0..c {
+            let val = grad_out.as_slice()[ch] / per as f32;
+            gv[ch * per..(ch + 1) * per].fill(val);
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+// ---------------------------------------------------------------------
+// L2Normalize
+// ---------------------------------------------------------------------
+
+/// Projects a feature vector onto the unit sphere: `x / max(‖x‖₂, ε)`.
+///
+/// Metric-learning heads in the DUO models normalize embeddings so that
+/// the losses (ArcFace especially) operate on angles.
+#[derive(Debug)]
+pub struct L2Normalize {
+    eps: f32,
+    cache: Option<(Tensor, f32)>,
+}
+
+impl L2Normalize {
+    /// Creates a normalization layer with the default ε of `1e-8`.
+    pub fn new() -> Self {
+        L2Normalize { eps: 1e-8, cache: None }
+    }
+}
+
+impl Default for L2Normalize {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for L2Normalize {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let norm = input.l2_norm().max(self.eps);
+        self.cache = Some((input.clone(), norm));
+        Ok(input.scale(1.0 / norm))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (x, norm) = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "L2Normalize" })?;
+        // d(x/‖x‖)/dx = I/‖x‖ − x xᵀ/‖x‖³
+        let dot = x.dot(grad_out)?;
+        let mut g = grad_out.scale(1.0 / norm);
+        g.axpy(-dot / (norm * norm * norm), x)?;
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "L2Normalize"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Residual
+// ---------------------------------------------------------------------
+
+/// A residual block: `output = main(x) + shortcut(x)`, with an identity
+/// shortcut when none is given.
+///
+/// The shortcut path (usually a strided 1×1×1 convolution) must produce the
+/// same shape as the main path.
+pub struct Residual {
+    main: Sequential,
+    shortcut: Option<Sequential>,
+    forwarded: bool,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn identity(main: Sequential) -> Self {
+        Residual { main, shortcut: None, forwarded: false }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn with_shortcut(main: Sequential, shortcut: Sequential) -> Self {
+        Residual { main, shortcut: Some(shortcut), forwarded: false }
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Residual")
+            .field("main", &self.main)
+            .field("has_shortcut", &self.shortcut.is_some())
+            .finish()
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let main_out = self.main.forward(input)?;
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(input)?,
+            None => input.clone(),
+        };
+        self.forwarded = true;
+        main_out.add(&skip).map_err(|e| {
+            NnError::BadInput {
+                layer: "Residual",
+                reason: format!("main/shortcut shape mismatch: {e}"),
+            }
+        })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if !self.forwarded {
+            return Err(NnError::MissingForwardCache { layer: "Residual" });
+        }
+        let g_main = self.main.backward(grad_out)?;
+        let g_skip = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out)?,
+            None => grad_out.clone(),
+        };
+        Ok(g_main.add(&g_skip)?)
+    }
+
+    fn name(&self) -> &'static str {
+        "Residual"
+    }
+}
+
+impl Parameterized for Residual {
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(visitor);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(visitor);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TemporalStride
+// ---------------------------------------------------------------------
+
+/// Subsamples a `[C, T, H, W]` clip along time, keeping every `stride`-th
+/// frame. Used by the SlowFast backbone's slow pathway.
+#[derive(Debug)]
+pub struct TemporalStride {
+    stride: usize,
+    in_dims: Option<Vec<usize>>,
+}
+
+impl TemporalStride {
+    /// Creates a temporal subsampling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "TemporalStride requires stride > 0");
+        TemporalStride { stride, in_dims: None }
+    }
+}
+
+impl Layer for TemporalStride {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "TemporalStride",
+                reason: format!("needs rank-4 [C,T,H,W], got rank {}", input.rank()),
+            });
+        }
+        let (c, t, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let ot = t.div_ceil(self.stride);
+        self.in_dims = Some(input.dims().to_vec());
+        let mut out = Tensor::zeros(&[c, ot, h, w]);
+        let iv = input.as_slice();
+        let ov = out.as_mut_slice();
+        let frame = h * w;
+        for ch in 0..c {
+            for (oz, z) in (0..t).step_by(self.stride).enumerate() {
+                let src = (ch * t + z) * frame;
+                let dst = (ch * ot + oz) * frame;
+                ov[dst..dst + frame].copy_from_slice(&iv[src..src + frame]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .in_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "TemporalStride" })?;
+        let (c, t, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let ot = t.div_ceil(self.stride);
+        if grad_out.dims() != [c, ot, h, w] {
+            return Err(NnError::BadInput {
+                layer: "TemporalStride",
+                reason: format!("grad dims {:?} != expected [{c},{ot},{h},{w}]", grad_out.dims()),
+            });
+        }
+        let mut g = Tensor::zeros(dims);
+        let gv = g.as_mut_slice();
+        let ov = grad_out.as_slice();
+        let frame = h * w;
+        for ch in 0..c {
+            for (oz, z) in (0..t).step_by(self.stride).enumerate() {
+                let dst = (ch * t + z) * frame;
+                let src = (ch * ot + oz) * frame;
+                gv[dst..dst + frame].copy_from_slice(&ov[src..src + frame]);
+            }
+        }
+        Ok(g)
+    }
+
+    fn name(&self) -> &'static str {
+        "TemporalStride"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linear;
+    use duo_tensor::Rng64;
+
+    #[test]
+    fn relu_clamps_and_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]).unwrap();
+        let y = relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = relu.backward(&Tensor::ones(&[4])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_backward_without_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(matches!(
+            relu.backward(&Tensor::ones(&[1])),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_trailing_dims() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 10.0, 20.0], &[2, 2]).unwrap();
+        let y = gap.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 15.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn l2_normalize_produces_unit_vectors() {
+        let mut l2 = L2Normalize::new();
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let y = l2.forward(&x).unwrap();
+        assert!((y.l2_norm() - 1.0).abs() < 1e-6);
+        assert!((y.as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_gradient_is_tangent() {
+        // The gradient through normalization must be orthogonal to the
+        // normalized output when grad_out == output (norm is constant on rays).
+        let mut l2 = L2Normalize::new();
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let y = l2.forward(&x).unwrap();
+        let g = l2.backward(&y).unwrap();
+        assert!(g.l2_norm() < 1e-6, "gradient along the ray must vanish, got {g}");
+    }
+
+    #[test]
+    fn sequential_composes_and_reverses() {
+        let mut rng = Rng64::new(1);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 2, &mut rng)),
+        ]);
+        let x = Tensor::ones(&[3]);
+        let y = net.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2]);
+        let gx = net.backward(&Tensor::ones(&[2])).unwrap();
+        assert_eq!(gx.dims(), &[3]);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        let main = Sequential::new(vec![Box::new(Relu::new()) as Box<dyn Layer>]);
+        let mut res = Residual::identity(main);
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[2]).unwrap();
+        let y = res.forward(&x).unwrap();
+        // relu(-2) + (-2) = -2 ; relu(3) + 3 = 6
+        assert_eq!(y.as_slice(), &[-2.0, 6.0]);
+        let g = res.backward(&Tensor::ones(&[2])).unwrap();
+        // d/dx (relu(x)+x) = [0+1, 1+1]
+        assert_eq!(g.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn temporal_stride_keeps_every_kth_frame() {
+        let mut ts = TemporalStride::new(2);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 4, 1, 2]).unwrap();
+        let y = ts.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 1, 2]);
+        assert_eq!(y.as_slice(), &[0.0, 1.0, 4.0, 5.0]);
+        let g = ts.backward(&Tensor::ones(&[1, 2, 1, 2])).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_grad_clears_all_params() {
+        let mut rng = Rng64::new(2);
+        let mut net = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>]);
+        let x = Tensor::ones(&[2]);
+        net.forward(&x).unwrap();
+        net.backward(&Tensor::ones(&[2])).unwrap();
+        let mut nonzero = 0;
+        net.visit_params(&mut |p| nonzero += p.grad.l0_norm());
+        assert!(nonzero > 0);
+        net.zero_grad();
+        let mut after = 0;
+        net.visit_params(&mut |p| after += p.grad.l0_norm());
+        assert_eq!(after, 0);
+    }
+}

@@ -1,0 +1,59 @@
+use duo_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: a value tensor paired with its gradient
+/// accumulator.
+///
+/// Gradients accumulate across `backward` calls (mini-batch accumulation is
+/// "sum then step"); call [`Param::zero_grad`] between optimizer steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulator() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.grad.as_mut_slice().fill(3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

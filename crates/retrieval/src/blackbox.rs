@@ -1,0 +1,149 @@
+use crate::{RetrievalSystem, Result};
+use duo_video::{Video, VideoId};
+
+/// The attacker-facing surface of the victim service.
+///
+/// Per the paper's adversary model (§III-B), the attacker can only submit
+/// videos and observe the returned retrieval list `R^m(v)`. `BlackBox`
+/// enforces that contract:
+///
+/// * queries are **8-bit quantized** before reaching the model, like any
+///   uploaded video file;
+/// * every call is **counted**, since query efficiency is a first-class
+///   metric for query-based attacks;
+/// * an optional **budget** makes exceeding the allowance an error, so
+///   attack implementations cannot silently overshoot.
+#[derive(Debug)]
+pub struct BlackBox {
+    system: RetrievalSystem,
+    queries: u64,
+    budget: Option<u64>,
+}
+
+impl BlackBox {
+    /// Wraps a retrieval system with unlimited query budget.
+    pub fn new(system: RetrievalSystem) -> Self {
+        BlackBox { system, queries: 0, budget: None }
+    }
+
+    /// Wraps a retrieval system with a hard query budget.
+    pub fn with_budget(system: RetrievalSystem, budget: u64) -> Self {
+        BlackBox { system, queries: 0, budget: Some(budget) }
+    }
+
+    /// Number of queries issued so far.
+    pub fn queries_used(&self) -> u64 {
+        self.queries
+    }
+
+    /// The remaining budget, if one is set.
+    pub fn budget_remaining(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.queries))
+    }
+
+    /// Length `m` of returned retrieval lists.
+    pub fn m(&self) -> usize {
+        self.system.config().m
+    }
+
+    /// Submits a query video and returns `R^m(v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RetrievalError::BadConfig`] when the query budget
+    /// is exhausted, and propagates retrieval failures.
+    pub fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+        if let Some(budget) = self.budget {
+            if self.queries >= budget {
+                return Err(crate::RetrievalError::BadConfig(format!(
+                    "query budget of {budget} exhausted"
+                )));
+            }
+        }
+        self.queries += 1;
+        let mut submitted = video.clone();
+        submitted.quantize();
+        self.system.retrieve(&submitted)
+    }
+
+    /// Unwraps the underlying system (ends the black-box constraint; used
+    /// by evaluation harnesses, never by attacks).
+    pub fn into_inner(self) -> RetrievalSystem {
+        self.system
+    }
+
+    /// Read access to the wrapped system for *evaluation* (e.g. computing
+    /// mAP baselines). Attack code must only use [`BlackBox::retrieve`].
+    pub fn system_mut(&mut self) -> &mut RetrievalSystem {
+        &mut self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RetrievalConfig;
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+
+    fn make_blackbox(budget: Option<u64>) -> (BlackBox, SyntheticDataset) {
+        let mut rng = Rng64::new(141);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 4, 1, 0);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 8).copied().collect();
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            backbone,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 4, nodes: 2, threaded: false },
+        )
+        .unwrap();
+        let bb = match budget {
+            Some(b) => BlackBox::with_budget(sys, b),
+            None => BlackBox::new(sys),
+        };
+        (bb, ds)
+    }
+
+    #[test]
+    fn queries_are_counted() {
+        let (mut bb, ds) = make_blackbox(None);
+        let v = ds.video(ds.train()[0]);
+        assert_eq!(bb.queries_used(), 0);
+        bb.retrieve(&v).unwrap();
+        bb.retrieve(&v).unwrap();
+        assert_eq!(bb.queries_used(), 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (mut bb, ds) = make_blackbox(Some(2));
+        let v = ds.video(ds.train()[0]);
+        assert!(bb.retrieve(&v).is_ok());
+        assert_eq!(bb.budget_remaining(), Some(1));
+        assert!(bb.retrieve(&v).is_ok());
+        assert!(bb.retrieve(&v).is_err(), "third query must exceed the budget");
+        assert_eq!(bb.queries_used(), 2, "rejected queries are not counted");
+    }
+
+    #[test]
+    fn inputs_are_quantized_before_retrieval() {
+        // Two videos that agree after rounding must retrieve identically,
+        // regardless of sub-integer perturbations.
+        let (mut bb, ds) = make_blackbox(None);
+        let v = ds.video(ds.train()[3]);
+        let mut v2 = v.clone();
+        for x in v2.tensor_mut().as_mut_slice().iter_mut() {
+            // Stay within the same rounding bucket.
+            *x = (*x + 0.3).clamp(0.0, 255.0);
+            if x.round() != (*x - 0.3).clamp(0.0, 255.0).round() {
+                *x -= 0.3;
+            }
+        }
+        let r1 = bb.retrieve(&v).unwrap();
+        let r2 = bb.retrieve(&v2).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,39 @@
+use duo_models::ModelError;
+use std::fmt;
+
+/// Error type for the retrieval system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetrievalError {
+    /// Feature extraction failed.
+    Model(ModelError),
+    /// The system was configured with invalid parameters.
+    BadConfig(String),
+    /// Every data node is offline; no shard can answer.
+    AllNodesOffline,
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::Model(e) => write!(f, "model error: {e}"),
+            RetrievalError::BadConfig(msg) => write!(f, "bad retrieval config: {msg}"),
+            RetrievalError::AllNodesOffline => write!(f, "all data nodes are offline"),
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrievalError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ModelError> for RetrievalError {
+    fn from(e: ModelError) -> Self {
+        RetrievalError::Model(e)
+    }
+}

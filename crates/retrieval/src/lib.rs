@@ -1,0 +1,48 @@
+//! Distributed video retrieval system simulation.
+//!
+//! Mirrors the DNN-based cloud retrieval service of the paper's Figure 1:
+//! a trained feature extractor converts the query video into an embedding,
+//! the embedding is fanned out to distributed *data nodes* each holding a
+//! shard of the gallery, and the per-node candidates are merged into the
+//! global top-`m` list `R^m(v)` (descending similarity).
+//!
+//! The attacker-facing surface is [`BlackBox`]: retrieval lists only, with
+//! query accounting and 8-bit input quantization — the exact contract the
+//! paper's black-box adversary model assumes.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+//! use duo_models::{Architecture, Backbone, BackboneConfig};
+//! use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+//! use duo_tensor::Rng64;
+//!
+//! let mut rng = Rng64::new(1);
+//! let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1, 1, 0);
+//! let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
+//! let mut sys = RetrievalSystem::build(backbone, &ds, ds.train(), RetrievalConfig::default())?;
+//! let result = sys.retrieve(&ds.video(ds.train()[0]))?;
+//! assert_eq!(result.len(), sys.config().m.min(ds.train().len()));
+//! # Ok::<(), duo_retrieval::RetrievalError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blackbox;
+mod error;
+mod metrics;
+mod node;
+mod persist;
+mod system;
+
+pub use blackbox::BlackBox;
+pub use error::RetrievalError;
+pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence};
+pub use node::{DataNode, NodeStatus, ScoredId};
+pub use persist::GalleryIndex;
+pub use system::{RetrievalConfig, RetrievalSystem};
+
+/// Convenient result alias used across the retrieval crate.
+pub type Result<T> = std::result::Result<T, RetrievalError>;

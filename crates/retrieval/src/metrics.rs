@@ -1,0 +1,210 @@
+//! Retrieval-quality and list-similarity metrics from the paper's §V-A.
+
+use duo_video::VideoId;
+
+/// Average precision between two retrieval lists (the paper's `AP@m`).
+///
+/// `prec_i = |top-i(a) ∩ top-i(b)| / i`, averaged over `i = 1..=m` where
+/// `m` is the longer list's length. Lists shorter than `m` are treated as
+/// padded with non-matching entries.
+///
+/// Returns a percentage in `[0, 100]` to match the paper's tables.
+pub fn ap_at_m(a: &[VideoId], b: &[VideoId]) -> f32 {
+    let m = a.len().max(b.len());
+    if m == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for i in 1..=m {
+        let top_a = &a[..i.min(a.len())];
+        let top_b = &b[..i.min(b.len())];
+        let inter = top_a.iter().filter(|id| top_b.contains(id)).count();
+        total += inter as f32 / i as f32;
+    }
+    100.0 * total / m as f32
+}
+
+/// Mean average precision of a retrieval system against class labels
+/// (the paper's `mAP`), as a percentage.
+///
+/// For each `(query class, retrieved list)` pair, computes
+/// `(1/m) Σ_i ctop(i)/i` where `ctop(i)` counts retrieved videos of the
+/// query's class within the top `i`; averages over queries.
+pub fn mean_average_precision(results: &[(u32, Vec<VideoId>)]) -> f32 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for (class, list) in results {
+        if list.is_empty() {
+            continue;
+        }
+        let mut correct_so_far = 0usize;
+        let mut ap = 0.0f32;
+        for (i, id) in list.iter().enumerate() {
+            if id.class == *class {
+                correct_so_far += 1;
+            }
+            ap += correct_so_far as f32 / (i + 1) as f32;
+        }
+        total += ap / list.len() as f32;
+    }
+    100.0 * total / results.len() as f32
+}
+
+/// NDCG-style co-occurrence similarity `ℍ(R^m(v), R^m(v'))` between two
+/// retrieval lists (the probability-weighted overlap the SparseQuery
+/// objective of Eq. 2 is built on, following the QAIR formulation).
+///
+/// Each prefix depth `i` contributes its overlap precision
+/// `|top-i(a) ∩ top-i(b)|/i` with the NDCG rank discount `1/log2(i+2)`,
+/// normalized so the value lies in `[0, 1]` (1 ⇔ identical prefix sets at
+/// every depth, i.e. the same ranking up to ties). Unlike a pure
+/// membership overlap, this responds to *rank reshuffles* — the only
+/// signal a black-box attacker gets while perturbations are still too
+/// weak to evict list entries.
+pub fn ndcg_cooccurrence(a: &[VideoId], b: &[VideoId]) -> f32 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let depth = a.len().max(b.len());
+    let mut gain = 0.0f64;
+    let mut ideal = 0.0f64;
+    for i in 1..=depth {
+        let w = 1.0 / ((i as f64) + 1.0).log2();
+        ideal += w;
+        let top_a = &a[..i.min(a.len())];
+        let top_b = &b[..i.min(b.len())];
+        let inter = top_a.iter().filter(|id| top_b.contains(id)).count();
+        gain += w * inter as f64 / i as f64;
+    }
+    (gain / ideal) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(pairs: &[(u32, u32)]) -> Vec<VideoId> {
+        pairs.iter().map(|&(class, instance)| VideoId { class, instance }).collect()
+    }
+
+    #[test]
+    fn ap_at_m_identical_lists_is_100() {
+        let a = ids(&[(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(ap_at_m(&a, &a), 100.0);
+    }
+
+    #[test]
+    fn ap_at_m_disjoint_lists_is_0() {
+        let a = ids(&[(0, 0), (1, 0)]);
+        let b = ids(&[(2, 0), (3, 0)]);
+        assert_eq!(ap_at_m(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn ap_at_m_matches_hand_computation() {
+        // a = [x, y], b = [x, z]: prec_1 = 1/1, prec_2 = 1/2 → AP = 75%.
+        let a = ids(&[(0, 0), (1, 0)]);
+        let b = ids(&[(0, 0), (2, 0)]);
+        assert!((ap_at_m(&a, &b) - 75.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ap_at_m_is_symmetric() {
+        let a = ids(&[(0, 0), (1, 0), (2, 0)]);
+        let b = ids(&[(1, 0), (0, 0), (5, 0)]);
+        assert!((ap_at_m(&a, &b) - ap_at_m(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn map_perfect_retrieval_is_100() {
+        let results = vec![(3u32, ids(&[(3, 0), (3, 1), (3, 2)]))];
+        assert_eq!(mean_average_precision(&results), 100.0);
+    }
+
+    #[test]
+    fn map_matches_hand_computation() {
+        // list: [correct, wrong, correct] → (1/1 + 1/2 + 2/3)/3 = 72.2%.
+        let results = vec![(1u32, ids(&[(1, 0), (2, 0), (1, 1)]))];
+        let expected = 100.0 * (1.0 + 0.5 + 2.0 / 3.0) / 3.0;
+        assert!((mean_average_precision(&results) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn map_empty_inputs_are_zero() {
+        assert_eq!(mean_average_precision(&[]), 0.0);
+        assert_eq!(ap_at_m(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn ndcg_identical_lists_are_one() {
+        let a = ids(&[(0, 0), (1, 0), (2, 0)]);
+        assert!((ndcg_cooccurrence(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndcg_is_order_sensitive() {
+        // Same membership, different ranking: similarity must drop below 1
+        // (this is the signal SparseQuery climbs before it can evict
+        // entries outright).
+        let a = ids(&[(0, 0), (1, 0), (2, 0)]);
+        let permuted = ids(&[(2, 0), (0, 0), (1, 0)]);
+        let s = ndcg_cooccurrence(&a, &permuted);
+        assert!(s < 1.0 - 1e-4, "permutation must score below identity, got {s}");
+        assert!(s > 0.3, "shared membership keeps similarity well above zero, got {s}");
+    }
+
+    #[test]
+    fn ndcg_weights_early_ranks_higher() {
+        let a = ids(&[(0, 0), (1, 0)]);
+        let hit_first = ids(&[(0, 0), (9, 9)]);
+        let hit_second = ids(&[(9, 9), (1, 0)]);
+        // Both overlap on exactly one element of `a`, but the element at
+        // rank 1 of `a` carries more gain.
+        let s_first = ndcg_cooccurrence(&a, &hit_first);
+        let s_second = ndcg_cooccurrence(&a, &hit_second);
+        assert!(s_first > 0.0 && s_second > 0.0);
+        assert!(
+            s_first > s_second,
+            "rank-1 overlap ({s_first}) must outweigh rank-2 overlap ({s_second})"
+        );
+    }
+
+    #[test]
+    fn ap_at_m_handles_unequal_lengths() {
+        // A degraded node can shorten one list; the metric treats missing
+        // tail entries as non-matches rather than panicking.
+        let long = ids(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let short = ids(&[(0, 0)]);
+        let ap = ap_at_m(&long, &short);
+        assert!(ap > 0.0 && ap < 100.0);
+        assert!((ap - ap_at_m(&short, &long)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn map_ignores_empty_lists_gracefully() {
+        let results = vec![(0u32, Vec::new()), (1u32, ids(&[(1, 0)]))];
+        let map = mean_average_precision(&results);
+        // One perfect query, one empty: average = 50%.
+        assert!((map - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ndcg_prefix_weighting_decays_with_depth() {
+        // A mismatch at depth 1 costs more than the same mismatch at the
+        // tail of a longer prefix.
+        let a = ids(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let wrong_head = ids(&[(9, 9), (1, 0), (2, 0), (3, 0)]);
+        let wrong_tail = ids(&[(0, 0), (1, 0), (2, 0), (9, 9)]);
+        assert!(ndcg_cooccurrence(&a, &wrong_tail) > ndcg_cooccurrence(&a, &wrong_head));
+    }
+
+    #[test]
+    fn ndcg_bounded_in_unit_interval() {
+        let a = ids(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let b = ids(&[(1, 0), (7, 0)]);
+        let s = ndcg_cooccurrence(&a, &b);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

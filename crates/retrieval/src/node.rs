@@ -1,0 +1,164 @@
+use duo_tensor::Tensor;
+use duo_video::VideoId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// A gallery entry scored against a query embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoredId {
+    /// The gallery video.
+    pub id: VideoId,
+    /// Squared Euclidean distance to the query embedding (lower = more
+    /// similar).
+    pub distance: f32,
+}
+
+/// Operational state of a data node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Node answers queries.
+    Online,
+    /// Node is down; its shard is unavailable.
+    Offline,
+}
+
+/// One shard of the distributed gallery.
+///
+/// A node stores `(id, feature)` pairs for its share of the gallery and
+/// answers local top-`m` nearest-neighbour queries. Status is behind a
+/// read–write lock so a failure-injection harness can flip nodes offline
+/// while queries are in flight.
+#[derive(Debug)]
+pub struct DataNode {
+    name: String,
+    entries: Vec<(VideoId, Tensor)>,
+    status: RwLock<NodeStatus>,
+}
+
+impl DataNode {
+    /// Creates an online node with the given shard contents.
+    pub fn new(name: impl Into<String>, entries: Vec<(VideoId, Tensor)>) -> Self {
+        DataNode { name: name.into(), entries, status: RwLock::new(NodeStatus::Online) }
+    }
+
+    /// Node name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gallery entries held by this node.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(id, feature)` entries stored on this shard (for snapshots).
+    pub fn entries(&self) -> &[(VideoId, Tensor)] {
+        &self.entries
+    }
+
+    /// Current operational status.
+    pub fn status(&self) -> NodeStatus {
+        *self.status.read()
+    }
+
+    /// Takes the node offline (failure injection).
+    pub fn set_offline(&self) {
+        *self.status.write() = NodeStatus::Offline;
+    }
+
+    /// Brings the node back online.
+    pub fn set_online(&self) {
+        *self.status.write() = NodeStatus::Online;
+    }
+
+    /// Local top-`m` nearest entries to `query`, or `None` when offline.
+    ///
+    /// Results are sorted ascending by distance; ties break by id for
+    /// determinism across shard layouts.
+    pub fn query(&self, query: &Tensor, m: usize) -> Option<Vec<ScoredId>> {
+        if self.status() == NodeStatus::Offline {
+            return None;
+        }
+        let mut scored: Vec<ScoredId> = self
+            .entries
+            .iter()
+            .map(|(id, feat)| ScoredId {
+                id: *id,
+                distance: feat.sq_distance(query).expect("gallery features share query dims"),
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
+        });
+        scored.truncate(m);
+        Some(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec(v, &[n]).unwrap()
+    }
+
+    fn sample_node() -> DataNode {
+        DataNode::new(
+            "node-0",
+            vec![
+                (VideoId { class: 0, instance: 0 }, feat(vec![0.0, 0.0])),
+                (VideoId { class: 1, instance: 0 }, feat(vec![1.0, 0.0])),
+                (VideoId { class: 2, instance: 0 }, feat(vec![3.0, 4.0])),
+            ],
+        )
+    }
+
+    #[test]
+    fn query_returns_nearest_first() {
+        let node = sample_node();
+        let res = node.query(&feat(vec![0.9, 0.0]), 2).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id.class, 1);
+        assert_eq!(res[1].id.class, 0);
+        assert!(res[0].distance <= res[1].distance);
+    }
+
+    #[test]
+    fn offline_node_returns_none() {
+        let node = sample_node();
+        node.set_offline();
+        assert_eq!(node.status(), NodeStatus::Offline);
+        assert!(node.query(&feat(vec![0.0, 0.0]), 1).is_none());
+        node.set_online();
+        assert!(node.query(&feat(vec![0.0, 0.0]), 1).is_some());
+    }
+
+    #[test]
+    fn m_larger_than_shard_returns_all() {
+        let node = sample_node();
+        let res = node.query(&feat(vec![0.0, 0.0]), 10).unwrap();
+        assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let node = DataNode::new(
+            "t",
+            vec![
+                (VideoId { class: 5, instance: 1 }, feat(vec![1.0])),
+                (VideoId { class: 5, instance: 0 }, feat(vec![1.0])),
+            ],
+        );
+        let res = node.query(&feat(vec![0.0]), 2).unwrap();
+        assert_eq!(res[0].id.instance, 0, "equal distances break ties by id");
+    }
+}

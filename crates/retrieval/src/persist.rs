@@ -1,0 +1,247 @@
+//! Gallery-index persistence.
+//!
+//! A production retrieval service re-indexes its gallery only when the
+//! embedding model changes; across restarts the feature index is loaded
+//! from disk. The format is the same minimal self-describing binary style
+//! used for model checkpoints: magic, entry count, then
+//! `(class, instance, dim, f32-LE features…)` per entry.
+
+use crate::{DataNode, RetrievalConfig, RetrievalError, Result, RetrievalSystem};
+use duo_models::Backbone;
+use duo_tensor::Tensor;
+use duo_video::VideoId;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DUOINDX1";
+
+/// A serializable snapshot of an indexed gallery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GalleryIndex {
+    entries: Vec<(VideoId, Tensor)>,
+}
+
+impl GalleryIndex {
+    /// Snapshots the given `(id, feature)` entries.
+    pub fn new(entries: Vec<(VideoId, Tensor)>) -> Self {
+        GalleryIndex { entries }
+    }
+
+    /// Extracts the index currently served by a retrieval system.
+    pub fn from_system(system: &RetrievalSystem) -> Self {
+        let mut entries = Vec::with_capacity(system.gallery_len());
+        for node in system.nodes() {
+            entries.extend(node.entries().iter().cloned());
+        }
+        // Deterministic order regardless of shard layout.
+        entries.sort_by_key(|(id, _)| (id.class, id.instance));
+        GalleryIndex { entries }
+    }
+
+    /// Number of indexed videos.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The indexed entries, sorted by id.
+    pub fn entries(&self) -> &[(VideoId, Tensor)] {
+        &self.entries
+    }
+
+    /// Writes the index in the `DUOINDX1` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
+    pub fn write<W: Write>(&self, mut w: W) -> Result<()> {
+        let io = |e: std::io::Error| RetrievalError::BadConfig(format!("index write: {e}"));
+        w.write_all(MAGIC).map_err(io)?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes()).map_err(io)?;
+        for (id, feat) in &self.entries {
+            w.write_all(&id.class.to_le_bytes()).map_err(io)?;
+            w.write_all(&id.instance.to_le_bytes()).map_err(io)?;
+            w.write_all(&(feat.len() as u64).to_le_bytes()).map_err(io)?;
+            for &x in feat.as_slice() {
+                w.write_all(&x.to_le_bytes()).map_err(io)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads an index written by [`GalleryIndex::write`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for I/O failures, bad magic,
+    /// or malformed entries.
+    pub fn read<R: Read>(mut r: R) -> Result<Self> {
+        let io = |e: std::io::Error| RetrievalError::BadConfig(format!("index read: {e}"));
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic).map_err(io)?;
+        if &magic != MAGIC {
+            return Err(RetrievalError::BadConfig("not a DUOINDX1 index".into()));
+        }
+        let mut u64buf = [0u8; 8];
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u64buf).map_err(io)?;
+        let count = u64::from_le_bytes(u64buf) as usize;
+        if count > 100_000_000 {
+            return Err(RetrievalError::BadConfig(format!("implausible entry count {count}")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            r.read_exact(&mut u32buf).map_err(io)?;
+            let class = u32::from_le_bytes(u32buf);
+            r.read_exact(&mut u32buf).map_err(io)?;
+            let instance = u32::from_le_bytes(u32buf);
+            r.read_exact(&mut u64buf).map_err(io)?;
+            let dim = u64::from_le_bytes(u64buf) as usize;
+            if dim > 1_000_000 {
+                return Err(RetrievalError::BadConfig(format!("implausible feature dim {dim}")));
+            }
+            let mut data = Vec::with_capacity(dim);
+            let mut f32buf = [0u8; 4];
+            for _ in 0..dim {
+                r.read_exact(&mut f32buf).map_err(io)?;
+                data.push(f32::from_le_bytes(f32buf));
+            }
+            let feat = Tensor::from_vec(data, &[dim])
+                .map_err(|e| RetrievalError::BadConfig(format!("index feature: {e}")))?;
+            entries.push((VideoId { class, instance }, feat));
+        }
+        Ok(GalleryIndex { entries })
+    }
+
+    /// Saves the index to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| RetrievalError::BadConfig(format!("index create: {e}")))?;
+        self.write(std::io::BufWriter::new(file))
+    }
+
+    /// Loads an index from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = std::fs::File::open(path)
+            .map_err(|e| RetrievalError::BadConfig(format!("index open: {e}")))?;
+        Self::read(std::io::BufReader::new(file))
+    }
+}
+
+impl RetrievalSystem {
+    /// Rebuilds a retrieval service from a persisted index and a backbone
+    /// (restart-without-reindexing: the backbone is only used for *query*
+    /// embeddings; gallery features come from the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for invalid configuration.
+    pub fn from_index(
+        backbone: Backbone,
+        index: &GalleryIndex,
+        config: RetrievalConfig,
+    ) -> Result<Self> {
+        if config.m == 0 || config.nodes == 0 {
+            return Err(RetrievalError::BadConfig(format!(
+                "m and nodes must be positive, got {config:?}"
+            )));
+        }
+        let mut shards: Vec<Vec<(VideoId, Tensor)>> =
+            (0..config.nodes).map(|_| Vec::new()).collect();
+        for (i, entry) in index.entries().iter().enumerate() {
+            shards[i % config.nodes].push(entry.clone());
+        }
+        let nodes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
+            .collect();
+        Ok(RetrievalSystem::assemble(backbone, nodes, config, index.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, BackboneConfig};
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+
+    fn system() -> (RetrievalSystem, SyntheticDataset) {
+        let mut rng = Rng64::new(281);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 281, 2, 0);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 8).copied().collect();
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            backbone,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 5, nodes: 3, threaded: false },
+        )
+        .unwrap();
+        (sys, ds)
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_index() {
+        let (sys, _) = system();
+        let index = GalleryIndex::from_system(&sys);
+        assert_eq!(index.len(), sys.gallery_len());
+        let mut buf = Vec::new();
+        index.write(&mut buf).unwrap();
+        let back = GalleryIndex::read(buf.as_slice()).unwrap();
+        assert_eq!(index, back);
+    }
+
+    #[test]
+    fn restored_service_ranks_identically() {
+        let (mut sys, ds) = system();
+        let index = GalleryIndex::from_system(&sys);
+        // Clone the backbone weights into a fresh system via checkpointing.
+        let mut rng = Rng64::new(282);
+        let mut restored_backbone =
+            Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let params = duo_models::export_params(sys.backbone_mut());
+        duo_models::import_params(&mut restored_backbone, &params).unwrap();
+        let mut restored = RetrievalSystem::from_index(
+            restored_backbone,
+            &index,
+            RetrievalConfig { m: 5, nodes: 5, threaded: false },
+        )
+        .unwrap();
+        for c in 0..8 {
+            let q = ds.video(VideoId { class: c, instance: 1 });
+            assert_eq!(sys.retrieve(&q).unwrap(), restored.retrieve(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(GalleryIndex::read(&b"BADMAGIC"[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (sys, _) = system();
+        let index = GalleryIndex::from_system(&sys);
+        let dir = std::env::temp_dir().join("duo_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gallery.duoindx");
+        index.save(&path).unwrap();
+        assert_eq!(GalleryIndex::load(&path).unwrap(), index);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,359 @@
+use crate::{DataNode, RetrievalError, Result, ScoredId};
+use duo_models::Backbone;
+use duo_tensor::Tensor;
+use duo_video::{SyntheticDataset, Video, VideoId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the distributed retrieval service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Number of videos in the returned list `R^m(v)`.
+    pub m: usize,
+    /// Number of data-node shards the gallery is spread over.
+    pub nodes: usize,
+    /// Whether node fan-out runs on scoped threads (true) or inline
+    /// (false). Thread fan-out demonstrates the distributed query path;
+    /// inline is faster on a single core.
+    pub threaded: bool,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig { m: 10, nodes: 4, threaded: false }
+    }
+}
+
+/// The victim video retrieval system: trained backbone + sharded gallery.
+///
+/// `retrieve` implements the full service path: feature extraction, fan-out
+/// to every online [`DataNode`], and a merge of local candidates into the
+/// global top-`m`.
+pub struct RetrievalSystem {
+    backbone: Backbone,
+    nodes: Vec<DataNode>,
+    config: RetrievalConfig,
+    gallery_len: usize,
+}
+
+impl std::fmt::Debug for RetrievalSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetrievalSystem")
+            .field("arch", &self.backbone.arch())
+            .field("gallery", &self.gallery_len)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl RetrievalSystem {
+    /// Indexes `gallery` under `backbone` and shards it over data nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for zero `m`/`nodes` and
+    /// propagates feature-extraction failures.
+    pub fn build(
+        mut backbone: Backbone,
+        dataset: &SyntheticDataset,
+        gallery: &[VideoId],
+        config: RetrievalConfig,
+    ) -> Result<Self> {
+        if config.m == 0 || config.nodes == 0 {
+            return Err(RetrievalError::BadConfig(format!(
+                "m and nodes must be positive, got {config:?}"
+            )));
+        }
+        let mut shards: Vec<Vec<(VideoId, Tensor)>> = (0..config.nodes).map(|_| Vec::new()).collect();
+        for (i, &id) in gallery.iter().enumerate() {
+            let feat = backbone.extract(&dataset.video(id))?;
+            shards[i % config.nodes].push((id, feat));
+        }
+        let nodes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
+            .collect();
+        Ok(RetrievalSystem { backbone, nodes, config, gallery_len: gallery.len() })
+    }
+
+    /// Like [`RetrievalSystem::build`], but extracts gallery features on
+    /// `workers` scoped threads, each running a parameter-identical clone
+    /// of the backbone (cloned via the checkpointing machinery). Produces
+    /// a system with *bit-identical* retrieval behaviour to the serial
+    /// build — indexing a large gallery is the one embarrassingly
+    /// parallel step of service construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for zero `m`/`nodes`/`workers`
+    /// and propagates feature-extraction and clone failures.
+    pub fn build_parallel(
+        mut backbone: Backbone,
+        dataset: &SyntheticDataset,
+        gallery: &[VideoId],
+        config: RetrievalConfig,
+        workers: usize,
+    ) -> Result<Self> {
+        if config.m == 0 || config.nodes == 0 || workers == 0 {
+            return Err(RetrievalError::BadConfig(format!(
+                "m, nodes and workers must be positive, got {config:?} with {workers} workers"
+            )));
+        }
+        let params = duo_models::export_params(&mut backbone);
+        let arch = backbone.arch();
+        let bcfg = backbone.config();
+        let chunk_size = gallery.len().div_ceil(workers.min(gallery.len()).max(1));
+        let chunks: Vec<&[VideoId]> = if gallery.is_empty() {
+            Vec::new()
+        } else {
+            gallery.chunks(chunk_size).collect()
+        };
+        let extracted: Vec<Result<Vec<(VideoId, Tensor)>>> =
+            crossbeam::thread::scope(|scope| {
+                let params = &params;
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move |_| -> Result<Vec<(VideoId, Tensor)>> {
+                            let mut model =
+                                Backbone::new(arch, bcfg, &mut duo_tensor::Rng64::new(0))
+                                    .map_err(RetrievalError::Model)?;
+                            duo_models::import_params(&mut model, params)
+                                .map_err(RetrievalError::Model)?;
+                            let mut out = Vec::with_capacity(chunk.len());
+                            for &id in chunk {
+                                let feat = model
+                                    .extract(&dataset.video(id))
+                                    .map_err(RetrievalError::Model)?;
+                                out.push((id, feat));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("indexing worker panicked"))
+                    .collect()
+            })
+            .expect("indexing scope panicked");
+        // Preserve the serial build's shard layout: features in gallery
+        // order, dealt round-robin.
+        let mut shards: Vec<Vec<(VideoId, Tensor)>> =
+            (0..config.nodes).map(|_| Vec::new()).collect();
+        let mut i = 0usize;
+        for chunk in extracted {
+            for entry in chunk? {
+                shards[i % config.nodes].push(entry);
+                i += 1;
+            }
+        }
+        let nodes = shards
+            .into_iter()
+            .enumerate()
+            .map(|(idx, entries)| DataNode::new(format!("node-{idx}"), entries))
+            .collect();
+        Ok(RetrievalSystem { backbone, nodes, config, gallery_len: gallery.len() })
+    }
+
+    /// Assembles a system from prebuilt shards (used by index restore).
+    pub(crate) fn assemble(
+        backbone: Backbone,
+        nodes: Vec<DataNode>,
+        config: RetrievalConfig,
+        gallery_len: usize,
+    ) -> Self {
+        RetrievalSystem { backbone, nodes, config, gallery_len }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> RetrievalConfig {
+        self.config
+    }
+
+    /// Number of indexed gallery videos.
+    pub fn gallery_len(&self) -> usize {
+        self.gallery_len
+    }
+
+    /// The data-node shards (for failure injection in tests).
+    pub fn nodes(&self) -> &[DataNode] {
+        &self.nodes
+    }
+
+    /// Immutable access to the victim backbone (white-box evaluations and
+    /// defense harnesses use this; the black-box attacker surface is
+    /// [`crate::BlackBox`]).
+    pub fn backbone_mut(&mut self) -> &mut Backbone {
+        &mut self.backbone
+    }
+
+    /// Extracts the victim's embedding for a video.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn embed(&mut self, video: &Video) -> Result<Tensor> {
+        Ok(self.backbone.extract(video)?)
+    }
+
+    /// Full retrieval path: returns the global top-`m` gallery ids for the
+    /// query video, most similar first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::AllNodesOffline`] when no shard can
+    /// answer, and propagates feature-extraction failures.
+    pub fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+        let query = self.backbone.extract(video)?;
+        self.retrieve_by_feature(&query)
+    }
+
+    /// Retrieval from a precomputed query embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::AllNodesOffline`] when no shard answers.
+    pub fn retrieve_by_feature(&self, query: &Tensor) -> Result<Vec<VideoId>> {
+        let m = self.config.m;
+        let locals: Vec<Option<Vec<ScoredId>>> = if self.config.threaded {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .nodes
+                    .iter()
+                    .map(|node| scope.spawn(move |_| node.query(query, m)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("node query panicked")).collect()
+            })
+            .expect("retrieval fan-out scope panicked")
+        } else {
+            self.nodes.iter().map(|node| node.query(query, m)).collect()
+        };
+        let mut merged: Vec<ScoredId> = Vec::new();
+        let mut any_online = false;
+        for local in locals.into_iter().flatten() {
+            any_online = true;
+            merged.extend(local);
+        }
+        if !any_online {
+            return Err(RetrievalError::AllNodesOffline);
+        }
+        merged.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
+        });
+        merged.truncate(m);
+        Ok(merged.into_iter().map(|s| s.id).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_models::{Architecture, BackboneConfig};
+    use duo_tensor::Rng64;
+    use duo_video::{ClipSpec, DatasetKind};
+
+    fn small_system(threaded: bool) -> (RetrievalSystem, SyntheticDataset) {
+        let mut rng = Rng64::new(131);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 3, 1, 0);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 12).copied().collect();
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let config = RetrievalConfig { m: 5, nodes: 3, threaded };
+        (RetrievalSystem::build(backbone, &ds, &gallery, config).unwrap(), ds)
+    }
+
+    #[test]
+    fn retrieve_returns_m_results_most_similar_first() {
+        let (mut sys, ds) = small_system(false);
+        let probe = ds.video(VideoId { class: 0, instance: 0 });
+        let result = sys.retrieve(&probe).unwrap();
+        assert_eq!(result.len(), 5);
+        // The exact gallery video must rank first (distance 0 to itself).
+        assert_eq!(result[0], VideoId { class: 0, instance: 0 });
+    }
+
+    #[test]
+    fn threaded_and_inline_fanout_agree() {
+        let (mut a, ds) = small_system(false);
+        let (mut b, _) = small_system(true);
+        let probe = ds.video(VideoId { class: 3, instance: 0 });
+        assert_eq!(a.retrieve(&probe).unwrap(), b.retrieve(&probe).unwrap());
+    }
+
+    #[test]
+    fn node_failure_degrades_but_does_not_corrupt() {
+        let (mut sys, ds) = small_system(false);
+        let probe = ds.video(VideoId { class: 0, instance: 0 });
+        let full = sys.retrieve(&probe).unwrap();
+        sys.nodes()[0].set_offline();
+        let degraded = sys.retrieve(&probe).unwrap();
+        assert_eq!(degraded.len(), 5);
+        // Every returned id must still come from an online shard, and the
+        // order must remain globally sorted (a subsequence check against
+        // the full ranking over surviving ids).
+        let survivors: Vec<VideoId> =
+            full.iter().copied().filter(|id| degraded.contains(id)).collect();
+        let filtered: Vec<VideoId> =
+            degraded.iter().copied().filter(|id| full.contains(id)).collect();
+        assert_eq!(survivors, filtered, "relative order must be preserved");
+    }
+
+    #[test]
+    fn all_nodes_offline_is_an_error() {
+        let (mut sys, ds) = small_system(false);
+        for node in sys.nodes() {
+            node.set_offline();
+        }
+        let probe = ds.video(VideoId { class: 0, instance: 0 });
+        assert!(matches!(sys.retrieve(&probe), Err(RetrievalError::AllNodesOffline)));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_exactly() {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 31, 1, 1);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 10).copied().collect();
+        let config = RetrievalConfig { m: 5, nodes: 3, threaded: false };
+        // Identical weights in both builds via a shared seed.
+        let mut serial = {
+            let mut rng = Rng64::new(132);
+            let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+            RetrievalSystem::build(b, &ds, &gallery, config).unwrap()
+        };
+        let mut parallel = {
+            let mut rng = Rng64::new(132);
+            let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+            RetrievalSystem::build_parallel(b, &ds, &gallery, config, 4).unwrap()
+        };
+        assert_eq!(parallel.gallery_len(), serial.gallery_len());
+        for &id in ds.test().iter().filter(|id| id.class < 10) {
+            let q = ds.video(id);
+            assert_eq!(
+                serial.retrieve(&q).unwrap(),
+                parallel.retrieve(&q).unwrap(),
+                "parallel indexing must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_build_rejects_zero_workers() {
+        let mut rng = Rng64::new(133);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 31, 1, 0);
+        let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let config = RetrievalConfig { m: 5, nodes: 2, threaded: false };
+        assert!(RetrievalSystem::build_parallel(b, &ds, ds.train(), config, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_m() {
+        let mut rng = Rng64::new(132);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 3, 1, 0);
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let bad = RetrievalConfig { m: 0, nodes: 1, threaded: false };
+        assert!(RetrievalSystem::build(backbone, &ds, ds.train(), bad).is_err());
+    }
+}

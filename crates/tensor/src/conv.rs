@@ -1,0 +1,436 @@
+//! im2col / col2im lowering for 2-D and 3-D convolution.
+//!
+//! Convolution layers in `duo-nn` are implemented as
+//! `weights [out_c, in_c·k…] × im2col(input) [in_c·k…, positions]`, and
+//! their input gradients as `col2im(weightsᵀ × grad_out)`. Keeping the
+//! lowering here (as pure tensor-to-tensor functions) lets the property
+//! tests validate it against a naive direct convolution.
+
+use crate::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution over `[C, H, W]` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+    /// Zero padding along height (applied symmetrically).
+    pub ph: usize,
+    /// Zero padding along width (applied symmetrically).
+    pub pw: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size `(out_h, out_w)` for an `[C, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        let eh = h + 2 * self.ph;
+        let ew = w + 2 * self.pw;
+        if self.kh == 0 || self.kw == 0 || self.sh == 0 || self.sw == 0 {
+            return Err(TensorError::InvalidGeometry("kernel/stride must be positive".into()));
+        }
+        if eh < self.kh || ew < self.kw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kh, self.kw, eh, ew
+            )));
+        }
+        Ok(((eh - self.kh) / self.sh + 1, (ew - self.kw) / self.sw + 1))
+    }
+}
+
+/// Geometry of a 3-D convolution over `[C, T, H, W]` inputs (T = frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv3dSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Kernel extent along time.
+    pub kt: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride along time.
+    pub st: usize,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+    /// Zero padding along time.
+    pub pt: usize,
+    /// Zero padding along height.
+    pub ph: usize,
+    /// Zero padding along width.
+    pub pw: usize,
+}
+
+impl Conv3dSpec {
+    /// Convenience constructor for a cubic kernel with symmetric stride/pad.
+    pub fn cubic(in_channels: usize, k: usize, stride: (usize, usize, usize), pad: usize) -> Self {
+        Conv3dSpec {
+            in_channels,
+            kt: k,
+            kh: k,
+            kw: k,
+            st: stride.0,
+            sh: stride.1,
+            sw: stride.2,
+            pt: pad,
+            ph: pad,
+            pw: pad,
+        }
+    }
+
+    /// Output size `(out_t, out_h, out_w)` for a `[C, t, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the kernel does not fit.
+    pub fn output_thw(&self, t: usize, h: usize, w: usize) -> Result<(usize, usize, usize), TensorError> {
+        let et = t + 2 * self.pt;
+        let eh = h + 2 * self.ph;
+        let ew = w + 2 * self.pw;
+        if self.kt == 0 || self.kh == 0 || self.kw == 0 || self.st == 0 || self.sh == 0 || self.sw == 0 {
+            return Err(TensorError::InvalidGeometry("kernel/stride must be positive".into()));
+        }
+        if et < self.kt || eh < self.kh || ew < self.kw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{}x{} larger than padded input {}x{}x{}",
+                self.kt, self.kh, self.kw, et, eh, ew
+            )));
+        }
+        Ok((
+            (et - self.kt) / self.st + 1,
+            (eh - self.kh) / self.sh + 1,
+            (ew - self.kw) / self.sw + 1,
+        ))
+    }
+}
+
+/// Unfolds a `[C, H, W]` input into a `[C·kh·kw, out_h·out_w]` matrix.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn im2col2d(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, actual: input.rank(), op: "im2col2d" });
+    }
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.dims().to_vec(),
+            rhs: vec![spec.in_channels],
+            op: "im2col2d(channels)",
+        });
+    }
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let rows = c * spec.kh * spec.kw;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let row = (ch * spec.kh + ky) * spec.kw + kx;
+                for oy in 0..oh {
+                    let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                    for ox in 0..ow {
+                        let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                        let col = oy * ow + ox;
+                        let val = if y >= 0 && (y as usize) < h && x >= 0 && (x as usize) < w {
+                            iv[(ch * h + y as usize) * w + x as usize]
+                        } else {
+                            0.0
+                        };
+                        ov[row * cols + col] = val;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `[C·kh·kw, out_h·out_w]` gradient matrix back onto a `[C, H, W]`
+/// input gradient (scatter-add; the adjoint of [`im2col2d`]).
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn col2im2d(
+    cols: &Tensor,
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, TensorError> {
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let c = spec.in_channels;
+    if cols.dims() != [c * spec.kh * spec.kw, oh * ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![c * spec.kh * spec.kw, oh * ow],
+            op: "col2im2d",
+        });
+    }
+    let ncols = oh * ow;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let cv = cols.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for ky in 0..spec.kh {
+            for kx in 0..spec.kw {
+                let row = (ch * spec.kh + ky) * spec.kw + kx;
+                for oy in 0..oh {
+                    let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                    if y < 0 || y as usize >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                        if x < 0 || x as usize >= w {
+                            continue;
+                        }
+                        ov[(ch * h + y as usize) * w + x as usize] += cv[row * ncols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Unfolds a `[C, T, H, W]` input into a `[C·kt·kh·kw, out_t·out_h·out_w]`
+/// matrix.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn im2col3d(input: &Tensor, spec: &Conv3dSpec) -> Result<Tensor, TensorError> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "im2col3d" });
+    }
+    let (c, t, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    if c != spec.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.dims().to_vec(),
+            rhs: vec![spec.in_channels],
+            op: "im2col3d(channels)",
+        });
+    }
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    let rows = c * spec.kt * spec.kh * spec.kw;
+    let cols = ot * oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for kz in 0..spec.kt {
+            for ky in 0..spec.kh {
+                for kx in 0..spec.kw {
+                    let row = ((ch * spec.kt + kz) * spec.kh + ky) * spec.kw + kx;
+                    for oz in 0..ot {
+                        let z = (oz * spec.st + kz) as isize - spec.pt as isize;
+                        let z_ok = z >= 0 && (z as usize) < t;
+                        for oy in 0..oh {
+                            let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                            let y_ok = y >= 0 && (y as usize) < h;
+                            for ox in 0..ow {
+                                let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                                let col = (oz * oh + oy) * ow + ox;
+                                let val = if z_ok && y_ok && x >= 0 && (x as usize) < w {
+                                    iv[((ch * t + z as usize) * h + y as usize) * w + x as usize]
+                                } else {
+                                    0.0
+                                };
+                                ov[row * cols + col] = val;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a `[C·kt·kh·kw, out_t·out_h·out_w]` gradient matrix back onto a
+/// `[C, T, H, W]` input gradient (scatter-add; the adjoint of [`im2col3d`]).
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn col2im3d(
+    cols: &Tensor,
+    spec: &Conv3dSpec,
+    t: usize,
+    h: usize,
+    w: usize,
+) -> Result<Tensor, TensorError> {
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    let c = spec.in_channels;
+    let rows = c * spec.kt * spec.kh * spec.kw;
+    let ncols = ot * oh * ow;
+    if cols.dims() != [rows, ncols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.dims().to_vec(),
+            rhs: vec![rows, ncols],
+            op: "col2im3d",
+        });
+    }
+    let mut out = Tensor::zeros(&[c, t, h, w]);
+    let cv = cols.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for kz in 0..spec.kt {
+            for ky in 0..spec.kh {
+                for kx in 0..spec.kw {
+                    let row = ((ch * spec.kt + kz) * spec.kh + ky) * spec.kw + kx;
+                    for oz in 0..ot {
+                        let z = (oz * spec.st + kz) as isize - spec.pt as isize;
+                        if z < 0 || z as usize >= t {
+                            continue;
+                        }
+                        for oy in 0..oh {
+                            let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                            if y < 0 || y as usize >= h {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                                if x < 0 || x as usize >= w {
+                                    continue;
+                                }
+                                ov[((ch * t + z as usize) * h + y as usize) * w + x as usize] +=
+                                    cv[row * ncols + (oz * oh + oy) * ow + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    /// Naive direct 2-D convolution used as the reference implementation.
+    fn conv2d_naive(input: &Tensor, weight: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let oc = weight.dims()[0];
+        let (oh, ow) = spec.output_hw(h, w).unwrap();
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for ch in 0..c {
+                        for ky in 0..spec.kh {
+                            for kx in 0..spec.kw {
+                                let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                                let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                                if y >= 0 && (y as usize) < h && x >= 0 && (x as usize) < w {
+                                    let iv = input.as_slice()
+                                        [(ch * h + y as usize) * w + x as usize];
+                                    let wv = weight.as_slice()
+                                        [((o * c + ch) * spec.kh + ky) * spec.kw + kx];
+                                    s += iv * wv;
+                                }
+                            }
+                        }
+                    }
+                    out.as_mut_slice()[(o * oh + oy) * ow + ox] = s;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col2d_matmul_matches_naive_conv() {
+        let mut rng = Rng64::new(21);
+        let spec = Conv2dSpec { in_channels: 2, kh: 3, kw: 3, sh: 2, sw: 1, ph: 1, pw: 1 };
+        let input = Tensor::randn(&[2, 5, 6], 1.0, rng.as_rng());
+        let weight = Tensor::randn(&[4, 2, 3, 3], 1.0, rng.as_rng());
+        let cols = im2col2d(&input, &spec).unwrap();
+        let wm = weight.reshape(&[4, 2 * 3 * 3]).unwrap();
+        let fast = wm.matmul(&cols).unwrap();
+        let slow = conv2d_naive(&input, &weight, &spec);
+        let (oh, ow) = spec.output_hw(5, 6).unwrap();
+        let fast = fast.reshape(&[4, oh, ow]).unwrap();
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn col2im2d_is_adjoint_of_im2col2d() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y: the defining
+        // property of the adjoint, which is exactly what backprop requires.
+        let mut rng = Rng64::new(22);
+        let spec = Conv2dSpec { in_channels: 2, kh: 2, kw: 3, sh: 1, sw: 2, ph: 1, pw: 0 };
+        let x = Tensor::randn(&[2, 4, 7], 1.0, rng.as_rng());
+        let cols = im2col2d(&x, &spec).unwrap();
+        let y = Tensor::randn(cols.dims(), 1.0, rng.as_rng());
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im2d(&y, &spec, 4, 7).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im3d_is_adjoint_of_im2col3d() {
+        let mut rng = Rng64::new(23);
+        let spec = Conv3dSpec::cubic(2, 3, (1, 2, 2), 1);
+        let x = Tensor::randn(&[2, 4, 6, 6], 1.0, rng.as_rng());
+        let cols = im2col3d(&x, &spec).unwrap();
+        let y = Tensor::randn(cols.dims(), 1.0, rng.as_rng());
+        let lhs = cols.dot(&y).unwrap();
+        let back = col2im3d(&y, &spec, 4, 6, 6).unwrap();
+        let rhs = x.dot(&back).unwrap();
+        assert!((lhs - rhs).abs() < 5e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn output_geometry_matches_formula() {
+        let spec = Conv3dSpec::cubic(3, 3, (2, 2, 2), 1);
+        assert_eq!(spec.output_thw(8, 16, 16).unwrap(), (4, 8, 8));
+        let spec2 = Conv2dSpec { in_channels: 1, kh: 3, kw: 3, sh: 1, sw: 1, ph: 0, pw: 0 };
+        assert_eq!(spec2.output_hw(5, 5).unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn rejects_oversized_kernels() {
+        let spec = Conv2dSpec { in_channels: 1, kh: 9, kw: 9, sh: 1, sw: 1, ph: 0, pw: 0 };
+        assert!(spec.output_hw(5, 5).is_err());
+        let spec3 = Conv3dSpec::cubic(1, 5, (1, 1, 1), 0);
+        assert!(spec3.output_thw(3, 8, 8).is_err());
+    }
+
+    #[test]
+    fn im2col3d_identity_kernel_is_reshape() {
+        // A 1x1x1 kernel with unit stride must reproduce the input exactly.
+        let mut rng = Rng64::new(24);
+        let x = Tensor::randn(&[3, 2, 4, 4], 1.0, rng.as_rng());
+        let spec = Conv3dSpec::cubic(3, 1, (1, 1, 1), 0);
+        let cols = im2col3d(&x, &spec).unwrap();
+        assert_eq!(cols.dims(), &[3, 2 * 4 * 4]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+}

@@ -1,0 +1,179 @@
+//! Blocked matrix multiplication.
+//!
+//! The convolution kernels in this crate lower to matrix multiplication via
+//! im2col, so `matmul` dominates the runtime of every model forward/backward
+//! pass in the workspace. The implementation below uses a simple i-k-j loop
+//! order (inner loop streams over contiguous memory of both the packed `b`
+//! row and the output row) which is enough to keep single-core experiments
+//! tractable without unsafe code.
+
+use crate::{Tensor, TensorError};
+
+/// Multiplies two rank-2 tensors, writing into a preallocated output.
+///
+/// `out` must have shape `[a.rows, b.cols]`. Prefer this over
+/// [`Tensor::matmul`] inside hot loops to avoid reallocation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if any operand is not rank 2 and
+/// [`TensorError::ShapeMismatch`] if the dimensions are incompatible.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul" });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul" });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    if out.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: out.dims().to_vec(),
+            rhs: vec![m, n],
+            op: "matmul_into(out)",
+        });
+    }
+
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    ov.fill(0.0);
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut ov[i * n..(i + 1) * n];
+        for (p, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bpn) in orow.iter_mut().zip(brow) {
+                *o += aip * bpn;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Multiplies two rank-2 tensors, allocating the output.
+///
+/// # Errors
+///
+/// Same as [`matmul_into`].
+pub(crate) fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.rank() != 2 { a.rank() } else { b.rank() },
+            op: "matmul",
+        });
+    }
+    let mut out = Tensor::zeros(&[a.dims()[0], b.dims()[1]]);
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                }
+                out.as_mut_slice()[i * n + j] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_hand_computed_2x2() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::new(11);
+        let a = Tensor::randn(&[4, 4], 1.0, rng.as_rng());
+        let c = a.matmul(&Tensor::eye(4)).unwrap();
+        for (x, y) in a.as_slice().iter().zip(c.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_rectangular_inputs() {
+        let mut rng = Rng64::new(12);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16)] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let fast = a.matmul(&b).unwrap();
+            let slow = naive(&a, &b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "mismatch at ({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_incompatible_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        let v = Tensor::zeros(&[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn sparse_lhs_rows_are_skipped_correctly() {
+        // The inner loop skips zero entries of `a`; results must match the
+        // naive path exactly when `a` is mostly zeros (the regime of
+        // masked attack tensors).
+        let mut rng = Rng64::new(13);
+        let mut a = Tensor::zeros(&[5, 8]);
+        for i in [0usize, 9, 17, 33] {
+            a.as_mut_slice()[i] = rng.normal();
+        }
+        let b = Tensor::randn(&[8, 6], 1.0, rng.as_rng());
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive(&a, &b);
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_output() {
+        let a = Tensor::eye(2);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let mut out = Tensor::full(&[2, 2], 99.0);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out.as_slice(), b.as_slice(), "previous contents must not leak");
+    }
+
+    #[test]
+    fn matmul_into_validates_out_shape() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let mut bad = Tensor::zeros(&[2, 3]);
+        assert!(matmul_into(&a, &b, &mut bad).is_err());
+        let mut good = Tensor::zeros(&[2, 4]);
+        assert!(matmul_into(&a, &b, &mut good).is_ok());
+    }
+}

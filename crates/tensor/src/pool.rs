@@ -1,0 +1,281 @@
+//! 3-D pooling kernels (max and average) with explicit backward passes.
+//!
+//! The video backbones in `duo-models` downsample with pooling; backward
+//! passes here return input gradients so the attack crates can differentiate
+//! end-to-end through any backbone.
+
+use crate::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 3-D pooling window over `[C, T, H, W]` inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool3dSpec {
+    /// Window extent along time.
+    pub kt: usize,
+    /// Window height.
+    pub kh: usize,
+    /// Window width.
+    pub kw: usize,
+    /// Stride along time.
+    pub st: usize,
+    /// Stride along height.
+    pub sh: usize,
+    /// Stride along width.
+    pub sw: usize,
+}
+
+impl Pool3dSpec {
+    /// A cubic window of side `k` with stride `k` (non-overlapping).
+    pub fn cubic(k: usize) -> Self {
+        Pool3dSpec { kt: k, kh: k, kw: k, st: k, sh: k, sw: k }
+    }
+
+    /// Spatial-only pooling: window `1 x k x k`, stride `1 x k x k`.
+    pub fn spatial(k: usize) -> Self {
+        Pool3dSpec { kt: 1, kh: k, kw: k, st: 1, sh: k, sw: k }
+    }
+
+    /// Output size for a `[C, t, h, w]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the window does not fit.
+    pub fn output_thw(&self, t: usize, h: usize, w: usize) -> Result<(usize, usize, usize), TensorError> {
+        if self.kt == 0 || self.kh == 0 || self.kw == 0 || self.st == 0 || self.sh == 0 || self.sw == 0 {
+            return Err(TensorError::InvalidGeometry("pool window/stride must be positive".into()));
+        }
+        if t < self.kt || h < self.kh || w < self.kw {
+            return Err(TensorError::InvalidGeometry(format!(
+                "pool window {}x{}x{} larger than input {}x{}x{}",
+                self.kt, self.kh, self.kw, t, h, w
+            )));
+        }
+        Ok(((t - self.kt) / self.st + 1, (h - self.kh) / self.sh + 1, (w - self.kw) / self.sw + 1))
+    }
+}
+
+fn check_input(input: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize), TensorError> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op });
+    }
+    Ok((input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]))
+}
+
+/// Max pooling over a `[C, T, H, W]` input.
+///
+/// Returns the pooled tensor and the flat index of each window's argmax
+/// (needed by [`max_pool3d_backward`]).
+///
+/// # Errors
+///
+/// Returns an error for rank mismatches or invalid geometry.
+pub fn max_pool3d(input: &Tensor, spec: &Pool3dSpec) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (c, t, h, w) = check_input(input, "max_pool3d")?;
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    let mut out = Tensor::zeros(&[c, ot, oh, ow]);
+    let mut argmax = vec![0usize; c * ot * oh * ow];
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for oz in 0..ot {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for kz in 0..spec.kt {
+                        for ky in 0..spec.kh {
+                            for kx in 0..spec.kw {
+                                let z = oz * spec.st + kz;
+                                let y = oy * spec.sh + ky;
+                                let x = ox * spec.sw + kx;
+                                let idx = ((ch * t + z) * h + y) * w + x;
+                                if iv[idx] > best {
+                                    best = iv[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                    }
+                    let o = ((ch * ot + oz) * oh + oy) * ow + ox;
+                    ov[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Backward pass of [`max_pool3d`]: routes each output gradient to the
+/// input position that won the max.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` length disagrees with `argmax`.
+pub fn max_pool3d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor, TensorError> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch { expected: argmax.len(), actual: grad_out.len() });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gi = grad_in.as_mut_slice();
+    for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over a `[C, T, H, W]` input.
+///
+/// # Errors
+///
+/// Returns an error for rank mismatches or invalid geometry.
+pub fn avg_pool3d(input: &Tensor, spec: &Pool3dSpec) -> Result<Tensor, TensorError> {
+    let (c, t, h, w) = check_input(input, "avg_pool3d")?;
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    let denom = (spec.kt * spec.kh * spec.kw) as f32;
+    let mut out = Tensor::zeros(&[c, ot, oh, ow]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for oz in 0..ot {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for kz in 0..spec.kt {
+                        for ky in 0..spec.kh {
+                            for kx in 0..spec.kw {
+                                let z = oz * spec.st + kz;
+                                let y = oy * spec.sh + ky;
+                                let x = ox * spec.sw + kx;
+                                s += iv[((ch * t + z) * h + y) * w + x];
+                            }
+                        }
+                    }
+                    ov[((ch * ot + oz) * oh + oy) * ow + ox] = s / denom;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool3d`]: spreads each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn avg_pool3d_backward(
+    grad_out: &Tensor,
+    spec: &Pool3dSpec,
+    input_dims: &[usize],
+) -> Result<Tensor, TensorError> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+            op: "avg_pool3d_backward",
+        });
+    }
+    let (c, t, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    if grad_out.dims() != [c, ot, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.dims().to_vec(),
+            rhs: vec![c, ot, oh, ow],
+            op: "avg_pool3d_backward",
+        });
+    }
+    let denom = (spec.kt * spec.kh * spec.kw) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let gv = grad_out.as_slice();
+    let gi = grad_in.as_mut_slice();
+    for ch in 0..c {
+        for oz in 0..ot {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gv[((ch * ot + oz) * oh + oy) * ow + ox] / denom;
+                    for kz in 0..spec.kt {
+                        for ky in 0..spec.kh {
+                            for kx in 0..spec.kw {
+                                let z = oz * spec.st + kz;
+                                let y = oy * spec.sh + ky;
+                                let x = ox * spec.sw + kx;
+                                gi[((ch * t + z) * h + y) * w + x] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng64;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, // t=0 row-major 2x2
+                5.0, 6.0, 7.0, 8.0, // t=1
+            ],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let (out, argmax) = max_pool3d(&input, &Pool3dSpec::cubic(2)).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice(), &[8.0]);
+        assert_eq!(argmax, vec![7]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let (_, argmax) = max_pool3d(&input, &Pool3dSpec::spatial(2)).unwrap();
+        let grad_out = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let grad_in = max_pool3d_backward(&grad_out, &argmax, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(grad_in.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let input = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap();
+        let out = avg_pool3d(&input, &Pool3dSpec::spatial(2)).unwrap();
+        assert_eq!(out.as_slice(), &[5.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_is_adjoint() {
+        let mut rng = Rng64::new(31);
+        let spec = Pool3dSpec { kt: 2, kh: 2, kw: 2, st: 2, sh: 2, sw: 2 };
+        let x = Tensor::randn(&[2, 4, 4, 4], 1.0, rng.as_rng());
+        let y = avg_pool3d(&x, &spec).unwrap();
+        let g = Tensor::randn(y.dims(), 1.0, rng.as_rng());
+        let lhs = y.dot(&g).unwrap();
+        let gx = avg_pool3d_backward(&g, &spec, &[2, 4, 4, 4]).unwrap();
+        let rhs = x.dot(&gx).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn rejects_oversized_windows() {
+        let input = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(max_pool3d(&input, &Pool3dSpec::cubic(3)).is_err());
+        assert!(avg_pool3d(&input, &Pool3dSpec::cubic(3)).is_err());
+    }
+
+    #[test]
+    fn strided_pool_geometry() {
+        let spec = Pool3dSpec { kt: 1, kh: 3, kw: 3, st: 1, sh: 2, sw: 2 };
+        assert_eq!(spec.output_thw(4, 7, 7).unwrap(), (4, 3, 3));
+    }
+}

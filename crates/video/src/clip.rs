@@ -1,0 +1,90 @@
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a video clip: frames × height × width × channels.
+///
+/// The paper samples 16-frame snippets at 112×112×3 (602,112 scalars per
+/// clip). The reproduction keeps that shape expressible but defaults
+/// experiments to a reduced resolution so a single CPU core remains viable;
+/// see `DESIGN.md` for the parameter mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClipSpec {
+    /// Number of frames `N`.
+    pub frames: usize,
+    /// Frame height `H`.
+    pub height: usize,
+    /// Frame width `W`.
+    pub width: usize,
+    /// Channels per pixel `C` (3 for RGB).
+    pub channels: usize,
+}
+
+impl ClipSpec {
+    /// The paper's clip geometry: 16 × 112 × 112 × 3.
+    pub fn paper() -> Self {
+        ClipSpec { frames: 16, height: 112, width: 112, channels: 3 }
+    }
+
+    /// Default experiment geometry for this reproduction: 16 × 32 × 32 × 3.
+    pub fn experiment() -> Self {
+        ClipSpec { frames: 16, height: 32, width: 32, channels: 3 }
+    }
+
+    /// Tiny geometry for unit tests: 8 × 16 × 16 × 3.
+    pub fn tiny() -> Self {
+        ClipSpec { frames: 8, height: 16, width: 16, channels: 3 }
+    }
+
+    /// Total number of scalars in a clip (`N·H·W·C`).
+    pub fn elements(&self) -> usize {
+        self.frames * self.height * self.width * self.channels
+    }
+
+    /// Number of pixel scalars per frame (`H·W·C`), the paper's `B·C`.
+    pub fn frame_elements(&self) -> usize {
+        self.height * self.width * self.channels
+    }
+
+    /// Scales a paper-resolution pixel budget to this geometry.
+    ///
+    /// The paper reports absolute pixel counts (e.g. `k = 40K` of 602,112);
+    /// this maps the same *fraction* onto a different clip size, which is
+    /// the comparison EXPERIMENTS.md uses.
+    pub fn scale_budget(&self, paper_budget: usize) -> usize {
+        let paper = ClipSpec::paper().elements() as f64;
+        let frac = paper_budget as f64 / paper;
+        ((frac * self.elements() as f64).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_matches_published_element_count() {
+        // TIMI's dense perturbation in Table II covers 602,112 scalars:
+        // exactly the element count of a 16x112x112x3 clip.
+        assert_eq!(ClipSpec::paper().elements(), 602_112);
+    }
+
+    #[test]
+    fn scale_budget_preserves_fraction() {
+        let spec = ClipSpec::experiment();
+        let scaled = spec.scale_budget(40_000);
+        let frac_paper = 40_000.0 / 602_112.0;
+        let frac_scaled = scaled as f64 / spec.elements() as f64;
+        assert!((frac_paper - frac_scaled).abs() < 0.001);
+    }
+
+    #[test]
+    fn frame_elements_is_hwc() {
+        let spec = ClipSpec::tiny();
+        assert_eq!(spec.frame_elements(), 16 * 16 * 3);
+        assert_eq!(spec.elements(), 8 * spec.frame_elements());
+    }
+
+    #[test]
+    fn scale_budget_never_returns_zero() {
+        assert_eq!(ClipSpec::tiny().scale_budget(1), 1);
+    }
+}

@@ -1,0 +1,206 @@
+use crate::{ClipSpec, SyntheticVideoGenerator, Video};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one synthetic video: generation is a pure function of the
+/// id (plus the dataset seed), so datasets never materialize their corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VideoId {
+    /// Class (action category) index.
+    pub class: u32,
+    /// Instance index within the class.
+    pub instance: u32,
+}
+
+/// Which benchmark corpus the synthetic dataset mirrors.
+///
+/// Class and split counts follow Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// UCF101: 101 action classes, 9,324 train / 3,996 test videos.
+    Ucf101Like,
+    /// HMDB51: 51 action classes, 4,900 train / 2,100 test videos.
+    Hmdb51Like,
+}
+
+impl DatasetKind {
+    /// Number of action classes.
+    pub fn num_classes(self) -> u32 {
+        match self {
+            DatasetKind::Ucf101Like => 101,
+            DatasetKind::Hmdb51Like => 51,
+        }
+    }
+
+    /// Paper Table I train/test video counts.
+    pub fn paper_split(self) -> (usize, usize) {
+        match self {
+            DatasetKind::Ucf101Like => (9_324, 3_996),
+            DatasetKind::Hmdb51Like => (4_900, 2_100),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Ucf101Like => "UCF101",
+            DatasetKind::Hmdb51Like => "HMDB51",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A class-structured synthetic video dataset with train/test splits.
+///
+/// Videos are generated lazily and deterministically from their
+/// [`VideoId`]; holding the full UCF101-scale catalog costs only the id
+/// list.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    kind: DatasetKind,
+    generator: SyntheticVideoGenerator,
+    train: Vec<VideoId>,
+    test: Vec<VideoId>,
+}
+
+impl SyntheticDataset {
+    /// Builds the full paper-scale catalog (Table I counts).
+    pub fn full(kind: DatasetKind, spec: ClipSpec, seed: u64) -> Self {
+        let (train_n, test_n) = kind.paper_split();
+        Self::with_counts(kind, spec, seed, train_n, test_n)
+    }
+
+    /// Builds a subsampled catalog with `train_per_class` / `test_per_class`
+    /// videos per class — the tractable scale used by tests and the default
+    /// experiment harness.
+    pub fn subsampled(
+        kind: DatasetKind,
+        spec: ClipSpec,
+        seed: u64,
+        train_per_class: u32,
+        test_per_class: u32,
+    ) -> Self {
+        let classes = kind.num_classes();
+        let mut train = Vec::with_capacity((classes * train_per_class) as usize);
+        let mut test = Vec::with_capacity((classes * test_per_class) as usize);
+        for class in 0..classes {
+            for i in 0..train_per_class {
+                train.push(VideoId { class, instance: i });
+            }
+            for i in 0..test_per_class {
+                test.push(VideoId { class, instance: train_per_class + i });
+            }
+        }
+        SyntheticDataset { kind, generator: SyntheticVideoGenerator::new(spec, seed), train, test }
+    }
+
+    fn with_counts(kind: DatasetKind, spec: ClipSpec, seed: u64, train_n: usize, test_n: usize) -> Self {
+        let classes = kind.num_classes() as usize;
+        // Round-robin classes so every class appears in both splits; the
+        // instance counter continues from train into test so ids stay unique.
+        let mut per_class_counter = vec![0u32; classes];
+        let make = |count: usize, counter: &mut Vec<u32>| -> Vec<VideoId> {
+            (0..count)
+                .map(|i| {
+                    let class = (i % classes) as u32;
+                    let instance = counter[class as usize];
+                    counter[class as usize] += 1;
+                    VideoId { class, instance }
+                })
+                .collect()
+        };
+        let train = make(train_n, &mut per_class_counter);
+        let test = make(test_n, &mut per_class_counter);
+        SyntheticDataset { kind, generator: SyntheticVideoGenerator::new(spec, seed), train, test }
+    }
+
+    /// The corpus this dataset mirrors.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The clip geometry.
+    pub fn spec(&self) -> ClipSpec {
+        self.generator.spec()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> u32 {
+        self.kind.num_classes()
+    }
+
+    /// Training split ids.
+    pub fn train(&self) -> &[VideoId] {
+        &self.train
+    }
+
+    /// Test split ids.
+    pub fn test(&self) -> &[VideoId] {
+        &self.test
+    }
+
+    /// Materializes the video for `id`.
+    pub fn video(&self, id: VideoId) -> Video {
+        self.generator.generate(id.class, id.instance)
+    }
+
+    /// The underlying generator (e.g. for creating off-catalog probes).
+    pub fn generator(&self) -> &SyntheticVideoGenerator {
+        &self.generator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_catalog_matches_table1_counts() {
+        let ds = SyntheticDataset::full(DatasetKind::Ucf101Like, ClipSpec::tiny(), 1);
+        assert_eq!(ds.train().len(), 9_324);
+        assert_eq!(ds.test().len(), 3_996);
+        assert_eq!(ds.num_classes(), 101);
+        let hm = SyntheticDataset::full(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1);
+        assert_eq!(hm.train().len(), 4_900);
+        assert_eq!(hm.test().len(), 2_100);
+        assert_eq!(hm.num_classes(), 51);
+    }
+
+    #[test]
+    fn ids_are_unique_across_splits() {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1, 3, 2);
+        let mut all: Vec<VideoId> = ds.train().iter().chain(ds.test()).copied().collect();
+        let before = all.len();
+        all.sort_by_key(|id| (id.class, id.instance));
+        all.dedup();
+        assert_eq!(all.len(), before, "train/test ids must not collide");
+    }
+
+    #[test]
+    fn subsampled_covers_every_class() {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, ClipSpec::tiny(), 1, 2, 1);
+        for class in 0..101 {
+            assert!(ds.train().iter().any(|id| id.class == class));
+            assert!(ds.test().iter().any(|id| id.class == class));
+        }
+    }
+
+    #[test]
+    fn video_generation_is_stable() {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 2, 1, 1);
+        let id = ds.train()[5];
+        assert_eq!(ds.video(id), ds.video(id));
+    }
+
+    #[test]
+    fn full_catalog_spreads_instances_across_classes() {
+        let ds = SyntheticDataset::full(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1);
+        // 4900 train / 51 classes ≈ 96 per class.
+        let count = ds.train().iter().filter(|id| id.class == 0).count();
+        assert!((90..=100).contains(&count), "got {count}");
+    }
+}

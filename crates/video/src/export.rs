@@ -1,0 +1,143 @@
+//! Frame export for visual inspection.
+//!
+//! Writes individual frames (or perturbation heat maps) as binary PPM/PGM
+//! images — the zero-dependency formats every image viewer understands.
+//! Used to eyeball the stealthiness claims: a DUO perturbation rendered as
+//! a heat map shows a handful of bright pixels on a few frames, while a
+//! TIMI perturbation lights up everything.
+
+use crate::Video;
+use duo_tensor::{Tensor, TensorError};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes one RGB frame of a video as a binary PPM (P6) image.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for an out-of-range frame, a
+/// non-3-channel video, or wrapped I/O failures.
+pub fn write_frame_ppm<W: Write>(video: &Video, frame: usize, mut w: W) -> Result<(), TensorError> {
+    let spec = video.spec();
+    if frame >= spec.frames {
+        return Err(TensorError::InvalidArgument(format!(
+            "frame {frame} out of range ({} frames)",
+            spec.frames
+        )));
+    }
+    if spec.channels != 3 {
+        return Err(TensorError::InvalidArgument(format!(
+            "PPM export needs 3 channels, video has {}",
+            spec.channels
+        )));
+    }
+    let io = |e: std::io::Error| TensorError::InvalidArgument(format!("ppm write: {e}"));
+    write!(w, "P6\n{} {}\n255\n", spec.width, spec.height).map_err(io)?;
+    let per_frame = spec.frame_elements();
+    let data = &video.tensor().as_slice()[frame * per_frame..(frame + 1) * per_frame];
+    let bytes: Vec<u8> = data.iter().map(|&x| x.clamp(0.0, 255.0).round() as u8).collect();
+    w.write_all(&bytes).map_err(io)
+}
+
+/// Writes a per-pixel magnitude map of one frame of a perturbation tensor
+/// as a binary PGM (P5) image, normalized so the largest magnitude in the
+/// whole tensor maps to white.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for shape problems or wrapped
+/// I/O failures.
+pub fn write_perturbation_pgm<W: Write>(
+    perturbation: &Tensor,
+    frame: usize,
+    mut w: W,
+) -> Result<(), TensorError> {
+    if perturbation.rank() != 4 {
+        return Err(TensorError::InvalidArgument(format!(
+            "perturbation must be [N,H,W,C], got rank {}",
+            perturbation.rank()
+        )));
+    }
+    let dims = perturbation.dims();
+    let (n, h, width, c) = (dims[0], dims[1], dims[2], dims[3]);
+    if frame >= n {
+        return Err(TensorError::InvalidArgument(format!("frame {frame} out of range ({n})")));
+    }
+    let io = |e: std::io::Error| TensorError::InvalidArgument(format!("pgm write: {e}"));
+    let max = perturbation.linf_norm().max(1e-12);
+    write!(w, "P5\n{width} {h}\n255\n").map_err(io)?;
+    let per_frame = h * width * c;
+    let data = &perturbation.as_slice()[frame * per_frame..(frame + 1) * per_frame];
+    let mut bytes = Vec::with_capacity(h * width);
+    for px in data.chunks(c) {
+        // Max channel magnitude per pixel, scaled to 0..255.
+        let m = px.iter().map(|x| x.abs()).fold(0.0f32, f32::max);
+        bytes.push((255.0 * m / max).round().clamp(0.0, 255.0) as u8);
+    }
+    w.write_all(&bytes).map_err(io)
+}
+
+/// Dumps every frame of a video as `frame_000.ppm`, `frame_001.ppm`, …
+/// in `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] wrapping I/O failures.
+pub fn export_video_frames<P: AsRef<Path>>(video: &Video, dir: P) -> Result<(), TensorError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)
+        .map_err(|e| TensorError::InvalidArgument(format!("create {dir:?}: {e}")))?;
+    for f in 0..video.frames() {
+        let path = dir.join(format!("frame_{f:03}.ppm"));
+        let file = std::fs::File::create(&path)
+            .map_err(|e| TensorError::InvalidArgument(format!("create {path:?}: {e}")))?;
+        write_frame_ppm(video, f, std::io::BufWriter::new(file))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClipSpec, SyntheticVideoGenerator};
+
+    #[test]
+    fn ppm_header_and_size_are_correct() {
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 3).generate(0, 0);
+        let mut buf = Vec::new();
+        write_frame_ppm(&v, 0, &mut buf).unwrap();
+        let header = b"P6\n16 16\n255\n";
+        assert_eq!(&buf[..header.len()], header);
+        assert_eq!(buf.len(), header.len() + 16 * 16 * 3);
+    }
+
+    #[test]
+    fn ppm_rejects_out_of_range_frame() {
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 3).generate(0, 0);
+        assert!(write_frame_ppm(&v, 99, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn pgm_normalizes_to_peak_magnitude() {
+        let mut phi = Tensor::zeros(&[2, 4, 4, 3]);
+        phi.as_mut_slice()[0] = -30.0; // frame 0, pixel 0: peak
+        phi.as_mut_slice()[5] = 15.0; // frame 0, pixel 1, channel 2: half
+        let mut buf = Vec::new();
+        write_perturbation_pgm(&phi, 0, &mut buf).unwrap();
+        let header_len = b"P5\n4 4\n255\n".len();
+        assert_eq!(buf[header_len], 255, "peak magnitude maps to white");
+        assert_eq!(buf[header_len + 1], 128, "half magnitude maps to mid-grey");
+        assert_eq!(buf[header_len + 2], 0, "untouched pixel stays black");
+    }
+
+    #[test]
+    fn export_writes_one_file_per_frame() {
+        let v = SyntheticVideoGenerator::new(ClipSpec::tiny(), 4).generate(1, 0);
+        let dir = std::env::temp_dir().join("duo_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        export_video_frames(&v, &dir).unwrap();
+        let count = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, v.frames());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,44 @@
+//! Video data substrate for the DUO reproduction.
+//!
+//! Provides the [`Video`] clip type in the paper's `N × H × W × C` layout
+//! with pixel values in `[0, 255]`, uniform snippet sampling, and —
+//! because the real UCF101/HMDB51 corpora are not available in this
+//! environment — procedural, class-structured synthetic datasets
+//! ([`SyntheticDataset`]) that preserve the two properties DUO exploits:
+//!
+//! 1. **Class structure**: videos of the same class share a motion/texture
+//!    signature, so trained feature extractors cluster them (retrieval
+//!    works, mAP is meaningful).
+//! 2. **Frame/pixel saliency concentration**: each class's discriminative
+//!    content is carried by a few moving blobs that "flash" during a
+//!    class-specific burst of frames — exactly the "key frames / key
+//!    pixels" structure that motivates the frame-pixel dual search.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+//!
+//! let spec = ClipSpec::tiny();
+//! let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, spec, 7, 2, 1);
+//! let id = ds.train()[0];
+//! let v = ds.video(id);
+//! assert_eq!(v.frames(), spec.frames);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clip;
+mod dataset;
+mod export;
+mod snippet;
+mod synth;
+mod video;
+
+pub use clip::ClipSpec;
+pub use dataset::{DatasetKind, SyntheticDataset, VideoId};
+pub use export::{export_video_frames, write_frame_ppm, write_perturbation_pgm};
+pub use snippet::{sample_snippet, snippet_indices};
+pub use synth::{ClassSignature, SyntheticVideoGenerator};
+pub use video::Video;

@@ -1,0 +1,120 @@
+//! Uniform snippet sampling (paper §V-A: "we follow [1] to uniformly
+//! sample a 16-frame snippet from each video").
+//!
+//! Retrieval models consume fixed-length clips; source videos are longer.
+//! [`sample_snippet`] picks `n` frame indices spread uniformly across the
+//! source and assembles the snippet, exactly like the preprocessing in the
+//! paper's pipeline.
+
+use crate::{ClipSpec, Video};
+use duo_tensor::TensorError;
+
+/// Uniformly samples an `n`-frame snippet from a (typically longer) video.
+///
+/// Frame `i` of the snippet is source frame `⌊i·N/n⌋ + offset` where `N`
+/// is the source length and `offset` shifts the whole comb (clamped so
+/// every index stays in range) — `offset = 0` reproduces the deterministic
+/// sampling used for gallery indexing; nonzero offsets give the temporal
+/// jitter used in training pipelines.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `n` is zero or exceeds the
+/// source frame count.
+pub fn sample_snippet(source: &Video, n: usize, offset: usize) -> Result<Video, TensorError> {
+    let src_spec = source.spec();
+    if n == 0 || n > src_spec.frames {
+        return Err(TensorError::InvalidArgument(format!(
+            "cannot sample {n} frames from a {}-frame video",
+            src_spec.frames
+        )));
+    }
+    let out_spec = ClipSpec { frames: n, ..src_spec };
+    let mut out = Video::zeros(out_spec);
+    let per_frame = src_spec.frame_elements();
+    let src = source.tensor().as_slice();
+    let dst = out.tensor_mut().as_mut_slice();
+    let stride = src_spec.frames as f64 / n as f64;
+    for i in 0..n {
+        let base = (i as f64 * stride) as usize;
+        let idx = (base + offset).min(src_spec.frames - 1);
+        dst[i * per_frame..(i + 1) * per_frame]
+            .copy_from_slice(&src[idx * per_frame..(idx + 1) * per_frame]);
+    }
+    Ok(out)
+}
+
+/// The frame indices [`sample_snippet`] selects, for inspection/tests.
+pub fn snippet_indices(source_frames: usize, n: usize, offset: usize) -> Vec<usize> {
+    let stride = source_frames as f64 / n as f64;
+    (0..n).map(|i| ((i as f64 * stride) as usize + offset).min(source_frames - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticVideoGenerator;
+
+    fn long_video(frames: usize) -> Video {
+        let spec = ClipSpec { frames, height: 8, width: 8, channels: 3 };
+        SyntheticVideoGenerator::new(spec, 42).generate(1, 0)
+    }
+
+    #[test]
+    fn snippet_has_requested_length_and_geometry() {
+        let src = long_video(64);
+        let snip = sample_snippet(&src, 16, 0).unwrap();
+        assert_eq!(snip.frames(), 16);
+        assert_eq!(snip.spec().height, 8);
+    }
+
+    #[test]
+    fn indices_are_uniformly_spread_and_monotonic() {
+        let idx = snippet_indices(64, 16, 0);
+        assert_eq!(idx.len(), 16);
+        assert_eq!(idx[0], 0);
+        assert_eq!(idx[15], 60);
+        for w in idx.windows(2) {
+            assert!(w[1] > w[0], "indices must be strictly increasing");
+            assert_eq!(w[1] - w[0], 4, "uniform stride for 64 -> 16");
+        }
+    }
+
+    #[test]
+    fn snippet_frames_match_source_frames() {
+        let src = long_video(32);
+        let snip = sample_snippet(&src, 8, 0).unwrap();
+        let per = src.spec().frame_elements();
+        for (i, &src_idx) in snippet_indices(32, 8, 0).iter().enumerate() {
+            assert_eq!(
+                &snip.tensor().as_slice()[i * per..(i + 1) * per],
+                &src.tensor().as_slice()[src_idx * per..(src_idx + 1) * per],
+                "snippet frame {i} must equal source frame {src_idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_shifts_the_comb_within_bounds() {
+        let idx = snippet_indices(64, 16, 2);
+        assert_eq!(idx[0], 2);
+        assert!(idx.iter().all(|&i| i < 64));
+        // Large offsets clamp to the final frame instead of overflowing.
+        let clamped = snippet_indices(10, 5, 100);
+        assert!(clamped.iter().all(|&i| i == 9));
+    }
+
+    #[test]
+    fn identity_when_n_equals_source_length() {
+        let src = long_video(16);
+        let snip = sample_snippet(&src, 16, 0).unwrap();
+        assert_eq!(snip, src);
+    }
+
+    #[test]
+    fn rejects_invalid_lengths() {
+        let src = long_video(8);
+        assert!(sample_snippet(&src, 0, 0).is_err());
+        assert!(sample_snippet(&src, 9, 0).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Quickstart: build a victim video retrieval service, steal a surrogate,
+//! and run the full DUO attack end-to-end on one (original, target) pair.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use duo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng64::new(7);
+    let spec = ClipSpec::tiny();
+
+    // ------------------------------------------------------------------
+    // 1. The victim: an I3D feature extractor over a synthetic HMDB51-like
+    //    corpus, trained with ArcFace, serving top-m retrieval from a
+    //    gallery sharded over simulated data nodes.
+    // ------------------------------------------------------------------
+    println!("building victim retrieval service…");
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, spec, 1, 3, 1);
+    let mut victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng)?;
+    let mut head = LossKind::ArcFace.build_head(ds.num_classes(), 32, &mut rng);
+    let train_items: Vec<VideoId> =
+        ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let report = train_embedding_model(
+        &mut victim,
+        head.as_mut(),
+        &ds,
+        &train_items,
+        TrainConfig::quick(),
+        &mut rng,
+    )?;
+    println!(
+        "  victim trained: loss {:.3} -> {:.3} over {} samples",
+        report.initial_loss, report.final_loss, report.samples_seen
+    );
+
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+    )?;
+    println!("  gallery: {} videos over {} data nodes", system.gallery_len(), 3);
+    let mut blackbox = BlackBox::new(system);
+
+    // ------------------------------------------------------------------
+    // 2. The attacker: steal a C3D surrogate through the black box, then
+    //    run DUO (SparseTransfer → SparseQuery, looped).
+    // ------------------------------------------------------------------
+    println!("stealing surrogate…");
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, steal) =
+        steal_surrogate(&mut blackbox, &ds, &probes, StealConfig::quick(), &mut rng)?;
+    println!(
+        "  stole {} distinct videos, {} triplets, {} queries",
+        steal.distinct_videos, steal.triplets_used, steal.queries
+    );
+
+    // Pick a pair whose retrieval neighbourhoods already overlap — the
+    // paper's evaluation regime (its Table II "w/o attack" baselines are
+    // 25–68%, never disjoint lists).
+    let (v, v_t) = {
+        let mut best = (VideoId { class: 0, instance: 0 }, VideoId { class: 5, instance: 0 });
+        let mut best_ap = -1.0f32;
+        for a in 0..4u32 {
+            for b in 4..8u32 {
+                let ia = VideoId { class: a, instance: 0 };
+                let ib = VideoId { class: b, instance: 0 };
+                let ra = blackbox.system_mut().retrieve(&ds.video(ia))?;
+                let rb = blackbox.system_mut().retrieve(&ds.video(ib))?;
+                let ap = ap_at_m(&ra, &rb);
+                if ap > best_ap {
+                    best_ap = ap;
+                    best = (ia, ib);
+                }
+            }
+        }
+        println!("attack pair: class {} -> class {} (baseline AP@m {best_ap:.1}%)", best.0.class, best.1.class);
+        (ds.video(best.0), ds.video(best.1)) // original ("Run") -> target ("Clap")
+    };
+    let mut cfg = DuoConfig::for_spec(spec);
+    cfg.query.iter_num_q = 40;
+    let mut attack = DuoAttack::new(surrogate, cfg);
+    println!("running DUO attack…");
+    let (outcome, report) = attack.run_and_evaluate(&mut blackbox, &v, &v_t, &mut rng)?;
+
+    // ------------------------------------------------------------------
+    // 3. Results: targeted precision and stealthiness.
+    // ------------------------------------------------------------------
+    println!("\nresults:");
+    println!("  {report}");
+    println!(
+        "  perturbed {} of {} scalars ({:.2}%), linf {:.1}",
+        outcome.spa(),
+        v.tensor().len(),
+        100.0 * outcome.spa() as f32 / v.tensor().len() as f32,
+        outcome.perturbation.linf_norm()
+    );
+    println!(
+        "  objective T: {:.4} -> {:.4} over {} queries",
+        outcome.loss_trajectory.first().copied().unwrap_or(f32::NAN),
+        outcome.loss_trajectory.last().copied().unwrap_or(f32::NAN),
+        outcome.queries
+    );
+    Ok(())
+}

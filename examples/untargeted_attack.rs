@@ -1,0 +1,57 @@
+//! Untargeted DUO (paper §I: "our method can be easily extended to launch
+//! untargeted attacks"): no target video — the adversarial copy's
+//! retrieval list is simply pushed away from the original's, with the
+//! same sparse frame-pixel footprint.
+//!
+//! ```sh
+//! cargo run --release --example untargeted_attack
+//! ```
+
+use duo::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng64::new(77);
+    let spec = ClipSpec::tiny();
+
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, spec, 7, 3, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+    let victim = Backbone::new(Architecture::SlowFast, BackboneConfig::tiny(), &mut rng)?;
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 6, nodes: 2, threaded: false },
+    )?;
+    let mut blackbox = BlackBox::new(system);
+
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 10).copied().collect();
+    let (surrogate, _) =
+        steal_surrogate(&mut blackbox, &ds, &probes, StealConfig::quick(), &mut rng)?;
+
+    let v = ds.video(VideoId { class: 4, instance: 0 });
+    let before = blackbox.retrieve(&v)?;
+
+    let mut cfg = DuoConfig::for_spec(spec);
+    cfg.query.iter_num_q = 80;
+    let mut attack = DuoAttack::new(surrogate, cfg);
+    let outcome = attack.run_untargeted(&mut blackbox, &v, &mut rng)?;
+
+    let after = blackbox.retrieve(&outcome.adversarial)?;
+    let stats = duo::attack::query_stats(&outcome).expect("query phase ran");
+
+    println!("untargeted DUO on one video (goal: scramble its retrieval list)");
+    println!("  list similarity to the original query: {:.1}% AP@m", ap_at_m(&after, &before));
+    println!(
+        "  objective H(R(adv), R(v)) + eta: {:.4} -> {:.4} ({} improving steps of {})",
+        stats.initial, stats.final_value, stats.improvements, stats.samples
+    );
+    println!(
+        "  footprint: {} of {} scalars ({:.2}%), PScore {:.3}, {} queries",
+        outcome.spa(),
+        v.tensor().len(),
+        100.0 * outcome.spa() as f32 / v.tensor().len() as f32,
+        outcome.pscore(),
+        stats.queries
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! # DUO — stealthy adversarial example attack on video retrieval systems
+//!
+//! Full-system reproduction of *"DUO: Stealthy Adversarial Example Attack
+//! on Video Retrieval Systems via Frame-Pixel Search"* (ICDCS 2023) as a
+//! Rust workspace. This facade crate re-exports the public API of every
+//! subsystem; depend on `duo` and everything is in scope.
+//!
+//! ## Subsystems
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `duo-tensor` | dense f32 tensors, conv/pool kernels, RNG |
+//! | [`nn`] | `duo-nn` | layers with manual backprop, Adam/SGD |
+//! | [`video`] | `duo-video` | `Video` clips, synthetic UCF101/HMDB51 |
+//! | [`models`] | `duo-models` | I3D/TPN/SlowFast/ResNet/C3D backbones, metric losses |
+//! | [`retrieval`] | `duo-retrieval` | sharded gallery, top-m queries, mAP/AP@m |
+//! | [`attack`] | `duo-attack` | **DUO**: SparseTransfer + SparseQuery + stealing |
+//! | [`baselines`] | `duo-baselines` | Vanilla, TIMI, HEU-Nes, HEU-Sim |
+//! | [`defenses`] | `duo-defenses` | feature squeezing, Noise2Self, detection |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use duo::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::new(7);
+//! // 1. A victim retrieval service over a synthetic HMDB51-like corpus.
+//! let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1, 2, 1);
+//! let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng)?;
+//! let system = RetrievalSystem::build(victim, &ds, ds.train(), RetrievalConfig::default())?;
+//! let mut blackbox = BlackBox::new(system);
+//!
+//! // 2. Steal a surrogate, then run the DUO attack on a (v, v_t) pair.
+//! let (surrogate, _) =
+//!     steal_surrogate(&mut blackbox, &ds, ds.test(), StealConfig::quick(), &mut rng)?;
+//! let mut attack = DuoAttack::new(surrogate, DuoConfig::for_spec(ClipSpec::tiny()));
+//! let v = ds.video(ds.train()[0]);
+//! let v_t = ds.video(ds.train()[40]);
+//! let (outcome, report) = attack.run_and_evaluate(&mut blackbox, &v, &v_t, &mut rng)?;
+//! println!("AP@m {:.1}%  Spa {}  queries {}", report.ap_at_m, report.spa, outcome.queries);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use duo_attack as attack;
+pub use duo_baselines as baselines;
+pub use duo_defenses as defenses;
+pub use duo_models as models;
+pub use duo_nn as nn;
+pub use duo_retrieval as retrieval;
+pub use duo_tensor as tensor;
+pub use duo_video as video;
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use duo_attack::{
+        evaluate_outcome, lp_box_admm, pscore, spa, steal_surrogate, AttackGoal, AttackOutcome,
+        AttackReport, DuoAttack, DuoConfig, PerturbNorm, QueryConfig, SparseMasks, SparseQuery,
+        SparseTransfer, StealConfig, StealReport, TransferConfig,
+    };
+    pub use duo_baselines::{
+        HeuConfig, HeuNesAttack, HeuSimAttack, TimiAttack, TimiConfig, VanillaAttack,
+        VanillaConfig,
+    };
+    pub use duo_defenses::{
+        Defense, DetectionHarness, EnsembleDetector, FeatureSqueezing, Noise2Self,
+    };
+    pub use duo_models::{
+        train_embedding_model, Architecture, Backbone, BackboneConfig, LossKind, TrainConfig,
+        TripletLoss,
+    };
+    pub use duo_retrieval::{
+        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, GalleryIndex,
+        RetrievalConfig, RetrievalSystem,
+    };
+    pub use duo_tensor::{Rng64, Tensor};
+    pub use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};
+}

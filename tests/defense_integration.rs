@@ -1,0 +1,110 @@
+//! Integration tests for the defense stack against real attack outputs.
+
+use duo::prelude::*;
+
+fn trained_world(seed: u64) -> (RetrievalSystem, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, ClipSpec::tiny(), seed, 3, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let victim = Backbone::new(Architecture::Tpn, BackboneConfig::tiny(), &mut rng).unwrap();
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+    )
+    .unwrap();
+    (system, ds)
+}
+
+#[test]
+fn calibrated_defenses_keep_clean_fpr_low() {
+    let (mut system, ds) = trained_world(401);
+    let clean: Vec<Video> = (0..8).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+    let held_out: Vec<Video> =
+        (0..8).map(|c| ds.video(VideoId { class: c, instance: 1 })).collect();
+    for defense in [
+        Box::new(FeatureSqueezing::default()) as Box<dyn Defense>,
+        Box::new(Noise2Self::default()),
+    ] {
+        let harness =
+            DetectionHarness::calibrate(&mut system, defense.as_ref(), &clean, 0.15).unwrap();
+        let mut flagged = 0;
+        for v in &held_out {
+            if harness.is_flagged(&mut system, defense.as_ref(), v).unwrap() {
+                flagged += 1;
+            }
+        }
+        assert!(
+            flagged <= 4,
+            "{}: too many clean held-out videos flagged ({flagged}/8)",
+            defense.name()
+        );
+    }
+}
+
+#[test]
+fn detection_scores_separate_heavy_noise_from_clean() {
+    // The paper's Table X shows detection ordering is attack- and
+    // defense-dependent (sparse DUO is sometimes flagged more than dense
+    // TIMI under Noise2Self and vice versa under squeezing), so the
+    // robust integration claim is: the divergence score distinguishes
+    // heavily corrupted queries from clean ones, and detection rates are
+    // well-formed, for real attack outputs.
+    let (mut system, ds) = trained_world(411);
+    let mut rng = Rng64::new(412);
+    let mut surrogate = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+
+    let mut attacked = Vec::new();
+    let mut noisy = Vec::new();
+    for c in 0..4u32 {
+        let v = ds.video(VideoId { class: c, instance: 0 });
+        let v_t = ds.video(VideoId { class: c + 4, instance: 0 });
+        let cfg = TimiConfig { epsilon: 20.0, ..TimiConfig::default() };
+        attacked.push(TimiAttack::new(&mut surrogate, cfg).run(&v, &v_t).unwrap().adversarial);
+        let mut n = v.clone();
+        for x in n.tensor_mut().as_mut_slice() {
+            *x = (*x + 45.0 * rng.normal()).clamp(0.0, 255.0);
+        }
+        noisy.push(n);
+    }
+    let clean: Vec<Video> = (0..8).map(|c| ds.video(VideoId { class: c, instance: 1 })).collect();
+    let defense = FeatureSqueezing::default();
+    let mean = |system: &mut RetrievalSystem, vids: &[Video]| -> f32 {
+        vids.iter()
+            .map(|v| DetectionHarness::score(system, &defense, v).unwrap())
+            .sum::<f32>()
+            / vids.len() as f32
+    };
+    let clean_mean = mean(&mut system, &clean);
+    let noisy_mean = mean(&mut system, &noisy);
+    assert!(
+        noisy_mean >= clean_mean,
+        "heavy noise should diverge at least as much as clean queries: {noisy_mean} vs {clean_mean}"
+    );
+    let mut harness = DetectionHarness::calibrate(&mut system, &defense, &clean, 0.1).unwrap();
+    for batch in [&attacked, &noisy] {
+        let rate = harness.detection_rate(&mut system, &defense, batch).unwrap();
+        assert!((0.0..=100.0).contains(&rate));
+    }
+}
+
+#[test]
+fn defended_queries_still_retrieve_sensibly() {
+    // The defense transform must not destroy retrieval for clean queries:
+    // the exact gallery copy should still rank first after squeezing.
+    let (mut system, ds) = trained_world(421);
+    let v = ds.video(VideoId { class: 0, instance: 0 });
+    for defense in [
+        Box::new(FeatureSqueezing::default()) as Box<dyn Defense>,
+        Box::new(Noise2Self { radius: 1, strength: 0.5 }),
+    ] {
+        let transformed = defense.transform(&v);
+        let list = system.retrieve(&transformed).unwrap();
+        assert_eq!(
+            list[0].class, 0,
+            "{}: top hit should stay in the query's class",
+            defense.name()
+        );
+    }
+}

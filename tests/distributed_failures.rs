@@ -1,0 +1,107 @@
+//! Failure injection on the distributed retrieval substrate while the
+//! attack pipeline is live.
+
+use duo::prelude::*;
+
+fn world(seed: u64) -> (RetrievalSystem, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+    let victim = Backbone::new(Architecture::SlowFast, BackboneConfig::tiny(), &mut rng).unwrap();
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 4, threaded: false },
+    )
+    .unwrap();
+    (system, ds)
+}
+
+#[test]
+fn node_loss_mid_attack_degrades_gracefully() {
+    let (system, ds) = world(501);
+    let mut bb = BlackBox::new(system);
+    let mut rng = Rng64::new(502);
+    let v = ds.video(VideoId { class: 0, instance: 0 });
+    let v_t = ds.video(VideoId { class: 5, instance: 0 });
+
+    let cfg = VanillaConfig { k: 150, n: 3, tau: 30.0, iter_num_q: 4 };
+    let before = VanillaAttack::new(cfg).run(&mut bb, &v, &v_t, &mut rng).unwrap();
+    assert!(before.queries > 0);
+
+    // Kill half the shards; the attack keeps running against the degraded
+    // service and retrieval lists keep the configured length.
+    bb.system_mut().nodes()[0].set_offline();
+    bb.system_mut().nodes()[1].set_offline();
+    let after = VanillaAttack::new(cfg).run(&mut bb, &v, &v_t, &mut rng).unwrap();
+    assert!(after.queries > 0);
+    let list = bb.retrieve(&after.adversarial).unwrap();
+    assert_eq!(list.len(), 5, "degraded service still returns top-m");
+
+    // Full outage surfaces as an error, not a panic or silent empty list.
+    for node in bb.system_mut().nodes() {
+        node.set_offline();
+    }
+    assert!(bb.retrieve(&v).is_err());
+}
+
+#[test]
+fn recovery_restores_identical_results() {
+    let (mut system, ds) = world(511);
+    let v = ds.video(VideoId { class: 1, instance: 0 });
+    let full = system.retrieve(&v).unwrap();
+    system.nodes()[2].set_offline();
+    let degraded = system.retrieve(&v).unwrap();
+    system.nodes()[2].set_online();
+    let recovered = system.retrieve(&v).unwrap();
+    assert_eq!(full, recovered, "recovery must restore the exact ranking");
+    assert_eq!(degraded.len(), full.len());
+}
+
+#[test]
+fn sharding_layout_does_not_change_results() {
+    let mut rng = Rng64::new(521);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 521, 2, 0);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+    let mut results = Vec::new();
+    for nodes in [1usize, 3, 7] {
+        let mut r = Rng64::new(522); // same weights each time
+        let _ = &mut rng;
+        let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut r).unwrap();
+        let mut system = RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 6, nodes, threaded: false },
+        )
+        .unwrap();
+        results.push(system.retrieve(&ds.video(gallery[0])).unwrap());
+    }
+    assert_eq!(results[0], results[1], "1 vs 3 shards");
+    assert_eq!(results[0], results[2], "1 vs 7 shards");
+}
+
+#[test]
+fn threaded_fanout_matches_inline_under_failures() {
+    let mut r1 = Rng64::new(531);
+    let mut r2 = Rng64::new(531);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 531, 2, 0);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let make = |rng: &mut Rng64, threaded: bool| {
+        let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), rng).unwrap();
+        RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 4, nodes: 3, threaded },
+        )
+        .unwrap()
+    };
+    let mut inline = make(&mut r1, false);
+    let mut threaded = make(&mut r2, true);
+    inline.nodes()[1].set_offline();
+    threaded.nodes()[1].set_offline();
+    let v = ds.video(gallery[3]);
+    assert_eq!(inline.retrieve(&v).unwrap(), threaded.retrieve(&v).unwrap());
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the full attack pipeline against a live
+//! victim retrieval service, at tiny scale.
+
+use duo::prelude::*;
+
+fn victim_world(seed: u64) -> (BlackBox, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 3, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng)
+        .expect("tiny backbone builds");
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+    )
+    .expect("retrieval system builds");
+    (BlackBox::new(system), ds)
+}
+
+fn quick_duo(spec: ClipSpec) -> DuoConfig {
+    let mut cfg = DuoConfig::for_spec(spec);
+    cfg.transfer.outer_iters = 1;
+    cfg.transfer.theta_steps = 4;
+    cfg.transfer.admm_iters = 15;
+    cfg.query.iter_num_q = 15;
+    cfg.iter_num_h = 1;
+    cfg
+}
+
+#[test]
+fn full_pipeline_produces_valid_adversarial_video() {
+    let (mut bb, ds) = victim_world(301);
+    let mut rng = Rng64::new(302);
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, steal) =
+        steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
+    assert!(steal.queries > 0);
+
+    let v = ds.video(VideoId { class: 0, instance: 0 });
+    let v_t = ds.video(VideoId { class: 6, instance: 0 });
+    let mut attack = DuoAttack::new(surrogate, quick_duo(ClipSpec::tiny()));
+    let (outcome, report) = attack.run_and_evaluate(&mut bb, &v, &v_t, &mut rng).unwrap();
+
+    // Validity invariants from the threat model.
+    assert!(outcome.adversarial.tensor().min() >= 0.0);
+    assert!(outcome.adversarial.tensor().max() <= 255.0);
+    assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3, "τ bound violated");
+    assert!(outcome.spa() > 0 && outcome.spa() < v.tensor().len() / 10, "must be sparse");
+    assert!((0.0..=100.0).contains(&report.ap_at_m));
+    assert_eq!(report.spa, outcome.spa());
+    assert!(outcome.queries > 0, "black-box attack must consume queries");
+}
+
+#[test]
+fn duo_is_over_10x_sparser_than_timi() {
+    let (mut bb, ds) = victim_world(311);
+    let mut rng = Rng64::new(312);
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, _) =
+        steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
+    let v = ds.video(VideoId { class: 1, instance: 0 });
+    let v_t = ds.video(VideoId { class: 7, instance: 0 });
+
+    let mut attack = DuoAttack::new(surrogate, quick_duo(ClipSpec::tiny()));
+    let duo_outcome = attack.run(&mut bb, &v, &v_t, &mut rng).unwrap();
+    let mut surrogate = attack.into_surrogate();
+    let timi_outcome =
+        TimiAttack::new(&mut surrogate, TimiConfig::default()).run(&v, &v_t).unwrap();
+
+    // The headline stealthiness claim, scaled: DUO perturbs a small
+    // fraction of what TIMI perturbs (paper: >100x at full resolution).
+    assert!(
+        timi_outcome.spa() >= 10 * duo_outcome.spa().max(1),
+        "TIMI Spa {} should dwarf DUO Spa {}",
+        timi_outcome.spa(),
+        duo_outcome.spa()
+    );
+    assert!(timi_outcome.pscore() > duo_outcome.pscore());
+}
+
+#[test]
+fn query_budget_is_respected_end_to_end() {
+    let (bb, ds) = victim_world(321);
+    let mut bb = BlackBox::with_budget(bb.into_inner(), 25);
+    let mut rng = Rng64::new(322);
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let steal_cfg = StealConfig { rounds: 1, ..StealConfig::quick() };
+    let (surrogate, _) = steal_surrogate(&mut bb, &ds, &probes, steal_cfg, &mut rng).unwrap();
+    let v = ds.video(VideoId { class: 2, instance: 0 });
+    let v_t = ds.video(VideoId { class: 5, instance: 0 });
+    let mut cfg = quick_duo(ClipSpec::tiny());
+    cfg.query.iter_num_q = 500;
+    let mut attack = DuoAttack::new(surrogate, cfg);
+    let outcome = attack.run(&mut bb, &v, &v_t, &mut rng).unwrap();
+    assert!(bb.queries_used() <= 25, "budget exceeded: {}", bb.queries_used());
+    assert!(outcome.queries <= 25);
+}
+
+#[test]
+fn attack_objective_is_monotone_across_rounds() {
+    let (mut bb, ds) = victim_world(331);
+    let mut rng = Rng64::new(332);
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, _) =
+        steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
+    let v = ds.video(VideoId { class: 3, instance: 0 });
+    let v_t = ds.video(VideoId { class: 4, instance: 0 });
+    let mut cfg = quick_duo(ClipSpec::tiny());
+    cfg.iter_num_h = 2;
+    let mut attack = DuoAttack::new(surrogate, cfg);
+    let outcome = attack.run(&mut bb, &v, &v_t, &mut rng).unwrap();
+    // Within each SparseQuery round the objective is greedy-monotone;
+    // across rounds it restarts from the new transfer point, so only
+    // check within contiguous segments (detected by non-increase).
+    let mut violations = 0;
+    for w in outcome.loss_trajectory.windows(2) {
+        if w[1] > w[0] + 1e-5 {
+            violations += 1;
+        }
+    }
+    // At most iter_num_h − 1 restarts may increase the objective.
+    assert!(violations <= 1, "too many objective increases: {violations}");
+}
+
+#[test]
+fn baselines_and_duo_share_the_same_evaluation_contract() {
+    let (mut bb, ds) = victim_world(341);
+    let mut rng = Rng64::new(342);
+    let v = ds.video(VideoId { class: 0, instance: 0 });
+    let v_t = ds.video(VideoId { class: 5, instance: 0 });
+    let vanilla = VanillaAttack::new(VanillaConfig { k: 200, n: 3, tau: 30.0, iter_num_q: 5 })
+        .run(&mut bb, &v, &v_t, &mut rng)
+        .unwrap();
+    let heu = HeuSimAttack::new(HeuConfig { k: 200, n: 3, iters: 5, ..HeuConfig::default() })
+        .run(&mut bb, &v, &v_t, &mut rng)
+        .unwrap();
+    for outcome in [&vanilla, &heu] {
+        let report = evaluate_outcome(&mut bb, outcome, &v_t).unwrap();
+        assert!((0.0..=100.0).contains(&report.ap_at_m));
+        assert!(report.pscore >= 0.0);
+        assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the extensions beyond the paper's evaluation:
+//! the untargeted attack mode (§I) and the proposed ensemble defense
+//! (§V-D).
+
+use duo::defenses::EnsembleDetector;
+use duo::models::save_backbone;
+use duo::prelude::*;
+
+fn world(seed: u64) -> (BlackBox, SyntheticDataset, Vec<VideoId>) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 3, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 6, nodes: 2, threaded: false },
+    )
+    .unwrap();
+    (BlackBox::new(system), ds, gallery)
+}
+
+fn quick_duo() -> DuoConfig {
+    let mut cfg = DuoConfig::for_spec(ClipSpec::tiny());
+    cfg.transfer.outer_iters = 1;
+    cfg.transfer.theta_steps = 4;
+    cfg.transfer.admm_iters = 15;
+    cfg.query.iter_num_q = 20;
+    cfg.iter_num_h = 1;
+    cfg
+}
+
+#[test]
+fn untargeted_duo_produces_valid_sparse_output() {
+    let (mut bb, ds, _) = world(601);
+    let mut rng = Rng64::new(602);
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, _) =
+        steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
+    let v = ds.video(VideoId { class: 2, instance: 0 });
+    let mut attack = DuoAttack::new(surrogate, quick_duo());
+    let outcome = attack.run_untargeted(&mut bb, &v, &mut rng).unwrap();
+    assert!(outcome.spa() > 0);
+    assert!(outcome.spa() < v.tensor().len() / 8, "untargeted output must stay sparse");
+    assert!(outcome.perturbation.linf_norm() <= 30.0 + 1e-3);
+    // The untargeted objective has no target term: it is bounded by η + 1
+    // and never increases.
+    for &t in &outcome.loss_trajectory {
+        assert!(t <= 2.0 + 1e-5);
+    }
+    for w in outcome.loss_trajectory.windows(2) {
+        assert!(w[1] <= w[0] + 1e-5);
+    }
+}
+
+#[test]
+fn untargeted_and_targeted_goals_are_independent_configs() {
+    let targeted = quick_duo();
+    let untargeted = quick_duo().with_goal(AttackGoal::Untargeted);
+    assert_eq!(targeted.transfer.goal, AttackGoal::Targeted);
+    assert_eq!(untargeted.transfer.goal, AttackGoal::Untargeted);
+    assert_eq!(untargeted.query.goal, AttackGoal::Untargeted);
+}
+
+#[test]
+fn ensemble_detector_screens_real_attack_traffic() {
+    let (mut bb, ds, gallery) = world(611);
+    let mut rng = Rng64::new(612);
+    // Secondary model of a different architecture over the same gallery.
+    let secondary = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let mut detector = EnsembleDetector::build(secondary, &ds, &gallery, 6).unwrap();
+    let clean: Vec<Video> = (0..8).map(|c| ds.video(VideoId { class: c, instance: 0 })).collect();
+    detector.calibrate(bb.system_mut(), &clean, 0.15).unwrap();
+
+    // Generate real adversarial traffic with DUO.
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 8).copied().collect();
+    let (surrogate, _) =
+        steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
+    let mut attack = DuoAttack::new(surrogate, quick_duo());
+    let mut adversarial = Vec::new();
+    for c in 0..3u32 {
+        let v = ds.video(VideoId { class: c, instance: 0 });
+        let v_t = ds.video(VideoId { class: c + 4, instance: 0 });
+        adversarial.push(attack.run(&mut bb, &v, &v_t, &mut rng).unwrap().adversarial);
+    }
+    let rate = detector.detection_rate(bb.system_mut(), &adversarial).unwrap();
+    assert!((0.0..=100.0).contains(&rate));
+    // Clean hold-outs stay mostly unflagged at the calibrated threshold.
+    let held_out: Vec<Video> =
+        (0..6).map(|c| ds.video(VideoId { class: c, instance: 1 })).collect();
+    let clean_rate = detector.detection_rate(bb.system_mut(), &held_out).unwrap();
+    assert!(clean_rate <= 50.0, "clean false-positive rate too high: {clean_rate}%");
+}
+
+#[test]
+fn checkpointed_victim_reproduces_retrieval_service() {
+    // Save the victim, rebuild the whole service from the checkpoint, and
+    // verify identical retrieval behaviour — the "deploy a trained model"
+    // workflow of a downstream user.
+    let mut rng = Rng64::new(621);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, ClipSpec::tiny(), 621, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 6).copied().collect();
+    let mut victim = Backbone::new(Architecture::Tpn, BackboneConfig::tiny(), &mut rng).unwrap();
+    let dir = std::env::temp_dir().join("duo_integration_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("victim.duoparm");
+    save_backbone(&mut victim, &path).unwrap();
+
+    let mut sys1 = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+    )
+    .unwrap();
+
+    let mut restored = Backbone::new(Architecture::Tpn, BackboneConfig::tiny(), &mut rng).unwrap();
+    duo::models::load_backbone(&mut restored, &path).unwrap();
+    let mut sys2 = RetrievalSystem::build(
+        restored,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+    )
+    .unwrap();
+
+    for c in 0..6 {
+        let q = ds.video(VideoId { class: c, instance: 1 });
+        assert_eq!(
+            sys1.retrieve(&q).unwrap(),
+            sys2.retrieve(&q).unwrap(),
+            "restored service must rank identically (even with different sharding)"
+        );
+    }
+    let _ = std::fs::remove_file(path);
+}

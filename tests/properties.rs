@@ -1,0 +1,128 @@
+//! Cross-crate property-based tests on the attack-facing invariants.
+
+use duo::prelude::*;
+use proptest::prelude::*;
+
+fn ids(raw: &[(u32, u32)]) -> Vec<VideoId> {
+    // Retrieval lists are duplicate-free by construction (a gallery video
+    // appears at most once), so the generators dedupe.
+    let mut out: Vec<VideoId> = Vec::new();
+    for &(class, instance) in raw {
+        let id = VideoId { class, instance };
+        if !out.contains(&id) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ap_at_m_is_bounded_and_symmetric(
+        a in prop::collection::vec((0u32..10, 0u32..4), 1..8),
+        b in prop::collection::vec((0u32..10, 0u32..4), 1..8),
+    ) {
+        let (a, b) = (ids(&a), ids(&b));
+        let ab = ap_at_m(&a, &b);
+        prop_assert!((0.0..=100.0).contains(&ab));
+        prop_assert!((ab - ap_at_m(&b, &a)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ndcg_cooccurrence_bounded_and_maximal_on_self(
+        a in prop::collection::vec((0u32..10, 0u32..4), 1..8),
+    ) {
+        let a = ids(&a);
+        let s = ndcg_cooccurrence(&a, &a);
+        prop_assert!((s - 1.0).abs() < 1e-5);
+        let empty: Vec<VideoId> = Vec::new();
+        prop_assert_eq!(ndcg_cooccurrence(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn lp_box_admm_always_selects_exactly_k(
+        scores in prop::collection::vec(-10.0f32..10.0, 1..64),
+        k_frac in 0.0f32..1.0,
+    ) {
+        let k = ((scores.len() as f32) * k_frac) as usize;
+        let mask = lp_box_admm(&scores, k, 30).unwrap();
+        prop_assert_eq!(mask.iter().filter(|&&b| b).count(), k);
+        prop_assert_eq!(mask.len(), scores.len());
+    }
+
+    #[test]
+    fn spa_and_pscore_agree_on_support(values in prop::collection::vec(-30.0f32..30.0, 1..128)) {
+        let n = values.len();
+        let phi = Tensor::from_vec(values.clone(), &[n]).unwrap();
+        prop_assert_eq!(spa(&phi), values.iter().filter(|&&x| x != 0.0).count());
+        let expected = values.iter().map(|x| x.abs()).sum::<f32>() / n as f32;
+        prop_assert!((pscore(&phi) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn add_perturbation_never_leaves_pixel_range(
+        seed in 0u64..500,
+        magnitude in 0.0f32..500.0,
+    ) {
+        let spec = ClipSpec::tiny();
+        let mut rng = Rng64::new(seed);
+        let v = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, spec, seed, 1, 0)
+            .video(VideoId { class: 0, instance: 0 });
+        let phi = Tensor::rand_uniform(
+            &[spec.frames, spec.height, spec.width, spec.channels],
+            -magnitude,
+            magnitude,
+            rng.as_rng(),
+        );
+        let adv = v.add_perturbation(&phi).unwrap();
+        prop_assert!(adv.tensor().min() >= 0.0);
+        prop_assert!(adv.tensor().max() <= 255.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent(seed in 0u64..200) {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, ClipSpec::tiny(), seed, 1, 0);
+        let mut v = ds.video(VideoId { class: (seed % 50) as u32, instance: 0 });
+        v.quantize();
+        let once = v.clone();
+        v.quantize();
+        prop_assert_eq!(&once, &v);
+    }
+
+    #[test]
+    fn dataset_video_ids_round_trip(class in 0u32..50, instance in 0u32..6) {
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 9, 3, 3);
+        let a = ds.video(VideoId { class, instance });
+        let b = ds.video(VideoId { class, instance });
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn sparse_masks_phi_always_respects_masks() {
+    // Deterministic cross-crate check: the φ composition can never place
+    // energy outside 𝕀⊙𝓕, whatever θ contains.
+    let dims = [4usize, 6, 6, 3];
+    let mut rng = Rng64::new(601);
+    for _ in 0..20 {
+        let mut masks = SparseMasks::dense_init(&dims);
+        masks.theta = Tensor::randn(&dims, 30.0, rng.as_rng());
+        // Random pixel mask + random frame mask.
+        masks.pixel_mask = masks.pixel_mask.map(|_| 0.0);
+        for _ in 0..40 {
+            let i = rng.below(masks.pixel_mask.len());
+            masks.pixel_mask.as_mut_slice()[i] = 1.0;
+        }
+        masks.frame_mask = (0..4).map(|_| rng.uniform() > 0.5).collect();
+        let phi = masks.phi();
+        let mask = masks.mask();
+        for (i, &p) in phi.as_slice().iter().enumerate() {
+            if p != 0.0 {
+                assert_eq!(mask.as_slice()[i], 1.0, "phi outside mask at {i}");
+            }
+        }
+        assert_eq!(masks.support_indices().len(), mask.l0_norm());
+    }
+}
