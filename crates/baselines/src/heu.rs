@@ -3,10 +3,9 @@ use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
 use duo_retrieval::{ndcg_cooccurrence, BlackBox};
 use duo_tensor::{Rng64, Tensor};
 use duo_video::{Video, VideoId};
-use serde::{Deserialize, Serialize};
 
 /// Shared configuration of the HEU attacks (Wei et al., AAAI'20).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeuConfig {
     /// Pixel budget on the heuristic support.
     pub k: usize,
@@ -23,6 +22,7 @@ pub struct HeuConfig {
     /// Margin constant η of the objective.
     pub eta: f32,
 }
+duo_tensor::impl_to_json!(struct HeuConfig { k, n, tau, iters, nes_samples, sigma, eta });
 
 impl Default for HeuConfig {
     fn default() -> Self {

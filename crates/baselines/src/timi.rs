@@ -2,10 +2,9 @@ use duo_attack::{AttackOutcome, Result};
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the TIMI transfer attack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimiConfig {
     /// ℓ∞ perturbation budget ε. The paper's Table II PScore of 10.00 for
     /// TIMI corresponds to sign steps saturating a dense ε = 10 budget.
@@ -18,6 +17,7 @@ pub struct TimiConfig {
     /// gradient is averaged over a `(2r+1)²` spatial window per frame).
     pub ti_radius: usize,
 }
+duo_tensor::impl_to_json!(struct TimiConfig { epsilon, mu, iters, ti_radius });
 
 impl Default for TimiConfig {
     fn default() -> Self {

@@ -3,10 +3,9 @@ use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
 use duo_retrieval::BlackBox;
 use duo_tensor::Rng64;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the Vanilla baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VanillaConfig {
     /// Number of randomly selected pixels (fixes the attack's Spa).
     pub k: usize,
@@ -17,6 +16,7 @@ pub struct VanillaConfig {
     /// SimBA iteration budget.
     pub iter_num_q: usize,
 }
+duo_tensor::impl_to_json!(struct VanillaConfig { k, n, tau, iter_num_q });
 
 impl Default for VanillaConfig {
     fn default() -> Self {

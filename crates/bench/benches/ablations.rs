@@ -2,7 +2,7 @@
 //! ADMM pixel selection vs plain top-k, informed frame selection vs
 //! random, and support-restricted vs unrestricted query search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duo_bench::{bench_group, bench_main, Runner};
 use duo_attack::{lp_box_admm, QueryConfig, SparseMasks, SparseQuery, SparseTransfer};
 use duo_baselines::select_random_masks;
 use duo_bench::Fixture;
@@ -10,7 +10,7 @@ use duo_tensor::{Rng64, Tensor};
 use std::hint::black_box;
 
 /// ADMM binary projection vs a plain top-k sort over the same scores.
-fn bench_pixel_selection(c: &mut Criterion) {
+fn bench_pixel_selection(c: &mut Runner) {
     let mut rng = Rng64::new(4001);
     let scores: Vec<f32> = (0..6144).map(|_| rng.normal()).collect();
     c.bench_function("ablation/pixel_select_lp_box_admm", |b| {
@@ -27,7 +27,7 @@ fn bench_pixel_selection(c: &mut Criterion) {
 
 /// SparseTransfer's informed frame-pixel search vs the Vanilla random
 /// selection producing the same budgets.
-fn bench_mask_construction(c: &mut Criterion) {
+fn bench_mask_construction(c: &mut Runner) {
     let mut fx = Fixture::new(4002);
     let mut rng = Rng64::new(4003);
     let cfg = {
@@ -55,7 +55,7 @@ fn bench_mask_construction(c: &mut Criterion) {
 }
 
 /// Query search restricted to the sparse support vs the full pixel grid.
-fn bench_query_support(c: &mut Criterion) {
+fn bench_query_support(c: &mut Runner) {
     let mut fx = Fixture::new(4004);
     let mut rng = Rng64::new(4005);
     let dims = fx.pair.0.tensor().dims().to_vec();
@@ -88,9 +88,9 @@ fn bench_query_support(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Runner::default().sample_size(10);
     targets = bench_pixel_selection, bench_mask_construction, bench_query_support
 }
-criterion_main!(benches);
+bench_main!(benches);

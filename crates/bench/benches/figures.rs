@@ -1,6 +1,6 @@
 //! One bench per paper figure: the computation each figure measures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duo_bench::{bench_group, bench_main, Runner};
 use duo_attack::{QueryConfig, SparseQuery, SparseTransfer};
 use duo_bench::Fixture;
 use duo_experiments::{backbone_map, victim_map};
@@ -10,7 +10,7 @@ use duo_video::DatasetKind;
 use std::hint::black_box;
 
 /// Figure 3: victim mAP evaluation over the test probes.
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(c: &mut Runner) {
     let scale = duo_experiments::Scale::smoke();
     let mut world = duo_experiments::build_world(
         DatasetKind::Hmdb51Like,
@@ -26,7 +26,7 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 /// Figure 4: surrogate mAP evaluation (gallery re-embedding + probes).
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4(c: &mut Runner) {
     let mut fx = Fixture::new(3002);
     let scale = fx.scale;
     c.bench_function("fig4/surrogate_map", |b| {
@@ -35,7 +35,7 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 /// Figure 5: a SparseQuery rectification run (the 𝕋-vs-queries curve).
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(c: &mut Runner) {
     let mut fx = Fixture::new(3003);
     let mut rng = Rng64::new(3004);
     let transfer_cfg = {
@@ -62,9 +62,9 @@ fn bench_fig5(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Runner::default().sample_size(10);
     targets = bench_fig3, bench_fig4, bench_fig5
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,12 +1,12 @@
 //! Microbenchmarks of the numeric substrate the reproduction stands on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duo_bench::{bench_group, bench_main, Runner};
 use duo_models::{Architecture, Backbone, BackboneConfig};
 use duo_tensor::{im2col3d, Conv3dSpec, Rng64, Tensor};
 use duo_video::{ClipSpec, SyntheticVideoGenerator};
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul(c: &mut Runner) {
     let mut rng = Rng64::new(1);
     let a = Tensor::randn(&[64, 128], 1.0, rng.as_rng());
     let b = Tensor::randn(&[128, 64], 1.0, rng.as_rng());
@@ -15,7 +15,7 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
-fn bench_im2col3d(c: &mut Criterion) {
+fn bench_im2col3d(c: &mut Runner) {
     let mut rng = Rng64::new(2);
     let x = Tensor::randn(&[3, 8, 16, 16], 1.0, rng.as_rng());
     let spec = Conv3dSpec::cubic(3, 3, (1, 2, 2), 1);
@@ -24,7 +24,7 @@ fn bench_im2col3d(c: &mut Criterion) {
     });
 }
 
-fn bench_backbone_forward(c: &mut Criterion) {
+fn bench_backbone_forward(c: &mut Runner) {
     let mut rng = Rng64::new(3);
     let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 5).generate(0, 0);
     for arch in [Architecture::C3d, Architecture::I3d, Architecture::SlowFast] {
@@ -35,7 +35,7 @@ fn bench_backbone_forward(c: &mut Criterion) {
     }
 }
 
-fn bench_input_gradient(c: &mut Criterion) {
+fn bench_input_gradient(c: &mut Runner) {
     let mut rng = Rng64::new(4);
     let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 5).generate(0, 0);
     let mut model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
@@ -48,7 +48,7 @@ fn bench_input_gradient(c: &mut Criterion) {
     });
 }
 
-fn bench_video_generation(c: &mut Criterion) {
+fn bench_video_generation(c: &mut Runner) {
     let generator = SyntheticVideoGenerator::new(ClipSpec::tiny(), 6);
     c.bench_function("substrate/generate_tiny_video", |bench| {
         let mut i = 0u32;
@@ -59,9 +59,9 @@ fn bench_video_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Runner::default().sample_size(20);
     targets = bench_matmul, bench_im2col3d, bench_backbone_forward, bench_input_gradient, bench_video_generation
 }
-criterion_main!(benches);
+bench_main!(benches);

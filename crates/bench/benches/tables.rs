@@ -2,7 +2,7 @@
 //! exercises, at smoke scale (see `duo-experiments` for the full
 //! regeneration binaries).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use duo_bench::{bench_group, bench_main, Runner};
 use duo_attack::{steal_surrogate, DuoAttack, SparseTransfer, StealConfig};
 use duo_baselines::{TimiAttack, TimiConfig, VanillaAttack, VanillaConfig};
 use duo_bench::Fixture;
@@ -14,7 +14,7 @@ use duo_video::VideoId;
 use std::hint::black_box;
 
 /// Table II: one full DUO attack plus one Vanilla attack.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Runner) {
     let mut fx = Fixture::new(1001);
     let scale = fx.scale;
     let mut rng = Rng64::new(1002);
@@ -52,7 +52,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 /// Table III / Figure 4: one surrogate-stealing run.
-fn bench_table3(c: &mut Criterion) {
+fn bench_table3(c: &mut Runner) {
     let mut fx = Fixture::new(1003);
     let mut rng = Rng64::new(1004);
     let probes: Vec<VideoId> =
@@ -71,7 +71,7 @@ fn bench_table3(c: &mut Criterion) {
 }
 
 /// Table IV: one loss-head evaluation step per loss kind.
-fn bench_table4(c: &mut Criterion) {
+fn bench_table4(c: &mut Runner) {
     let mut rng = Rng64::new(1005);
     let dim = 32;
     let emb = duo_tensor::Tensor::randn(&[dim], 1.0, rng.as_rng())
@@ -90,7 +90,7 @@ fn bench_table4(c: &mut Criterion) {
 
 /// Tables V–VIII: one SparseTransfer run (the component all four sweeps
 /// re-run per cell).
-fn bench_table5678(c: &mut Criterion) {
+fn bench_table5678(c: &mut Runner) {
     let mut fx = Fixture::new(1006);
     let cfg = {
         let mut t = fx.scale.duo_config().transfer;
@@ -109,7 +109,7 @@ fn bench_table5678(c: &mut Criterion) {
 }
 
 /// Table IX: one TIMI transfer run.
-fn bench_table9(c: &mut Criterion) {
+fn bench_table9(c: &mut Runner) {
     let mut fx = Fixture::new(1007);
     let cfg = TimiConfig { iters: 4, ..TimiConfig::default() };
     c.bench_function("table9/timi_transfer", |b| {
@@ -122,7 +122,7 @@ fn bench_table9(c: &mut Criterion) {
 }
 
 /// Table X: one defense score per defense.
-fn bench_table10(c: &mut Criterion) {
+fn bench_table10(c: &mut Runner) {
     let mut fx = Fixture::new(1008);
     let video = fx.pair.0.clone();
     let squeeze = FeatureSqueezing::default();
@@ -142,7 +142,7 @@ fn bench_table10(c: &mut Criterion) {
 }
 
 /// Victim-world construction (amortized cost behind every table).
-fn bench_world_build(c: &mut Criterion) {
+fn bench_world_build(c: &mut Runner) {
     let scale = Scale::smoke();
     c.bench_function("tables/build_world", |b| {
         let mut seed = 2000u64;
@@ -161,9 +161,9 @@ fn bench_world_build(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
+bench_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Runner::default().sample_size(10);
     targets = bench_table2, bench_table3, bench_table4, bench_table5678, bench_table9, bench_table10, bench_world_build
 }
-criterion_main!(benches);
+bench_main!(benches);

@@ -1,13 +1,18 @@
-//! Shared fixtures for the DUO benchmark suite.
+//! Shared fixtures and the bench harness for the DUO benchmark suite.
 //!
-//! Criterion benches time the core computation of every paper table and
-//! figure at smoke scale (`duo_experiments::Scale::smoke`), plus the
-//! ablations called out in `DESIGN.md`. Expensive world construction
-//! happens once per bench via [`Fixture::new`]; the timed closures only
-//! exercise the experiment path itself.
+//! The in-tree [`Runner`] (see [`runner`]) times the core computation of
+//! every paper table and figure at smoke scale
+//! (`duo_experiments::Scale::smoke`), plus the ablations called out in
+//! `DESIGN.md`. Expensive world construction happens once per bench via
+//! [`Fixture::new`]; the timed closures only exercise the experiment path
+//! itself.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{BenchResult, Bencher, Runner};
 
 use duo_attack::steal_surrogate;
 use duo_experiments::{attack_pairs, build_world, Scale};

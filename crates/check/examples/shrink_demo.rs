@@ -1,0 +1,12 @@
+//! Deliberately failing property: demonstrates counterexample shrinking.
+
+use duo_check::{run_property, Config, Failed};
+
+fn main() {
+    run_property(
+        "all_values_below_ten",
+        &Config::default(),
+        &(0u32..100),
+        |&v| if v < 10 { Ok(()) } else { Err(Failed::new(format!("{v} is not < 10"))) },
+    );
+}

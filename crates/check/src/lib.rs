@@ -1,0 +1,563 @@
+//! `duo-check`: the in-tree property-testing harness for the DUO workspace.
+//!
+//! The workspace builds fully offline, so this crate supplies the small
+//! slice of `proptest` the test suites actually use: seeded case
+//! generation, strategy combinators, greedy counterexample shrinking, and
+//! a persisted-regression-seed file so past failures replay first.
+//!
+//! # Writing a property
+//!
+//! ```
+//! use duo_check::{check, prop_assert, Config};
+//!
+//! check! {
+//!     #![config(Config::default().with_cases(64))]
+//!
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert!(a + b == b + a, "{a} + {b}");
+//!     }
+//! }
+//! ```
+//!
+//! Each property becomes a normal `#[test]`. Cases are generated from a
+//! per-property seed (derived from the config seed and the property name),
+//! so runs are deterministic; `DUO_CHECK_SEED` and `DUO_CHECK_CASES`
+//! override the config from the environment for soak runs.
+//!
+//! # Shrinking
+//!
+//! When a case fails, the runner repeatedly asks the strategy for simpler
+//! variants and keeps any that still fail, reporting the final minimal
+//! counterexample along with the case seed.
+//!
+//! # Regression seeds
+//!
+//! With [`Config::with_regressions`], failing case seeds are appended to a
+//! text file (one `cc <property> <seed-hex>` line per failure, `#`
+//! comments ignored) and replayed before fresh generation on later runs —
+//! the same role `proptest-regressions` files played before.
+
+pub mod strategy;
+
+pub use strategy::{bools, vec_of, Bools, Strategy, VecOf};
+
+use duo_tensor::{RandomSource, Rng64};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// A property failure raised by the `prop_assert*` macros.
+///
+/// Plain `assert!`/`panic!` also work inside properties (the runner
+/// catches unwinds), but `Failed` keeps the message out of the panic
+/// machinery until the counterexample is fully shrunk.
+#[derive(Debug, Clone)]
+pub struct Failed {
+    msg: String,
+}
+
+impl Failed {
+    /// Creates a failure with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Failed { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Failed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Runner configuration: case count, master seed, shrink budget, and the
+/// optional regression-seed file.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to generate per property.
+    pub cases: u32,
+    /// Master seed; each property derives its own stream from this and its
+    /// name, so adding a property does not perturb the others.
+    pub seed: u64,
+    /// Upper bound on property evaluations spent shrinking one failure.
+    pub max_shrink_steps: u32,
+    /// If set, failing seeds are appended here and replayed before fresh
+    /// generation on subsequent runs.
+    pub regressions: Option<PathBuf>,
+}
+
+impl Default for Config {
+    /// 256 cases, fixed seed, 4096-step shrink budget, no regression file.
+    /// `DUO_CHECK_CASES` / `DUO_CHECK_SEED` environment variables override
+    /// the corresponding fields when they parse.
+    fn default() -> Self {
+        let mut cfg = Config {
+            cases: 256,
+            seed: 0xD00_C8EC,
+            max_shrink_steps: 4096,
+            regressions: None,
+        };
+        if let Some(n) = env_parse::<u32>("DUO_CHECK_CASES") {
+            cfg.cases = n;
+        }
+        if let Some(s) = env_parse::<u64>("DUO_CHECK_SEED") {
+            cfg.seed = s;
+        }
+        cfg
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+impl Config {
+    /// Sets the number of cases per property.
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the shrink budget (property evaluations per failure).
+    pub fn with_max_shrink_steps(mut self, steps: u32) -> Self {
+        self.max_shrink_steps = steps;
+        self
+    }
+
+    /// Enables the persisted-regression-seed file at `path`.
+    pub fn with_regressions(mut self, path: impl Into<PathBuf>) -> Self {
+        self.regressions = Some(path.into());
+        self
+    }
+}
+
+/// A fully-shrunk counterexample, as returned by [`run_property_result`].
+#[derive(Debug, Clone)]
+pub struct CounterExample<V> {
+    /// Seed of the failing case (replayable via the regression file).
+    pub seed: u64,
+    /// The value as originally generated.
+    pub original: V,
+    /// The value after shrinking (equals `original` if nothing simpler
+    /// still failed).
+    pub shrunk: V,
+    /// Failure message from the shrunk value's evaluation.
+    pub msg: String,
+    /// Property evaluations spent shrinking.
+    pub shrink_evals: u32,
+    /// True if the seed came from the regression file rather than fresh
+    /// generation.
+    pub from_regression: bool,
+}
+
+impl<V: fmt::Debug> fmt::Display for CounterExample<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "minimal counterexample: {:?}", self.shrunk)?;
+        writeln!(f, "  originally generated: {:?}", self.original)?;
+        writeln!(f, "  failure: {}", self.msg)?;
+        writeln!(
+            f,
+            "  case seed: {:#018x}{} ({} shrink evals)",
+            self.seed,
+            if self.from_regression { " [regression replay]" } else { "" },
+            self.shrink_evals
+        )
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn eval_property<V>(prop: &dyn Fn(&V) -> Result<(), Failed>, value: &V) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(Ok(())) => None,
+        Ok(Err(failed)) => Some(failed.msg),
+        Err(payload) => Some(panic_message(&*payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "property panicked".to_string()
+    }
+}
+
+/// Runs one seeded case: generates a value, evaluates the property, and on
+/// failure shrinks greedily within the config's budget.
+fn run_case<S: Strategy>(
+    strategy: &S,
+    prop: &dyn Fn(&S::Value) -> Result<(), Failed>,
+    config: &Config,
+    seed: u64,
+    from_regression: bool,
+) -> Option<CounterExample<S::Value>> {
+    let mut rng = Rng64::new(seed);
+    let original = strategy.generate(&mut rng);
+    let msg = eval_property(prop, &original)?;
+
+    let mut shrunk = original.clone();
+    let mut msg = msg;
+    let mut evals = 0u32;
+    'outer: while evals < config.max_shrink_steps {
+        for cand in strategy.shrink(&shrunk) {
+            evals += 1;
+            if let Some(m) = eval_property(prop, &cand) {
+                shrunk = cand;
+                msg = m;
+                continue 'outer;
+            }
+            if evals >= config.max_shrink_steps {
+                break 'outer;
+            }
+        }
+        break;
+    }
+
+    Some(CounterExample { seed, original, shrunk, msg, shrink_evals: evals, from_regression })
+}
+
+/// Parses a regression file into `(property, seed)` pairs.
+///
+/// Format: one `cc <property> <seed-hex>` entry per line; blank lines and
+/// lines starting with `#` are ignored. Unparseable lines are skipped
+/// rather than failing the run.
+pub fn parse_regressions(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        let (Some(name), Some(seed)) = (parts.next(), parts.next()) else { continue };
+        let seed = seed.strip_prefix("0x").unwrap_or(seed);
+        if let Ok(seed) = u64::from_str_radix(seed, 16) {
+            out.push((name.to_string(), seed));
+        }
+    }
+    out
+}
+
+/// Formats one regression entry; `note` becomes a trailing comment.
+pub fn format_regression(name: &str, seed: u64, note: &str) -> String {
+    format!("cc {name} {seed:#018x} # {note}\n")
+}
+
+fn replay_seeds(path: &Path, name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    parse_regressions(&text)
+        .into_iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, s)| s)
+        .collect()
+}
+
+fn persist_regression<V: fmt::Debug>(path: &Path, name: &str, cex: &CounterExample<V>) {
+    // Never duplicate a seed already on file (e.g. a replayed regression
+    // that still fails).
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    if parse_regressions(&existing).iter().any(|(n, s)| n == name && *s == cex.seed) {
+        return;
+    }
+    let mut text = existing;
+    if text.is_empty() {
+        text.push_str(
+            "# duo-check regression seeds. Each `cc <property> <seed>` line is\n\
+             # replayed before fresh generation; edit or delete lines freely.\n",
+        );
+    }
+    text.push_str(&format_regression(name, cex.seed, &format!("shrinks to {:?}", cex.shrunk)));
+    // Best-effort: a read-only checkout shouldn't fail the test run beyond
+    // the failure already being reported.
+    let _ = std::fs::write(path, text);
+}
+
+/// Runs a property and returns the first counterexample, if any.
+///
+/// Regression seeds for `name` replay first, then `config.cases` fresh
+/// cases generated from the per-property stream. New failures are appended
+/// to the regression file when one is configured. Most callers want the
+/// [`check!`] macro (which panics with a report) rather than this.
+pub fn run_property_result<S: Strategy>(
+    name: &str,
+    config: &Config,
+    strategy: &S,
+    prop: impl Fn(&S::Value) -> Result<(), Failed>,
+) -> Result<(), CounterExample<S::Value>> {
+    if let Some(path) = &config.regressions {
+        for seed in replay_seeds(path, name) {
+            if let Some(cex) = run_case(strategy, &prop, config, seed, true) {
+                return Err(cex);
+            }
+        }
+    }
+    let mut master = Rng64::new(config.seed ^ fnv1a64(name.as_bytes()));
+    for _ in 0..config.cases {
+        let seed = master.next_u64();
+        if let Some(cex) = run_case(strategy, &prop, config, seed, false) {
+            if let Some(path) = &config.regressions {
+                persist_regression(path, name, &cex);
+            }
+            return Err(cex);
+        }
+    }
+    Ok(())
+}
+
+/// Runs a property and panics with a shrunk-counterexample report on
+/// failure. This is what [`check!`]-generated tests call.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &Config,
+    strategy: &S,
+    prop: impl Fn(&S::Value) -> Result<(), Failed>,
+) {
+    if let Err(cex) = run_property_result(name, config, strategy, &prop) {
+        panic!(
+            "property `{name}` failed after {} shrink evals\n{cex}\
+             replay: add `cc {name} {:#018x}` to the regression file or set DUO_CHECK_SEED",
+            cex.shrink_evals, cex.seed
+        );
+    }
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that generates seeded cases, shrinks failures, and
+/// reports minimal counterexamples.
+///
+/// An optional leading `#![config(expr)]` sets the [`Config`] for every
+/// property in the block (default: [`Config::default()`]).
+#[macro_export]
+macro_rules! check {
+    (#![config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__check_props! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__check_props! { ($crate::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __check_props {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::Config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |__value| {
+                    let ($($pat,)+) = __value.clone();
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__check_props! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the surrounding property when the condition is false, recording
+/// the condition (and optional formatted message) in the counterexample
+/// report. Use inside [`check!`] bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::Failed::new(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::Failed::new(format!(
+                "assertion failed at {}:{}: {}: {}",
+                file!(), line!(), stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`]; the report shows both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l != r {
+            return Err($crate::Failed::new(format!(
+                "assertion failed at {}:{}: {} == {}\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($lhs), stringify!($rhs), l, r
+            )));
+        }
+    }};
+}
+
+/// Inequality form of [`prop_assert!`]; the report shows the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(, $($fmt:tt)+)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l == r {
+            return Err($crate::Failed::new(format!(
+                "assertion failed at {}:{}: {} != {}\n  both: {:?}",
+                file!(), line!(), stringify!($lhs), stringify!($rhs), l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Config {
+        Config { cases: 64, seed: 99, max_shrink_steps: 4096, regressions: None }
+    }
+
+    #[test]
+    fn passing_property_returns_ok() {
+        let r = run_property_result("commutes", &quiet(), &(0u32..100, 0u32..100), |&(a, b)| {
+            prop_assert_eq!(a + b, b + a);
+            Ok(())
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_counterexample() {
+        // "All generated values are < 10" is false; the minimal
+        // counterexample in 0..100 is exactly 10.
+        let cex = run_property_result("all_below_ten", &quiet(), &(0u32..100,), |&(v,)| {
+            prop_assert!(v < 10, "saw {v}");
+            Ok(())
+        })
+        .expect_err("property must fail");
+        assert_eq!(cex.shrunk, (10,), "greedy shrink should land on the boundary");
+        assert!(cex.msg.contains("saw 10"));
+        assert!(cex.shrink_evals > 0, "some shrinking must have happened");
+    }
+
+    #[test]
+    fn vec_counterexample_shrinks_to_single_offending_element() {
+        // "No element is >= 50": minimal failing vector is one element of
+        // exactly 50.
+        let cex = run_property_result(
+            "no_large_elements",
+            &quiet(),
+            &(vec_of(0u32..100, 1..20),),
+            |(v,)| {
+                prop_assert!(v.iter().all(|&x| x < 50));
+                Ok(())
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(cex.shrunk.0, vec![50]);
+    }
+
+    #[test]
+    fn plain_panics_are_caught_and_shrunk() {
+        let cex = run_property_result("panics_at_seven", &quiet(), &(0u32..100,), |&(v,)| {
+            assert!(v < 7, "boom at {v}");
+            Ok(())
+        })
+        .expect_err("property must fail");
+        assert_eq!(cex.shrunk, (7,));
+        assert!(cex.msg.contains("boom at 7"));
+    }
+
+    #[test]
+    fn same_config_reproduces_the_same_counterexample_seed() {
+        let run = || {
+            run_property_result("det", &quiet(), &(0u32..1000,), |&(v,)| {
+                prop_assert!(v < 500);
+                Ok(())
+            })
+            .expect_err("fails")
+        };
+        assert_eq!(run().seed, run().seed);
+    }
+
+    #[test]
+    fn regression_file_round_trips() {
+        let text = "# comment\n\ncc my_prop 0x00000000000000ff # shrinks to 3\ncc other 10\n";
+        let parsed = parse_regressions(text);
+        assert_eq!(parsed, vec![("my_prop".into(), 0xff), ("other".into(), 0x10)]);
+        let line = format_regression("my_prop", 0xff, "shrinks to 3");
+        assert_eq!(parse_regressions(&line), vec![("my_prop".into(), 0xff)]);
+    }
+
+    #[test]
+    fn regression_seeds_replay_and_persist() {
+        let dir = std::env::temp_dir().join(format!("duo-check-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("regressions.txt");
+        let _ = std::fs::remove_file(&path);
+
+        let cfg = quiet().with_regressions(&path);
+        let fails = |&(v,): &(u32,)| {
+            prop_assert!(v < 500);
+            Ok(())
+        };
+        let first = run_property_result("persisted", &cfg, &(0u32..1000,), fails)
+            .expect_err("fails and records the seed");
+        assert!(!first.from_regression);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_regressions(&text), vec![("persisted".into(), first.seed)]);
+
+        // Second run replays the recorded seed before fresh generation and
+        // does not duplicate it on file.
+        let second = run_property_result("persisted", &cfg, &(0u32..1000,), fails)
+            .expect_err("still fails");
+        assert!(second.from_regression);
+        assert_eq!(second.seed, first.seed);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_regressions(&text).len(), 1);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // The macro surface itself, exercised as real tests.
+    crate::check! {
+        #![config(crate::Config::default().with_cases(64))]
+
+        fn macro_tuple_destructuring((a, b) in (0u32..10, 0u32..10), flip in crate::bools()) {
+            let (x, y) = if flip { (b, a) } else { (a, b) };
+            prop_assert!(x < 10 && y < 10);
+        }
+
+        fn macro_single_arg(v in crate::vec_of(0u32..5, 1..8)) {
+            prop_assert!(!v.is_empty());
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Value generation strategies and their shrinkers.
+//!
+//! A [`Strategy`] knows how to *generate* a random value from a seeded RNG
+//! and how to propose *shrink candidates* — simpler variants of a failing
+//! value. The runner adopts any candidate that still fails the property
+//! and repeats, so the reported counterexample is (near-)minimal.
+//!
+//! Plain range expressions double as strategies (`0u32..10`,
+//! `-5.0f32..5.0`), mirroring the `proptest` surface the workspace's
+//! suites were originally written against; [`vec_of`] and [`bools`] cover
+//! the collection and boolean cases, and tuples of strategies generate
+//! tuples of values.
+
+use duo_tensor::Rng64;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A generator of random test values with a shrinker for counterexamples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Generates one value from the seeded RNG.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Proposes strictly-simpler variants of `value` to try during
+    /// shrinking. An empty vector means the value is fully shrunk.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value>;
+}
+
+// ---------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut Rng64) -> $ty {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end - self.start) as usize;
+                self.start + rng.below(span) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let v = *value;
+                let lo = self.start;
+                let mut out = Vec::new();
+                // Toward the range minimum: the minimum itself, the
+                // midpoint, and one step down — greedy adoption of any of
+                // these strictly decreases the value, so shrinking
+                // terminates.
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        })+
+    };
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+// ---------------------------------------------------------------------
+// Float ranges
+// ---------------------------------------------------------------------
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut Rng64) -> f32 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + (self.end - self.start) * rng.uniform()
+    }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let v = *value;
+        let mut out = Vec::new();
+        let mut push = |c: f32| {
+            if c != v && c >= self.start && c < self.end && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        // "Simple" floats first: zero, the bound nearest zero, halved
+        // magnitude, then the integer truncation.
+        push(0.0);
+        push(if self.start.abs() <= self.end.abs() { self.start } else { self.end });
+        push(v / 2.0);
+        push(v.trunc());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Booleans
+// ---------------------------------------------------------------------
+
+/// Strategy over `bool`, uniform between `false` and `true`.
+#[derive(Debug, Clone, Copy)]
+pub struct Bools;
+
+/// A strategy generating uniformly random booleans (`false` shrinks no
+/// further; `true` shrinks to `false`).
+pub fn bools() -> Bools {
+    Bools
+}
+
+impl Strategy for Bools {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng64) -> bool {
+        rng.below(2) == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectors
+// ---------------------------------------------------------------------
+
+/// Strategy over `Vec<T>` with a length drawn from a range; see [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A strategy generating vectors whose length is drawn uniformly from
+/// `len` and whose elements come from `element`.
+///
+/// Shrinking first tries shorter vectors (halves, then single-element
+/// removals), then simpler elements — so counterexamples are short before
+/// they are small.
+pub fn vec_of<S: Strategy>(element: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "empty length range {len:?}");
+    VecOf { element, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.start;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Shorter vectors first.
+        if value.len() > min {
+            let half = value.len() / 2;
+            if half >= min && half < value.len() {
+                out.push(value[..half].to_vec());
+                out.push(value[value.len() - half.max(min)..].to_vec());
+            }
+            if value.len() - 1 >= min {
+                for i in 0..value.len() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+        }
+        // Then element-wise simplification, one position at a time.
+        for i in 0..value.len() {
+            for cand in self.element.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {
+        $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        })+
+    };
+}
+
+tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_range_generates_in_bounds_and_deterministically() {
+        let strat = 3u32..17;
+        let mut a = Rng64::new(5);
+        let mut b = Rng64::new(5);
+        for _ in 0..200 {
+            let x = strat.generate(&mut a);
+            assert!((3..17).contains(&x));
+            assert_eq!(x, strat.generate(&mut b), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn int_shrink_descends_toward_range_start() {
+        let strat = 2u32..100;
+        let cands = strat.shrink(&50);
+        assert!(cands.contains(&2), "range start is a candidate");
+        assert!(cands.iter().all(|&c| c < 50 && c >= 2));
+        assert!(strat.shrink(&2).is_empty(), "the minimum is fully shrunk");
+    }
+
+    #[test]
+    fn float_range_generates_in_bounds() {
+        let strat = -4.0f32..4.0;
+        let mut rng = Rng64::new(6);
+        for _ in 0..200 {
+            let x = strat.generate(&mut rng);
+            assert!((-4.0..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_shrink_prefers_zero() {
+        let strat = -4.0f32..4.0;
+        assert_eq!(strat.shrink(&3.7)[0], 0.0);
+        // Out-of-range zero is never proposed.
+        let pos = 5.0f32..9.0;
+        assert!(pos.shrink(&8.0).iter().all(|&c| (5.0..9.0).contains(&c)));
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let strat = vec_of(0u32..5, 2..6);
+        let mut rng = Rng64::new(7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_min_len() {
+        let strat = vec_of(0u32..5, 2..6);
+        let v = vec![1, 2, 3, 4];
+        for cand in strat.shrink(&v) {
+            assert!(cand.len() >= 2, "candidate {cand:?} under min length");
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        for (a, b) in strat.shrink(&(4, 7)) {
+            assert!((a, b) != (4, 7));
+            assert!(a == 4 || b == 7, "only one side may move per candidate");
+        }
+    }
+
+    #[test]
+    fn bools_shrink_to_false() {
+        assert_eq!(bools().shrink(&true), vec![false]);
+        assert!(bools().shrink(&false).is_empty());
+    }
+}

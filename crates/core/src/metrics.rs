@@ -2,7 +2,6 @@
 
 use duo_tensor::Tensor;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Sparsity metric `Spa = Σ_i ‖φ_i‖₀`: the number of perturbed scalars
 /// across all frames. Lower is stealthier.
@@ -46,7 +45,7 @@ impl AttackOutcome {
 }
 
 /// Paper-style evaluation row: targeted precision and stealthiness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AttackReport {
     /// `AP@m` between `R^m(v_adv)` and `R^m(v_t)`, in percent.
     pub ap_at_m: f32,
@@ -57,6 +56,7 @@ pub struct AttackReport {
     /// Black-box queries consumed.
     pub queries: u64,
 }
+duo_tensor::impl_to_json!(struct AttackReport { ap_at_m, spa, pscore, queries });
 
 impl AttackReport {
     /// The paper's success criterion (§V-C): "a targeted AE attack

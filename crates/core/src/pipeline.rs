@@ -10,10 +10,9 @@ use duo_models::Backbone;
 use duo_retrieval::{ap_at_m, BlackBox};
 use duo_tensor::Rng64;
 use duo_video::{ClipSpec, Video};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the complete DUO attack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DuoConfig {
     /// SparseTransfer (Algorithm 1) parameters.
     pub transfer: TransferConfig,
@@ -22,6 +21,7 @@ pub struct DuoConfig {
     /// Outer loop count `iter_numH` (paper: ≤ 4, default 2).
     pub iter_num_h: usize,
 }
+duo_tensor::impl_to_json!(struct DuoConfig { transfer, query, iter_num_h });
 
 impl Default for DuoConfig {
     fn default() -> Self {

@@ -13,10 +13,9 @@ use crate::{AttackError, AttackGoal, AttackOutcome, Result, SparseMasks};
 use duo_retrieval::{ndcg_cooccurrence, BlackBox};
 use duo_tensor::Rng64;
 use duo_video::{Video, VideoId};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the SparseQuery component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryConfig {
     /// Maximum iterations (`iter_numQ`; the paper uses 1,000).
     pub iter_num_q: usize,
@@ -37,6 +36,7 @@ pub struct QueryConfig {
     /// Targeted (default) or untargeted objective.
     pub goal: AttackGoal,
 }
+duo_tensor::impl_to_json!(struct QueryConfig { iter_num_q, eta, tau, epsilon, group_size, goal });
 
 impl Default for QueryConfig {
     fn default() -> Self {

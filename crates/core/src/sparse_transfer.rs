@@ -17,21 +17,21 @@ use crate::{lp_box_admm, AttackError, Result};
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Which norm bounds the perturbation magnitude (Table IX compares both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PerturbNorm {
     /// `‖θ‖∞ ≤ τ` (the paper's default formulation).
     Linf,
     /// `‖θ‖₂ ≤ τ·√(support)` — same per-pixel RMS budget, rounder geometry.
     L2,
 }
+duo_tensor::impl_to_json!(enum PerturbNorm { Linf, L2 });
 
 /// What the attack optimizes for (paper §I: "we focus on the more
 /// challenging targeted attacks, while our method can be easily extended
 /// to launch untargeted attacks as well").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AttackGoal {
     /// Pull `R^m(v_adv)` toward `R^m(v_t)` (the paper's main setting).
     #[default]
@@ -39,9 +39,10 @@ pub enum AttackGoal {
     /// Push `R^m(v_adv)` away from `R^m(v)`; the target video is ignored.
     Untargeted,
 }
+duo_tensor::impl_to_json!(enum AttackGoal { Targeted, Untargeted });
 
 /// Configuration of the SparseTransfer component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferConfig {
     /// Total pixel budget `k` (`1ᵀ𝕀 = k`).
     pub k: usize,
@@ -62,6 +63,7 @@ pub struct TransferConfig {
     /// Targeted (default) or untargeted optimization.
     pub goal: AttackGoal,
 }
+duo_tensor::impl_to_json!(struct TransferConfig { k, n, tau, lambda, outer_iters, theta_steps, admm_iters, norm, goal });
 
 impl Default for TransferConfig {
     fn default() -> Self {

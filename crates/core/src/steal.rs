@@ -12,11 +12,10 @@ use duo_nn::{Adam, Optimizer, Parameterized};
 use duo_retrieval::BlackBox;
 use duo_tensor::Rng64;
 use duo_video::{SyntheticDataset, VideoId};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Configuration of the surrogate-stealing procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StealConfig {
     /// Surrogate backbone family (paper: C3D or Resnet18).
     pub arch: Architecture,
@@ -38,6 +37,7 @@ pub struct StealConfig {
     /// Gradient-accumulation batch size.
     pub batch: usize,
 }
+duo_tensor::impl_to_json!(struct StealConfig { arch, backbone, rounds, fanout, target_dataset_size, max_triplets, epochs, lr, batch });
 
 impl Default for StealConfig {
     fn default() -> Self {
@@ -71,7 +71,7 @@ impl StealConfig {
 }
 
 /// Summary of a stealing run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StealReport {
     /// Distinct videos that appeared as probes or in retrieval lists —
     /// the paper's surrogate dataset size.
@@ -83,6 +83,7 @@ pub struct StealReport {
     /// Mean triplet loss over the final epoch.
     pub final_loss: f32,
 }
+duo_tensor::impl_to_json!(struct StealReport { distinct_videos, triplets_used, queries, final_loss });
 
 /// Steals a surrogate model from the black-box service.
 ///

@@ -5,11 +5,10 @@
 //! Figure 5, acceptance statistics, and CSV export for external plotting.
 
 use crate::AttackOutcome;
-use serde::{Deserialize, Serialize};
 use std::io::Write;
 
 /// Summary statistics of one attack run's query phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryStats {
     /// Number of recorded objective samples.
     pub samples: usize,
@@ -26,6 +25,7 @@ pub struct QueryStats {
     /// Black-box queries consumed.
     pub queries: u64,
 }
+duo_tensor::impl_to_json!(struct QueryStats { samples, initial, final_value, total_drop, improvements, best_step, queries });
 
 /// Computes query-phase statistics from an attack outcome.
 ///

@@ -1,17 +1,16 @@
 //! Property-based tests on the attack crate's algorithmic kernels.
 
 use duo_attack::{lp_box_admm, pscore, spa, SparseMasks};
+use duo_check::{bools, check, prop_assert, prop_assert_eq, vec_of, Config};
 use duo_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+check! {
+    #![config(Config::default().with_cases(48))]
 
     /// lp-box ADMM selects exactly k entries and, for linear objectives,
     /// captures at least as much score mass as any random selection.
-    #[test]
     fn admm_beats_random_selection(
-        scores in prop::collection::vec(-5.0f32..5.0, 8..64),
+        scores in vec_of(-5.0f32..5.0, 8..64),
         seed in 0u64..1000,
     ) {
         let k = scores.len() / 2;
@@ -29,7 +28,6 @@ proptest! {
     }
 
     /// The φ composition bounds: ‖φ‖∞ ≤ ‖θ‖∞ and supp(φ) ⊆ supp(𝕀⊙𝓕).
-    #[test]
     fn phi_composition_bounds(seed in 0u64..500, frames in 2usize..6) {
         let dims = [frames, 4, 4, 3];
         let mut rng = Rng64::new(seed);
@@ -45,7 +43,6 @@ proptest! {
     }
 
     /// Spa/PScore scale linearly with the perturbation support and size.
-    #[test]
     fn metrics_scale_with_support(count in 1usize..60, magnitude in 0.5f32..30.0) {
         let mut phi = Tensor::zeros(&[4, 4, 4, 3]);
         for i in 0..count {
@@ -57,8 +54,7 @@ proptest! {
     }
 
     /// Active-frame bookkeeping matches the boolean mask exactly.
-    #[test]
-    fn active_frames_counts_mask(pattern in prop::collection::vec(any::<bool>(), 1..10)) {
+    fn active_frames_counts_mask(pattern in vec_of(bools(), 1..10)) {
         let frames = pattern.len();
         let dims = [frames, 2, 2, 3];
         let mut masks = SparseMasks::dense_init(&dims);

@@ -1,6 +1,5 @@
 use crate::Defense;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Noise2Self-style J-invariant denoising (Batson & Royer, ICML'19).
 ///
@@ -12,13 +11,14 @@ use serde::{Deserialize, Serialize};
 /// optionally blended with the original to control strength. Adversarial
 /// energy concentrated in individual pixels cannot survive the masking,
 /// while natural content (spatially smooth) does.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Noise2Self {
     /// Neighbourhood half-width (1 ⇒ 3×3 donut of 8 neighbours).
     pub radius: usize,
     /// Blend factor in `[0, 1]`: 1 = fully denoised, 0 = identity.
     pub strength: f32,
 }
+duo_tensor::impl_to_json!(struct Noise2Self { radius, strength });
 
 impl Default for Noise2Self {
     fn default() -> Self {

@@ -1,18 +1,18 @@
 use crate::Defense;
 use duo_video::Video;
-use serde::{Deserialize, Serialize};
 
 /// Feature squeezing (Xu et al., NDSS'18): reduce color bit depth, then
 /// median-smooth each frame spatially. Adversarial perturbations that
 /// live in the low-order bits or isolated pixels are erased; natural
 /// content survives nearly unchanged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FeatureSqueezing {
     /// Bits of color depth to keep (paper default 4).
     pub bits: u8,
     /// Median filter half-width (1 ⇒ 3×3 window).
     pub median_radius: usize,
 }
+duo_tensor::impl_to_json!(struct FeatureSqueezing { bits, median_radius });
 
 impl Default for FeatureSqueezing {
     fn default() -> Self {

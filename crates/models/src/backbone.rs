@@ -5,14 +5,13 @@ use duo_nn::{
 };
 use duo_tensor::{Conv3dSpec, Pool3dSpec, Rng64, Tensor};
 use duo_video::{ClipSpec, Video};
-use serde::{Deserialize, Serialize};
 
 /// The backbone families evaluated in the paper.
 ///
 /// Victim models: [`Architecture::I3d`], [`Architecture::Tpn`],
 /// [`Architecture::SlowFast`], [`Architecture::Resnet34`].
 /// Surrogate models: [`Architecture::C3d`], [`Architecture::Resnet18`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Architecture {
     /// Inflated 3-D convolutions, single pathway, residual block.
     I3d,
@@ -28,6 +27,7 @@ pub enum Architecture {
     /// Per-frame 2-D residual network, shallower variant (surrogate).
     Resnet18,
 }
+duo_tensor::impl_to_json!(enum Architecture { I3d, Tpn, SlowFast, Resnet34, C3d, Resnet18 });
 
 impl Architecture {
     /// The four victim architectures of the paper's evaluation.
@@ -65,7 +65,7 @@ impl std::fmt::Display for Architecture {
 /// paper's system diagram — embeddings are produced by *fully-connected
 /// feature flattening* of the final convolutional map, so the head's
 /// input dimensionality depends on the clip size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BackboneConfig {
     /// Base channel width; deeper stages scale from this.
     pub width: usize,
@@ -74,6 +74,7 @@ pub struct BackboneConfig {
     /// Clip geometry the backbone is built for.
     pub clip: ClipSpec,
 }
+duo_tensor::impl_to_json!(struct BackboneConfig { width, feature_dim, clip });
 
 impl BackboneConfig {
     /// Paper-shaped configuration: 768-d features over 112×112×16 clips.

@@ -1,10 +1,9 @@
 use crate::{ModelError, Result};
 use duo_nn::{Param, Parameterized};
 use duo_tensor::{Rng64, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The metric-learning losses used to train victim models (paper §V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LossKind {
     /// Additive angular margin softmax (ArcFace).
     ArcFace,
@@ -13,6 +12,7 @@ pub enum LossKind {
     /// Tuplet-margin (angular) loss.
     Angular,
 }
+duo_tensor::impl_to_json!(enum LossKind { ArcFace, Lifted, Angular });
 
 impl LossKind {
     /// All three victim losses in the paper's table order.
@@ -339,11 +339,12 @@ impl Parameterized for AngularHead {
 /// Margin triplet loss on embeddings: `[D(a,p) − D(a,n) + γ]₊` with
 /// `D(x,y) = ‖x − y‖²` — the loss the paper uses to steal surrogates
 /// (§IV-B1, γ = 0.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TripletLoss {
     /// The margin γ.
     pub gamma: f32,
 }
+duo_tensor::impl_to_json!(struct TripletLoss { gamma });
 
 impl Default for TripletLoss {
     fn default() -> Self {

@@ -2,10 +2,9 @@ use crate::{Backbone, PrototypeHead, Result};
 use duo_nn::{Adam, Optimizer, Param, Parameterized};
 use duo_tensor::Rng64;
 use duo_video::{SyntheticDataset, VideoId};
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for metric-learning training.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training items.
     pub epochs: usize,
@@ -14,6 +13,7 @@ pub struct TrainConfig {
     /// Gradient-accumulation batch size.
     pub batch: usize,
 }
+duo_tensor::impl_to_json!(struct TrainConfig { epochs, lr, batch });
 
 impl Default for TrainConfig {
     fn default() -> Self {
@@ -29,7 +29,7 @@ impl TrainConfig {
 }
 
 /// Summary of a training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainReport {
     /// Mean loss over the final epoch.
     pub final_loss: f32,
@@ -38,6 +38,7 @@ pub struct TrainReport {
     /// Total labeled samples consumed.
     pub samples_seen: usize,
 }
+duo_tensor::impl_to_json!(struct TrainReport { final_loss, initial_loss, samples_seen });
 
 /// Bundles a backbone and its loss head so the optimizer steps both.
 struct Joint<'a> {

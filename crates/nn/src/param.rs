@@ -1,18 +1,18 @@
 use duo_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// A trainable parameter: a value tensor paired with its gradient
 /// accumulator.
 ///
 /// Gradients accumulate across `backward` calls (mini-batch accumulation is
 /// "sum then step"); call [`Param::zero_grad`] between optimizer steps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Current parameter value.
     pub value: Tensor,
     /// Accumulated gradient, same shape as `value`.
     pub grad: Tensor,
 }
+duo_tensor::impl_to_json!(struct Param { value, grad });
 
 impl Param {
     /// Wraps an initial value with a zeroed gradient.

@@ -1,10 +1,9 @@
 use duo_tensor::Tensor;
 use duo_video::VideoId;
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use std::sync::RwLock;
 
 /// A gallery entry scored against a query embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredId {
     /// The gallery video.
     pub id: VideoId,
@@ -12,15 +11,17 @@ pub struct ScoredId {
     /// similar).
     pub distance: f32,
 }
+duo_tensor::impl_to_json!(struct ScoredId { id, distance });
 
 /// Operational state of a data node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeStatus {
     /// Node answers queries.
     Online,
     /// Node is down; its shard is unavailable.
     Offline,
 }
+duo_tensor::impl_to_json!(enum NodeStatus { Online, Offline });
 
 /// One shard of the distributed gallery.
 ///
@@ -62,18 +63,22 @@ impl DataNode {
     }
 
     /// Current operational status.
+    ///
+    /// A poisoned lock is recovered rather than propagated: status is a
+    /// plain `Copy` flag with no invariants a panicking writer could have
+    /// half-applied.
     pub fn status(&self) -> NodeStatus {
-        *self.status.read()
+        *self.status.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Takes the node offline (failure injection).
     pub fn set_offline(&self) {
-        *self.status.write() = NodeStatus::Offline;
+        *self.status.write().unwrap_or_else(|e| e.into_inner()) = NodeStatus::Offline;
     }
 
     /// Brings the node back online.
     pub fn set_online(&self) {
-        *self.status.write() = NodeStatus::Online;
+        *self.status.write().unwrap_or_else(|e| e.into_inner()) = NodeStatus::Online;
     }
 
     /// Local top-`m` nearest entries to `query`, or `None` when offline.

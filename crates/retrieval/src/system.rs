@@ -2,10 +2,9 @@ use crate::{DataNode, RetrievalError, Result, ScoredId};
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::{SyntheticDataset, Video, VideoId};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the distributed retrieval service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RetrievalConfig {
     /// Number of videos in the returned list `R^m(v)`.
     pub m: usize,
@@ -16,6 +15,7 @@ pub struct RetrievalConfig {
     /// inline is faster on a single core.
     pub threaded: bool,
 }
+duo_tensor::impl_to_json!(struct RetrievalConfig { m, nodes, threaded });
 
 impl Default for RetrievalConfig {
     fn default() -> Self {
@@ -109,12 +109,12 @@ impl RetrievalSystem {
             gallery.chunks(chunk_size).collect()
         };
         let extracted: Vec<Result<Vec<(VideoId, Tensor)>>> =
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let params = &params;
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
-                        scope.spawn(move |_| -> Result<Vec<(VideoId, Tensor)>> {
+                        scope.spawn(move || -> Result<Vec<(VideoId, Tensor)>> {
                             let mut model =
                                 Backbone::new(arch, bcfg, &mut duo_tensor::Rng64::new(0))
                                     .map_err(RetrievalError::Model)?;
@@ -135,8 +135,7 @@ impl RetrievalSystem {
                     .into_iter()
                     .map(|h| h.join().expect("indexing worker panicked"))
                     .collect()
-            })
-            .expect("indexing scope panicked");
+            });
         // Preserve the serial build's shard layout: features in gallery
         // order, dealt round-robin.
         let mut shards: Vec<Vec<(VideoId, Tensor)>> =
@@ -217,15 +216,14 @@ impl RetrievalSystem {
     pub fn retrieve_by_feature(&self, query: &Tensor) -> Result<Vec<VideoId>> {
         let m = self.config.m;
         let locals: Vec<Option<Vec<ScoredId>>> = if self.config.threaded {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .nodes
                     .iter()
-                    .map(|node| scope.spawn(move |_| node.query(query, m)))
+                    .map(|node| scope.spawn(move || node.query(query, m)))
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("node query panicked")).collect()
             })
-            .expect("retrieval fan-out scope panicked")
         } else {
             self.nodes.iter().map(|node| node.query(query, m)).collect()
         };

@@ -7,10 +7,9 @@
 //! tests validate it against a naive direct convolution.
 
 use crate::{Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a 2-D convolution over `[C, H, W]` inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dSpec {
     /// Input channel count.
     pub in_channels: usize,
@@ -27,6 +26,8 @@ pub struct Conv2dSpec {
     /// Zero padding along width (applied symmetrically).
     pub pw: usize,
 }
+
+crate::impl_to_json!(struct Conv2dSpec { in_channels, kh, kw, sh, sw, ph, pw });
 
 impl Conv2dSpec {
     /// Output spatial size `(out_h, out_w)` for an `[C, h, w]` input.
@@ -51,7 +52,7 @@ impl Conv2dSpec {
 }
 
 /// Geometry of a 3-D convolution over `[C, T, H, W]` inputs (T = frames).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv3dSpec {
     /// Input channel count.
     pub in_channels: usize,
@@ -74,6 +75,8 @@ pub struct Conv3dSpec {
     /// Zero padding along width.
     pub pw: usize,
 }
+
+crate::impl_to_json!(struct Conv3dSpec { in_channels, kt, kh, kw, st, sh, sw, pt, ph, pw });
 
 impl Conv3dSpec {
     /// Convenience constructor for a cubic kernel with symmetric stride/pad.

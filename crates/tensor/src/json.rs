@@ -1,0 +1,315 @@
+//! Minimal JSON writing.
+//!
+//! The hermetic build has no `serde`, but experiment binaries and the
+//! bench runner still need machine-readable output for the paper-style
+//! tables. This module provides the small subset actually used: a [`Json`]
+//! value tree, a [`ToJson`] trait, and the [`impl_to_json!`] macro that
+//! derives `ToJson` for plain structs and fieldless enums. There is
+//! deliberately no parser — nothing in the workspace reads JSON back.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_tensor::json::{Json, ToJson};
+//!
+//! struct Row { name: &'static str, ap: f32 }
+//! duo_tensor::impl_to_json!(struct Row { name, ap });
+//!
+//! let row = Row { name: "duo", ap: 91.5 };
+//! assert_eq!(row.to_json().to_string(), r#"{"name":"duo","ap":91.5}"#);
+//! ```
+
+use std::fmt;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also used for non-finite floats, which JSON cannot carry).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer; `i128` losslessly holds every integer type in use.
+    Int(i128),
+    /// A binary32 number, printed with Rust's shortest round-trip format.
+    F32(f32),
+    /// A binary64 number, printed with Rust's shortest round-trip format.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved (no map, no sorting).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(String, Json)>) -> Json {
+        Json::Object(fields)
+    }
+}
+
+fn write_escaped(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::F32(x) if !x.is_finite() => f.write_str("null"),
+            Json::F32(x) => write!(f, "{x}"),
+            Json::F64(x) if !x.is_finite() => f.write_str("null"),
+            Json::F64(x) => write!(f, "{x}"),
+            Json::Str(s) => write_escaped(s, f),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Json`] value — the workspace's replacement for
+/// `serde::Serialize`.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::F32(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! int_to_json {
+    ($($ty:ty),+) => {
+        $(impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        })+
+    };
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson, D: ToJson> ToJson for (A, B, C, D) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json(), self.3.to_json()])
+    }
+}
+
+/// Derives [`ToJson`] for a struct with named fields (emitted as an
+/// object, fields in declaration order) or a fieldless enum (emitted as
+/// the variant name string).
+///
+/// ```
+/// use duo_tensor::impl_to_json;
+/// use duo_tensor::json::ToJson;
+///
+/// struct Stats { hits: u64, rate: f32 }
+/// impl_to_json!(struct Stats { hits, rate });
+///
+/// enum Mode { Fast, Exact }
+/// impl_to_json!(enum Mode { Fast, Exact });
+///
+/// assert_eq!(Mode::Exact.to_json().to_string(), "\"Exact\"");
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    (struct $ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Object(vec![
+                    $((
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    ),)+
+                ])
+            }
+        }
+    };
+    (enum $ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                match self {
+                    $(Self::$variant => {
+                        $crate::json::Json::Str(stringify!($variant).to_string())
+                    })+
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(true.to_json().to_string(), "true");
+        assert_eq!(42u64.to_json().to_string(), "42");
+        assert_eq!((-3i32).to_json().to_string(), "-3");
+        assert_eq!(1.5f32.to_json().to_string(), "1.5");
+        assert_eq!(f32::NAN.to_json().to_string(), "null", "NaN is not JSON");
+        assert_eq!(f64::INFINITY.to_json().to_string(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        // Rust's Display prints the shortest string that parses back to
+        // the same bits — exactly what table output wants.
+        assert_eq!(0.1f32.to_json().to_string(), "0.1");
+        assert_eq!(0.1f64.to_json().to_string(), "0.1");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = "a\"b\\c\nd\u{1}";
+        assert_eq!(s.to_json().to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_objects_and_options_compose() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(v.to_json().to_string(), "[1,2,3]");
+        assert_eq!(Some(5u8).to_json().to_string(), "5");
+        assert_eq!(None::<u8>.to_json().to_string(), "null");
+        let obj = Json::object(vec![
+            ("k".to_string(), "v".to_json()),
+            ("n".to_string(), 7usize.to_json()),
+        ]);
+        assert_eq!(obj.to_string(), r#"{"k":"v","n":7}"#);
+    }
+
+    #[test]
+    fn derive_macro_covers_structs_and_enums() {
+        struct Row {
+            name: &'static str,
+            ap: f32,
+            queries: u64,
+        }
+        crate::impl_to_json!(struct Row { name, ap, queries });
+
+        #[allow(dead_code)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+        crate::impl_to_json!(enum Kind { Alpha, Beta });
+
+        let row = Row { name: "duo", ap: 91.25, queries: 120 };
+        assert_eq!(row.to_json().to_string(), r#"{"name":"duo","ap":91.25,"queries":120}"#);
+        assert_eq!(Kind::Beta.to_json().to_string(), "\"Beta\"");
+    }
+}

@@ -29,6 +29,7 @@
 
 mod conv;
 mod error;
+pub mod json;
 mod matmul;
 mod pool;
 mod rng;
@@ -37,9 +38,10 @@ mod tensor;
 
 pub use conv::{col2im2d, col2im3d, im2col2d, im2col3d, Conv2dSpec, Conv3dSpec};
 pub use error::TensorError;
+pub use json::{Json, ToJson};
 pub use matmul::matmul_into;
 pub use pool::{avg_pool3d, avg_pool3d_backward, max_pool3d, max_pool3d_backward, Pool3dSpec};
-pub use rng::{Rng64, StdRngExt};
+pub use rng::{RandomSource, Rng64, Xoshiro256pp};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

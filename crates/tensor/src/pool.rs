@@ -5,10 +5,9 @@
 //! end-to-end through any backbone.
 
 use crate::{Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a 3-D pooling window over `[C, T, H, W]` inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pool3dSpec {
     /// Window extent along time.
     pub kt: usize,
@@ -23,6 +22,8 @@ pub struct Pool3dSpec {
     /// Stride along width.
     pub sw: usize,
 }
+
+crate::impl_to_json!(struct Pool3dSpec { kt, kh, kw, st, sh, sw });
 
 impl Pool3dSpec {
     /// A cubic window of side `k` with stride `k` (non-overlapping).

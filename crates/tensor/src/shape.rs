@@ -1,5 +1,4 @@
 use crate::TensorError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The dimensions of a [`crate::Tensor`], stored outermost-first.
@@ -17,10 +16,12 @@ use std::fmt;
 /// assert_eq!(s.len(), 24);
 /// assert_eq!(s.linearize(&[1, 2, 3]).unwrap(), 23);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
 }
+
+crate::impl_to_json!(struct Shape { dims });
 
 impl Shape {
     /// Creates a shape from a slice of dimensions.

@@ -1,6 +1,5 @@
+use crate::rng::RandomSource;
 use crate::{Shape, TensorError};
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
@@ -20,11 +19,13 @@ use std::fmt;
 /// assert_eq!(t.len(), 6);
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
 }
+
+crate::impl_to_json!(struct Tensor { shape, data });
 
 impl Tensor {
     // ------------------------------------------------------------------
@@ -74,7 +75,7 @@ impl Tensor {
     }
 
     /// Creates a tensor with elements drawn i.i.d. from `N(0, std^2)`.
-    pub fn randn<R: Rng + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Self {
+    pub fn randn<R: RandomSource + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
         let data = (0..len).map(|_| crate::rng::sample_normal(rng) * std).collect();
@@ -82,10 +83,15 @@ impl Tensor {
     }
 
     /// Creates a tensor with elements drawn i.i.d. uniformly from `[lo, hi)`.
-    pub fn rand_uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+    pub fn rand_uniform<R: RandomSource + ?Sized>(
+        dims: &[usize],
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        let data = (0..len).map(|_| lo + (hi - lo) * rng.random::<f32>()).collect();
+        let data = (0..len).map(|_| lo + (hi - lo) * rng.uniform_f32()).collect();
         Tensor { shape, data }
     }
 
@@ -419,8 +425,7 @@ impl fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::Xoshiro256pp;
 
     #[test]
     fn constructors_produce_expected_values() {
@@ -500,8 +505,8 @@ mod tests {
 
     #[test]
     fn randn_is_deterministic_for_fixed_seed() {
-        let mut r1 = StdRng::seed_from_u64(7);
-        let mut r2 = StdRng::seed_from_u64(7);
+        let mut r1 = Xoshiro256pp::seed_from_u64(7);
+        let mut r2 = Xoshiro256pp::seed_from_u64(7);
         let a = Tensor::randn(&[16], 1.0, &mut r1);
         let b = Tensor::randn(&[16], 1.0, &mut r2);
         assert_eq!(a, b);

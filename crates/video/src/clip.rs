@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a video clip: frames × height × width × channels.
 ///
@@ -6,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// clip). The reproduction keeps that shape expressible but defaults
 /// experiments to a reduced resolution so a single CPU core remains viable;
 /// see `DESIGN.md` for the parameter mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClipSpec {
     /// Number of frames `N`.
     pub frames: usize,
@@ -17,6 +16,7 @@ pub struct ClipSpec {
     /// Channels per pixel `C` (3 for RGB).
     pub channels: usize,
 }
+duo_tensor::impl_to_json!(struct ClipSpec { frames, height, width, channels });
 
 impl ClipSpec {
     /// The paper's clip geometry: 16 × 112 × 112 × 3.

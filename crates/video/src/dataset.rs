@@ -1,26 +1,27 @@
 use crate::{ClipSpec, SyntheticVideoGenerator, Video};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of one synthetic video: generation is a pure function of the
 /// id (plus the dataset seed), so datasets never materialize their corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VideoId {
     /// Class (action category) index.
     pub class: u32,
     /// Instance index within the class.
     pub instance: u32,
 }
+duo_tensor::impl_to_json!(struct VideoId { class, instance });
 
 /// Which benchmark corpus the synthetic dataset mirrors.
 ///
 /// Class and split counts follow Table I of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// UCF101: 101 action classes, 9,324 train / 3,996 test videos.
     Ucf101Like,
     /// HMDB51: 51 action classes, 4,900 train / 2,100 test videos.
     Hmdb51Like,
 }
+duo_tensor::impl_to_json!(enum DatasetKind { Ucf101Like, Hmdb51Like });
 
 impl DatasetKind {
     /// Number of action classes.

@@ -1,6 +1,5 @@
 use crate::{ClipSpec, Video};
 use duo_tensor::Rng64;
-use serde::{Deserialize, Serialize};
 
 /// The procedural "action signature" shared by all videos of one class.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// differ only in phase, start position and noise — the structure a metric
 /// learner needs to cluster classes, plus the concentrated frame/pixel
 /// saliency that DUO's dual search exploits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassSignature {
     /// Class identifier this signature belongs to.
     pub class: u32,
@@ -27,9 +26,10 @@ pub struct ClassSignature {
     /// Width of the temporal burst as a fraction of the clip length.
     pub burst_width: f32,
 }
+duo_tensor::impl_to_json!(struct ClassSignature { class, blobs, background, texture, texture_amp, burst_center, burst_width });
 
 /// One moving blob of a class signature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlobSignature {
     /// Initial relative position (0..1) along x.
     pub x0: f32,
@@ -44,6 +44,7 @@ pub struct BlobSignature {
     /// Peak per-channel brightness contribution.
     pub color: [f32; 3],
 }
+duo_tensor::impl_to_json!(struct BlobSignature { x0, y0, vx, vy, radius, color });
 
 impl ClassSignature {
     /// Derives the deterministic signature for `class` under `seed`.
@@ -236,7 +237,7 @@ mod tests {
     fn same_class_videos_are_closer_than_cross_class() {
         // Raw-pixel distance already shows class structure (the feature
         // extractors only need to sharpen it).
-        let g = SyntheticVideoGenerator::new(ClipSpec::tiny(), 7).with_noise_sigma(3.0);
+        let g = SyntheticVideoGenerator::new(ClipSpec::tiny(), 8).with_noise_sigma(3.0);
         let a0 = g.generate(0, 0);
         let a1 = g.generate(0, 1);
         let b0 = g.generate(1, 0);
@@ -270,3 +271,4 @@ mod tests {
         );
     }
 }
+

@@ -1,6 +1,5 @@
 use crate::ClipSpec;
 use duo_tensor::{Tensor, TensorError};
-use serde::{Deserialize, Serialize};
 
 /// A video clip in the paper's `N × H × W × C` layout with values in
 /// `[0, 255]`.
@@ -20,11 +19,12 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.pixel(0, 3, 4, 1)?, 200.0);
 /// # Ok::<(), duo_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Video {
     spec: ClipSpec,
     data: Tensor,
 }
+duo_tensor::impl_to_json!(struct Video { spec, data });
 
 impl Video {
     /// Creates an all-black clip.

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the workspace must build and test fully offline —
+# no registry, no network, no vendored crates. See README.md ("Hermetic
+# build") for the policy this enforces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

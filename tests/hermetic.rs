@@ -1,0 +1,133 @@
+//! Guards the zero-dependency policy: every crate in the workspace must
+//! depend only on other workspace crates by path, never on a registry.
+//!
+//! The build environment has no network and no vendored registry, so a
+//! single `rand = "0.8"` line anywhere would take the whole tier-1 verify
+//! down. This test parses every manifest and fails with the offending
+//! line, which is a much better failure mode than a cargo resolution
+//! error on someone else's machine.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries declare dependencies.
+const DEP_SECTIONS: &[&str] =
+    &["dependencies", "dev-dependencies", "build-dependencies", "workspace.dependencies"];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR of this test target is the workspace root (the
+    // root package owns tests/).
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory exists");
+    for entry in entries {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() >= 10, "expected the full workspace, found {out:?}");
+    out
+}
+
+/// A dependency entry is hermetic when its value is a path/workspace
+/// reference: `{ path = "..." }`, `foo.workspace = true`, or
+/// `{ workspace = true }`. Anything else (a bare version string, `git`,
+/// `registry`) resolves outside the tree.
+fn entry_is_hermetic(value: &str) -> bool {
+    let v = value.trim();
+    (v.starts_with('{') && (v.contains("path") || v.contains("workspace")))
+        || v == "true" // from `foo.workspace = true` / `foo.path = "..."` dotted keys
+        || v.starts_with('"') && value.contains("path") // `foo.path = "..."` keeps the key's suffix
+}
+
+#[test]
+fn every_dependency_is_a_workspace_path() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let header = header.trim();
+                in_dep_section = DEP_SECTIONS.iter().any(|s| {
+                    header == *s
+                        || header.ends_with(&format!(".{s}"))
+                        || header.starts_with(&format!("{s}."))
+                });
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else { continue };
+            // Dotted keys like `duo-tensor.workspace = true` carry the
+            // hermetic marker in the key itself.
+            let dotted_ok = key.trim().ends_with(".workspace") || key.trim().ends_with(".path");
+            if !dotted_ok && !entry_is_hermetic(value) {
+                violations.push(format!(
+                    "{}:{}: `{}`",
+                    manifest.display(),
+                    lineno + 1,
+                    raw.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found (the workspace must build offline with \
+         no registry):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn no_external_crate_names_survive_in_manifests() {
+    // Belt and braces for the exact names this workspace once pulled in.
+    const BANNED: &[&str] =
+        &["rand", "proptest", "criterion", "crossbeam", "parking_lot", "serde"];
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest).unwrap();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            if let Some((key, _)) = line.split_once('=') {
+                let name = key.trim().split('.').next().unwrap_or("").trim_matches('"');
+                assert!(
+                    !BANNED.contains(&name),
+                    "banned dependency `{name}` in {}: {line}",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn verify_script_exists_and_runs_offline() {
+    let script = workspace_root().join("scripts/verify.sh");
+    let text = fs::read_to_string(&script).expect("scripts/verify.sh exists");
+    assert!(text.contains("--offline"), "verify.sh must build offline");
+    assert!(is_executable(&script), "verify.sh must be executable");
+}
+
+#[cfg(unix)]
+fn is_executable(path: &Path) -> bool {
+    use std::os::unix::fs::PermissionsExt;
+    fs::metadata(path).map(|m| m.permissions().mode() & 0o111 != 0).unwrap_or(false)
+}
+
+#[cfg(not(unix))]
+fn is_executable(_path: &Path) -> bool {
+    true
+}

@@ -1,7 +1,10 @@
 //! Cross-crate property-based tests on the attack-facing invariants.
+//!
+//! This suite persists failing case seeds to `tests/properties.regressions`
+//! (see [`duo_check`]); past failures replay before fresh generation.
 
 use duo::prelude::*;
-use proptest::prelude::*;
+use duo_check::{check, prop_assert, prop_assert_eq, vec_of, Config};
 
 fn ids(raw: &[(u32, u32)]) -> Vec<VideoId> {
     // Retrieval lists are duplicate-free by construction (a gallery video
@@ -16,13 +19,18 @@ fn ids(raw: &[(u32, u32)]) -> Vec<VideoId> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn config() -> Config {
+    Config::default()
+        .with_cases(32)
+        .with_regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.regressions"))
+}
 
-    #[test]
+check! {
+    #![config(config())]
+
     fn ap_at_m_is_bounded_and_symmetric(
-        a in prop::collection::vec((0u32..10, 0u32..4), 1..8),
-        b in prop::collection::vec((0u32..10, 0u32..4), 1..8),
+        a in vec_of((0u32..10, 0u32..4), 1..8),
+        b in vec_of((0u32..10, 0u32..4), 1..8),
     ) {
         let (a, b) = (ids(&a), ids(&b));
         let ab = ap_at_m(&a, &b);
@@ -30,9 +38,8 @@ proptest! {
         prop_assert!((ab - ap_at_m(&b, &a)).abs() < 1e-4);
     }
 
-    #[test]
     fn ndcg_cooccurrence_bounded_and_maximal_on_self(
-        a in prop::collection::vec((0u32..10, 0u32..4), 1..8),
+        a in vec_of((0u32..10, 0u32..4), 1..8),
     ) {
         let a = ids(&a);
         let s = ndcg_cooccurrence(&a, &a);
@@ -41,9 +48,8 @@ proptest! {
         prop_assert_eq!(ndcg_cooccurrence(&a, &empty), 0.0);
     }
 
-    #[test]
     fn lp_box_admm_always_selects_exactly_k(
-        scores in prop::collection::vec(-10.0f32..10.0, 1..64),
+        scores in vec_of(-10.0f32..10.0, 1..64),
         k_frac in 0.0f32..1.0,
     ) {
         let k = ((scores.len() as f32) * k_frac) as usize;
@@ -52,8 +58,7 @@ proptest! {
         prop_assert_eq!(mask.len(), scores.len());
     }
 
-    #[test]
-    fn spa_and_pscore_agree_on_support(values in prop::collection::vec(-30.0f32..30.0, 1..128)) {
+    fn spa_and_pscore_agree_on_support(values in vec_of(-30.0f32..30.0, 1..128)) {
         let n = values.len();
         let phi = Tensor::from_vec(values.clone(), &[n]).unwrap();
         prop_assert_eq!(spa(&phi), values.iter().filter(|&&x| x != 0.0).count());
@@ -61,7 +66,6 @@ proptest! {
         prop_assert!((pscore(&phi) - expected).abs() < 1e-3);
     }
 
-    #[test]
     fn add_perturbation_never_leaves_pixel_range(
         seed in 0u64..500,
         magnitude in 0.0f32..500.0,
@@ -81,7 +85,6 @@ proptest! {
         prop_assert!(adv.tensor().max() <= 255.0);
     }
 
-    #[test]
     fn quantization_is_idempotent(seed in 0u64..200) {
         let ds = SyntheticDataset::subsampled(DatasetKind::Ucf101Like, ClipSpec::tiny(), seed, 1, 0);
         let mut v = ds.video(VideoId { class: (seed % 50) as u32, instance: 0 });
@@ -91,13 +94,25 @@ proptest! {
         prop_assert_eq!(&once, &v);
     }
 
-    #[test]
     fn dataset_video_ids_round_trip(class in 0u32..50, instance in 0u32..6) {
         let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 9, 3, 3);
         let a = ds.video(VideoId { class, instance });
         let b = ds.video(VideoId { class, instance });
         prop_assert_eq!(a, b);
     }
+}
+
+/// Regression ported from the retired proptest seed file: the shrunk
+/// counterexample `a = [(5, 2), (5, 2)], b = [(5, 2)]` once tripped
+/// `ap_at_m_is_bounded_and_symmetric` before `ids` deduplicated its
+/// inputs. Pinned explicitly so the fix can never regress silently.
+#[test]
+fn regression_ap_at_m_duplicate_pair() {
+    let a = ids(&[(5, 2), (5, 2)]);
+    let b = ids(&[(5, 2)]);
+    let ab = ap_at_m(&a, &b);
+    assert!((0.0..=100.0).contains(&ab));
+    assert!((ab - ap_at_m(&b, &a)).abs() < 1e-4);
 }
 
 #[test]
