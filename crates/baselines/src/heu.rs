@@ -1,6 +1,6 @@
 use crate::select_heuristic_masks;
 use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
-use duo_retrieval::{ndcg_cooccurrence, BlackBox};
+use duo_retrieval::{ndcg_cooccurrence, QueryOracle};
 use duo_tensor::{Rng64, Tensor};
 use duo_video::{Video, VideoId};
 
@@ -50,7 +50,7 @@ impl HeuNesAttack {
     /// Propagates retrieval failures.
     pub fn run(
         &self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         v_t: &Video,
         rng: &mut Rng64,
@@ -142,7 +142,7 @@ impl HeuSimAttack {
     /// Propagates retrieval failures.
     pub fn run(
         &self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         v_t: &Video,
         rng: &mut Rng64,
@@ -166,7 +166,7 @@ fn mean(xs: &Tensor) -> f32 {
 mod tests {
     use super::*;
     use duo_models::{Architecture, Backbone, BackboneConfig};
-    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_retrieval::{BlackBox, RetrievalConfig, RetrievalSystem};
     use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
 
     fn setup() -> (BlackBox, SyntheticDataset) {

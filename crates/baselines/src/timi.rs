@@ -53,7 +53,7 @@ impl<'a> TimiAttack<'a> {
         let mut momentum = Tensor::zeros(v.tensor().dims());
         let mut trajectory = Vec::with_capacity(cfg.iters);
         for _ in 0..cfg.iters {
-            let feat = self.surrogate.extract(&v_adv)?;
+            let feat = self.surrogate.extract_training(&v_adv)?;
             let diff = feat.sub(&target_feat)?;
             trajectory.push(diff.dot(&diff)?);
             let grad_feat = diff.scale(2.0);

@@ -1,6 +1,6 @@
 use crate::select_random_masks;
 use duo_attack::{AttackOutcome, QueryConfig, Result, SparseQuery};
-use duo_retrieval::BlackBox;
+use duo_retrieval::QueryOracle;
 use duo_tensor::Rng64;
 use duo_video::Video;
 
@@ -45,7 +45,7 @@ impl VanillaAttack {
     /// Propagates retrieval failures.
     pub fn run(
         &self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         v_t: &Video,
         rng: &mut Rng64,
@@ -62,7 +62,7 @@ impl VanillaAttack {
 mod tests {
     use super::*;
     use duo_models::{Architecture, Backbone, BackboneConfig};
-    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_retrieval::{BlackBox, RetrievalConfig, RetrievalSystem};
     use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, VideoId};
 
     fn setup() -> (BlackBox, SyntheticDataset) {

@@ -1,0 +1,134 @@
+//! Serving-layer benchmarks: single-query vs micro-batched throughput.
+//!
+//! Two levels of measurement:
+//!
+//! * `serve/extract_*` — the raw batched forward ([`duo_nn::Layer::infer_batch`]
+//!   via `Backbone::extract_batch`) against a serial `extract` loop on one
+//!   thread. This isolates the compute-level amortization (shared im2col
+//!   workspace, hoisted weight reshape, reused matmul scratch); where
+//!   allocator pressure is low it degenerates to a parity check that the
+//!   batched path never costs more than the serial loop.
+//! * `serve/single_query_*` vs `serve/micro_batched_*` — the full service:
+//!   rounds of lockstep bursts from four concurrent client threads against
+//!   a live `duo-serve` service, with batching off (`batch_max = 1`, every
+//!   request is its own backbone forward and worker handoff) and on
+//!   (`batch_max = 4`, one coalesced batched forward per burst). On top of
+//!   the forward amortization, batching coalesces the per-request batcher
+//!   wakeups and scheduling handoffs, which is where most of the
+//!   single-core win comes from.
+//!
+//! Experiment-scale clips (32×32×16 frames) are used so the convolution
+//! lowering buffers are large enough for workspace reuse to matter — the
+//! same geometry the experiment binaries serve. The service-side p50/p95
+//! latency for each configuration is printed after the timing run (and
+//! lands in `DUO_BENCH_JSON` like every other result).
+
+use duo_bench::{bench_group, bench_main, Runner};
+use duo_experiments::{build_world, Scale};
+use duo_models::{Architecture, Backbone, BackboneConfig, LossKind};
+use duo_retrieval::RetrievalSystem;
+use duo_serve::{RetrievalService, ServeConfig};
+use duo_tensor::Rng64;
+use duo_video::{ClipSpec, DatasetKind, SyntheticVideoGenerator, Video};
+use std::hint::black_box;
+use std::sync::Barrier;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 4;
+
+fn bench_batched_forward(c: &mut Runner) {
+    let mut rng = Rng64::new(0xBA7C4);
+    let model =
+        Backbone::new(Architecture::I3d, BackboneConfig::experiment(), &mut rng).unwrap();
+    let generator = SyntheticVideoGenerator::new(ClipSpec::experiment(), 5);
+    let videos: Vec<Video> = (0..CLIENTS as u32).map(|i| generator.generate(i, i)).collect();
+    let refs: Vec<&Video> = videos.iter().collect();
+    c.bench_function("serve/extract_serial_4", |bench| {
+        bench.iter(|| {
+            for v in &refs {
+                black_box(model.extract(v).unwrap());
+            }
+        })
+    });
+    c.bench_function("serve/extract_batched_4", |bench| {
+        bench.iter(|| black_box(model.extract_batch(&refs, 1).unwrap()))
+    });
+}
+
+fn serve_system() -> (RetrievalSystem, Vec<Video>) {
+    let mut scale = Scale::smoke();
+    // Experiment-scale clips and backbone: large enough convolutions that
+    // the batched forward's workspace amortization is measurable.
+    scale.clip = ClipSpec::experiment();
+    scale.backbone = BackboneConfig::experiment();
+    let world =
+        build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, 0xBE_5E12)
+            .expect("serve bench world builds");
+    let videos: Vec<Video> = world
+        .dataset
+        .test()
+        .iter()
+        .filter(|id| id.class < scale.classes)
+        .take(CLIENTS)
+        .map(|&id| world.dataset.video(id))
+        .collect();
+    assert_eq!(videos.len(), CLIENTS, "bench corpus too small");
+    (world.system, videos)
+}
+
+/// Serves `ROUNDS` bursts: all clients submit one query in lockstep, so
+/// the batcher sees `CLIENTS` concurrent requests per round.
+fn serve_bursts(service: &RetrievalService, videos: &[Video]) {
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for video in videos {
+            let client = service.client(None, None);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    client.retrieve(video).expect("bench query serves");
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve(c: &mut Runner) {
+    let (mut system, videos) = serve_system();
+    let configs = [
+        (
+            "serve/single_query_4clients",
+            ServeConfig { workers: 2, batch_max: 1, ..ServeConfig::default() },
+        ),
+        // batch_max equals the burst width, so every batch closes full —
+        // the wait deadline only matters for stragglers.
+        (
+            "serve/micro_batched_4clients",
+            ServeConfig {
+                workers: 2,
+                batch_max: CLIENTS,
+                batch_wait: Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        let service = RetrievalService::start(system, config).expect("service starts");
+        c.bench_function(name, |bench| bench.iter(|| serve_bursts(&service, &videos)));
+        let (recovered, stats) = service.shutdown_into();
+        println!(
+            "  {name}: served {} (mean batch {:.2}), service p50 {} us / p95 {} us",
+            stats.served, stats.mean_batch, stats.latency_p50_us, stats.latency_p95_us
+        );
+        system = recovered.expect("no client handles outlive the burst");
+    }
+}
+
+bench_group! {
+    name = benches;
+    config = Runner::default().sample_size(20);
+    targets = bench_batched_forward, bench_serve
+}
+bench_main!(benches);

@@ -28,7 +28,7 @@ fn bench_backbone_forward(c: &mut Runner) {
     let mut rng = Rng64::new(3);
     let video = SyntheticVideoGenerator::new(ClipSpec::tiny(), 5).generate(0, 0);
     for arch in [Architecture::C3d, Architecture::I3d, Architecture::SlowFast] {
-        let mut model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
+        let model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
         c.bench_function(&format!("substrate/extract_{arch}"), |bench| {
             bench.iter(|| black_box(model.extract(&video).unwrap()))
         });
@@ -42,7 +42,7 @@ fn bench_input_gradient(c: &mut Runner) {
     let grad = Tensor::ones(&[BackboneConfig::tiny().feature_dim]);
     c.bench_function("substrate/input_gradient_c3d", |bench| {
         bench.iter(|| {
-            model.extract(&video).unwrap();
+            model.extract_training(&video).unwrap();
             black_box(model.input_gradient(&video, &grad).unwrap())
         })
     });

@@ -7,7 +7,7 @@ use crate::{
     AttackOutcome, AttackReport, QueryConfig, Result, SparseQuery, SparseTransfer, TransferConfig,
 };
 use duo_models::Backbone;
-use duo_retrieval::{ap_at_m, BlackBox};
+use duo_retrieval::{ap_at_m, BlackBox, QueryOracle};
 use duo_tensor::Rng64;
 use duo_video::{ClipSpec, Video};
 
@@ -103,7 +103,7 @@ impl DuoAttack {
     /// Propagates surrogate and retrieval failures.
     pub fn run(
         &mut self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         v_t: &Video,
         rng: &mut Rng64,
@@ -142,7 +142,7 @@ impl DuoAttack {
     /// Propagates surrogate and retrieval failures.
     pub fn run_untargeted(
         &mut self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         rng: &mut Rng64,
     ) -> Result<AttackOutcome> {

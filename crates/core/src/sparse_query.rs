@@ -10,7 +10,7 @@
 //! `±ε`, and keeps whichever candidate lowers 𝕋 (Eq. 3).
 
 use crate::{AttackError, AttackGoal, AttackOutcome, Result, SparseMasks};
-use duo_retrieval::{ndcg_cooccurrence, BlackBox};
+use duo_retrieval::{ndcg_cooccurrence, QueryOracle, RetrievalError};
 use duo_tensor::Rng64;
 use duo_video::{Video, VideoId};
 
@@ -80,7 +80,7 @@ impl SparseQuery {
     /// propagates retrieval failures other than budget exhaustion.
     pub fn run(
         &self,
-        blackbox: &mut BlackBox,
+        blackbox: &mut dyn QueryOracle,
         v: &Video,
         v_t: &Video,
         masks: &SparseMasks,
@@ -191,7 +191,14 @@ impl SparseQuery {
                 if !changed {
                     continue;
                 }
-                let t_new = objective(&blackbox.retrieve(&candidate)?);
+                // Budget exhaustion mid-search is a normal stopping
+                // condition, not a failure: keep the best video found.
+                let list = match blackbox.retrieve(&candidate) {
+                    Ok(list) => list,
+                    Err(RetrievalError::BudgetExhausted { .. }) => break 'outer,
+                    Err(e) => return Err(e.into()),
+                };
+                let t_new = objective(&list);
                 if t_new < t_cur {
                     v_adv = candidate;
                     t_cur = t_new;
@@ -218,7 +225,7 @@ mod tests {
     use super::*;
     use crate::{SparseTransfer, TransferConfig};
     use duo_models::{Architecture, Backbone, BackboneConfig};
-    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_retrieval::{BlackBox, RetrievalConfig, RetrievalSystem};
     use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
 
     fn setup() -> (BlackBox, SyntheticDataset, Backbone) {

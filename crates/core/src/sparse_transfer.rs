@@ -201,7 +201,7 @@ impl<'a> SparseTransfer<'a> {
                 let mask = masks.mask();
                 let phi = mask.mul(&masks.theta)?;
                 let v_adv = v.add_perturbation(&phi)?;
-                let feat = surrogate.extract(&v_adv)?;
+                let feat = surrogate.extract_training(&v_adv)?;
                 let grad_feat = feat.sub(&target_feat)?.scale(2.0 * loss_sign);
                 let g_raw = surrogate.input_gradient(&v_adv, &grad_feat)?;
                 *last_grad = g_raw.clone();

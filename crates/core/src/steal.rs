@@ -9,7 +9,7 @@
 use crate::{AttackError, Result};
 use duo_models::{Architecture, Backbone, BackboneConfig, TripletLoss};
 use duo_nn::{Adam, Optimizer, Parameterized};
-use duo_retrieval::BlackBox;
+use duo_retrieval::QueryOracle;
 use duo_tensor::Rng64;
 use duo_video::{SyntheticDataset, VideoId};
 use std::collections::HashSet;
@@ -97,7 +97,7 @@ duo_tensor::impl_to_json!(struct StealReport { distinct_videos, triplets_used, q
 /// Returns [`AttackError::BadConfig`] for an empty probe pool and
 /// propagates query/training failures.
 pub fn steal_surrogate(
-    blackbox: &mut BlackBox,
+    blackbox: &mut dyn QueryOracle,
     dataset: &SyntheticDataset,
     probe_pool: &[VideoId],
     config: StealConfig,
@@ -175,11 +175,11 @@ pub fn steal_surrogate(
             epoch_loss += l;
             if l > 0.0 {
                 // Re-forward each leg so its cache is live for backward.
-                surrogate.extract(&va)?;
+                surrogate.extract_training(&va)?;
                 surrogate.backward_params(&ga)?;
-                surrogate.extract(&vp)?;
+                surrogate.extract_training(&vp)?;
                 surrogate.backward_params(&gp)?;
-                surrogate.extract(&vn)?;
+                surrogate.extract_training(&vn)?;
                 surrogate.backward_params(&gn)?;
             }
             in_batch += 1;
@@ -211,7 +211,7 @@ pub fn steal_surrogate(
 mod tests {
     use super::*;
     use duo_models::BackboneConfig;
-    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_retrieval::{BlackBox, RetrievalConfig, RetrievalSystem};
     use duo_video::{ClipSpec, DatasetKind};
 
     fn setup() -> (BlackBox, SyntheticDataset) {
@@ -235,7 +235,7 @@ mod tests {
         let (mut bb, ds) = setup();
         let mut rng = Rng64::new(192);
         let probes: Vec<_> = ds.test().iter().filter(|id| id.class < 10).copied().collect();
-        let (mut surrogate, report) =
+        let (surrogate, report) =
             steal_surrogate(&mut bb, &ds, &probes, StealConfig::quick(), &mut rng).unwrap();
         assert!(report.distinct_videos > 1);
         assert!(report.triplets_used > 0);

@@ -43,7 +43,7 @@ impl EnsembleDetector {
     /// Returns [`DefenseError::BadCalibration`] for an empty gallery and
     /// propagates feature-extraction failures.
     pub fn build(
-        mut secondary: Backbone,
+        secondary: Backbone,
         dataset: &SyntheticDataset,
         gallery_ids: &[VideoId],
         m: usize,

@@ -1,0 +1,11 @@
+//! Runs the DUO pipeline against the duo-serve service surface, with
+//! benign tenant traffic, printing attack metrics plus ServiceStats JSON
+//! (set DUO_SCALE=smoke for a fast pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::serve::run(scale) {
+        eprintln!("serve_attack failed: {e}");
+        std::process::exit(1);
+    }
+}

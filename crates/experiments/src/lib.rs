@@ -213,11 +213,16 @@ pub fn build_world(
         .into_iter()
         .filter(|id| id.instance >= scale.train_per_class)
         .collect();
-    let system = RetrievalSystem::build(
+    // Parallel gallery indexing and threaded node fan-out are both
+    // bit-identical to their serial counterparts (asserted by tier-1
+    // tests), so experiments default to the fast path.
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+    let system = RetrievalSystem::build_parallel(
         backbone,
         &dataset,
         &gallery,
-        RetrievalConfig { m: scale.m, nodes: scale.nodes, threaded: false },
+        RetrievalConfig { m: scale.m, nodes: scale.nodes, threaded: true },
+        workers,
     )?;
     Ok(World { dataset, system, arch, loss, scale })
 }

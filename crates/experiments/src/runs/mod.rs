@@ -7,6 +7,7 @@ pub mod ext_ensemble;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod serve;
 pub mod table10;
 pub mod table2;
 pub mod table3;

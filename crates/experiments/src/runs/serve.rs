@@ -1,0 +1,141 @@
+//! Serving-layer experiment: the full DUO pipeline (steal → attack)
+//! executed against the deployed `duo-serve` service while benign client
+//! traffic shares the same worker pool, instead of against a private
+//! in-process [`duo_retrieval::BlackBox`].
+//!
+//! This is the paper's threat model taken literally: the adversary is
+//! just one more metered client of the victim service, subject to the
+//! same admission control (query budget + rate limit) as everyone else.
+//! Prints an attack row plus the final [`duo_serve::ServiceStats`] as
+//! JSON (machine-readable, like `DUO_BENCH_JSON`).
+
+use super::RunResult;
+use crate::{build_world, Scale};
+use duo_attack::{steal_surrogate, DuoAttack};
+use duo_models::{Architecture, LossKind};
+use duo_retrieval::{ap_at_m, QueryOracle};
+use duo_serve::{RateLimit, RetrievalService, ServeConfig, ServiceOracle};
+use duo_tensor::{Rng64, ToJson};
+use duo_video::{DatasetKind, VideoId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Reproduces the serving experiment: DUO through the service surface.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Serving layer: DUO as a metered client (scale: {}) ===", scale.name);
+    let world =
+        build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, 0x5E12FE)?;
+    let (dataset, world_scale) = (world.dataset, world.scale);
+    let service = RetrievalService::start(world.system, ServeConfig::default())?;
+    println!(
+        "service up: {} workers, batch_max {}, queue_cap {}",
+        service.config().workers,
+        service.config().batch_max,
+        service.config().queue_cap
+    );
+
+    // Benign tenants: rate-limited clients replaying test probes while
+    // the attack runs, so batches actually mix traffic.
+    let stop = AtomicBool::new(false);
+    let probes: Vec<VideoId> =
+        dataset.test().iter().filter(|id| id.class < world_scale.classes).copied().collect();
+
+    let row: Result<(f32, usize, u64), String> = std::thread::scope(|scope| {
+        let mut benign = Vec::new();
+        for _ in 0..3 {
+            let client = service.client(None, Some(RateLimit::new(4, 200.0)));
+            let (dataset, probes, stop) = (&dataset, &probes, &stop);
+            benign.push(scope.spawn(move || {
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for &id in probes {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if client.retrieve(&dataset.video(id)).is_ok() {
+                            served += 1;
+                        } else {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    }
+                }
+                served
+            }));
+        }
+
+        let run_attack = || -> Result<(f32, usize, u64), String> {
+            // The adversary: a budgeted, rate-limited client like any other.
+            let mut rng = Rng64::new(0x5E12FE ^ 0x5EED);
+            let mut oracle = ServiceOracle::new(
+                service.client(Some(100_000), Some(RateLimit::new(64, 2_000.0))),
+            );
+            let (surrogate, steal) = steal_surrogate(
+                &mut oracle,
+                &dataset,
+                &probes,
+                world_scale.steal_config(Architecture::C3d),
+                &mut rng,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "surrogate stolen through the service: {} queries, {} triplets",
+                steal.queries, steal.triplets_used
+            );
+
+            // Pick the candidate pair with the strongest overlapping baseline.
+            let pool: Vec<VideoId> = dataset
+                .train()
+                .iter()
+                .filter(|id| {
+                    id.class < world_scale.classes && id.instance == world_scale.train_per_class
+                })
+                .copied()
+                .collect();
+            let mut lists = Vec::with_capacity(pool.len());
+            for &id in &pool {
+                lists.push(oracle.retrieve(&dataset.video(id)).map_err(|e| e.to_string())?);
+            }
+            let mut pair = (0, 1, -1.0f32);
+            for i in 0..pool.len() {
+                for j in 0..pool.len() {
+                    if pool[i].class != pool[j].class {
+                        let ap = ap_at_m(&lists[i], &lists[j]);
+                        if ap > pair.2 {
+                            pair = (i, j, ap);
+                        }
+                    }
+                }
+            }
+            let (v, v_t) = (dataset.video(pool[pair.0]), dataset.video(pool[pair.1]));
+            println!(
+                "attack pair: class {} -> class {} (baseline AP@m {:.1}%)",
+                pool[pair.0].class, pool[pair.1].class, pair.2
+            );
+
+            let mut attack = DuoAttack::new(surrogate, world_scale.duo_config());
+            let outcome =
+                attack.run(&mut oracle, &v, &v_t, &mut rng).map_err(|e| e.to_string())?;
+
+            // Final AP@m, measured through the same service surface.
+            let r_adv =
+                oracle.retrieve(&outcome.adversarial).map_err(|e| e.to_string())?;
+            Ok((ap_at_m(&r_adv, &lists[pair.1]), outcome.spa(), oracle.queries_used()))
+        };
+        let row = run_attack();
+
+        stop.store(true, Ordering::Relaxed);
+        let benign_served: u64 = benign.into_iter().map(|h| h.join().unwrap()).sum();
+        println!("benign tenants served {benign_served} queries alongside the attack");
+        row
+    });
+    let (ap, spa, queries) = row?;
+
+    let stats = service.shutdown();
+    println!("\n{:<24}{:>10}{:>8}{:>10}", "attack (via serve)", "AP@m", "Spa", "queries");
+    println!("{:<24}{:>9.2}%{:>8}{:>10}", "DUO-C3D", ap, spa, queries);
+    println!(
+        "\nserved {} ({} batches, mean batch {:.2}, p95 latency {} us)",
+        stats.served, stats.batches, stats.mean_batch, stats.latency_p95_us
+    );
+    println!("service stats JSON: {}", stats.to_json());
+    Ok(())
+}

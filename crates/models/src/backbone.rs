@@ -281,7 +281,7 @@ impl Backbone {
         net.push(Box::new(Flatten::new()));
         let clip = config.clip;
         let probe = Tensor::zeros(&[clip.channels, clip.frames, clip.height, clip.width]);
-        let flat = net.forward(&probe).map_err(|e| {
+        let flat = net.infer(&probe).map_err(|e| {
             ModelError::BadConfig(format!("clip {clip:?} incompatible with {arch}: {e}"))
         })?;
         net.push(Box::new(Linear::new(flat.len(), config.feature_dim, rng)));
@@ -306,20 +306,94 @@ impl Backbone {
 
     /// Extracts the L2-normalized embedding of a video.
     ///
+    /// This is the pure inference path: it takes `&self`, leaves no
+    /// forward caches behind, and is bit-identical to
+    /// [`Backbone::extract_training`] for the deterministic layers used by
+    /// every built-in architecture. Because it is immutable, one backbone
+    /// can serve concurrent extractions from many threads.
+    ///
     /// # Errors
     ///
     /// Returns an error if the clip geometry is incompatible with the
     /// backbone's downsampling structure.
-    pub fn extract(&mut self, video: &Video) -> Result<Tensor> {
-        Ok(self.net.forward(&video.to_model_input())?)
+    pub fn extract(&self, video: &Video) -> Result<Tensor> {
+        Ok(self.net.infer(&video.to_model_input())?)
     }
 
-    /// Extracts the embedding from a prepared `[C, T, H, W]` tensor.
+    /// Extracts the embedding from a prepared `[C, T, H, W]` tensor
+    /// (pure inference, `&self`).
     ///
     /// # Errors
     ///
     /// Same as [`Backbone::extract`].
-    pub fn extract_tensor(&mut self, input: &Tensor) -> Result<Tensor> {
+    pub fn extract_tensor(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(self.net.infer(input)?)
+    }
+
+    /// Extracts embeddings for a batch of videos through the network's
+    /// batched forward ([`duo_nn::Layer::infer_batch`]), fanning chunks
+    /// across up to `workers` threads.
+    ///
+    /// The batched forward runs the exact same per-item computation as
+    /// [`Backbone::extract`] — it only amortizes per-call setup (im2col
+    /// workspaces, weight reshapes) across the batch — so the result is
+    /// bit-identical to a serial loop. Parallelism and batching only
+    /// change wall-clock time, never values. `workers == 0` is treated
+    /// as 1. Results are returned in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-item error in input order, if any.
+    pub fn extract_batch(&self, videos: &[&Video], workers: usize) -> Result<Vec<Tensor>> {
+        if videos.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = workers.max(1).min(videos.len());
+        if workers == 1 {
+            let inputs: Vec<Tensor> = videos.iter().map(|v| v.to_model_input()).collect();
+            return Ok(self.net.infer_batch(&inputs)?);
+        }
+        let mut slots: Vec<Option<Result<Vec<Tensor>>>> = Vec::new();
+        let chunk = videos.len().div_ceil(workers);
+        slots.resize_with(videos.chunks(chunk).len(), || None);
+        std::thread::scope(|scope| {
+            for (vids, slot) in videos.chunks(chunk).zip(slots.iter_mut()) {
+                scope.spawn(move || {
+                    let inputs: Vec<Tensor> = vids.iter().map(|v| v.to_model_input()).collect();
+                    *slot = Some(self.net.infer_batch(&inputs).map_err(Into::into));
+                });
+            }
+        });
+        let mut outs = Vec::with_capacity(videos.len());
+        for slot in slots {
+            outs.extend(slot.expect("every slot filled by its worker")?);
+        }
+        Ok(outs)
+    }
+
+    /// Extracts an embedding through the *training* forward pass, leaving
+    /// per-layer caches in place for a subsequent
+    /// [`Backbone::input_gradient`] or [`Backbone::backward_params`].
+    ///
+    /// Produces bit-identical embeddings to [`Backbone::extract`] for the
+    /// deterministic layers used by the built-in architectures; the only
+    /// difference is the cached state (and dropout masking, for user nets
+    /// that include a training-mode [`duo_nn::Dropout`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Backbone::extract`].
+    pub fn extract_training(&mut self, video: &Video) -> Result<Tensor> {
+        Ok(self.net.forward(&video.to_model_input())?)
+    }
+
+    /// Training-path variant of [`Backbone::extract_tensor`]: caches the
+    /// forward state needed by the backward passes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Backbone::extract`].
+    pub fn extract_tensor_training(&mut self, input: &Tensor) -> Result<Tensor> {
         Ok(self.net.forward(input)?)
     }
 
@@ -327,8 +401,8 @@ impl Backbone {
     /// (`[N, H, W, C]` layout, including the 1/255 input scaling), given
     /// the loss gradient with respect to the embedding.
     ///
-    /// Must be called immediately after [`Backbone::extract`] on the same
-    /// video: the backward pass consumes the forward caches.
+    /// Must be called immediately after [`Backbone::extract_training`] on
+    /// the same video: the backward pass consumes the forward caches.
     ///
     /// Parameter gradients accumulated by this call are discarded — the
     /// attack differentiates the input, not the weights.
@@ -347,8 +421,8 @@ impl Backbone {
     /// Backpropagates a feature-space gradient to accumulate *parameter*
     /// gradients (training path). The input gradient is discarded.
     ///
-    /// Must be called immediately after [`Backbone::extract`] on the same
-    /// video.
+    /// Must be called immediately after [`Backbone::extract_training`] on
+    /// the same video.
     ///
     /// # Errors
     ///
@@ -391,7 +465,7 @@ mod tests {
             Architecture::Resnet18,
         ] {
             let mut rng = Rng64::new(101);
-            let mut model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
+            let model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
             let feat = model.extract(&video).unwrap();
             assert_eq!(feat.len(), 32, "{arch}");
             assert!((feat.l2_norm() - 1.0).abs() < 1e-4, "{arch} features must be normalized");
@@ -402,8 +476,8 @@ mod tests {
     fn architectures_disagree_on_the_same_input() {
         let video = tiny_video();
         let mut rng = Rng64::new(102);
-        let mut a = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-        let mut b = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let a = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let b = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
         let fa = a.extract(&video).unwrap();
         let fb = b.extract(&video).unwrap();
         assert!(fa.sq_distance(&fb).unwrap() > 1e-4);
@@ -414,7 +488,7 @@ mod tests {
         let video = tiny_video();
         let mut rng = Rng64::new(103);
         let mut model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-        let feat = model.extract(&video).unwrap();
+        let feat = model.extract_training(&video).unwrap();
         let g = model.input_gradient(&video, &feat).unwrap();
         assert_eq!(g.dims(), video.tensor().dims());
         assert!(g.l2_norm() > 0.0, "gradient should be nonzero");
@@ -427,7 +501,7 @@ mod tests {
         let mut rng = Rng64::new(104);
         let mut model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
         let c = Tensor::randn(&[32], 1.0, rng.as_rng());
-        let _ = model.extract(&video).unwrap();
+        let _ = model.extract_training(&video).unwrap();
         let g = model.input_gradient(&video, &c).unwrap();
         let eps = 0.5; // half a pixel step out of 255
         for &probe in &[10usize, 500, 2000] {
@@ -444,6 +518,43 @@ mod tests {
                 "probe {probe}: numeric {num} vs analytic {ana}"
             );
         }
+    }
+
+    #[test]
+    fn inference_matches_training_forward_bitwise() {
+        let video = tiny_video();
+        for arch in [
+            Architecture::I3d,
+            Architecture::Tpn,
+            Architecture::SlowFast,
+            Architecture::Resnet34,
+            Architecture::C3d,
+            Architecture::Resnet18,
+        ] {
+            let mut rng = Rng64::new(106);
+            let mut model = Backbone::new(arch, BackboneConfig::tiny(), &mut rng).unwrap();
+            let infer = model.extract(&video).unwrap();
+            let train = model.extract_training(&video).unwrap();
+            assert_eq!(infer.as_slice(), train.as_slice(), "{arch}: infer must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batched_extract_is_bit_identical_to_serial() {
+        let gen = SyntheticVideoGenerator::new(ClipSpec::tiny(), 3);
+        let videos: Vec<Video> = (0u32..7).map(|i| gen.generate(i % 3, i)).collect();
+        let refs: Vec<&Video> = videos.iter().collect();
+        let mut rng = Rng64::new(107);
+        let model = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let serial: Vec<Tensor> = refs.iter().map(|v| model.extract(v).unwrap()).collect();
+        for workers in [1, 3, 4, 16] {
+            let batched = model.extract_batch(&refs, workers).unwrap();
+            assert_eq!(batched.len(), serial.len());
+            for (i, (a, b)) in batched.iter().zip(&serial).enumerate() {
+                assert_eq!(a.as_slice(), b.as_slice(), "workers={workers} item {i}");
+            }
+        }
+        assert!(model.extract_batch(&[], 4).unwrap().is_empty());
     }
 
     #[test]

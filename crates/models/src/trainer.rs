@@ -79,7 +79,7 @@ pub fn train_embedding_model(
         let mut in_batch = 0usize;
         for &id in &order {
             let video = dataset.video(id);
-            let feat = backbone.extract(&video)?;
+            let feat = backbone.extract_training(&video)?;
             let (loss, grad_emb) = head.loss_and_grad(&feat, id.class)?;
             backbone.backward_params(&grad_emb)?;
             epoch_loss += loss;

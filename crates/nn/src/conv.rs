@@ -1,5 +1,5 @@
 use crate::{Layer, NnError, Param, Result};
-use duo_tensor::{col2im3d, im2col3d, matmul_into, Conv3dSpec, Rng64, Tensor};
+use duo_tensor::{col2im3d, im2col3d, im2col3d_into, matmul_into, Conv3dSpec, Rng64, Tensor};
 
 /// 3-D convolution over `[C, T, H, W]` inputs.
 ///
@@ -47,21 +47,14 @@ impl Conv3d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
-}
 
-impl std::fmt::Debug for Conv3d {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Conv3d")
-            .field("in", &self.spec.in_channels)
-            .field("out", &self.out_channels)
-            .field("kernel", &(self.spec.kt, self.spec.kh, self.spec.kw))
-            .field("stride", &(self.spec.st, self.spec.sh, self.spec.sw))
-            .finish()
-    }
-}
-
-impl Layer for Conv3d {
-    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+    /// The lowered forward pass. Returns the output plus the `im2col`
+    /// buffer and geometry so the training path can cache them; the
+    /// inference path drops them on the floor.
+    fn run_forward(
+        &self,
+        input: &Tensor,
+    ) -> Result<(Tensor, Tensor, (usize, usize, usize))> {
         if input.rank() != 4 {
             return Err(NnError::BadInput {
                 layer: "Conv3d",
@@ -84,8 +77,76 @@ impl Layer for Conv3d {
                 *x += b;
             }
         }
+        let out = out.reshape(&[self.out_channels, out_thw.0, out_thw.1, out_thw.2])?;
+        Ok((out, cols, out_thw))
+    }
+}
+
+impl std::fmt::Debug for Conv3d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conv3d")
+            .field("in", &self.spec.in_channels)
+            .field("out", &self.out_channels)
+            .field("kernel", &(self.spec.kt, self.spec.kh, self.spec.kw))
+            .field("stride", &(self.spec.st, self.spec.sh, self.spec.sw))
+            .finish()
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let (out, cols, out_thw) = self.run_forward(input)?;
         self.cache = Some(ConvCache { cols, in_dims: input.dims().to_vec(), out_thw });
-        Ok(out.reshape(&[self.out_channels, out_thw.0, out_thw.1, out_thw.2])?)
+        Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let (out, _cols, _out_thw) = self.run_forward(input)?;
+        Ok(out)
+    }
+
+    fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        // The per-call setup — reshaping the weight to a matrix (a full
+        // copy of the weight data) and allocating the im2col buffer (the
+        // largest allocation in the whole forward pass) — is identical
+        // for every same-shaped input, so hoist it out of the loop. The
+        // per-item arithmetic and its order are unchanged, keeping each
+        // output bit-identical to `infer`.
+        let Some((first, _)) = inputs.split_first() else {
+            return Ok(Vec::new());
+        };
+        if inputs.iter().any(|x| x.dims() != first.dims()) {
+            return inputs.iter().map(|x| self.infer(x)).collect();
+        }
+        if first.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "Conv3d",
+                reason: format!("needs rank-4 [C,T,H,W], got {:?}", first.dims()),
+            });
+        }
+        let (t, h, w) = (first.dims()[1], first.dims()[2], first.dims()[3]);
+        let out_thw = self.spec.output_thw(t, h, w)?;
+        let positions = out_thw.0 * out_thw.1 * out_thw.2;
+        let k = self.spec.in_channels * self.spec.kt * self.spec.kh * self.spec.kw;
+        let wm = self.weight.value.reshape(&[self.out_channels, k])?;
+        let bv = self.bias.value.as_slice().to_vec();
+        let mut cols = Tensor::zeros(&[k, positions]);
+        // Scratch output reused across items: `matmul_into` zero-fills it
+        // before accumulating, so stale values never leak between items.
+        let mut out = Tensor::zeros(&[self.out_channels, positions]);
+        let mut outs = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            im2col3d_into(input, &self.spec, &mut cols)?;
+            matmul_into(&wm, &cols, &mut out)?;
+            let ov = out.as_mut_slice();
+            for (o, &b) in bv.iter().enumerate() {
+                for x in &mut ov[o * positions..(o + 1) * positions] {
+                    *x += b;
+                }
+            }
+            outs.push(out.reshape(&[self.out_channels, out_thw.0, out_thw.1, out_thw.2])?);
+        }
+        Ok(outs)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -64,6 +64,12 @@ impl Layer for Dropout {
         Ok(out)
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        // Inference is always evaluation mode: deterministic identity,
+        // regardless of the training flag or internal RNG position.
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.as_ref().ok_or(NnError::MissingForwardCache { layer: "Dropout" })?;
         if mask.len() != grad_out.len() {

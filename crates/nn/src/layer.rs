@@ -36,22 +36,54 @@ macro_rules! param_free {
 
 /// A differentiable computation node with explicit forward/backward passes.
 ///
-/// Layers are stateful: `forward` caches whatever the matching `backward`
-/// needs, and `backward` both *returns the input gradient* and *accumulates
-/// parameter gradients* into each [`Param::grad`]. This contract is what
-/// lets the attack crates differentiate a whole backbone down to video
-/// pixels (for SparseTransfer) with the same code path used for training.
+/// Layers are stateful on the *training* path: `forward` caches whatever
+/// the matching `backward` needs, and `backward` both *returns the input
+/// gradient* and *accumulates parameter gradients* into each
+/// [`Param::grad`]. This contract is what lets the attack crates
+/// differentiate a whole backbone down to video pixels (for
+/// SparseTransfer) with the same code path used for training.
+///
+/// The *inference* path is [`Layer::infer`]: the identical computation in
+/// evaluation mode, without touching any cache. Because it takes `&self`
+/// (and the trait requires `Send + Sync`), a built network can be shared
+/// across threads — the serving layer runs one model under concurrent
+/// query load this way.
 ///
 /// Implementations must tolerate repeated `forward` calls (the latest cache
-/// wins) and must return an error — not panic — when `backward` is called
-/// before any `forward`.
-pub trait Layer: Parameterized + Send {
+/// wins), must return an error — not panic — when `backward` is called
+/// before any `forward`, and must keep `infer` bit-identical to an
+/// evaluation-mode `forward` on the same input.
+pub trait Layer: Parameterized + Send + Sync {
     /// Computes the layer output for `input`, caching for `backward`.
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape is incompatible with the layer.
     fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Computes the layer output without caching backward state
+    /// (evaluation mode). Bit-identical to `forward` for deterministic
+    /// layers; stochastic layers (dropout) behave as the identity, exactly
+    /// like their evaluation mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn infer(&self, input: &Tensor) -> Result<Tensor>;
+
+    /// Computes the layer output for a *batch* of inputs in evaluation
+    /// mode. Bit-identical to calling [`Layer::infer`] on each input in
+    /// order — the default does exactly that — but layers with expensive
+    /// per-call setup (im2col workspaces, weight reshapes) override it to
+    /// amortize that work across the batch. This is the batched forward
+    /// entry point the serving layer's micro-batcher drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-input error, exactly as `infer` would.
+    fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        inputs.iter().map(|x| self.infer(x)).collect()
+    }
 
     /// Propagates `grad_out` back through the layer, returning the gradient
     /// with respect to the input and accumulating parameter gradients.
@@ -113,6 +145,29 @@ impl Layer for Sequential {
         Ok(x)
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x)?;
+        }
+        Ok(x)
+    }
+
+    fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        // Feed the whole batch through layer by layer so each layer's
+        // batched override amortizes its setup once per layer, not once
+        // per item. The first layer consumes `inputs` directly, so the
+        // batch of (large) input clips is never cloned.
+        let Some((first, rest)) = self.layers.split_first() else {
+            return Ok(inputs.to_vec());
+        };
+        let mut batch = first.infer_batch(inputs)?;
+        for layer in rest {
+            batch = layer.infer_batch(&batch)?;
+        }
+        Ok(batch)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -159,6 +214,10 @@ impl Layer for Relu {
         Ok(input.map(|x| x.max(0.0)))
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(input.map(|x| x.max(0.0)))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mask = self.mask.as_ref().ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
         if mask.len() != grad_out.len() {
@@ -199,24 +258,33 @@ impl GlobalAvgPool {
     }
 }
 
+fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    if input.rank() < 2 {
+        return Err(NnError::BadInput {
+            layer: "GlobalAvgPool",
+            reason: format!("needs rank >= 2, got {}", input.rank()),
+        });
+    }
+    let c = input.dims()[0];
+    let per: usize = input.dims()[1..].iter().product();
+    let mut out = Tensor::zeros(&[c]);
+    let iv = input.as_slice();
+    for ch in 0..c {
+        let s: f32 = iv[ch * per..(ch + 1) * per].iter().sum();
+        out.as_mut_slice()[ch] = s / per as f32;
+    }
+    Ok(out)
+}
+
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        if input.rank() < 2 {
-            return Err(NnError::BadInput {
-                layer: "GlobalAvgPool",
-                reason: format!("needs rank >= 2, got {}", input.rank()),
-            });
-        }
-        let c = input.dims()[0];
-        let per: usize = input.dims()[1..].iter().product();
+        let out = global_avg_pool(input)?;
         self.in_dims = Some(input.dims().to_vec());
-        let mut out = Tensor::zeros(&[c]);
-        let iv = input.as_slice();
-        for ch in 0..c {
-            let s: f32 = iv[ch * per..(ch + 1) * per].iter().sum();
-            out.as_mut_slice()[ch] = s / per as f32;
-        }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        global_avg_pool(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -277,6 +345,11 @@ impl Layer for L2Normalize {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         let norm = input.l2_norm().max(self.eps);
         self.cache = Some((input.clone(), norm));
+        Ok(input.scale(1.0 / norm))
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let norm = input.l2_norm().max(self.eps);
         Ok(input.scale(1.0 / norm))
     }
 
@@ -349,6 +422,38 @@ impl Layer for Residual {
         })
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let main_out = self.main.infer(input)?;
+        let skip = match &self.shortcut {
+            Some(s) => s.infer(input)?,
+            None => input.clone(),
+        };
+        main_out.add(&skip).map_err(|e| {
+            NnError::BadInput {
+                layer: "Residual",
+                reason: format!("main/shortcut shape mismatch: {e}"),
+            }
+        })
+    }
+
+    fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let main_outs = self.main.infer_batch(inputs)?;
+        let skips = match &self.shortcut {
+            Some(s) => s.infer_batch(inputs)?,
+            None => inputs.to_vec(),
+        };
+        main_outs
+            .iter()
+            .zip(&skips)
+            .map(|(m, s)| {
+                m.add(s).map_err(|e| NnError::BadInput {
+                    layer: "Residual",
+                    reason: format!("main/shortcut shape mismatch: {e}"),
+                })
+            })
+            .collect()
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         if !self.forwarded {
             return Err(NnError::MissingForwardCache { layer: "Residual" });
@@ -399,29 +504,38 @@ impl TemporalStride {
     }
 }
 
+fn temporal_subsample(input: &Tensor, stride: usize) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "TemporalStride",
+            reason: format!("needs rank-4 [C,T,H,W], got rank {}", input.rank()),
+        });
+    }
+    let (c, t, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let ot = t.div_ceil(stride);
+    let mut out = Tensor::zeros(&[c, ot, h, w]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    let frame = h * w;
+    for ch in 0..c {
+        for (oz, z) in (0..t).step_by(stride).enumerate() {
+            let src = (ch * t + z) * frame;
+            let dst = (ch * ot + oz) * frame;
+            ov[dst..dst + frame].copy_from_slice(&iv[src..src + frame]);
+        }
+    }
+    Ok(out)
+}
+
 impl Layer for TemporalStride {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        if input.rank() != 4 {
-            return Err(NnError::BadInput {
-                layer: "TemporalStride",
-                reason: format!("needs rank-4 [C,T,H,W], got rank {}", input.rank()),
-            });
-        }
-        let (c, t, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
-        let ot = t.div_ceil(self.stride);
+        let out = temporal_subsample(input, self.stride)?;
         self.in_dims = Some(input.dims().to_vec());
-        let mut out = Tensor::zeros(&[c, ot, h, w]);
-        let iv = input.as_slice();
-        let ov = out.as_mut_slice();
-        let frame = h * w;
-        for ch in 0..c {
-            for (oz, z) in (0..t).step_by(self.stride).enumerate() {
-                let src = (ch * t + z) * frame;
-                let dst = (ch * ot + oz) * frame;
-                ov[dst..dst + frame].copy_from_slice(&iv[src..src + frame]);
-            }
-        }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        temporal_subsample(input, self.stride)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -28,6 +28,27 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    fn compute(&self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() != 1 || input.len() != self.in_features {
+            return Err(NnError::BadInput {
+                layer: "Linear",
+                reason: format!(
+                    "expected rank-1 input of length {}, got {:?}",
+                    self.in_features,
+                    input.dims()
+                ),
+            });
+        }
+        let mut out = self.bias.value.clone();
+        let wv = self.weight.value.as_slice();
+        let xv = input.as_slice();
+        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &wv[o * self.in_features..(o + 1) * self.in_features];
+            *out_val += row.iter().zip(xv).map(|(w, x)| w * x).sum::<f32>();
+        }
+        Ok(out)
+    }
 }
 
 impl std::fmt::Debug for Linear {
@@ -41,25 +62,13 @@ impl std::fmt::Debug for Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
-        if input.rank() != 1 || input.len() != self.in_features {
-            return Err(NnError::BadInput {
-                layer: "Linear",
-                reason: format!(
-                    "expected rank-1 input of length {}, got {:?}",
-                    self.in_features,
-                    input.dims()
-                ),
-            });
-        }
+        let out = self.compute(input)?;
         self.cache = Some(input.clone());
-        let mut out = self.bias.value.clone();
-        let wv = self.weight.value.as_slice();
-        let xv = input.as_slice();
-        for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
-            let row = &wv[o * self.in_features..(o + 1) * self.in_features];
-            *out_val += row.iter().zip(xv).map(|(w, x)| w * x).sum::<f32>();
-        }
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        self.compute(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -125,6 +134,10 @@ impl Flatten {
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
         self.in_dims = Some(input.dims().to_vec());
+        Ok(input.reshape(&[input.len()])?)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
         Ok(input.reshape(&[input.len()])?)
     }
 

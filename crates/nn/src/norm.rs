@@ -92,6 +92,41 @@ impl Layer for InstanceNorm {
         Ok(out)
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        if input.rank() < 2 || input.dims()[0] != self.channels {
+            return Err(NnError::BadInput {
+                layer: "InstanceNorm",
+                reason: format!(
+                    "needs [C={}, …] with rank ≥ 2, got {:?}",
+                    self.channels,
+                    input.dims()
+                ),
+            });
+        }
+        let per: usize = input.dims()[1..].iter().product();
+        if per == 0 {
+            return Err(NnError::BadInput {
+                layer: "InstanceNorm",
+                reason: "empty spatial extent".into(),
+            });
+        }
+        let iv = input.as_slice();
+        let gv = self.gamma.value.as_slice();
+        let bv = self.beta.value.as_slice();
+        let mut out = Tensor::zeros(input.dims());
+        let ov = out.as_mut_slice();
+        for c in 0..self.channels {
+            let slice = &iv[c * per..(c + 1) * per];
+            let mean = slice.iter().sum::<f32>() / per as f32;
+            let var = slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / per as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            for (i, &x) in slice.iter().enumerate() {
+                ov[c * per + i] = gv[c] * ((x - mean) * is) + bv[c];
+            }
+        }
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let cache =
             self.cache.as_ref().ok_or(NnError::MissingForwardCache { layer: "InstanceNorm" })?;

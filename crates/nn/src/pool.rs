@@ -22,6 +22,11 @@ impl Layer for MaxPool3d {
         Ok(out)
     }
 
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        let (out, _argmax) = max_pool3d(input, &self.spec)?;
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let (in_dims, argmax) =
             self.cache.as_ref().ok_or(NnError::MissingForwardCache { layer: "MaxPool3d" })?;
@@ -52,6 +57,10 @@ impl Layer for AvgPool3d {
         let out = avg_pool3d(input, &self.spec)?;
         self.in_dims = Some(input.dims().to_vec());
         Ok(out)
+    }
+
+    fn infer(&self, input: &Tensor) -> Result<Tensor> {
+        Ok(avg_pool3d(input, &self.spec)?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

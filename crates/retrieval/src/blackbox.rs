@@ -1,4 +1,4 @@
-use crate::{RetrievalSystem, Result};
+use crate::{QueryLedger, QueryOracle, RetrievalSystem, Result};
 use duo_video::{Video, VideoId};
 
 /// The attacker-facing surface of the victim service.
@@ -16,29 +16,28 @@ use duo_video::{Video, VideoId};
 #[derive(Debug)]
 pub struct BlackBox {
     system: RetrievalSystem,
-    queries: u64,
-    budget: Option<u64>,
+    ledger: QueryLedger,
 }
 
 impl BlackBox {
     /// Wraps a retrieval system with unlimited query budget.
     pub fn new(system: RetrievalSystem) -> Self {
-        BlackBox { system, queries: 0, budget: None }
+        BlackBox { system, ledger: QueryLedger::unlimited() }
     }
 
     /// Wraps a retrieval system with a hard query budget.
     pub fn with_budget(system: RetrievalSystem, budget: u64) -> Self {
-        BlackBox { system, queries: 0, budget: Some(budget) }
+        BlackBox { system, ledger: QueryLedger::with_budget(budget) }
     }
 
     /// Number of queries issued so far.
     pub fn queries_used(&self) -> u64 {
-        self.queries
+        self.ledger.used()
     }
 
     /// The remaining budget, if one is set.
     pub fn budget_remaining(&self) -> Option<u64> {
-        self.budget.map(|b| b.saturating_sub(self.queries))
+        self.ledger.remaining()
     }
 
     /// Length `m` of returned retrieval lists.
@@ -50,17 +49,10 @@ impl BlackBox {
     ///
     /// # Errors
     ///
-    /// Returns [`crate::RetrievalError::BadConfig`] when the query budget
-    /// is exhausted, and propagates retrieval failures.
+    /// Returns [`crate::RetrievalError::BudgetExhausted`] when the query
+    /// budget is exhausted, and propagates retrieval failures.
     pub fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
-        if let Some(budget) = self.budget {
-            if self.queries >= budget {
-                return Err(crate::RetrievalError::BadConfig(format!(
-                    "query budget of {budget} exhausted"
-                )));
-            }
-        }
-        self.queries += 1;
+        self.ledger.charge()?;
         let mut submitted = video.clone();
         submitted.quantize();
         self.system.retrieve(&submitted)
@@ -76,6 +68,24 @@ impl BlackBox {
     /// mAP baselines). Attack code must only use [`BlackBox::retrieve`].
     pub fn system_mut(&mut self) -> &mut RetrievalSystem {
         &mut self.system
+    }
+}
+
+impl QueryOracle for BlackBox {
+    fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+        BlackBox::retrieve(self, video)
+    }
+
+    fn queries_used(&self) -> u64 {
+        BlackBox::queries_used(self)
+    }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        BlackBox::budget_remaining(self)
+    }
+
+    fn m(&self) -> usize {
+        BlackBox::m(self)
     }
 }
 
@@ -124,7 +134,13 @@ mod tests {
         assert!(bb.retrieve(&v).is_ok());
         assert_eq!(bb.budget_remaining(), Some(1));
         assert!(bb.retrieve(&v).is_ok());
-        assert!(bb.retrieve(&v).is_err(), "third query must exceed the budget");
+        assert!(
+            matches!(
+                bb.retrieve(&v),
+                Err(crate::RetrievalError::BudgetExhausted { budget: 2 })
+            ),
+            "third query must exceed the budget with a matchable error"
+        );
         assert_eq!(bb.queries_used(), 2, "rejected queries are not counted");
     }
 

@@ -10,6 +10,15 @@ pub enum RetrievalError {
     BadConfig(String),
     /// Every data node is offline; no shard can answer.
     AllNodesOffline,
+    /// The client's query budget is spent; the query was not executed.
+    ///
+    /// Carried as a dedicated variant (rather than a config-error string)
+    /// so attack loops can match on it and stop gracefully with their
+    /// best-so-far result.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for RetrievalError {
@@ -18,6 +27,9 @@ impl fmt::Display for RetrievalError {
             RetrievalError::Model(e) => write!(f, "model error: {e}"),
             RetrievalError::BadConfig(msg) => write!(f, "bad retrieval config: {msg}"),
             RetrievalError::AllNodesOffline => write!(f, "all data nodes are offline"),
+            RetrievalError::BudgetExhausted { budget } => {
+                write!(f, "query budget of {budget} exhausted")
+            }
         }
     }
 }

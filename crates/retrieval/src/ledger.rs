@@ -1,0 +1,112 @@
+//! Query accounting shared by every attacker-facing surface.
+//!
+//! The paper's threat model makes query efficiency a first-class metric:
+//! each query the adversary submits is counted, and an optional hard
+//! budget turns overshoot into an error instead of silent extra access.
+//! [`QueryLedger`] is that counter, factored out so the single-client
+//! [`crate::BlackBox`] and multi-client serving layers account queries
+//! with the exact same semantics.
+
+use crate::{Result, RetrievalError};
+
+/// A query counter with an optional hard budget.
+///
+/// Rejected charges are *not* counted: a query that bounces off the
+/// budget never reached the model, so it costs the adversary nothing on
+/// the efficiency metric (matching [`crate::BlackBox`]'s long-standing
+/// behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryLedger {
+    used: u64,
+    budget: Option<u64>,
+}
+
+impl QueryLedger {
+    /// Creates a ledger with no budget (unlimited queries).
+    pub fn unlimited() -> Self {
+        QueryLedger { used: 0, budget: None }
+    }
+
+    /// Creates a ledger with a hard budget.
+    pub fn with_budget(budget: u64) -> Self {
+        QueryLedger { used: 0, budget: Some(budget) }
+    }
+
+    /// Creates a ledger from an optional budget.
+    pub fn new(budget: Option<u64>) -> Self {
+        QueryLedger { used: 0, budget }
+    }
+
+    /// Counts one query against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BudgetExhausted`] — without counting the
+    /// query — when the budget is already spent.
+    pub fn charge(&mut self) -> Result<()> {
+        if let Some(budget) = self.budget {
+            if self.used >= budget {
+                return Err(RetrievalError::BudgetExhausted { budget });
+            }
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Number of queries charged so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// The remaining allowance, if a budget is set.
+    pub fn remaining(&self) -> Option<u64> {
+        self.budget.map(|b| b.saturating_sub(self.used))
+    }
+
+    /// Whether the next charge would be rejected.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == Some(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_ledger_never_rejects() {
+        let mut ledger = QueryLedger::unlimited();
+        for _ in 0..1000 {
+            ledger.charge().unwrap();
+        }
+        assert_eq!(ledger.used(), 1000);
+        assert_eq!(ledger.remaining(), None);
+        assert!(!ledger.is_exhausted());
+    }
+
+    #[test]
+    fn budget_rejects_without_counting() {
+        let mut ledger = QueryLedger::with_budget(2);
+        ledger.charge().unwrap();
+        ledger.charge().unwrap();
+        assert!(matches!(
+            ledger.charge(),
+            Err(RetrievalError::BudgetExhausted { budget: 2 })
+        ));
+        assert_eq!(ledger.used(), 2, "rejected charges must not count");
+        assert!(ledger.is_exhausted());
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let mut ledger = QueryLedger::new(Some(3));
+        assert_eq!(ledger.remaining(), Some(3));
+        ledger.charge().unwrap();
+        assert_eq!(ledger.remaining(), Some(2));
+    }
+}

@@ -21,7 +21,7 @@
 //! let mut rng = Rng64::new(1);
 //! let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 1, 1, 0);
 //! let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
-//! let mut sys = RetrievalSystem::build(backbone, &ds, ds.train(), RetrievalConfig::default())?;
+//! let sys = RetrievalSystem::build(backbone, &ds, ds.train(), RetrievalConfig::default())?;
 //! let result = sys.retrieve(&ds.video(ds.train()[0]))?;
 //! assert_eq!(result.len(), sys.config().m.min(ds.train().len()));
 //! # Ok::<(), duo_retrieval::RetrievalError>(())
@@ -32,15 +32,19 @@
 
 mod blackbox;
 mod error;
+mod ledger;
 mod metrics;
 mod node;
+mod oracle;
 mod persist;
 mod system;
 
 pub use blackbox::BlackBox;
 pub use error::RetrievalError;
+pub use ledger::QueryLedger;
 pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence};
 pub use node::{DataNode, NodeStatus, ScoredId};
+pub use oracle::QueryOracle;
 pub use persist::GalleryIndex;
 pub use system::{RetrievalConfig, RetrievalSystem};
 

@@ -1,0 +1,38 @@
+//! The query interface attacks are written against.
+//!
+//! The paper's adversary interacts with the victim purely through
+//! retrieval lists `R^m(v)`. [`QueryOracle`] captures exactly that
+//! surface, so attack implementations are agnostic to *how* queries reach
+//! the system — directly through an in-process [`crate::BlackBox`], or
+//! through a serving layer with batching and rate limits in front of it.
+
+use crate::Result;
+use duo_video::{Video, VideoId};
+
+/// Black-box query access to a victim retrieval system.
+///
+/// Implementations must:
+///
+/// * return the top-`m` retrieval list for a submitted video;
+/// * count every executed query (`queries_used`);
+/// * reject queries past an optional hard budget with
+///   [`crate::RetrievalError::BudgetExhausted`], *without* counting the
+///   rejected query.
+pub trait QueryOracle {
+    /// Submits a query video and returns `R^m(v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RetrievalError::BudgetExhausted`] when the query
+    /// budget is spent, and propagates retrieval failures.
+    fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>>;
+
+    /// Number of queries executed so far.
+    fn queries_used(&self) -> u64;
+
+    /// The remaining budget, if one is set.
+    fn budget_remaining(&self) -> Option<u64>;
+
+    /// Length `m` of returned retrieval lists.
+    fn m(&self) -> usize;
+}

@@ -216,7 +216,7 @@ mod tests {
             Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
         let params = duo_models::export_params(sys.backbone_mut());
         duo_models::import_params(&mut restored_backbone, &params).unwrap();
-        let mut restored = RetrievalSystem::from_index(
+        let restored = RetrievalSystem::from_index(
             restored_backbone,
             &index,
             RetrievalConfig { m: 5, nodes: 5, threaded: false },

@@ -53,32 +53,16 @@ impl RetrievalSystem {
     /// Returns [`RetrievalError::BadConfig`] for zero `m`/`nodes` and
     /// propagates feature-extraction failures.
     pub fn build(
-        mut backbone: Backbone,
+        backbone: Backbone,
         dataset: &SyntheticDataset,
         gallery: &[VideoId],
         config: RetrievalConfig,
     ) -> Result<Self> {
-        if config.m == 0 || config.nodes == 0 {
-            return Err(RetrievalError::BadConfig(format!(
-                "m and nodes must be positive, got {config:?}"
-            )));
-        }
-        let mut shards: Vec<Vec<(VideoId, Tensor)>> = (0..config.nodes).map(|_| Vec::new()).collect();
-        for (i, &id) in gallery.iter().enumerate() {
-            let feat = backbone.extract(&dataset.video(id))?;
-            shards[i % config.nodes].push((id, feat));
-        }
-        let nodes = shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
-            .collect();
-        Ok(RetrievalSystem { backbone, nodes, config, gallery_len: gallery.len() })
+        Self::build_with_workers(backbone, dataset, gallery, config, 1)
     }
 
     /// Like [`RetrievalSystem::build`], but extracts gallery features on
-    /// `workers` scoped threads, each running a parameter-identical clone
-    /// of the backbone (cloned via the checkpointing machinery). Produces
+    /// `workers` scoped threads sharing one immutable backbone. Produces
     /// a system with *bit-identical* retrieval behaviour to the serial
     /// build — indexing a large gallery is the one embarrassingly
     /// parallel step of service construction.
@@ -86,71 +70,59 @@ impl RetrievalSystem {
     /// # Errors
     ///
     /// Returns [`RetrievalError::BadConfig`] for zero `m`/`nodes`/`workers`
-    /// and propagates feature-extraction and clone failures.
+    /// and propagates feature-extraction failures.
     pub fn build_parallel(
-        mut backbone: Backbone,
+        backbone: Backbone,
         dataset: &SyntheticDataset,
         gallery: &[VideoId],
         config: RetrievalConfig,
         workers: usize,
     ) -> Result<Self> {
-        if config.m == 0 || config.nodes == 0 || workers == 0 {
+        if workers == 0 {
             return Err(RetrievalError::BadConfig(format!(
                 "m, nodes and workers must be positive, got {config:?} with {workers} workers"
             )));
         }
-        let params = duo_models::export_params(&mut backbone);
-        let arch = backbone.arch();
-        let bcfg = backbone.config();
-        let chunk_size = gallery.len().div_ceil(workers.min(gallery.len()).max(1));
-        let chunks: Vec<&[VideoId]> = if gallery.is_empty() {
-            Vec::new()
+        Self::build_with_workers(backbone, dataset, gallery, config, workers)
+    }
+
+    /// Common indexing path: extract every gallery feature (in gallery
+    /// order, on up to `workers` threads sharing `&backbone`), then deal
+    /// the features round-robin over the shards. Shard layout is a
+    /// function of gallery order alone, so worker count never changes the
+    /// resulting system.
+    fn build_with_workers(
+        backbone: Backbone,
+        dataset: &SyntheticDataset,
+        gallery: &[VideoId],
+        config: RetrievalConfig,
+        workers: usize,
+    ) -> Result<Self> {
+        if config.m == 0 || config.nodes == 0 {
+            return Err(RetrievalError::BadConfig(format!(
+                "m and nodes must be positive, got {config:?}"
+            )));
+        }
+        let feats: Vec<Tensor> = if workers <= 1 {
+            let mut feats = Vec::with_capacity(gallery.len());
+            for &id in gallery {
+                feats.push(backbone.extract(&dataset.video(id))?);
+            }
+            feats
         } else {
-            gallery.chunks(chunk_size).collect()
+            let videos: Vec<_> = gallery.iter().map(|&id| dataset.video(id)).collect();
+            let refs: Vec<&_> = videos.iter().collect();
+            backbone.extract_batch(&refs, workers)?
         };
-        let extracted: Vec<Result<Vec<(VideoId, Tensor)>>> =
-            std::thread::scope(|scope| {
-                let params = &params;
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || -> Result<Vec<(VideoId, Tensor)>> {
-                            let mut model =
-                                Backbone::new(arch, bcfg, &mut duo_tensor::Rng64::new(0))
-                                    .map_err(RetrievalError::Model)?;
-                            duo_models::import_params(&mut model, params)
-                                .map_err(RetrievalError::Model)?;
-                            let mut out = Vec::with_capacity(chunk.len());
-                            for &id in chunk {
-                                let feat = model
-                                    .extract(&dataset.video(id))
-                                    .map_err(RetrievalError::Model)?;
-                                out.push((id, feat));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("indexing worker panicked"))
-                    .collect()
-            });
-        // Preserve the serial build's shard layout: features in gallery
-        // order, dealt round-robin.
         let mut shards: Vec<Vec<(VideoId, Tensor)>> =
             (0..config.nodes).map(|_| Vec::new()).collect();
-        let mut i = 0usize;
-        for chunk in extracted {
-            for entry in chunk? {
-                shards[i % config.nodes].push(entry);
-                i += 1;
-            }
+        for (i, (&id, feat)) in gallery.iter().zip(feats).enumerate() {
+            shards[i % config.nodes].push((id, feat));
         }
         let nodes = shards
             .into_iter()
             .enumerate()
-            .map(|(idx, entries)| DataNode::new(format!("node-{idx}"), entries))
+            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
             .collect();
         Ok(RetrievalSystem { backbone, nodes, config, gallery_len: gallery.len() })
     }
@@ -180,30 +152,54 @@ impl RetrievalSystem {
         &self.nodes
     }
 
-    /// Immutable access to the victim backbone (white-box evaluations and
+    /// Read access to the victim backbone (white-box evaluations and
     /// defense harnesses use this; the black-box attacker surface is
     /// [`crate::BlackBox`]).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Mutable access to the victim backbone (training-path evaluations
+    /// that need input gradients through the victim use this).
     pub fn backbone_mut(&mut self) -> &mut Backbone {
         &mut self.backbone
     }
 
     /// Extracts the victim's embedding for a video.
     ///
+    /// Pure inference (`&self`): one system can embed queries for many
+    /// threads concurrently.
+    ///
     /// # Errors
     ///
     /// Propagates feature-extraction failures.
-    pub fn embed(&mut self, video: &Video) -> Result<Tensor> {
+    pub fn embed(&self, video: &Video) -> Result<Tensor> {
         Ok(self.backbone.extract(video)?)
+    }
+
+    /// Extracts victim embeddings for a batch of queries, fanning the
+    /// per-item work over up to `workers` threads. Bit-identical to
+    /// calling [`RetrievalSystem::embed`] per item, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction failures.
+    pub fn embed_batch(&self, videos: &[&Video], workers: usize) -> Result<Vec<Tensor>> {
+        Ok(self.backbone.extract_batch(videos, workers)?)
     }
 
     /// Full retrieval path: returns the global top-`m` gallery ids for the
     /// query video, most similar first.
     ///
+    /// Takes `&self` end to end — extraction, fan-out and merge are all
+    /// read-only — so a single system instance is safely shared across
+    /// serving threads without a global lock.
+    ///
     /// # Errors
     ///
     /// Returns [`RetrievalError::AllNodesOffline`] when no shard can
     /// answer, and propagates feature-extraction failures.
-    pub fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+    pub fn retrieve(&self, video: &Video) -> Result<Vec<VideoId>> {
         let query = self.backbone.extract(video)?;
         self.retrieve_by_feature(&query)
     }
@@ -265,7 +261,7 @@ mod tests {
 
     #[test]
     fn retrieve_returns_m_results_most_similar_first() {
-        let (mut sys, ds) = small_system(false);
+        let (sys, ds) = small_system(false);
         let probe = ds.video(VideoId { class: 0, instance: 0 });
         let result = sys.retrieve(&probe).unwrap();
         assert_eq!(result.len(), 5);
@@ -275,15 +271,15 @@ mod tests {
 
     #[test]
     fn threaded_and_inline_fanout_agree() {
-        let (mut a, ds) = small_system(false);
-        let (mut b, _) = small_system(true);
+        let (a, ds) = small_system(false);
+        let (b, _) = small_system(true);
         let probe = ds.video(VideoId { class: 3, instance: 0 });
         assert_eq!(a.retrieve(&probe).unwrap(), b.retrieve(&probe).unwrap());
     }
 
     #[test]
     fn node_failure_degrades_but_does_not_corrupt() {
-        let (mut sys, ds) = small_system(false);
+        let (sys, ds) = small_system(false);
         let probe = ds.video(VideoId { class: 0, instance: 0 });
         let full = sys.retrieve(&probe).unwrap();
         sys.nodes()[0].set_offline();
@@ -301,7 +297,7 @@ mod tests {
 
     #[test]
     fn all_nodes_offline_is_an_error() {
-        let (mut sys, ds) = small_system(false);
+        let (sys, ds) = small_system(false);
         for node in sys.nodes() {
             node.set_offline();
         }
@@ -316,12 +312,12 @@ mod tests {
             ds.train().iter().filter(|id| id.class < 10).copied().collect();
         let config = RetrievalConfig { m: 5, nodes: 3, threaded: false };
         // Identical weights in both builds via a shared seed.
-        let mut serial = {
+        let serial = {
             let mut rng = Rng64::new(132);
             let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
             RetrievalSystem::build(b, &ds, &gallery, config).unwrap()
         };
-        let mut parallel = {
+        let parallel = {
             let mut rng = Rng64::new(132);
             let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
             RetrievalSystem::build_parallel(b, &ds, &gallery, config, 4).unwrap()

@@ -1,0 +1,65 @@
+//! Service and client configuration.
+
+use std::time::Duration;
+
+/// Configuration of the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Retrieval worker threads draining the batched work queue.
+    pub workers: usize,
+    /// Maximum requests coalesced into one batched backbone forward.
+    pub batch_max: usize,
+    /// How long the batcher waits for more requests once a batch is open.
+    pub batch_wait: Duration,
+    /// Ingress queue capacity; admission sheds load beyond this.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            batch_max: 8,
+            batch_wait: Duration::from_millis(2),
+            queue_cap: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::BadConfig`] for zero workers, batch
+    /// size, or queue capacity.
+    pub fn validate(&self) -> Result<(), crate::ServeError> {
+        if self.workers == 0 || self.batch_max == 0 || self.queue_cap == 0 {
+            return Err(crate::ServeError::BadConfig(format!(
+                "workers, batch_max and queue_cap must be positive, got {self:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Token-bucket rate limit for one client.
+///
+/// `burst` queries are available immediately; afterwards tokens refill at
+/// `refill_per_sec`. A refill rate of `0.0` makes the limit a one-time
+/// allowance of `burst` queries — useful for deterministic tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity (maximum burst size).
+    pub burst: u32,
+    /// Sustained refill rate in tokens per second.
+    pub refill_per_sec: f32,
+}
+
+impl RateLimit {
+    /// A limit allowing `burst` queries immediately and `refill_per_sec`
+    /// sustained.
+    pub fn new(burst: u32, refill_per_sec: f32) -> Self {
+        RateLimit { burst, refill_per_sec }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type of the serving layer.
+
+use duo_retrieval::RetrievalError;
+use std::fmt;
+
+/// Errors a service client can observe.
+///
+/// Admission failures ([`ServeError::BudgetExhausted`],
+/// [`ServeError::RateLimited`], [`ServeError::Overloaded`]) mean the query
+/// never reached the model and was **not** charged against the client's
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service was started with invalid parameters.
+    BadConfig(String),
+    /// The client's hard query budget is spent.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// The client's token bucket is empty; retry after the hint.
+    RateLimited {
+        /// Suggested wait before retrying, in milliseconds
+        /// (`u64::MAX` when the bucket never refills).
+        retry_after_ms: u64,
+    },
+    /// The ingress queue is full; the service is shedding load.
+    Overloaded {
+        /// The configured queue capacity that was hit.
+        queue_cap: usize,
+    },
+    /// The service has been shut down (or dropped).
+    Stopped,
+    /// The retrieval system itself failed to answer.
+    Retrieval(RetrievalError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadConfig(msg) => write!(f, "bad serve config: {msg}"),
+            ServeError::BudgetExhausted { budget } => {
+                write!(f, "query budget of {budget} exhausted")
+            }
+            ServeError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
+            }
+            ServeError::Overloaded { queue_cap } => {
+                write!(f, "service overloaded (queue capacity {queue_cap})")
+            }
+            ServeError::Stopped => write!(f, "service stopped"),
+            ServeError::Retrieval(e) => write!(f, "retrieval error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Retrieval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<RetrievalError> for ServeError {
+    fn from(e: RetrievalError) -> Self {
+        match e {
+            RetrievalError::BudgetExhausted { budget } => ServeError::BudgetExhausted { budget },
+            other => ServeError::Retrieval(other),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! In-tree latency histogram with logarithmic buckets.
+//!
+//! The workspace is dependency-free, so quantile estimation is done with
+//! a fixed array of power-of-two buckets over microseconds: bucket `i`
+//! holds samples in `[2^(i-1), 2^i)` µs. Quantiles are reported as the
+//! upper bound of the bucket containing the requested rank — coarse
+//! (within 2×), allocation-free, and O(1) to record.
+
+/// Power-of-two-bucketed histogram of microsecond samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; Self::BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of buckets: covers up to 2^39 µs ≈ 6.4 days.
+    const BUCKETS: usize = 40;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; Self::BUCKETS], count: 0, max_us: 0 }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`). Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == Self::BUCKETS - 1 {
+                    // Overflow bucket: its true upper bound is the max.
+                    return self.max_us;
+                }
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                // Never report beyond the true maximum.
+                return upper.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples_within_a_bucket() {
+        let mut h = LatencyHistogram::new();
+        for us in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 51200] {
+            h.record(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        // The 5th sample is 1600 µs; its bucket upper bound is 2048.
+        assert!((1600..=2048).contains(&p50), "p50 {p50}");
+        let p100 = h.quantile_us(1.0);
+        assert_eq!(p100, 51200, "max quantile is clamped to the true max");
+    }
+
+    #[test]
+    fn zero_and_huge_samples_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(0.01), 0);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..2000u64 {
+            h.record(us);
+        }
+        let mut prev = 0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let v = h.quantile_us(q);
+            assert!(v >= prev, "quantiles must be monotone: q={q} gave {v} < {prev}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Adapter exposing a [`ClientHandle`] as a
+//! [`duo_retrieval::QueryOracle`], so every attack in the workspace can
+//! run unchanged against the concurrent service instead of a private
+//! [`duo_retrieval::BlackBox`].
+
+use crate::{ClientHandle, ServeError};
+use duo_retrieval::{QueryOracle, Result, RetrievalError};
+use duo_video::{Video, VideoId};
+use std::time::Duration;
+
+/// A [`QueryOracle`] backed by a serving client.
+///
+/// Transient admission rejections ([`ServeError::RateLimited`],
+/// [`ServeError::Overloaded`]) are retried a bounded number of times with
+/// a short sleep; hard failures (budget exhaustion, shutdown, model
+/// errors) surface immediately as [`RetrievalError`]s. Budget exhaustion
+/// maps to [`RetrievalError::BudgetExhausted`], so attack loops stop
+/// gracefully exactly as they do against a local black box.
+#[derive(Debug, Clone)]
+pub struct ServiceOracle {
+    client: ClientHandle,
+    max_retries: u32,
+}
+
+impl ServiceOracle {
+    /// Wraps a client handle with the default retry policy (16 attempts).
+    pub fn new(client: ClientHandle) -> Self {
+        ServiceOracle { client, max_retries: 16 }
+    }
+
+    /// Overrides how many times transient rejections are retried.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The underlying client handle.
+    pub fn client(&self) -> &ClientHandle {
+        &self.client
+    }
+}
+
+fn to_retrieval_error(e: ServeError) -> RetrievalError {
+    match e {
+        ServeError::BudgetExhausted { budget } => RetrievalError::BudgetExhausted { budget },
+        ServeError::Retrieval(inner) => inner,
+        other => RetrievalError::BadConfig(format!("serving error: {other}")),
+    }
+}
+
+impl QueryOracle for ServiceOracle {
+    fn retrieve(&mut self, video: &Video) -> Result<Vec<VideoId>> {
+        let mut attempt = 0;
+        loop {
+            match self.client.retrieve(video) {
+                Ok(list) => return Ok(list),
+                Err(ServeError::RateLimited { retry_after_ms }) if attempt < self.max_retries => {
+                    attempt += 1;
+                    // Honour the limiter's hint, but stay responsive.
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 50)));
+                }
+                Err(ServeError::Overloaded { .. }) if attempt < self.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(to_retrieval_error(e)),
+            }
+        }
+    }
+
+    fn queries_used(&self) -> u64 {
+        self.client.queries_used()
+    }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        self.client.budget_remaining()
+    }
+
+    fn m(&self) -> usize {
+        self.client.list_len().unwrap_or(0)
+    }
+}

@@ -1,0 +1,398 @@
+//! The serving core: admission control, micro-batcher, and worker pool.
+//!
+//! ```text
+//! client ──► rate limiter ──► ingress queue ──► batcher ──► worker pool ──► nodes
+//!            + budget          (bounded)         (coalesce    (retrieve_by_feature
+//!            (QueryLedger)                        + batched     per request)
+//!                                                 embed)
+//! ```
+//!
+//! One [`duo_retrieval::RetrievalSystem`] is shared read-only across the
+//! batcher and every worker — the whole inference path takes `&self`, so
+//! no global lock is needed. All mutability lives in the per-client
+//! accounts (budget ledger + token bucket) and the stats counters, each
+//! behind its own mutex that is never held across model work.
+
+use crate::{ServeConfig, ServeError, StatsInner, TokenBucket};
+use duo_retrieval::{QueryLedger, RetrievalSystem};
+use duo_tensor::Tensor;
+use duo_video::{Video, VideoId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-client accounting: the paper's query-budget threat model mapped
+/// onto serving-side admission.
+#[derive(Debug)]
+pub(crate) struct ClientAccount {
+    ledger: QueryLedger,
+    bucket: Option<TokenBucket>,
+}
+
+pub(crate) struct Shared {
+    system: RetrievalSystem,
+    stats: Mutex<StatsInner>,
+    clients: Mutex<Vec<ClientAccount>>,
+    queue_depth: AtomicUsize,
+    stopped: AtomicBool,
+}
+
+struct Request {
+    video: Video,
+    enqueued: Instant,
+    reply: SyncSender<Result<Vec<VideoId>, ServeError>>,
+}
+
+enum Msg {
+    Request(Request),
+    Shutdown,
+}
+
+struct Work {
+    request: Request,
+    feature: Tensor,
+}
+
+/// A concurrent, micro-batched retrieval service over one shared
+/// [`RetrievalSystem`].
+///
+/// Start with [`RetrievalService::start`], hand out [`ClientHandle`]s via
+/// [`RetrievalService::client`], and stop with
+/// [`RetrievalService::shutdown`] (which returns the final
+/// [`crate::ServiceStats`]).
+pub struct RetrievalService {
+    shared: Arc<Shared>,
+    ingress: SyncSender<Msg>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl std::fmt::Debug for RetrievalService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetrievalService")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl RetrievalService {
+    /// Starts the service: spawns the batcher and `config.workers`
+    /// retrieval workers over the given system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero workers, batch size, or
+    /// queue capacity.
+    pub fn start(system: RetrievalSystem, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            system,
+            stats: Mutex::new(StatsInner::new(config.batch_max)),
+            clients: Mutex::new(Vec::new()),
+            queue_depth: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+        });
+        let (ingress, ingress_rx) = mpsc::sync_channel::<Msg>(config.queue_cap);
+        let (work_tx, work_rx) = mpsc::sync_channel::<Work>(config.queue_cap);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared, &ingress_rx, work_tx, config))
+        };
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let work_rx = Arc::clone(&work_rx);
+                std::thread::spawn(move || worker_loop(&shared, &work_rx))
+            })
+            .collect();
+        Ok(RetrievalService { shared, ingress, batcher: Some(batcher), workers, config })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Registers a client with an optional hard query budget and optional
+    /// rate limit, returning its handle.
+    pub fn client(
+        &self,
+        budget: Option<u64>,
+        rate: Option<crate::RateLimit>,
+    ) -> ClientHandle {
+        let mut clients = self.shared.clients.lock().expect("clients lock");
+        let slot = clients.len();
+        clients.push(ClientAccount {
+            ledger: QueryLedger::new(budget),
+            bucket: rate.map(TokenBucket::new),
+        });
+        ClientHandle {
+            shared: Arc::downgrade(&self.shared),
+            ingress: self.ingress.clone(),
+            slot,
+            queue_cap: self.config.queue_cap,
+        }
+    }
+
+    /// A live snapshot of the service counters.
+    pub fn stats(&self) -> crate::ServiceStats {
+        let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
+        self.shared.stats.lock().expect("stats lock").snapshot(queue_depth)
+    }
+
+    /// Read access to the served system (evaluation only; clients go
+    /// through [`ClientHandle::retrieve`]).
+    pub fn system(&self) -> &RetrievalSystem {
+        &self.shared.system
+    }
+
+    /// Drains in-flight requests, stops every thread, and returns the
+    /// final statistics.
+    pub fn shutdown(self) -> crate::ServiceStats {
+        self.shutdown_into().1
+    }
+
+    /// Like [`RetrievalService::shutdown`], additionally returning the
+    /// wrapped [`RetrievalSystem`] — `None` if a [`ClientHandle`] upgrade
+    /// is concurrently holding the shared state alive.
+    pub fn shutdown_into(mut self) -> (Option<RetrievalSystem>, crate::ServiceStats) {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        // In-flight requests are ahead of the shutdown message in the
+        // FIFO ingress queue, so the batcher serves them before exiting.
+        let _ = self.ingress.send(Msg::Shutdown);
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
+        let stats = self.shared.stats.lock().expect("stats lock").snapshot(queue_depth);
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => (Some(shared.system), stats),
+            Err(_) => (None, stats),
+        }
+    }
+}
+
+fn batcher_loop(
+    shared: &Shared,
+    ingress: &Receiver<Msg>,
+    work_tx: SyncSender<Work>,
+    config: ServeConfig,
+) {
+    loop {
+        let first = match ingress.recv() {
+            Ok(Msg::Request(r)) => r,
+            Ok(Msg::Shutdown) | Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.batch_wait;
+        let mut shutdown = false;
+        while batch.len() < config.batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match ingress.recv_timeout(deadline - now) {
+                Ok(Msg::Request(r)) => batch.push(r),
+                Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+            }
+        }
+        flush_batch(shared, batch, &work_tx, &config);
+        if shutdown {
+            break;
+        }
+    }
+    // Dropping `work_tx` disconnects the work queue; workers drain what
+    // is left and exit.
+}
+
+fn flush_batch(shared: &Shared, batch: Vec<Request>, work_tx: &SyncSender<Work>, config: &ServeConfig) {
+    shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.batches += 1;
+        stats.batch_hist[batch.len().min(config.batch_max)] += 1;
+    }
+    // One batched backbone forward for the whole batch. Per-item work is
+    // bit-identical to a lone embed, so batching never changes results.
+    // Fan out across at most the machine's real parallelism — extra
+    // scoped threads on a saturated core are pure overhead.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let embed_workers = config.workers.min(batch.len()).min(cores);
+    let videos: Vec<&Video> = batch.iter().map(|r| &r.video).collect();
+    match shared.system.embed_batch(&videos, embed_workers) {
+        Ok(features) => {
+            for (request, feature) in batch.into_iter().zip(features) {
+                if work_tx.send(Work { request, feature }).is_err() {
+                    return; // workers gone; replies drop and clients see Stopped
+                }
+            }
+        }
+        Err(_) => {
+            // Attribute failures per item: retry each embed individually
+            // so one malformed video cannot fail its whole batch.
+            for request in batch {
+                match shared.system.embed(&request.video) {
+                    Ok(feature) => {
+                        if work_tx.send(Work { request, feature }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        shared.stats.lock().expect("stats lock").failed += 1;
+                        let _ = request.reply.send(Err(ServeError::Retrieval(e)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, work_rx: &Mutex<Receiver<Work>>) {
+    loop {
+        // Hold the receiver lock only for the blocking take, never while
+        // doing model work.
+        let work = match work_rx.lock().expect("work lock").recv() {
+            Ok(work) => work,
+            Err(_) => break,
+        };
+        let result = shared
+            .system
+            .retrieve_by_feature(&work.feature)
+            .map_err(ServeError::Retrieval);
+        let latency_us = work.request.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        {
+            let mut stats = shared.stats.lock().expect("stats lock");
+            match &result {
+                Ok(_) => {
+                    stats.served += 1;
+                    stats.latency.record(latency_us);
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        let _ = work.request.reply.send(result);
+    }
+}
+
+/// A client of the service: every retrieve is admission-controlled
+/// against this client's budget and rate limit.
+///
+/// Handles hold only a weak reference to the service, so outstanding
+/// handles never keep a shut-down service (or its model) alive.
+#[derive(Debug, Clone)]
+pub struct ClientHandle {
+    shared: Weak<Shared>,
+    ingress: SyncSender<Msg>,
+    slot: usize,
+    queue_cap: usize,
+}
+
+impl ClientHandle {
+    /// Submits a query video and blocks until its `R^m(v)` arrives.
+    ///
+    /// The submitted video is 8-bit quantized server-side, exactly like
+    /// [`duo_retrieval::BlackBox`] does — the service *is* the black-box
+    /// surface when attacks run through it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BudgetExhausted`] / [`ServeError::RateLimited`] /
+    /// [`ServeError::Overloaded`] when admission rejects the query (never
+    /// charged), [`ServeError::Stopped`] when the service is gone, and
+    /// [`ServeError::Retrieval`] for model/node failures (charged: the
+    /// query reached the model).
+    pub fn retrieve(&self, video: &Video) -> Result<Vec<VideoId>, ServeError> {
+        let shared = self.shared.upgrade().ok_or(ServeError::Stopped)?;
+        if shared.stopped.load(Ordering::SeqCst) {
+            return Err(ServeError::Stopped);
+        }
+        let mut submitted = video.clone();
+        submitted.quantize();
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        {
+            // The admission decision (budget check → rate check → enqueue
+            // → charge) is atomic under the clients lock; `try_send` never
+            // blocks, so the lock is held only briefly.
+            let mut clients = shared.clients.lock().expect("clients lock");
+            let account = &mut clients[self.slot];
+            if account.ledger.is_exhausted() {
+                let budget = account.ledger.budget().expect("exhausted implies budget");
+                drop(clients);
+                shared.stats.lock().expect("stats lock").rejected_budget += 1;
+                return Err(ServeError::BudgetExhausted { budget });
+            }
+            if let Some(bucket) = &mut account.bucket {
+                if let Err(retry_after_ms) = bucket.ready() {
+                    drop(clients);
+                    shared.stats.lock().expect("stats lock").rejected_rate += 1;
+                    return Err(ServeError::RateLimited { retry_after_ms });
+                }
+            }
+            let msg = Msg::Request(Request {
+                video: submitted,
+                enqueued: Instant::now(),
+                reply: reply_tx,
+            });
+            // Count the request before the enqueue (rolling back on
+            // failure): the batcher may dequeue-and-decrement the instant
+            // `try_send` returns, so incrementing afterwards would race
+            // the counter below zero.
+            let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+            match self.ingress.try_send(msg) {
+                Ok(()) => {
+                    account.ledger.charge().expect("budget checked above");
+                    if let Some(bucket) = &mut account.bucket {
+                        bucket.take();
+                    }
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.max_queue_depth = stats.max_queue_depth.max(depth);
+                }
+                Err(TrySendError::Full(_)) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    drop(clients);
+                    shared.stats.lock().expect("stats lock").rejected_overload += 1;
+                    return Err(ServeError::Overloaded { queue_cap: self.queue_cap });
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    return Err(ServeError::Stopped);
+                }
+            }
+        }
+        reply_rx.recv().map_err(|_| ServeError::Stopped)?
+    }
+
+    /// Number of queries this client has been charged for.
+    pub fn queries_used(&self) -> u64 {
+        self.shared
+            .upgrade()
+            .map(|s| s.clients.lock().expect("clients lock")[self.slot].ledger.used())
+            .unwrap_or(0)
+    }
+
+    /// The client's remaining budget, if one is set.
+    pub fn budget_remaining(&self) -> Option<u64> {
+        self.shared
+            .upgrade()
+            .and_then(|s| s.clients.lock().expect("clients lock")[self.slot].ledger.remaining())
+    }
+
+    /// Length `m` of retrieval lists served by this service, or `None`
+    /// after shutdown.
+    pub fn list_len(&self) -> Option<usize> {
+        self.shared.upgrade().map(|s| s.system.config().m)
+    }
+}

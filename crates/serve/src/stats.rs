@@ -1,0 +1,160 @@
+//! Service-side observability: counters, batch-size histogram, latency
+//! quantiles.
+
+use crate::LatencyHistogram;
+
+/// Mutable counters maintained by the service under its stats lock.
+#[derive(Debug)]
+pub(crate) struct StatsInner {
+    pub served: u64,
+    pub failed: u64,
+    pub rejected_budget: u64,
+    pub rejected_rate: u64,
+    pub rejected_overload: u64,
+    pub batches: u64,
+    /// `batch_hist[s]` counts batches of exactly `s` requests
+    /// (index 0 is unused).
+    pub batch_hist: Vec<u64>,
+    pub max_queue_depth: usize,
+    pub latency: LatencyHistogram,
+}
+
+impl StatsInner {
+    pub fn new(batch_max: usize) -> Self {
+        StatsInner {
+            served: 0,
+            failed: 0,
+            rejected_budget: 0,
+            rejected_rate: 0,
+            rejected_overload: 0,
+            batches: 0,
+            batch_hist: vec![0; batch_max + 1],
+            max_queue_depth: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    pub fn snapshot(&self, queue_depth: usize) -> ServiceStats {
+        let mut weighted = 0u64;
+        let mut max_batch = 0usize;
+        for (size, &n) in self.batch_hist.iter().enumerate() {
+            weighted += size as u64 * n;
+            if n > 0 {
+                max_batch = size;
+            }
+        }
+        let mean_batch = if self.batches == 0 {
+            0.0
+        } else {
+            weighted as f32 / self.batches as f32
+        };
+        ServiceStats {
+            served: self.served,
+            failed: self.failed,
+            rejected_budget: self.rejected_budget,
+            rejected_rate: self.rejected_rate,
+            rejected_overload: self.rejected_overload,
+            batches: self.batches,
+            batch_hist: self.batch_hist.clone(),
+            mean_batch,
+            max_batch,
+            queue_depth,
+            max_queue_depth: self.max_queue_depth,
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p95_us: self.latency.quantile_us(0.95),
+            latency_max_us: self.latency.max_us(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of service counters.
+///
+/// `rejected_*` queries never reached the model and were not charged to
+/// any budget; `served + failed` is the number of queries that did.
+/// Latency quantiles are measured from admission to retrieval completion
+/// (queueing + batching + embedding + node fan-out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Queries answered successfully.
+    pub served: u64,
+    /// Queries that reached the model but failed (extraction/node errors).
+    pub failed: u64,
+    /// Admissions rejected on an exhausted hard budget.
+    pub rejected_budget: u64,
+    /// Admissions rejected by the token-bucket rate limiter.
+    pub rejected_rate: u64,
+    /// Admissions shed because the ingress queue was full.
+    pub rejected_overload: u64,
+    /// Batched backbone forwards executed.
+    pub batches: u64,
+    /// `batch_hist[s]` counts batches of exactly `s` requests.
+    pub batch_hist: Vec<u64>,
+    /// Mean requests per batch.
+    pub mean_batch: f32,
+    /// Largest batch observed.
+    pub max_batch: usize,
+    /// Requests sitting in the ingress queue at snapshot time.
+    pub queue_depth: usize,
+    /// High-water mark of the ingress queue.
+    pub max_queue_depth: usize,
+    /// Median end-to-end latency, microseconds (bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 95th-percentile end-to-end latency, microseconds.
+    pub latency_p95_us: u64,
+    /// Worst-case end-to-end latency, microseconds.
+    pub latency_max_us: u64,
+}
+duo_tensor::impl_to_json!(struct ServiceStats {
+    served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
+    batch_hist, mean_batch, max_batch, queue_depth, max_queue_depth,
+    latency_p50_us, latency_p95_us, latency_max_us
+});
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} / failed {} (rejected: {} budget, {} rate, {} overload)",
+            self.served, self.failed, self.rejected_budget, self.rejected_rate,
+            self.rejected_overload
+        )?;
+        writeln!(
+            f,
+            "batches {} (mean {:.2}, max {}), queue depth {} (peak {})",
+            self.batches, self.mean_batch, self.max_batch, self.queue_depth,
+            self.max_queue_depth
+        )?;
+        write!(
+            f,
+            "latency p50 {} us, p95 {} us, max {} us",
+            self.latency_p50_us, self.latency_p95_us, self.latency_max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_tensor::ToJson;
+
+    #[test]
+    fn snapshot_computes_batch_statistics() {
+        let mut inner = StatsInner::new(4);
+        inner.batch_hist[1] = 2;
+        inner.batch_hist[3] = 2;
+        inner.batches = 4;
+        let stats = inner.snapshot(1);
+        assert_eq!(stats.mean_batch, 2.0);
+        assert_eq!(stats.max_batch, 3);
+        assert_eq!(stats.queue_depth, 1);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let inner = StatsInner::new(2);
+        let json = inner.snapshot(0).to_json().to_string();
+        assert!(json.contains("\"served\":0"), "{json}");
+        assert!(json.contains("\"batch_hist\":[0,0,0]"), "{json}");
+        assert!(json.contains("\"latency_p95_us\":0"), "{json}");
+    }
+}

@@ -1,0 +1,337 @@
+//! End-to-end tests of the serving layer: concurrency, bit-identical
+//! batching, admission control, and node fault tolerance.
+
+use duo_models::{Architecture, Backbone, BackboneConfig};
+use duo_retrieval::{QueryOracle, RetrievalConfig, RetrievalError, RetrievalSystem};
+use duo_serve::{RateLimit, RetrievalService, ServeConfig, ServeError, ServiceOracle};
+use duo_tensor::Rng64;
+use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};
+use std::time::Duration;
+
+fn make_system(seed: u64, threaded: bool) -> (RetrievalSystem, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
+    let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let config = RetrievalConfig { m: 5, nodes: 3, threaded };
+    (RetrievalSystem::build(backbone, &ds, &gallery, config).unwrap(), ds)
+}
+
+fn queries(ds: &SyntheticDataset, n: usize) -> Vec<Video> {
+    ds.test().iter().take(n).map(|&id| ds.video(id)).collect()
+}
+
+/// Reference answers computed directly against the system, through the
+/// same 8-bit quantization the service applies at admission.
+fn direct_answers(system: &RetrievalSystem, videos: &[Video]) -> Vec<Vec<VideoId>> {
+    videos
+        .iter()
+        .map(|v| {
+            let mut q = v.clone();
+            q.quantize();
+            system.retrieve(&q).unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn four_concurrent_clients_share_one_system() {
+    let (system, ds) = make_system(501, false);
+    let videos = queries(&ds, 6);
+    let expected = direct_answers(&system, &videos);
+
+    let config = ServeConfig { workers: 4, batch_max: 8, ..ServeConfig::default() };
+    let service = RetrievalService::start(system, config).unwrap();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let client = service.client(None, None);
+                let videos = &videos;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for (video, want) in videos.iter().zip(expected) {
+                        let got = client.retrieve(video).unwrap();
+                        assert_eq!(&got, want, "served list diverged from direct retrieval");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(stats.served, 4 * videos.len() as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0, "all requests drained");
+    assert!(stats.batches >= 1);
+    assert!(stats.latency_p95_us >= stats.latency_p50_us);
+}
+
+#[test]
+fn batched_and_unbatched_serving_are_bit_identical() {
+    let videos;
+    let batched_lists;
+    {
+        let (system, ds) = make_system(502, false);
+        videos = queries(&ds, 5);
+        // Long batch_wait + one worker forces real coalescing.
+        let config = ServeConfig {
+            workers: 2,
+            batch_max: 8,
+            batch_wait: Duration::from_millis(20),
+            ..ServeConfig::default()
+        };
+        let service = RetrievalService::start(system, config).unwrap();
+        batched_lists = std::thread::scope(|scope| {
+            let handles: Vec<_> = videos
+                .iter()
+                .map(|v| {
+                    let client = service.client(None, None);
+                    scope.spawn(move || client.retrieve(v).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        let stats = service.shutdown();
+        assert!(
+            stats.max_batch >= 2,
+            "expected at least one coalesced batch, histogram {:?}",
+            stats.batch_hist
+        );
+    }
+
+    // Same seed, batching disabled: every request is its own batch.
+    let (system, _ds) = make_system(502, false);
+    let config = ServeConfig { workers: 1, batch_max: 1, ..ServeConfig::default() };
+    let service = RetrievalService::start(system, config).unwrap();
+    let client = service.client(None, None);
+    for (video, batched) in videos.iter().zip(&batched_lists) {
+        let lone = client.retrieve(video).unwrap();
+        assert_eq!(&lone, batched, "micro-batching changed a retrieval list");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.max_batch, 1);
+}
+
+#[test]
+fn budget_is_enforced_server_side_and_rejections_are_free() {
+    let (system, ds) = make_system(503, false);
+    let video = ds.video(ds.test()[0]);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(Some(3), None);
+
+    for _ in 0..3 {
+        client.retrieve(&video).unwrap();
+    }
+    assert_eq!(client.queries_used(), 3);
+    assert_eq!(client.budget_remaining(), Some(0));
+    for _ in 0..2 {
+        match client.retrieve(&video) {
+            Err(ServeError::BudgetExhausted { budget: 3 }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+    // Rejected queries are not charged and never reach the model.
+    assert_eq!(client.queries_used(), 3);
+
+    // A second client has an independent budget.
+    let other = service.client(Some(1), None);
+    other.retrieve(&video).unwrap();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.rejected_budget, 2);
+}
+
+#[test]
+fn rate_limit_rejects_after_burst() {
+    let (system, ds) = make_system(504, false);
+    let video = ds.video(ds.test()[0]);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    // Zero refill: the burst is a one-time allowance, so the test is
+    // deterministic regardless of timing.
+    let client = service.client(None, Some(RateLimit::new(2, 0.0)));
+
+    client.retrieve(&video).unwrap();
+    client.retrieve(&video).unwrap();
+    match client.retrieve(&video) {
+        Err(ServeError::RateLimited { retry_after_ms: u64::MAX }) => {}
+        other => panic!("expected rate limiting, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.rejected_rate, 1);
+}
+
+#[test]
+fn node_failure_mid_stream_degrades_then_recovers() {
+    let (system, ds) = make_system(505, false);
+    let videos = queries(&ds, 3);
+    let healthy = direct_answers(&system, &videos);
+
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(None, None);
+
+    for (video, want) in videos.iter().zip(&healthy) {
+        assert_eq!(&client.retrieve(video).unwrap(), want);
+    }
+
+    // Take one shard offline mid-stream: queries keep being served from
+    // the surviving shards, and lost gallery entries simply drop out.
+    service.system().nodes()[1].set_offline();
+    let degraded: Vec<_> = videos.iter().map(|v| client.retrieve(v).unwrap()).collect();
+    let offline_ids: Vec<VideoId> =
+        service.system().nodes()[1].entries().iter().map(|(id, _)| *id).collect();
+    for list in &degraded {
+        assert!(!list.is_empty(), "surviving shards must still answer");
+        for id in list {
+            assert!(!offline_ids.contains(id), "offline shard leaked {id:?} into results");
+        }
+    }
+
+    // Recovery: back online, answers return to the healthy baseline.
+    service.system().nodes()[1].set_online();
+    for (video, want) in videos.iter().zip(&healthy) {
+        assert_eq!(&client.retrieve(video).unwrap(), want, "recovery must restore results");
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.served, 3 * videos.len() as u64);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn all_nodes_offline_fails_the_query_but_not_the_service() {
+    let (system, ds) = make_system(506, false);
+    let video = ds.video(ds.test()[0]);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(None, None);
+
+    for node in service.system().nodes() {
+        node.set_offline();
+    }
+    match client.retrieve(&video) {
+        Err(ServeError::Retrieval(RetrievalError::AllNodesOffline)) => {}
+        other => panic!("expected AllNodesOffline, got {other:?}"),
+    }
+
+    for node in service.system().nodes() {
+        node.set_online();
+    }
+    client.retrieve(&video).unwrap();
+
+    let stats = service.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn threaded_and_unthreaded_systems_serve_identical_lists() {
+    let (unthreaded, ds) = make_system(507, false);
+    let (threaded, _) = make_system(507, true);
+    let videos = queries(&ds, 4);
+
+    let serve_all = |system: RetrievalSystem| -> Vec<Vec<VideoId>> {
+        let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+        let client = service.client(None, None);
+        let lists = videos.iter().map(|v| client.retrieve(v).unwrap()).collect();
+        service.shutdown();
+        lists
+    };
+    assert_eq!(
+        serve_all(unthreaded),
+        serve_all(threaded),
+        "node-level threading must not change served results"
+    );
+}
+
+#[test]
+fn service_oracle_runs_attack_style_query_loops() {
+    let (system, ds) = make_system(508, false);
+    let video = ds.video(ds.test()[0]);
+    let m = system.config().m;
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let mut oracle = ServiceOracle::new(service.client(Some(2), None));
+
+    assert_eq!(oracle.m(), m);
+    let list = oracle.retrieve(&video).unwrap();
+    assert_eq!(list.len(), m.min(service.system().gallery_len()));
+    oracle.retrieve(&video).unwrap();
+    assert_eq!(oracle.queries_used(), 2);
+    assert_eq!(oracle.budget_remaining(), Some(0));
+    // Through the oracle, exhaustion surfaces as the same RetrievalError
+    // attacks already match on against a local BlackBox.
+    match oracle.retrieve(&video) {
+        Err(RetrievalError::BudgetExhausted { budget: 2 }) => {}
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_returns_the_system_and_stops_clients() {
+    let (system, ds) = make_system(509, false);
+    let video = ds.video(ds.test()[0]);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(None, None);
+    let before = client.retrieve(&video).unwrap();
+
+    let (recovered, stats) = service.shutdown_into();
+    assert_eq!(stats.served, 1);
+    let recovered = recovered.expect("no live upgrades at shutdown");
+    // The recovered system answers exactly as it did behind the service.
+    let mut q = video.clone();
+    q.quantize();
+    assert_eq!(recovered.retrieve(&q).unwrap(), before);
+
+    // Outstanding handles observe the shutdown instead of hanging.
+    match client.retrieve(&video) {
+        Err(ServeError::Stopped) => {}
+        other => panic!("expected Stopped, got {other:?}"),
+    }
+    assert_eq!(client.queries_used(), 0, "account is gone with the service");
+}
+
+#[test]
+fn overload_sheds_excess_requests() {
+    let (system, ds) = make_system(510, false);
+    let videos = queries(&ds, 2);
+    // A tiny queue and a slow batcher window make overflow reproducible:
+    // fill the queue from this thread before the batcher can drain it.
+    let config = ServeConfig {
+        workers: 1,
+        batch_max: 1,
+        batch_wait: Duration::from_millis(1),
+        queue_cap: 1,
+    };
+    let service = RetrievalService::start(system, config).unwrap();
+    let client = service.client(None, None);
+
+    let mut overloaded = 0;
+    let mut served = 0;
+    std::thread::scope(|scope| {
+        let results: Vec<_> = (0..6)
+            .map(|i| {
+                let client = client.clone();
+                let video = &videos[i % videos.len()];
+                scope.spawn(move || client.retrieve(video))
+            })
+            .collect();
+        for handle in results {
+            match handle.join().unwrap() {
+                Ok(_) => served += 1,
+                Err(ServeError::Overloaded { queue_cap: 1 }) => overloaded += 1,
+                Err(e) => panic!("unexpected error {e:?}"),
+            }
+        }
+    });
+    assert_eq!(served + overloaded, 6);
+    assert!(served >= 1, "some requests must get through");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.served, served);
+    assert_eq!(stats.rejected_overload, overloaded);
+}

@@ -225,6 +225,33 @@ pub fn im2col3d(input: &Tensor, spec: &Conv3dSpec) -> Result<Tensor, TensorError
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "im2col3d" });
     }
+    let (t, h, w) = (input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (ot, oh, ow) = spec.output_thw(t, h, w)?;
+    let rows = spec.in_channels * spec.kt * spec.kh * spec.kw;
+    let cols = ot * oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    im2col3d_into(input, spec, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col3d`] writing into a preallocated `[rows, cols]` output — every
+/// position (padding zeros included) is overwritten, so the buffer can be
+/// reused across the items of a batch without clearing. This is the
+/// workspace-reuse entry point the batched inference path is built on:
+/// the column matrix is the largest allocation of a convolution forward,
+/// and sharing one across a batch amortizes its cost to one item.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn im2col3d_into(
+    input: &Tensor,
+    spec: &Conv3dSpec,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "im2col3d" });
+    }
     let (c, t, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
     if c != spec.in_channels {
         return Err(TensorError::ShapeMismatch {
@@ -236,7 +263,13 @@ pub fn im2col3d(input: &Tensor, spec: &Conv3dSpec) -> Result<Tensor, TensorError
     let (ot, oh, ow) = spec.output_thw(t, h, w)?;
     let rows = c * spec.kt * spec.kh * spec.kw;
     let cols = ot * oh * ow;
-    let mut out = Tensor::zeros(&[rows, cols]);
+    if out.dims() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: out.dims().to_vec(),
+            rhs: vec![rows, cols],
+            op: "im2col3d_into(out)",
+        });
+    }
     let iv = input.as_slice();
     let ov = out.as_mut_slice();
     for ch in 0..c {
@@ -266,7 +299,7 @@ pub fn im2col3d(input: &Tensor, spec: &Conv3dSpec) -> Result<Tensor, TensorError
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Folds a `[C·kt·kh·kw, out_t·out_h·out_w]` gradient matrix back onto a

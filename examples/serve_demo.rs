@@ -1,0 +1,97 @@
+//! Serve demo: run the retrieval system behind the `duo-serve` concurrent
+//! serving layer — micro-batched embedding, per-client query budgets, and
+//! token-bucket rate limiting — and watch the service counters.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use duo::prelude::*;
+use duo::serve::ServeError;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng64::new(11);
+    let spec = ClipSpec::tiny();
+
+    // ------------------------------------------------------------------
+    // 1. Build a small victim retrieval system (same shape as the
+    //    quickstart example, minus the training loop).
+    // ------------------------------------------------------------------
+    println!("building retrieval system…");
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, spec, 1, 3, 1);
+    let backbone = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng)?;
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let system = RetrievalSystem::build(
+        backbone,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+    )?;
+    println!("  gallery: {} videos over 3 data nodes", system.gallery_len());
+
+    // ------------------------------------------------------------------
+    // 2. Put it behind the serving layer: one shared immutable system,
+    //    a micro-batching embed stage, and two retrieval workers.
+    // ------------------------------------------------------------------
+    let service = RetrievalService::start(
+        system,
+        ServeConfig { workers: 2, batch_max: 4, batch_wait: Duration::from_millis(2), queue_cap: 32 },
+    )?;
+    println!("service up: {:?}", service.config());
+
+    // ------------------------------------------------------------------
+    // 3. Four concurrent clients share the service. Three are unmetered;
+    //    one runs under a hard 3-query budget plus a burst-2 rate limit,
+    //    like an untrusted tenant in the paper's query-budget threat model.
+    // ------------------------------------------------------------------
+    let probes: Vec<Video> = ds
+        .test()
+        .iter()
+        .filter(|id| id.class < 8)
+        .take(6)
+        .map(|&id| ds.video(id))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for c in 0..3 {
+            let client = service.client(None, None);
+            let probes = &probes;
+            scope.spawn(move || {
+                for video in probes {
+                    let list = client.retrieve(video).expect("unmetered query serves");
+                    assert_eq!(list.len(), 5);
+                }
+                println!("  client {c}: {} queries served", client.queries_used());
+            });
+        }
+    });
+
+    let metered = service.client(Some(3), Some(RateLimit::new(2, 50.0)));
+    for (i, video) in probes.iter().enumerate() {
+        match metered.retrieve(video) {
+            Ok(list) => println!(
+                "  metered query {i}: top-1 {:?}, budget left {:?}",
+                list.first(),
+                metered.budget_remaining()
+            ),
+            Err(ServeError::RateLimited { retry_after_ms }) => {
+                println!("  metered query {i}: rate limited, retry in {retry_after_ms} ms");
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+            }
+            Err(ServeError::BudgetExhausted { budget }) => {
+                println!("  metered query {i}: budget of {budget} exhausted — cut off");
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Service counters: batching, latency quantiles, rejections.
+    // ------------------------------------------------------------------
+    let stats = service.shutdown();
+    println!("\nfinal service stats:");
+    println!("{stats}");
+    Ok(())
+}

@@ -7,3 +7,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Serving-layer smoke: the demo stands up a live duo-serve service
+# (concurrent clients, micro-batching, budget + rate-limit rejections)
+# and must exit cleanly.
+cargo run --release --offline --example serve_demo

@@ -14,6 +14,7 @@
 //! | [`video`] | `duo-video` | `Video` clips, synthetic UCF101/HMDB51 |
 //! | [`models`] | `duo-models` | I3D/TPN/SlowFast/ResNet/C3D backbones, metric losses |
 //! | [`retrieval`] | `duo-retrieval` | sharded gallery, top-m queries, mAP/AP@m |
+//! | [`serve`] | `duo-serve` | concurrent micro-batched serving, budgets, rate limits |
 //! | [`attack`] | `duo-attack` | **DUO**: SparseTransfer + SparseQuery + stealing |
 //! | [`baselines`] | `duo-baselines` | Vanilla, TIMI, HEU-Nes, HEU-Sim |
 //! | [`defenses`] | `duo-defenses` | feature squeezing, Noise2Self, detection |
@@ -52,6 +53,7 @@ pub use duo_defenses as defenses;
 pub use duo_models as models;
 pub use duo_nn as nn;
 pub use duo_retrieval as retrieval;
+pub use duo_serve as serve;
 pub use duo_tensor as tensor;
 pub use duo_video as video;
 
@@ -74,8 +76,11 @@ pub mod prelude {
         TripletLoss,
     };
     pub use duo_retrieval::{
-        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, GalleryIndex,
-        RetrievalConfig, RetrievalSystem,
+        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, GalleryIndex, QueryLedger,
+        QueryOracle, RetrievalConfig, RetrievalSystem,
+    };
+    pub use duo_serve::{
+        RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,
     };
     pub use duo_tensor::{Rng64, Tensor};
     pub use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};

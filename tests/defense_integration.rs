@@ -93,7 +93,7 @@ fn detection_scores_separate_heavy_noise_from_clean() {
 fn defended_queries_still_retrieve_sensibly() {
     // The defense transform must not destroy retrieval for clean queries:
     // the exact gallery copy should still rank first after squeezing.
-    let (mut system, ds) = trained_world(421);
+    let (system, ds) = trained_world(421);
     let v = ds.video(VideoId { class: 0, instance: 0 });
     for defense in [
         Box::new(FeatureSqueezing::default()) as Box<dyn Defense>,

@@ -133,9 +133,9 @@ fn threaded_retrieval_is_deterministic() {
         .unwrap();
         (sys, ds)
     };
-    let (mut serial, ds) = build(false);
-    let (mut threaded_a, _) = build(true);
-    let (mut threaded_b, _) = build(true);
+    let (serial, ds) = build(false);
+    let (threaded_a, _) = build(true);
+    let (threaded_b, _) = build(true);
     for class in 0..10u32 {
         let probe = ds.video(VideoId { class, instance: 0 });
         let s = serial.retrieve(&probe).unwrap();

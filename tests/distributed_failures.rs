@@ -48,7 +48,7 @@ fn node_loss_mid_attack_degrades_gracefully() {
 
 #[test]
 fn recovery_restores_identical_results() {
-    let (mut system, ds) = world(511);
+    let (system, ds) = world(511);
     let v = ds.video(VideoId { class: 1, instance: 0 });
     let full = system.retrieve(&v).unwrap();
     system.nodes()[2].set_offline();
@@ -69,7 +69,7 @@ fn sharding_layout_does_not_change_results() {
         let mut r = Rng64::new(522); // same weights each time
         let _ = &mut rng;
         let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut r).unwrap();
-        let mut system = RetrievalSystem::build(
+        let system = RetrievalSystem::build(
             victim,
             &ds,
             &gallery,
@@ -98,8 +98,8 @@ fn threaded_fanout_matches_inline_under_failures() {
         )
         .unwrap()
     };
-    let mut inline = make(&mut r1, false);
-    let mut threaded = make(&mut r2, true);
+    let inline = make(&mut r1, false);
+    let threaded = make(&mut r2, true);
     inline.nodes()[1].set_offline();
     threaded.nodes()[1].set_offline();
     let v = ds.video(gallery[3]);

@@ -107,7 +107,7 @@ fn checkpointed_victim_reproduces_retrieval_service() {
     let path = dir.join("victim.duoparm");
     save_backbone(&mut victim, &path).unwrap();
 
-    let mut sys1 = RetrievalSystem::build(
+    let sys1 = RetrievalSystem::build(
         victim,
         &ds,
         &gallery,
@@ -117,7 +117,7 @@ fn checkpointed_victim_reproduces_retrieval_service() {
 
     let mut restored = Backbone::new(Architecture::Tpn, BackboneConfig::tiny(), &mut rng).unwrap();
     duo::models::load_backbone(&mut restored, &path).unwrap();
-    let mut sys2 = RetrievalSystem::build(
+    let sys2 = RetrievalSystem::build(
         restored,
         &ds,
         &gallery,
