@@ -1,0 +1,147 @@
+//! Chaos-layer benchmarks: what does the resilient query path cost when
+//! nothing is failing?
+//!
+//! Two levels of measurement, both at a **zero fault rate** so the numbers
+//! isolate pure machinery overhead rather than injected faults:
+//!
+//! * `chaos/fanout_*` — the node fan-out alone (embedding hoisted out):
+//!   the pre-PR plain path (`retrieve_by_feature` under the inert default
+//!   policy) against the fully armed path (`retrieve_resilient` under the
+//!   hardened policy — per-node virtual deadline, retry budget, hedging,
+//!   circuit breakers — with a no-op [`duo_retrieval::FaultPlan`] installed
+//!   on every node). The delta is the cost of the breaker admission pass,
+//!   the per-attempt fault-decision draw, and telemetry assembly.
+//! * `chaos/serve_bursts_*` — the full service under lockstep client
+//!   bursts, inert vs hardened, mirroring the `serve` bench's shape. This
+//!   adds the deadline stamping and telemetry absorption on the worker
+//!   path.
+//!
+//! The fan-out pair exposes the raw bookkeeping cost (tens of µs per
+//! query on a tiny smoke gallery); the service pair must sit at parity —
+//! end to end the machinery is lost in the embedding forward, i.e.
+//! effectively free until faults actually happen.
+
+use duo_bench::{bench_group, bench_main, Runner};
+use duo_experiments::{build_world, Scale};
+use duo_models::{Architecture, LossKind};
+use duo_retrieval::{FaultPlan, ResilienceConfig, RetrievalSystem};
+use duo_serve::{RetrievalService, ServeConfig};
+use duo_tensor::Tensor;
+use duo_video::{DatasetKind, Video};
+use std::hint::black_box;
+use std::sync::Barrier;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 4;
+
+fn chaos_world() -> (RetrievalSystem, Vec<Video>) {
+    let scale = Scale::smoke();
+    let world =
+        build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, 0xC405B)
+            .expect("chaos bench world builds");
+    let videos: Vec<Video> = world
+        .dataset
+        .test()
+        .iter()
+        .filter(|id| id.class < scale.classes)
+        .take(CLIENTS)
+        .map(|&id| world.dataset.video(id))
+        .collect();
+    assert_eq!(videos.len(), CLIENTS, "bench corpus too small");
+    (world.system, videos)
+}
+
+/// Arms every node with a fault plan that never fires, plus the hardened
+/// resilience policy — the zero-fault worst case for machinery overhead.
+fn arm_zero_fault(system: &mut RetrievalSystem) {
+    for node in system.nodes() {
+        node.set_fault_plan(Some(FaultPlan::none(0xC405B)));
+    }
+    system.set_resilience(ResilienceConfig::hardened(0xC405B));
+}
+
+fn bench_fanout_overhead(c: &mut Runner) {
+    let (mut system, videos) = chaos_world();
+    let features: Vec<Tensor> =
+        videos.iter().map(|v| system.embed(v).expect("embed")).collect();
+
+    c.bench_function("chaos/fanout_plain", |bench| {
+        bench.iter(|| {
+            for q in &features {
+                black_box(system.retrieve_by_feature(q).expect("plain query"));
+            }
+        })
+    });
+
+    arm_zero_fault(&mut system);
+    c.bench_function("chaos/fanout_hardened_zero_faults", |bench| {
+        bench.iter(|| {
+            for q in &features {
+                let got = system.retrieve_resilient(q).expect("resilient query");
+                assert!(got.coverage.is_full(), "zero-fault run must keep full coverage");
+                black_box(got.ids);
+            }
+        })
+    });
+}
+
+/// Serves `ROUNDS` bursts: all clients submit one query in lockstep (same
+/// shape as the `serve` bench, so the pairs are comparable across benches).
+fn serve_bursts(service: &RetrievalService, videos: &[Video]) {
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        for video in videos {
+            let client = service.client(None, None);
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    barrier.wait();
+                    client.retrieve(video).expect("bench query serves");
+                }
+            });
+        }
+    });
+}
+
+fn bench_serve_overhead(c: &mut Runner) {
+    let (mut system, videos) = chaos_world();
+    let config = ServeConfig {
+        workers: 2,
+        batch_max: CLIENTS,
+        batch_wait: Duration::from_millis(5),
+        default_deadline: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    };
+
+    let service = RetrievalService::start(system, config.clone()).expect("service starts");
+    c.bench_function("chaos/serve_bursts_plain", |bench| {
+        bench.iter(|| serve_bursts(&service, &videos))
+    });
+    let (recovered, stats) = service.shutdown_into();
+    println!(
+        "  plain: served {} ({} retries, {} degraded)",
+        stats.served, stats.retries, stats.degraded
+    );
+    system = recovered.expect("no client handles outlive the burst");
+
+    arm_zero_fault(&mut system);
+    let service = RetrievalService::start(system, config).expect("service starts");
+    c.bench_function("chaos/serve_bursts_hardened_zero_faults", |bench| {
+        bench.iter(|| serve_bursts(&service, &videos))
+    });
+    let stats = service.shutdown();
+    assert_eq!(stats.degraded, 0, "zero-fault service must never degrade");
+    assert_eq!(stats.deadline_misses, 0, "generous deadline must never shed");
+    println!(
+        "  hardened/zero-fault: served {} ({} retries, {} breaker trips)",
+        stats.served, stats.retries, stats.breaker_opens
+    );
+}
+
+bench_group! {
+    name = benches;
+    config = Runner::default().sample_size(20);
+    targets = bench_fanout_overhead, bench_serve_overhead
+}
+bench_main!(benches);

@@ -1,0 +1,12 @@
+//! Runs the DUO pipeline against duo-serve while a seeded fault schedule
+//! (transients + flaps + latency spikes) rages on every data node, then
+//! asserts exact query-budget accounting and prints ServiceStats JSON
+//! (set DUO_SCALE=smoke for a fast pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::chaos::run(scale) {
+        eprintln!("chaos_serve failed: {e}");
+        std::process::exit(1);
+    }
+}

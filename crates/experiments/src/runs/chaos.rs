@@ -1,0 +1,209 @@
+//! Chaos experiment: the full DUO pipeline (steal → attack) executed
+//! against the deployed `duo-serve` service while a deterministic fault
+//! schedule rages on every data node — 20% transient failures, injected
+//! latency spikes, and per-node flap windows.
+//!
+//! What this proves, machine-checked at the end of the run:
+//!
+//! 1. **Exact budget accounting under faults.** Every query the attacker
+//!    is charged for reached the model (`charged == served + failed`);
+//!    deadline-shed requests are refunded, and no client ever observes a
+//!    panic.
+//! 2. **Determinism.** The same chaos seed replays the same fault
+//!    schedule, retrieval lists, and telemetry counters bit for bit
+//!    (probed with a pair of identically seeded systems before the
+//!    attack run).
+//!
+//! Prints the attack row plus the final [`duo_serve::ServiceStats`] as
+//! JSON, like the serve experiment.
+
+use super::RunResult;
+use crate::{build_world, Scale};
+use duo_attack::{steal_surrogate, DuoAttack};
+use duo_models::{Architecture, Backbone, BackboneConfig, LossKind};
+use duo_retrieval::{
+    ap_at_m, BreakerConfig, FaultPlan, QueryOracle, ResilienceConfig, RetrievalConfig,
+    RetrievalSystem,
+};
+use duo_serve::{RetrievalService, ServeConfig, ServiceOracle};
+use duo_tensor::{Rng64, ToJson};
+use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, VideoId};
+use std::time::Duration;
+
+/// The fault schedule installed on node `i`: seeded per node, 20%
+/// transient failures, latency with spikes past the virtual node
+/// deadline, and one flap window per node (staggered so the service is
+/// never fully dark).
+fn chaos_plan(seed: u64, node: usize) -> FaultPlan {
+    let node_u = node as u64;
+    FaultPlan::transient(seed ^ (0xC4A0_5000 + node_u), 0.20)
+        .with_latency(200, 150, 0.05, 8_000)
+        .with_flap(40 + 60 * node_u, 70 + 60 * node_u)
+}
+
+/// The resilience policy the service fights back with.
+fn chaos_policy(seed: u64) -> ResilienceConfig {
+    ResilienceConfig {
+        node_timeout_us: Some(5_000),
+        max_retries: 4,
+        backoff_base_us: 100,
+        backoff_jitter_us: 50,
+        hedge_after_us: Some(2_000),
+        breaker: Some(BreakerConfig { failure_threshold: 3, open_cooldown: 6 }),
+        seed,
+        require_full_coverage: false,
+    }
+}
+
+/// Installs the chaos schedule + resilience policy on a built system.
+fn arm(system: &mut RetrievalSystem, seed: u64) {
+    for (i, node) in system.nodes().iter().enumerate() {
+        node.set_fault_plan(Some(chaos_plan(seed, i)));
+    }
+    system.set_resilience(chaos_policy(seed ^ 0xBACC0FF));
+}
+
+/// Builds a small untrained chaotic system (weights seeded, no training)
+/// and replays `queries` through it, returning lists plus the summed
+/// telemetry counters. Used twice to prove bit-identical replay.
+fn determinism_probe(
+    seed: u64,
+    threaded: bool,
+) -> Result<(Vec<Vec<VideoId>>, u64, u64, u64), Box<dyn std::error::Error>> {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
+    let mut system = RetrievalSystem::build(
+        backbone,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded },
+    )?;
+    arm(&mut system, seed);
+    let mut lists = Vec::new();
+    let (mut retries, mut transients, mut breaker_opens) = (0u64, 0u64, 0u64);
+    for &id in ds.test().iter().filter(|id| id.class < 8) {
+        let feature = system.embed(&ds.video(id))?;
+        let got = system.retrieve_resilient(&feature)?;
+        retries += got.telemetry.retries;
+        transients += got.telemetry.transient_faults;
+        breaker_opens += got.telemetry.breaker_opens;
+        lists.push(got.ids);
+    }
+    Ok((lists, retries, transients, breaker_opens))
+}
+
+/// Reproduces the chaos experiment: DUO through the service surface
+/// under injected faults, with exact accounting.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Chaos layer: DUO vs a faulty service (scale: {}) ===", scale.name);
+    let chaos_seed = 0xC4A0_5EED;
+
+    // Determinism probe: identical seeds must replay the identical fault
+    // schedule, retrieval lists, and telemetry — threaded or inline.
+    let a = determinism_probe(chaos_seed, false)?;
+    let b = determinism_probe(chaos_seed, false)?;
+    let c = determinism_probe(chaos_seed, true)?;
+    assert_eq!(a, b, "same chaos seed must replay bit-identically");
+    assert_eq!(a, c, "threaded fan-out must match inline under chaos");
+    println!(
+        "determinism probe: {} lists bit-identical across runs and fan-out modes \
+         ({} retries, {} transients, {} breaker trips)",
+        a.0.len(),
+        a.1,
+        a.2,
+        a.3
+    );
+
+    // The victim world, with every node armed.
+    let world =
+        build_world(DatasetKind::Hmdb51Like, Architecture::I3d, LossKind::ArcFace, scale, 0xC4A05)?;
+    let (dataset, world_scale) = (world.dataset, world.scale);
+    let mut system = world.system;
+    arm(&mut system, chaos_seed);
+
+    let config = ServeConfig {
+        default_deadline: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    };
+    let service = RetrievalService::start(system, config)?;
+    println!(
+        "service up under chaos: {} nodes x (20% transient + flaps + latency spikes), \
+         policy: 4 retries / 5 ms node deadline / hedge at 2 ms / breaker 3:6",
+        service.system().nodes().len()
+    );
+
+    // The adversary: one metered client. Single-client traffic keeps the
+    // run deterministic — every fault, retry, and breaker transition is
+    // scheduled, not raced.
+    let probes: Vec<VideoId> =
+        dataset.test().iter().filter(|id| id.class < world_scale.classes).copied().collect();
+    let mut rng = Rng64::new(0xC4A05 ^ 0x5EED);
+    let mut oracle = ServiceOracle::new(service.client(Some(100_000), None));
+    let (surrogate, steal) =
+        steal_surrogate(&mut oracle, &dataset, &probes, world_scale.steal_config(Architecture::C3d), &mut rng)
+            .map_err(|e| e.to_string())?;
+    println!(
+        "surrogate stolen through the chaotic service: {} queries, {} triplets",
+        steal.queries, steal.triplets_used
+    );
+
+    // Candidate pair with the strongest overlapping baseline.
+    let pool: Vec<VideoId> = dataset
+        .train()
+        .iter()
+        .filter(|id| id.class < world_scale.classes && id.instance == world_scale.train_per_class)
+        .copied()
+        .collect();
+    let mut lists = Vec::with_capacity(pool.len());
+    for &id in &pool {
+        lists.push(oracle.retrieve(&dataset.video(id)).map_err(|e| e.to_string())?);
+    }
+    let mut pair = (0, 1, -1.0f32);
+    for i in 0..pool.len() {
+        for j in 0..pool.len() {
+            if pool[i].class != pool[j].class {
+                let ap = ap_at_m(&lists[i], &lists[j]);
+                if ap > pair.2 {
+                    pair = (i, j, ap);
+                }
+            }
+        }
+    }
+    let (v, v_t) = (dataset.video(pool[pair.0]), dataset.video(pool[pair.1]));
+    println!(
+        "attack pair: class {} -> class {} (baseline AP@m {:.1}%)",
+        pool[pair.0].class, pool[pair.1].class, pair.2
+    );
+
+    let mut attack = DuoAttack::new(surrogate, world_scale.duo_config());
+    let outcome = attack.run(&mut oracle, &v, &v_t, &mut rng).map_err(|e| e.to_string())?;
+    let r_adv = oracle.retrieve(&outcome.adversarial).map_err(|e| e.to_string())?;
+    let (ap, spa, charged) = (ap_at_m(&r_adv, &lists[pair.1]), outcome.spa(), oracle.queries_used());
+
+    let stats = service.shutdown();
+    println!("\n{:<24}{:>10}{:>8}{:>10}", "attack (via chaos)", "AP@m", "Spa", "queries");
+    println!("{:<24}{:>9.2}%{:>8}{:>10}", "DUO-C3D", ap, spa, charged);
+    println!("\n{stats}");
+    println!("service stats JSON: {}", stats.to_json());
+
+    // The run's whole point: exact accounting while faults rage.
+    assert_eq!(
+        charged,
+        stats.served + stats.failed,
+        "budget drift: every charged query must have reached the model \
+         (shed queries are refunded)"
+    );
+    assert!(
+        stats.transient_faults > 0 && stats.retries > 0,
+        "the chaos schedule must actually have fired (got {} faults, {} retries)",
+        stats.transient_faults,
+        stats.retries
+    );
+    println!(
+        "accounting exact: {} charged == {} served + {} failed under {} transients / {} retries / {} breaker trips",
+        charged, stats.served, stats.failed, stats.transient_faults, stats.retries, stats.breaker_opens
+    );
+    Ok(())
+}

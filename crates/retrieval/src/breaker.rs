@@ -1,0 +1,227 @@
+//! Per-node circuit breakers for the resilient fan-out path.
+//!
+//! A flapping node would otherwise eat the retry budget of every query
+//! that touches it. The breaker is the classic three-state machine —
+//! closed → open after `failure_threshold` consecutive failures →
+//! half-open probe → closed — but advanced by *query count* rather than
+//! elapsed time, so breaker trajectories are as deterministic as the
+//! fault schedules that drive them (see [`crate::FaultPlan`]).
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive node failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Queries the open breaker skips before admitting a half-open probe.
+    pub open_cooldown: u32,
+}
+duo_tensor::impl_to_json!(struct BreakerConfig { failure_threshold, open_cooldown });
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, open_cooldown: 8 }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Queries flow normally.
+    Closed,
+    /// The node is quarantined; queries skip it without an attempt.
+    Open,
+    /// One probe query is admitted to test recovery.
+    HalfOpen,
+}
+duo_tensor::impl_to_json!(enum BreakerState { Closed, Open, HalfOpen });
+
+/// Counts of state transitions, for service observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerTransitions {
+    /// Closed/half-open → open trips.
+    pub opens: u64,
+    /// Open → half-open probe admissions.
+    pub half_opens: u64,
+    /// Half-open → closed recoveries.
+    pub closes: u64,
+}
+duo_tensor::impl_to_json!(struct BreakerTransitions { opens, half_opens, closes });
+
+/// A query-count-driven circuit breaker guarding one data node.
+///
+/// Protocol per query: call [`CircuitBreaker::admit`]; if it returns
+/// `true`, attempt the node and report the outcome with
+/// [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`].
+/// If it returns `false`, skip the node (it contributes no shard this
+/// query) and report nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    probe_in_flight: bool,
+    transitions: BreakerTransitions,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            probe_in_flight: false,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counters accumulated so far.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// Asks whether a query may be issued to the guarded node.
+    ///
+    /// Open breakers deny exactly [`BreakerConfig::open_cooldown`]
+    /// queries, then flip to half-open and admit that very query as the
+    /// single probe. A half-open breaker with its probe unresolved denies
+    /// everything until the probe's outcome is recorded.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                    false
+                } else {
+                    self.state = BreakerState::HalfOpen;
+                    self.transitions.half_opens += 1;
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    // Unreachable through the documented protocol (the
+                    // probe outcome resolves the state), but harmless:
+                    // re-admit a probe.
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Reports that an admitted query succeeded.
+    pub fn record_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                self.transitions.closes += 1;
+                self.consecutive_failures = 0;
+                self.probe_in_flight = false;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports that an admitted query failed (after any retries).
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip_open();
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                self.trip_open();
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip_open(&mut self) {
+        self.state = BreakerState::Open;
+        self.transitions.opens += 1;
+        self.cooldown_left = self.config.open_cooldown;
+        self.consecutive_failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(k: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig { failure_threshold: k, open_cooldown: cooldown })
+    }
+
+    #[test]
+    fn trips_open_after_k_consecutive_failures() {
+        let mut b = breaker(3, 4);
+        for _ in 0..2 {
+            assert!(b.admit());
+            b.record_failure();
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().opens, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker(2, 4);
+        assert!(b.admit());
+        b.record_failure();
+        assert!(b.admit());
+        b.record_success();
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn open_denies_cooldown_queries_then_probes() {
+        let mut b = breaker(1, 3);
+        assert!(b.admit());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        for i in 0..3 {
+            assert!(!b.admit(), "denial {i} while open");
+        }
+        assert!(b.admit(), "cooldown spent: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "only one probe while unresolved");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions(), BreakerTransitions { opens: 1, half_opens: 1, closes: 1 });
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = breaker(1, 2);
+        assert!(b.admit());
+        b.record_failure();
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit(), "probe");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().opens, 2);
+        assert_eq!(b.transitions().closes, 0);
+    }
+}

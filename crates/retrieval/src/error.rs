@@ -10,6 +10,22 @@ pub enum RetrievalError {
     BadConfig(String),
     /// Every data node is offline; no shard can answer.
     AllNodesOffline,
+    /// A data node failed to answer within its per-node deadline (after
+    /// any retries). Surfaced when the caller requires full coverage;
+    /// the lenient path degrades to partial coverage instead.
+    NodeTimeout {
+        /// Name of the node that timed out.
+        node: String,
+    },
+    /// Fewer shards than configured answered the query and the caller
+    /// required full coverage. `answered` is always nonzero — a total
+    /// outage is [`RetrievalError::AllNodesOffline`].
+    DegradedCoverage {
+        /// Shards that answered.
+        answered: usize,
+        /// Shards configured.
+        total: usize,
+    },
     /// The client's query budget is spent; the query was not executed.
     ///
     /// Carried as a dedicated variant (rather than a config-error string)
@@ -27,6 +43,12 @@ impl fmt::Display for RetrievalError {
             RetrievalError::Model(e) => write!(f, "model error: {e}"),
             RetrievalError::BadConfig(msg) => write!(f, "bad retrieval config: {msg}"),
             RetrievalError::AllNodesOffline => write!(f, "all data nodes are offline"),
+            RetrievalError::NodeTimeout { node } => {
+                write!(f, "data node {node} timed out")
+            }
+            RetrievalError::DegradedCoverage { answered, total } => {
+                write!(f, "degraded coverage: only {answered} of {total} shards answered")
+            }
             RetrievalError::BudgetExhausted { budget } => {
                 write!(f, "query budget of {budget} exhausted")
             }

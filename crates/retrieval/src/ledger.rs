@@ -53,6 +53,16 @@ impl QueryLedger {
         Ok(())
     }
 
+    /// Returns one previously charged query to the budget.
+    ///
+    /// Used when an admitted query is later shed without ever reaching
+    /// the model (e.g. its deadline expired in the queue): shed requests
+    /// are never billed, so the serving layer refunds the admission-time
+    /// charge. Saturates at zero.
+    pub fn refund(&mut self) {
+        self.used = self.used.saturating_sub(1);
+    }
+
     /// Number of queries charged so far.
     pub fn used(&self) -> u64 {
         self.used
@@ -100,6 +110,20 @@ mod tests {
         ));
         assert_eq!(ledger.used(), 2, "rejected charges must not count");
         assert!(ledger.is_exhausted());
+    }
+
+    #[test]
+    fn refund_returns_charge_and_saturates() {
+        let mut ledger = QueryLedger::with_budget(2);
+        ledger.charge().unwrap();
+        ledger.charge().unwrap();
+        assert!(ledger.is_exhausted());
+        ledger.refund();
+        assert_eq!(ledger.used(), 1);
+        assert!(!ledger.is_exhausted());
+        ledger.refund();
+        ledger.refund();
+        assert_eq!(ledger.used(), 0, "refund saturates at zero");
     }
 
     #[test]

@@ -31,21 +31,27 @@
 #![warn(missing_docs)]
 
 mod blackbox;
+mod breaker;
+pub mod chaos;
 mod error;
 mod ledger;
 mod metrics;
 mod node;
 mod oracle;
 mod persist;
+mod resilience;
 mod system;
 
 pub use blackbox::BlackBox;
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
+pub use chaos::{FaultDecision, FaultPlan, FlapWindow};
 pub use error::RetrievalError;
 pub use ledger::QueryLedger;
 pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence};
-pub use node::{DataNode, NodeStatus, ScoredId};
+pub use node::{DataNode, NodeAnswer, NodeFault, NodeStatus, ScoredId};
 pub use oracle::QueryOracle;
 pub use persist::GalleryIndex;
+pub use resilience::{Coverage, QueryTelemetry, ResilienceConfig, Retrieved};
 pub use system::{RetrievalConfig, RetrievalSystem};
 
 /// Convenient result alias used across the retrieval crate.

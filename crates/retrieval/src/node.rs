@@ -1,5 +1,7 @@
+use crate::FaultPlan;
 use duo_tensor::Tensor;
 use duo_video::VideoId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// A gallery entry scored against a query embedding.
@@ -23,23 +25,59 @@ pub enum NodeStatus {
 }
 duo_tensor::impl_to_json!(enum NodeStatus { Online, Offline });
 
+/// Why a node attempt produced no shard answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node is down — hard [`NodeStatus::Offline`] or inside a
+    /// scheduled [`crate::FlapWindow`].
+    Offline,
+    /// The injected fault schedule failed this query transiently; a
+    /// retry (which consumes the next query index) may succeed.
+    Transient,
+    /// The node thread panicked mid-query (contained by the fan-out).
+    Panicked,
+}
+
+/// A successful shard answer plus its chaos metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAnswer {
+    /// Local top-`m` results, nearest first.
+    pub results: Vec<ScoredId>,
+    /// Virtual service latency injected by the fault plan, microseconds
+    /// (zero without a plan). The resilience layer compares this against
+    /// its per-node deadline.
+    pub delay_us: u64,
+    /// The node-local query index this attempt consumed.
+    pub index: u64,
+}
+
 /// One shard of the distributed gallery.
 ///
 /// A node stores `(id, feature)` pairs for its share of the gallery and
 /// answers local top-`m` nearest-neighbour queries. Status is behind a
 /// read–write lock so a failure-injection harness can flip nodes offline
-/// while queries are in flight.
+/// while queries are in flight; an optional seeded [`FaultPlan`] injects
+/// transient errors, latency, and flap schedules deterministically (see
+/// [`crate::chaos`]).
 #[derive(Debug)]
 pub struct DataNode {
     name: String,
     entries: Vec<(VideoId, Tensor)>,
     status: RwLock<NodeStatus>,
+    fault_plan: RwLock<Option<FaultPlan>>,
+    queries_seen: AtomicU64,
 }
 
 impl DataNode {
     /// Creates an online node with the given shard contents.
     pub fn new(name: impl Into<String>, entries: Vec<(VideoId, Tensor)>) -> Self {
-        DataNode { name: name.into(), entries, status: RwLock::new(NodeStatus::Online) }
+        DataNode {
+            name: name.into(),
+            entries,
+            status: RwLock::new(NodeStatus::Online),
+            fault_plan: RwLock::new(None),
+            queries_seen: AtomicU64::new(0),
+        }
     }
 
     /// Node name (for diagnostics).
@@ -81,6 +119,62 @@ impl DataNode {
         *self.status.write().unwrap_or_else(|e| e.into_inner()) = NodeStatus::Online;
     }
 
+    /// Installs (or with `None`, removes) a deterministic fault plan.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.write().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    /// A copy of the installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of fault-aware query attempts this node has seen (the next
+    /// attempt consumes this index in the fault schedule).
+    pub fn queries_seen(&self) -> u64 {
+        self.queries_seen.load(Ordering::SeqCst)
+    }
+
+    /// Fault-aware local query: consumes one index of the node's fault
+    /// schedule and answers, fails, or reports itself down accordingly.
+    ///
+    /// Without an installed plan this is the plain scan with
+    /// `delay_us = 0` — bit-identical results to [`DataNode::query`].
+    ///
+    /// # Errors
+    ///
+    /// [`NodeFault::Offline`] when hard-offline or inside a flap window,
+    /// [`NodeFault::Transient`] when the schedule fails this attempt.
+    pub fn try_query(&self, query: &Tensor, m: usize) -> Result<NodeAnswer, NodeFault> {
+        if self.status() == NodeStatus::Offline {
+            return Err(NodeFault::Offline);
+        }
+        let index = self.queries_seen.fetch_add(1, Ordering::SeqCst);
+        let decision = self
+            .fault_plan
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|plan| {
+                let d = plan.decision(index);
+                if plan.wall_clock && d.delay_us > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        d.delay_us.min(FaultPlan::WALL_CLOCK_CAP_US),
+                    ));
+                }
+                d
+            })
+            .unwrap_or_else(crate::FaultDecision::clean);
+        if decision.offline {
+            return Err(NodeFault::Offline);
+        }
+        if decision.transient {
+            return Err(NodeFault::Transient);
+        }
+        let results = self.scan(query, m);
+        Ok(NodeAnswer { results, delay_us: decision.delay_us, index })
+    }
+
     /// Local top-`m` nearest entries to `query`, or `None` when offline.
     ///
     /// Results are sorted ascending by distance; ties break by id for
@@ -89,6 +183,11 @@ impl DataNode {
         if self.status() == NodeStatus::Offline {
             return None;
         }
+        Some(self.scan(query, m))
+    }
+
+    /// The raw shard scan, independent of status and fault schedule.
+    fn scan(&self, query: &Tensor, m: usize) -> Vec<ScoredId> {
         let mut scored: Vec<ScoredId> = self
             .entries
             .iter()
@@ -103,7 +202,7 @@ impl DataNode {
                 .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
         });
         scored.truncate(m);
-        Some(scored)
+        scored
     }
 }
 
@@ -152,6 +251,48 @@ mod tests {
         let node = sample_node();
         let res = node.query(&feat(vec![0.0, 0.0]), 10).unwrap();
         assert_eq!(res.len(), 3);
+    }
+
+    #[test]
+    fn try_query_without_plan_matches_query() {
+        let node = sample_node();
+        let q = feat(vec![0.5, 0.5]);
+        let plain = node.query(&q, 3).unwrap();
+        let answer = node.try_query(&q, 3).unwrap();
+        assert_eq!(answer.results, plain);
+        assert_eq!(answer.delay_us, 0);
+        assert_eq!(answer.index, 0);
+        assert_eq!(node.queries_seen(), 1);
+    }
+
+    #[test]
+    fn try_query_follows_the_fault_schedule() {
+        let node = sample_node();
+        let plan = FaultPlan::transient(77, 0.5).with_flap(0, 2);
+        let schedule = plan.schedule(32);
+        node.set_fault_plan(Some(plan));
+        let q = feat(vec![0.0, 0.0]);
+        for (i, d) in schedule.iter().enumerate() {
+            let got = node.try_query(&q, 2);
+            if d.offline {
+                assert_eq!(got, Err(NodeFault::Offline), "index {i}");
+            } else if d.transient {
+                assert_eq!(got, Err(NodeFault::Transient), "index {i}");
+            } else {
+                let ans = got.unwrap();
+                assert_eq!(ans.index, i as u64);
+                assert_eq!(ans.delay_us, d.delay_us);
+            }
+        }
+    }
+
+    #[test]
+    fn hard_offline_beats_the_plan_and_skips_no_index() {
+        let node = sample_node();
+        node.set_fault_plan(Some(FaultPlan::none(3)));
+        node.set_offline();
+        assert_eq!(node.try_query(&feat(vec![0.0, 0.0]), 1), Err(NodeFault::Offline));
+        assert_eq!(node.queries_seen(), 0, "hard-down attempts consume no schedule index");
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Resilience policy and telemetry for the distributed fan-out path.
+//!
+//! The chaos layer ([`crate::chaos`]) injects deterministic faults; this
+//! module is the machinery that survives them: per-node virtual
+//! deadlines, bounded retries with exponential backoff and seeded
+//! jitter, optional hedged second attempts, and panic containment. All
+//! timing decisions compare *injected virtual latency* against the
+//! policy — the wall clock never participates — so a chaos run with a
+//! fixed seed produces bit-identical retrieval lists and telemetry
+//! counters across runs and across threaded/inline fan-out.
+
+use crate::{BreakerConfig, DataNode, NodeFault, ScoredId};
+use duo_tensor::Rng64;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Resilience policy for one retrieval fan-out.
+///
+/// The default policy is inert — no timeout, no retries, no hedging, no
+/// breaker — and reproduces the pre-resilience fan-out bit for bit
+/// (modulo panic containment, which turns a crashed node thread into a
+/// failed shard instead of a crashed query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Per-attempt virtual deadline: an answer whose injected
+    /// `delay_us` exceeds this counts as a node timeout. `None`
+    /// disables timeouts.
+    pub node_timeout_us: Option<u64>,
+    /// Extra attempts per node per query after the first.
+    pub max_retries: u32,
+    /// Base of the exponential backoff between attempts, microseconds
+    /// (attempt `i` backs off `base << (i-1)` plus jitter). Virtual:
+    /// recorded in telemetry, never slept.
+    pub backoff_base_us: u64,
+    /// Maximum seeded jitter added to each backoff, microseconds.
+    pub backoff_jitter_us: u64,
+    /// When a successful answer is slower than this, issue one hedged
+    /// second attempt and keep the faster of the two. `None` disables
+    /// hedging.
+    pub hedge_after_us: Option<u64>,
+    /// Per-node circuit breakers; `None` disables them.
+    pub breaker: Option<BreakerConfig>,
+    /// Seed of the backoff-jitter stream (mixed with node index and
+    /// attempt number, so it is interleaving-independent).
+    pub seed: u64,
+    /// Fail queries that any shard sat out ([`crate::RetrievalError::NodeTimeout`] /
+    /// [`crate::RetrievalError::DegradedCoverage`]) instead of returning
+    /// a partial ranking.
+    pub require_full_coverage: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            node_timeout_us: None,
+            max_retries: 0,
+            backoff_base_us: 0,
+            backoff_jitter_us: 0,
+            hedge_after_us: None,
+            breaker: None,
+            seed: 0,
+            require_full_coverage: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// A policy that actually fights back: 3 retries over a 10 ms
+    /// virtual deadline with backoff, hedging, and a default breaker.
+    pub fn hardened(seed: u64) -> Self {
+        ResilienceConfig {
+            node_timeout_us: Some(10_000),
+            max_retries: 3,
+            backoff_base_us: 200,
+            backoff_jitter_us: 100,
+            hedge_after_us: Some(5_000),
+            breaker: Some(BreakerConfig::default()),
+            seed,
+            require_full_coverage: false,
+        }
+    }
+}
+
+/// How many shards answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards that contributed candidates.
+    pub answered: usize,
+    /// Shards configured.
+    pub total: usize,
+}
+duo_tensor::impl_to_json!(struct Coverage { answered, total });
+
+impl Coverage {
+    /// Whether every shard answered.
+    pub fn is_full(&self) -> bool {
+        self.answered == self.total
+    }
+}
+
+/// Everything the resilience machinery did for one query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryTelemetry {
+    /// Retry attempts issued (beyond first attempts).
+    pub retries: u64,
+    /// Hedged second attempts issued.
+    pub hedges: u64,
+    /// Attempts that exceeded the virtual per-node deadline.
+    pub node_timeouts: u64,
+    /// Injected transient failures observed.
+    pub transient_faults: u64,
+    /// Node panics contained into shard failures.
+    pub panics: u64,
+    /// Nodes skipped outright by an open breaker.
+    pub breaker_skips: u64,
+    /// Breaker trips to open caused by this query.
+    pub breaker_opens: u64,
+    /// Breaker probes admitted (open → half-open) by this query.
+    pub breaker_half_opens: u64,
+    /// Breaker recoveries (half-open → closed) caused by this query.
+    pub breaker_closes: u64,
+    /// Total virtual backoff accumulated, microseconds.
+    pub backoff_us: u64,
+    /// Slowest surviving shard answer, microseconds of virtual latency.
+    pub max_delay_us: u64,
+    /// Failed shards this query, by node index.
+    pub node_failures: Vec<u64>,
+}
+
+impl QueryTelemetry {
+    /// Zeroed telemetry sized for a system with `nodes` shards.
+    pub fn new(nodes: usize) -> Self {
+        QueryTelemetry { node_failures: vec![0; nodes], ..QueryTelemetry::default() }
+    }
+}
+
+/// A retrieval answer that distinguishes full from degraded rankings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieved {
+    /// Global top-`m` over the shards that answered, most similar first.
+    pub ids: Vec<duo_video::VideoId>,
+    /// How many shards contributed.
+    pub coverage: Coverage,
+    /// Resilience counters for this query.
+    pub telemetry: QueryTelemetry,
+}
+
+/// Cause of a node sitting a query out, for error selection and
+/// per-node failure accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailCause {
+    Offline,
+    Transient,
+    Timeout,
+    Panic,
+}
+
+/// Outcome of one node's full attempt loop for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeReport {
+    pub answer: Option<Vec<ScoredId>>,
+    pub failure: Option<FailCause>,
+    pub retries: u64,
+    pub hedges: u64,
+    pub timeouts: u64,
+    pub transients: u64,
+    pub panics: u64,
+    pub backoff_us: u64,
+    pub delay_us: u64,
+}
+
+impl NodeReport {
+    fn empty() -> Self {
+        NodeReport {
+            answer: None,
+            failure: None,
+            retries: 0,
+            hedges: 0,
+            timeouts: 0,
+            transients: 0,
+            panics: 0,
+            backoff_us: 0,
+            delay_us: 0,
+        }
+    }
+
+    pub(crate) fn panicked() -> Self {
+        NodeReport { failure: Some(FailCause::Panic), panics: 1, ..NodeReport::empty() }
+    }
+}
+
+/// Seeded backoff jitter: a pure function of `(seed, node, attempt)`, so
+/// it is identical whichever thread runs the attempt loop.
+fn backoff_jitter(policy: &ResilienceConfig, node_idx: usize, attempt: u32) -> u64 {
+    if policy.backoff_jitter_us == 0 {
+        return 0;
+    }
+    let mut rng = Rng64::new(
+        policy
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((node_idx as u64) << 32)
+            .wrapping_add(u64::from(attempt)),
+    );
+    rng.as_rng().next_u64() % policy.backoff_jitter_us
+}
+
+/// Runs the full attempt loop (attempt → virtual-deadline check → hedge
+/// → retry with backoff) for one node. Panics inside the node query are
+/// contained and reported as [`FailCause::Panic`].
+pub(crate) fn query_node(
+    node: &DataNode,
+    node_idx: usize,
+    query: &duo_tensor::Tensor,
+    m: usize,
+    policy: &ResilienceConfig,
+) -> NodeReport {
+    let mut report = NodeReport::empty();
+    let mut attempt: u32 = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| node.try_query(query, m)));
+        let cause = match outcome {
+            Err(_) => {
+                report.panics += 1;
+                FailCause::Panic
+            }
+            Ok(Err(NodeFault::Offline)) => FailCause::Offline,
+            Ok(Err(NodeFault::Panicked)) => {
+                report.panics += 1;
+                FailCause::Panic
+            }
+            Ok(Err(NodeFault::Transient)) => {
+                report.transients += 1;
+                FailCause::Transient
+            }
+            Ok(Ok(answer)) => {
+                let timed_out =
+                    policy.node_timeout_us.is_some_and(|t| answer.delay_us > t);
+                if timed_out {
+                    report.timeouts += 1;
+                    FailCause::Timeout
+                } else {
+                    let mut delay_us = answer.delay_us;
+                    // Slow-but-alive shard: hedge once and keep the
+                    // faster (virtual) answer. Shard scans are
+                    // deterministic, so result lists agree; only the
+                    // latency and fault verdict can differ.
+                    if let Some(hedge_after) = policy.hedge_after_us {
+                        if delay_us > hedge_after {
+                            report.hedges += 1;
+                            if let Ok(Ok(second)) =
+                                catch_unwind(AssertUnwindSafe(|| node.try_query(query, m)))
+                            {
+                                let hedged = hedge_after + second.delay_us;
+                                let second_ok = !policy
+                                    .node_timeout_us
+                                    .is_some_and(|t| second.delay_us > t);
+                                if second_ok && hedged < delay_us {
+                                    delay_us = hedged;
+                                }
+                            }
+                        }
+                    }
+                    report.answer = Some(answer.results);
+                    report.delay_us = delay_us;
+                    return report;
+                }
+            }
+        };
+        // A hard-offline node (no fault plan, or plan says nothing) will
+        // not recover within this query: retrying only burns budget.
+        let retryable = !(cause == FailCause::Offline && node.fault_plan().is_none());
+        if !retryable || attempt >= policy.max_retries {
+            report.failure = Some(cause);
+            return report;
+        }
+        attempt += 1;
+        report.retries += 1;
+        let backoff = policy
+            .backoff_base_us
+            .saturating_shl(attempt - 1)
+            .saturating_add(backoff_jitter(policy, node_idx, attempt));
+        report.backoff_us += backoff;
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping, local helper
+/// for exponential backoff growth.
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if shift > self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+    use duo_tensor::Tensor;
+    use duo_video::VideoId;
+
+    fn node_with_plan(plan: Option<FaultPlan>) -> DataNode {
+        let node = DataNode::new(
+            "n0",
+            vec![
+                (VideoId { class: 0, instance: 0 }, Tensor::from_vec(vec![0.0], &[1]).unwrap()),
+                (VideoId { class: 1, instance: 0 }, Tensor::from_vec(vec![1.0], &[1]).unwrap()),
+            ],
+        );
+        node.set_fault_plan(plan);
+        node
+    }
+
+    fn q() -> Tensor {
+        Tensor::from_vec(vec![0.1], &[1]).unwrap()
+    }
+
+    #[test]
+    fn clean_node_answers_first_attempt() {
+        let node = node_with_plan(None);
+        let report = query_node(&node, 0, &q(), 2, &ResilienceConfig::default());
+        assert_eq!(report.answer.as_ref().map(Vec::len), Some(2));
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.failure, None);
+    }
+
+    #[test]
+    fn retries_ride_out_transient_faults() {
+        // Schedule: find a seed index pattern where attempt 0 is
+        // transient and a later attempt succeeds; with p=1.0 every
+        // attempt fails, with p small enough retries recover.
+        let plan = FaultPlan::transient(1234, 0.6);
+        let node = node_with_plan(Some(plan.clone()));
+        let policy =
+            ResilienceConfig { max_retries: 16, backoff_base_us: 10, ..ResilienceConfig::default() };
+        let report = query_node(&node, 0, &q(), 2, &policy);
+        assert!(report.answer.is_some(), "16 retries beat p=0.6 transients: {report:?}");
+        let schedule = plan.schedule(report.retries + 1);
+        let expected_failures = schedule.iter().filter(|d| d.transient).count() as u64;
+        assert_eq!(report.transients, expected_failures);
+        assert_eq!(report.retries, expected_failures, "one retry per transient");
+    }
+
+    #[test]
+    fn always_failing_node_exhausts_retries() {
+        let node = node_with_plan(Some(FaultPlan::transient(5, 1.0)));
+        let policy = ResilienceConfig { max_retries: 3, ..ResilienceConfig::default() };
+        let report = query_node(&node, 0, &q(), 2, &policy);
+        assert_eq!(report.answer, None);
+        assert_eq!(report.failure, Some(FailCause::Transient));
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.transients, 4, "initial attempt plus three retries");
+    }
+
+    #[test]
+    fn hard_offline_is_not_retried() {
+        let node = node_with_plan(None);
+        node.set_offline();
+        let policy = ResilienceConfig { max_retries: 5, ..ResilienceConfig::default() };
+        let report = query_node(&node, 0, &q(), 2, &policy);
+        assert_eq!(report.failure, Some(FailCause::Offline));
+        assert_eq!(report.retries, 0, "hard-down nodes are failed fast");
+    }
+
+    #[test]
+    fn virtual_timeout_fails_slow_answers() {
+        let node = node_with_plan(Some(FaultPlan::none(9).with_latency(5_000, 0, 0.0, 0)));
+        let policy =
+            ResilienceConfig { node_timeout_us: Some(1_000), ..ResilienceConfig::default() };
+        let report = query_node(&node, 0, &q(), 2, &policy);
+        assert_eq!(report.failure, Some(FailCause::Timeout));
+        assert_eq!(report.timeouts, 1);
+    }
+
+    #[test]
+    fn hedge_takes_the_faster_attempt() {
+        // Base latency 6 ms with no jitter: first answer is slow, the
+        // hedge costs 1 ms + 6 ms = 7 ms > 6 ms, so the first answer's
+        // delay stands — but the hedge is counted.
+        let node = node_with_plan(Some(FaultPlan::none(3).with_latency(6_000, 0, 0.0, 0)));
+        let policy =
+            ResilienceConfig { hedge_after_us: Some(1_000), ..ResilienceConfig::default() };
+        let report = query_node(&node, 0, &q(), 2, &policy);
+        assert_eq!(report.hedges, 1);
+        assert_eq!(report.delay_us, 6_000);
+        assert!(report.answer.is_some());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_jitter_is_deterministic() {
+        let node = node_with_plan(Some(FaultPlan::transient(5, 1.0)));
+        let policy = ResilienceConfig {
+            max_retries: 3,
+            backoff_base_us: 100,
+            backoff_jitter_us: 50,
+            seed: 77,
+            ..ResilienceConfig::default()
+        };
+        let a = query_node(&node, 0, &q(), 2, &policy);
+        let b = query_node(&node, 0, &q(), 2, &policy);
+        assert_eq!(a.backoff_us, b.backoff_us, "jitter is seeded, not sampled from time");
+        let base: u64 = 100 + 200 + 400;
+        assert!(a.backoff_us >= base && a.backoff_us < base + 3 * 50, "{}", a.backoff_us);
+    }
+
+    #[test]
+    fn saturating_shl_never_wraps() {
+        assert_eq!(1u64.saturating_shl(63), 1 << 63);
+        assert_eq!(1u64.saturating_shl(64), u64::MAX);
+        assert_eq!(0u64.saturating_shl(200), 0);
+        assert_eq!(3u64.saturating_shl(63), u64::MAX);
+    }
+}

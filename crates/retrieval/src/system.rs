@@ -1,7 +1,12 @@
-use crate::{DataNode, RetrievalError, Result, ScoredId};
+use crate::resilience::{query_node, FailCause, NodeReport};
+use crate::{
+    BreakerState, CircuitBreaker, Coverage, DataNode, QueryTelemetry, ResilienceConfig, Retrieved,
+    RetrievalError, Result, ScoredId,
+};
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::{SyntheticDataset, Video, VideoId};
+use std::sync::Mutex;
 
 /// Configuration of the distributed retrieval service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +38,12 @@ pub struct RetrievalSystem {
     nodes: Vec<DataNode>,
     config: RetrievalConfig,
     gallery_len: usize,
+    resilience: ResilienceConfig,
+    /// Per-node circuit breakers, created lazily on the first query
+    /// under a breaker-enabled policy. Behind a mutex because the whole
+    /// retrieval path takes `&self`; held only for admission/recording,
+    /// never across shard work.
+    breakers: Mutex<Vec<CircuitBreaker>>,
 }
 
 impl std::fmt::Debug for RetrievalSystem {
@@ -124,7 +135,14 @@ impl RetrievalSystem {
             .enumerate()
             .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
             .collect();
-        Ok(RetrievalSystem { backbone, nodes, config, gallery_len: gallery.len() })
+        Ok(RetrievalSystem {
+            backbone,
+            nodes,
+            config,
+            gallery_len: gallery.len(),
+            resilience: ResilienceConfig::default(),
+            breakers: Mutex::new(Vec::new()),
+        })
     }
 
     /// Assembles a system from prebuilt shards (used by index restore).
@@ -134,7 +152,14 @@ impl RetrievalSystem {
         config: RetrievalConfig,
         gallery_len: usize,
     ) -> Self {
-        RetrievalSystem { backbone, nodes, config, gallery_len }
+        RetrievalSystem {
+            backbone,
+            nodes,
+            config,
+            gallery_len,
+            resilience: ResilienceConfig::default(),
+            breakers: Mutex::new(Vec::new()),
+        }
     }
 
     /// The service configuration.
@@ -204,33 +229,176 @@ impl RetrievalSystem {
         self.retrieve_by_feature(&query)
     }
 
+    /// The system's standing resilience policy, used by
+    /// [`RetrievalSystem::retrieve_by_feature`] and
+    /// [`RetrievalSystem::retrieve_resilient`].
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Replaces the standing resilience policy (resets the circuit
+    /// breakers, since thresholds may have changed).
+    pub fn set_resilience(&mut self, policy: ResilienceConfig) {
+        self.resilience = policy;
+        self.breakers.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Current circuit-breaker states, one per node — `None` until a
+    /// breaker-enabled query has run.
+    pub fn breaker_states(&self) -> Option<Vec<BreakerState>> {
+        let breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+        if breakers.is_empty() {
+            None
+        } else {
+            Some(breakers.iter().map(CircuitBreaker::state).collect())
+        }
+    }
+
     /// Retrieval from a precomputed query embedding.
     ///
     /// # Errors
     ///
     /// Returns [`RetrievalError::AllNodesOffline`] when no shard answers.
     pub fn retrieve_by_feature(&self, query: &Tensor) -> Result<Vec<VideoId>> {
+        self.retrieve_with(query, &self.resilience).map(|r| r.ids)
+    }
+
+    /// Retrieval under the standing resilience policy, returning the
+    /// full [`Retrieved`] shape so callers can distinguish complete from
+    /// degraded (partial-shard) rankings and account retries/hedges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::AllNodesOffline`] when coverage is
+    /// zero, and — only under `require_full_coverage` —
+    /// [`RetrievalError::NodeTimeout`] / [`RetrievalError::DegradedCoverage`]
+    /// for partial coverage.
+    pub fn retrieve_resilient(&self, query: &Tensor) -> Result<Retrieved> {
+        self.retrieve_with(query, &self.resilience)
+    }
+
+    /// Retrieval under an explicit resilience policy.
+    ///
+    /// Node panics are contained: a panicking shard counts as that node
+    /// failing the query, never as a crashed retrieval. All retry,
+    /// timeout, hedge, and breaker decisions compare injected *virtual*
+    /// latency against the policy — no wall clock — so results and
+    /// telemetry are bit-identical across threaded and inline fan-out.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetrievalSystem::retrieve_resilient`].
+    pub fn retrieve_with(&self, query: &Tensor, policy: &ResilienceConfig) -> Result<Retrieved> {
         let m = self.config.m;
-        let locals: Vec<Option<Vec<ScoredId>>> = if self.config.threaded {
+        let total = self.nodes.len();
+        let mut telemetry = QueryTelemetry::new(total);
+
+        // Breaker admission runs sequentially in node order (never
+        // inside the fan-out threads), so breaker trajectories are
+        // independent of thread interleavings.
+        let admitted: Vec<bool> = match &policy.breaker {
+            None => vec![true; total],
+            Some(cfg) => {
+                let mut breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+                if breakers.len() != total {
+                    *breakers = (0..total).map(|_| CircuitBreaker::new(*cfg)).collect();
+                }
+                breakers
+                    .iter_mut()
+                    .map(|b| {
+                        let before = b.transitions();
+                        let ok = b.admit();
+                        telemetry.breaker_half_opens +=
+                            b.transitions().half_opens - before.half_opens;
+                        if !ok {
+                            telemetry.breaker_skips += 1;
+                        }
+                        ok
+                    })
+                    .collect()
+            }
+        };
+
+        let reports: Vec<Option<NodeReport>> = if self.config.threaded {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .nodes
                     .iter()
-                    .map(|node| scope.spawn(move || node.query(query, m)))
+                    .enumerate()
+                    .map(|(idx, node)| {
+                        let run = admitted[idx];
+                        scope.spawn(move || {
+                            run.then(|| query_node(node, idx, query, m, policy))
+                        })
+                    })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("node query panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(Some(NodeReport::panicked())))
+                    .collect()
             })
         } else {
-            self.nodes.iter().map(|node| node.query(query, m)).collect()
+            self.nodes
+                .iter()
+                .enumerate()
+                .map(|(idx, node)| admitted[idx].then(|| query_node(node, idx, query, m, policy)))
+                .collect()
         };
-        let mut merged: Vec<ScoredId> = Vec::new();
-        let mut any_online = false;
-        for local in locals.into_iter().flatten() {
-            any_online = true;
-            merged.extend(local);
+
+        // Breaker outcome recording, again sequential in node order.
+        if policy.breaker.is_some() {
+            let mut breakers = self.breakers.lock().unwrap_or_else(|e| e.into_inner());
+            for (breaker, report) in breakers.iter_mut().zip(&reports) {
+                let Some(report) = report else { continue };
+                let before = breaker.transitions();
+                if report.answer.is_some() {
+                    breaker.record_success();
+                } else {
+                    breaker.record_failure();
+                }
+                let after = breaker.transitions();
+                telemetry.breaker_opens += after.opens - before.opens;
+                telemetry.breaker_closes += after.closes - before.closes;
+            }
         }
-        if !any_online {
+
+        let mut merged: Vec<ScoredId> = Vec::new();
+        let mut answered = 0usize;
+        let mut first_failure: Option<(usize, FailCause)> = None;
+        for (idx, report) in reports.into_iter().enumerate() {
+            let Some(report) = report else { continue }; // breaker skip
+            telemetry.retries += report.retries;
+            telemetry.hedges += report.hedges;
+            telemetry.node_timeouts += report.timeouts;
+            telemetry.transient_faults += report.transients;
+            telemetry.panics += report.panics;
+            telemetry.backoff_us += report.backoff_us;
+            match report.answer {
+                Some(local) => {
+                    answered += 1;
+                    telemetry.max_delay_us = telemetry.max_delay_us.max(report.delay_us);
+                    merged.extend(local);
+                }
+                None => {
+                    telemetry.node_failures[idx] += 1;
+                    if first_failure.is_none() {
+                        first_failure =
+                            Some((idx, report.failure.unwrap_or(FailCause::Offline)));
+                    }
+                }
+            }
+        }
+        if answered == 0 {
             return Err(RetrievalError::AllNodesOffline);
+        }
+        let coverage = Coverage { answered, total };
+        if policy.require_full_coverage && !coverage.is_full() {
+            return Err(match first_failure {
+                Some((idx, FailCause::Timeout)) => {
+                    RetrievalError::NodeTimeout { node: self.nodes[idx].name().to_string() }
+                }
+                _ => RetrievalError::DegradedCoverage { answered, total },
+            });
         }
         merged.sort_by(|a, b| {
             a.distance
@@ -238,7 +406,7 @@ impl RetrievalSystem {
                 .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
         });
         merged.truncate(m);
-        Ok(merged.into_iter().map(|s| s.id).collect())
+        Ok(Retrieved { ids: merged.into_iter().map(|s| s.id).collect(), coverage, telemetry })
     }
 }
 

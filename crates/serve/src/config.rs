@@ -13,6 +13,13 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Ingress queue capacity; admission sheds load beyond this.
     pub queue_cap: usize,
+    /// End-to-end deadline stamped on every request at admission unless
+    /// the client supplies its own
+    /// ([`crate::ClientHandle::retrieve_with_deadline`]). Requests whose
+    /// deadline expires in the queue are shed and **refunded** — a shed
+    /// query is never billed to the client's ledger. `None` disables the
+    /// default deadline.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -22,6 +29,7 @@ impl Default for ServeConfig {
             batch_max: 8,
             batch_wait: Duration::from_millis(2),
             queue_cap: 64,
+            default_deadline: None,
         }
     }
 }

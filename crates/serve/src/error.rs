@@ -29,6 +29,10 @@ pub enum ServeError {
         /// The configured queue capacity that was hit.
         queue_cap: usize,
     },
+    /// The request's end-to-end deadline expired before it reached the
+    /// model; it was shed from the queue and the admission-time charge
+    /// was refunded (deadline-shed queries are never billed).
+    DeadlineExceeded,
     /// The service has been shut down (or dropped).
     Stopped,
     /// The retrieval system itself failed to answer.
@@ -47,6 +51,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Overloaded { queue_cap } => {
                 write!(f, "service overloaded (queue capacity {queue_cap})")
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before service; charge refunded")
             }
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::Retrieval(e) => write!(f, "retrieval error: {e}"),

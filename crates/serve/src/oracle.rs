@@ -63,6 +63,11 @@ impl QueryOracle for ServiceOracle {
                     attempt += 1;
                     std::thread::sleep(Duration::from_millis(1));
                 }
+                // A deadline-shed request was refunded at the service, so
+                // resubmitting costs the attacker nothing extra.
+                Err(ServeError::DeadlineExceeded) if attempt < self.max_retries => {
+                    attempt += 1;
+                }
                 Err(e) => return Err(to_retrieval_error(e)),
             }
         }

@@ -42,6 +42,11 @@ pub(crate) struct Shared {
 struct Request {
     video: Video,
     enqueued: Instant,
+    /// End-to-end deadline; requests that expire in the queue are shed
+    /// and their admission-time charge refunded.
+    deadline: Option<Instant>,
+    /// The client slot charged at admission (for refunds on shed).
+    slot: usize,
     reply: SyncSender<Result<Vec<VideoId>, ServeError>>,
 }
 
@@ -89,9 +94,10 @@ impl RetrievalService {
     /// queue capacity.
     pub fn start(system: RetrievalSystem, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let nodes = system.nodes().len();
         let shared = Arc::new(Shared {
             system,
-            stats: Mutex::new(StatsInner::new(config.batch_max)),
+            stats: Mutex::new(StatsInner::new(config.batch_max, nodes)),
             clients: Mutex::new(Vec::new()),
             queue_depth: AtomicUsize::new(0),
             stopped: AtomicBool::new(false),
@@ -137,6 +143,7 @@ impl RetrievalService {
             ingress: self.ingress.clone(),
             slot,
             queue_cap: self.config.queue_cap,
+            default_deadline: self.config.default_deadline,
         }
     }
 
@@ -218,8 +225,34 @@ fn batcher_loop(
     // is left and exit.
 }
 
+/// Sheds a request whose end-to-end deadline has expired: refunds the
+/// admission-time charge (shed queries are never billed), counts the
+/// miss, and replies [`ServeError::DeadlineExceeded`].
+fn shed(shared: &Shared, request: Request) {
+    {
+        let mut clients = shared.clients.lock().expect("clients lock");
+        clients[request.slot].ledger.refund();
+    }
+    shared.stats.lock().expect("stats lock").deadline_misses += 1;
+    let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
+}
+
+fn expired(request: &Request, now: Instant) -> bool {
+    request.deadline.is_some_and(|d| now >= d)
+}
+
 fn flush_batch(shared: &Shared, batch: Vec<Request>, work_tx: &SyncSender<Work>, config: &ServeConfig) {
     shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
+    // Deadline check at dequeue: expired requests never reach the model.
+    let now = Instant::now();
+    let (batch, dead): (Vec<Request>, Vec<Request>) =
+        batch.into_iter().partition(|r| !expired(r, now));
+    for request in dead {
+        shed(shared, request);
+    }
+    if batch.is_empty() {
+        return;
+    }
     {
         let mut stats = shared.stats.lock().expect("stats lock");
         stats.batches += 1;
@@ -268,21 +301,32 @@ fn worker_loop(shared: &Shared, work_rx: &Mutex<Receiver<Work>>) {
             Ok(work) => work,
             Err(_) => break,
         };
-        let result = shared
-            .system
-            .retrieve_by_feature(&work.feature)
-            .map_err(ServeError::Retrieval);
+        // Last deadline check before node fan-out: embedding happened,
+        // but the fan-out (the expensive, fault-exposed stage) has not.
+        if expired(&work.request, Instant::now()) {
+            shed(shared, work.request);
+            continue;
+        }
+        let outcome = shared.system.retrieve_resilient(&work.feature);
         let latency_us = work.request.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        {
+        let result = {
             let mut stats = shared.stats.lock().expect("stats lock");
-            match &result {
-                Ok(_) => {
+            match outcome {
+                Ok(retrieved) => {
                     stats.served += 1;
                     stats.latency.record(latency_us);
+                    stats.absorb(&retrieved.telemetry);
+                    if !retrieved.coverage.is_full() {
+                        stats.degraded += 1;
+                    }
+                    Ok(retrieved.ids)
                 }
-                Err(_) => stats.failed += 1,
+                Err(e) => {
+                    stats.failed += 1;
+                    Err(ServeError::Retrieval(e))
+                }
             }
-        }
+        };
         let _ = work.request.reply.send(result);
     }
 }
@@ -298,6 +342,7 @@ pub struct ClientHandle {
     ingress: SyncSender<Msg>,
     slot: usize,
     queue_cap: usize,
+    default_deadline: Option<std::time::Duration>,
 }
 
 impl ClientHandle {
@@ -315,6 +360,32 @@ impl ClientHandle {
     /// [`ServeError::Retrieval`] for model/node failures (charged: the
     /// query reached the model).
     pub fn retrieve(&self, video: &Video) -> Result<Vec<VideoId>, ServeError> {
+        self.retrieve_inner(video, self.default_deadline)
+    }
+
+    /// Like [`ClientHandle::retrieve`], with an explicit end-to-end
+    /// deadline overriding the service default. If the deadline expires
+    /// while the request is still queued, it is shed, the admission-time
+    /// charge is refunded, and [`ServeError::DeadlineExceeded`] is
+    /// returned — a shed query is never billed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClientHandle::retrieve`], plus
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn retrieve_with_deadline(
+        &self,
+        video: &Video,
+        deadline: std::time::Duration,
+    ) -> Result<Vec<VideoId>, ServeError> {
+        self.retrieve_inner(video, Some(deadline))
+    }
+
+    fn retrieve_inner(
+        &self,
+        video: &Video,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Vec<VideoId>, ServeError> {
         let shared = self.shared.upgrade().ok_or(ServeError::Stopped)?;
         if shared.stopped.load(Ordering::SeqCst) {
             return Err(ServeError::Stopped);
@@ -341,9 +412,12 @@ impl ClientHandle {
                     return Err(ServeError::RateLimited { retry_after_ms });
                 }
             }
+            let now = Instant::now();
             let msg = Msg::Request(Request {
                 video: submitted,
-                enqueued: Instant::now(),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+                slot: self.slot,
                 reply: reply_tx,
             });
             // Count the request before the enqueue (rolling back on

@@ -2,6 +2,7 @@
 //! quantiles.
 
 use crate::LatencyHistogram;
+use duo_retrieval::QueryTelemetry;
 
 /// Mutable counters maintained by the service under its stats lock.
 #[derive(Debug)]
@@ -17,10 +18,23 @@ pub(crate) struct StatsInner {
     pub batch_hist: Vec<u64>,
     pub max_queue_depth: usize,
     pub latency: LatencyHistogram,
+    pub deadline_misses: u64,
+    pub degraded: u64,
+    pub retries: u64,
+    pub hedges: u64,
+    pub node_timeouts: u64,
+    pub transient_faults: u64,
+    pub contained_panics: u64,
+    pub breaker_skips: u64,
+    pub breaker_opens: u64,
+    pub breaker_half_opens: u64,
+    pub breaker_closes: u64,
+    /// Per-node failed-query counters, indexed like the system's shards.
+    pub node_failures: Vec<u64>,
 }
 
 impl StatsInner {
-    pub fn new(batch_max: usize) -> Self {
+    pub fn new(batch_max: usize, nodes: usize) -> Self {
         StatsInner {
             served: 0,
             failed: 0,
@@ -31,6 +45,34 @@ impl StatsInner {
             batch_hist: vec![0; batch_max + 1],
             max_queue_depth: 0,
             latency: LatencyHistogram::new(),
+            deadline_misses: 0,
+            degraded: 0,
+            retries: 0,
+            hedges: 0,
+            node_timeouts: 0,
+            transient_faults: 0,
+            contained_panics: 0,
+            breaker_skips: 0,
+            breaker_opens: 0,
+            breaker_half_opens: 0,
+            breaker_closes: 0,
+            node_failures: vec![0; nodes],
+        }
+    }
+
+    /// Folds one query's resilience telemetry into the service counters.
+    pub fn absorb(&mut self, telemetry: &QueryTelemetry) {
+        self.retries += telemetry.retries;
+        self.hedges += telemetry.hedges;
+        self.node_timeouts += telemetry.node_timeouts;
+        self.transient_faults += telemetry.transient_faults;
+        self.contained_panics += telemetry.panics;
+        self.breaker_skips += telemetry.breaker_skips;
+        self.breaker_opens += telemetry.breaker_opens;
+        self.breaker_half_opens += telemetry.breaker_half_opens;
+        self.breaker_closes += telemetry.breaker_closes;
+        for (total, &n) in self.node_failures.iter_mut().zip(&telemetry.node_failures) {
+            *total += n;
         }
     }
 
@@ -63,6 +105,18 @@ impl StatsInner {
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
             latency_max_us: self.latency.max_us(),
+            deadline_misses: self.deadline_misses,
+            degraded: self.degraded,
+            retries: self.retries,
+            hedges: self.hedges,
+            node_timeouts: self.node_timeouts,
+            transient_faults: self.transient_faults,
+            contained_panics: self.contained_panics,
+            breaker_skips: self.breaker_skips,
+            breaker_opens: self.breaker_opens,
+            breaker_half_opens: self.breaker_half_opens,
+            breaker_closes: self.breaker_closes,
+            node_failures: self.node_failures.clone(),
         }
     }
 }
@@ -103,11 +157,39 @@ pub struct ServiceStats {
     pub latency_p95_us: u64,
     /// Worst-case end-to-end latency, microseconds.
     pub latency_max_us: u64,
+    /// Admitted requests shed because their end-to-end deadline expired
+    /// in the queue; their charges were refunded.
+    pub deadline_misses: u64,
+    /// Served queries answered from partial shard coverage.
+    pub degraded: u64,
+    /// Node retry attempts issued by the resilient fan-out.
+    pub retries: u64,
+    /// Hedged second attempts issued.
+    pub hedges: u64,
+    /// Node attempts that blew their virtual per-node deadline.
+    pub node_timeouts: u64,
+    /// Injected transient node failures observed.
+    pub transient_faults: u64,
+    /// Node panics contained into shard failures.
+    pub contained_panics: u64,
+    /// Node queries skipped by an open circuit breaker.
+    pub breaker_skips: u64,
+    /// Circuit-breaker trips to open.
+    pub breaker_opens: u64,
+    /// Circuit-breaker half-open probe admissions.
+    pub breaker_half_opens: u64,
+    /// Circuit-breaker recoveries to closed.
+    pub breaker_closes: u64,
+    /// Failed queries per data node (shard index order).
+    pub node_failures: Vec<u64>,
 }
 duo_tensor::impl_to_json!(struct ServiceStats {
     served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
     batch_hist, mean_batch, max_batch, queue_depth, max_queue_depth,
-    latency_p50_us, latency_p95_us, latency_max_us
+    latency_p50_us, latency_p95_us, latency_max_us,
+    deadline_misses, degraded, retries, hedges, node_timeouts, transient_faults,
+    contained_panics, breaker_skips, breaker_opens, breaker_half_opens,
+    breaker_closes, node_failures
 });
 
 impl std::fmt::Display for ServiceStats {
@@ -124,10 +206,18 @@ impl std::fmt::Display for ServiceStats {
             self.batches, self.mean_batch, self.max_batch, self.queue_depth,
             self.max_queue_depth
         )?;
-        write!(
+        writeln!(
             f,
             "latency p50 {} us, p95 {} us, max {} us",
             self.latency_p50_us, self.latency_p95_us, self.latency_max_us
+        )?;
+        write!(
+            f,
+            "resilience: {} retries, {} hedges, {} timeouts, {} transients, \
+             {} degraded, {} deadline misses, breaker {}/{}/{} (open/probe/close)",
+            self.retries, self.hedges, self.node_timeouts, self.transient_faults,
+            self.degraded, self.deadline_misses, self.breaker_opens,
+            self.breaker_half_opens, self.breaker_closes
         )
     }
 }
@@ -139,7 +229,7 @@ mod tests {
 
     #[test]
     fn snapshot_computes_batch_statistics() {
-        let mut inner = StatsInner::new(4);
+        let mut inner = StatsInner::new(4, 2);
         inner.batch_hist[1] = 2;
         inner.batch_hist[3] = 2;
         inner.batches = 4;
@@ -151,10 +241,31 @@ mod tests {
 
     #[test]
     fn stats_serialize_to_json() {
-        let inner = StatsInner::new(2);
+        let inner = StatsInner::new(2, 3);
         let json = inner.snapshot(0).to_json().to_string();
         assert!(json.contains("\"served\":0"), "{json}");
         assert!(json.contains("\"batch_hist\":[0,0,0]"), "{json}");
         assert!(json.contains("\"latency_p95_us\":0"), "{json}");
+        assert!(json.contains("\"node_failures\":[0,0,0]"), "{json}");
+        assert!(json.contains("\"deadline_misses\":0"), "{json}");
+    }
+
+    #[test]
+    fn absorb_accumulates_telemetry() {
+        let mut inner = StatsInner::new(2, 2);
+        let mut t = QueryTelemetry::new(2);
+        t.retries = 3;
+        t.hedges = 1;
+        t.node_timeouts = 2;
+        t.breaker_opens = 1;
+        t.node_failures[1] = 2;
+        inner.absorb(&t);
+        inner.absorb(&t);
+        let stats = inner.snapshot(0);
+        assert_eq!(stats.retries, 6);
+        assert_eq!(stats.hedges, 2);
+        assert_eq!(stats.node_timeouts, 4);
+        assert_eq!(stats.breaker_opens, 2);
+        assert_eq!(stats.node_failures, vec![0, 4]);
     }
 }

@@ -306,6 +306,7 @@ fn overload_sheds_excess_requests() {
         batch_max: 1,
         batch_wait: Duration::from_millis(1),
         queue_cap: 1,
+        ..ServeConfig::default()
     };
     let service = RetrievalService::start(system, config).unwrap();
     let client = service.client(None, None);
@@ -334,4 +335,52 @@ fn overload_sheds_excess_requests() {
     let stats = service.shutdown();
     assert_eq!(stats.served, served);
     assert_eq!(stats.rejected_overload, overloaded);
+}
+
+#[test]
+fn expired_deadlines_shed_and_refund_the_charge() {
+    let (system, ds) = make_system(512, false);
+    let videos = queries(&ds, 3);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(Some(10), None);
+
+    // A zero deadline is already expired at admission time, so every
+    // request is shed at dequeue and its charge refunded.
+    for video in &videos {
+        let got = client.retrieve_with_deadline(video, Duration::ZERO);
+        assert!(matches!(got, Err(ServeError::DeadlineExceeded)), "expected shed, got {got:?}");
+    }
+    assert_eq!(client.queries_used(), 0, "shed requests must be refunded");
+    assert_eq!(client.budget_remaining(), Some(10));
+
+    // A generous deadline serves normally and is charged.
+    let list = client.retrieve_with_deadline(&videos[0], Duration::from_secs(30)).unwrap();
+    assert_eq!(list.len(), 5);
+    assert_eq!(client.queries_used(), 1);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_misses, 3);
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn default_deadline_applies_to_plain_retrieve() {
+    let (system, ds) = make_system(513, false);
+    let videos = queries(&ds, 2);
+    let config = ServeConfig { default_deadline: Some(Duration::ZERO), ..ServeConfig::default() };
+    let service = RetrievalService::start(system, config).unwrap();
+    let client = service.client(Some(5), None);
+    for video in &videos {
+        assert!(matches!(client.retrieve(video), Err(ServeError::DeadlineExceeded)));
+    }
+    assert_eq!(client.queries_used(), 0);
+
+    // An explicit per-request deadline overrides the service default.
+    let list = client.retrieve_with_deadline(&videos[0], Duration::from_secs(30)).unwrap();
+    assert_eq!(list.len(), 5);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.deadline_misses, 2);
+    assert_eq!(stats.served, 1);
 }

@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     let service = RetrievalService::start(
         system,
-        ServeConfig { workers: 2, batch_max: 4, batch_wait: Duration::from_millis(2), queue_cap: 32 },
+        ServeConfig {
+            workers: 2,
+            batch_max: 4,
+            batch_wait: Duration::from_millis(2),
+            queue_cap: 32,
+            ..ServeConfig::default()
+        },
     )?;
     println!("service up: {:?}", service.config());
 

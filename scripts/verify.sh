@@ -12,3 +12,9 @@ cargo test -q --offline --workspace
 # (concurrent clients, micro-batching, budget + rate-limit rejections)
 # and must exit cleanly.
 cargo run --release --offline --example serve_demo
+
+# Chaos smoke: the full steal + attack pipeline through the service under
+# a seeded fault schedule. The binary itself asserts determinism and
+# exact query-budget accounting (charged == served + failed) and exits
+# nonzero on any drift.
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin chaos_serve

@@ -76,8 +76,10 @@ pub mod prelude {
         TripletLoss,
     };
     pub use duo_retrieval::{
-        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, GalleryIndex, QueryLedger,
-        QueryOracle, RetrievalConfig, RetrievalSystem,
+        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, BreakerConfig, BreakerState,
+        BreakerTransitions, CircuitBreaker, Coverage, FaultDecision, FaultPlan, FlapWindow,
+        GalleryIndex, NodeAnswer, NodeFault, QueryLedger, QueryOracle, QueryTelemetry,
+        ResilienceConfig, RetrievalConfig, RetrievalSystem, Retrieved,
     };
     pub use duo_serve::{
         RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,

@@ -1,0 +1,235 @@
+//! Property-based coverage of the chaos layer: the circuit-breaker state
+//! machine and the determinism contract of seeded fault schedules.
+//!
+//! This suite persists failing case seeds to
+//! `tests/chaos_properties.regressions` (see [`duo_check`]); past failures
+//! replay before fresh generation.
+
+use duo::prelude::*;
+use duo_check::{check, prop_assert, prop_assert_eq, vec_of, Config};
+
+fn config() -> Config {
+    Config::default()
+        .with_cases(48)
+        .with_regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_properties.regressions"))
+}
+
+/// Reference model of the documented breaker protocol, written against
+/// the doc comments rather than the implementation: closed → open after
+/// `threshold` consecutive failures; open denies exactly `cooldown`
+/// queries then admits the single half-open probe; the probe's outcome
+/// closes or re-opens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Model {
+    Closed { fails: u32 },
+    Open { denials_left: u32 },
+    Probing,
+}
+
+impl Model {
+    fn admit(&mut self, cooldown: u32) -> bool {
+        match *self {
+            Model::Closed { .. } => true,
+            Model::Open { denials_left: 0 } => {
+                *self = Model::Probing;
+                true
+            }
+            Model::Open { denials_left } => {
+                *self = Model::Open { denials_left: denials_left - 1 };
+                false
+            }
+            Model::Probing => {
+                let _ = cooldown;
+                false
+            }
+        }
+    }
+
+    fn record(&mut self, ok: bool, threshold: u32, cooldown: u32) {
+        *self = match (*self, ok) {
+            (Model::Closed { .. }, true) => Model::Closed { fails: 0 },
+            (Model::Closed { fails }, false) if fails + 1 >= threshold => {
+                Model::Open { denials_left: cooldown }
+            }
+            (Model::Closed { fails }, false) => Model::Closed { fails: fails + 1 },
+            (Model::Probing, true) => Model::Closed { fails: 0 },
+            (Model::Probing, false) => Model::Open { denials_left: cooldown },
+            (open, _) => open,
+        };
+    }
+
+    fn state(&self) -> BreakerState {
+        match self {
+            Model::Closed { .. } => BreakerState::Closed,
+            Model::Open { .. } => BreakerState::Open,
+            Model::Probing => BreakerState::HalfOpen,
+        }
+    }
+}
+
+check! {
+    #![config(config())]
+
+    /// The breaker agrees with the reference model on every admit
+    /// decision and observable state, under arbitrary outcome scripts.
+    /// In particular it never admits while open (model denies during
+    /// cooldown) and half-open admits exactly one probe (model `Probing`
+    /// denies everything until resolved).
+    fn breaker_matches_reference_model(
+        threshold in 1u32..5,
+        cooldown in 0u32..7,
+        script in vec_of(0u32..2, 1..80),
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown: cooldown,
+        });
+        let mut model = Model::Closed { fails: 0 };
+        for &bit in &script {
+            let want = model.admit(cooldown);
+            let got = breaker.admit();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(breaker.state(), model.state());
+            if got {
+                let ok = bit == 1;
+                model.record(ok, threshold, cooldown);
+                if ok {
+                    breaker.record_success();
+                } else {
+                    breaker.record_failure();
+                }
+                prop_assert_eq!(breaker.state(), model.state());
+            }
+        }
+    }
+
+    /// An open breaker denies exactly `cooldown` queries, then the next
+    /// admit is the half-open probe, and no second query is admitted
+    /// while the probe is unresolved.
+    fn open_breaker_denies_exactly_cooldown_then_single_probe(
+        threshold in 1u32..4,
+        cooldown in 0u32..9,
+    ) {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown: cooldown,
+        });
+        for _ in 0..threshold {
+            prop_assert!(b.admit());
+            b.record_failure();
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        for i in 0..cooldown {
+            prop_assert!(!b.admit(), "denial {} of {} while open", i, cooldown);
+            prop_assert_eq!(b.state(), BreakerState::Open);
+        }
+        prop_assert!(b.admit(), "cooldown spent: probe admitted");
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        for _ in 0..4 {
+            prop_assert!(!b.admit(), "no second query while the probe is unresolved");
+        }
+        prop_assert_eq!(b.transitions().half_opens, 1);
+    }
+
+    /// Fault schedules are pure functions of (seed, index): rebuilding the
+    /// plan replays the identical schedule, and `schedule(n)` is exactly
+    /// the per-index decisions.
+    fn fault_schedule_is_pure_in_seed_and_index(
+        seed_and_p in (0u64..10_000, 0u32..1000),
+        latency in (0u64..500, 0u64..300),
+        flap in (0u64..40, 0u64..30),
+    ) {
+        let ((seed, p_milli), (base, jitter), (flap_start, flap_len)) =
+            (seed_and_p, latency, flap);
+        let build = || {
+            FaultPlan::transient(seed, p_milli as f32 / 1000.0)
+                .with_latency(base, jitter, 0.1, 2_000)
+                .with_flap(flap_start, flap_start + flap_len)
+        };
+        let (a, b) = (build(), build());
+        let n = 64u64;
+        prop_assert_eq!(a.schedule(n), b.schedule(n), "same seed must replay bit-identically");
+        for i in 0..n {
+            // Pure: re-evaluating an index never changes the answer, and
+            // the batch schedule is exactly the pointwise decisions.
+            prop_assert_eq!(a.decision(i), a.decision(i));
+            prop_assert_eq!(a.schedule(n)[i as usize], a.decision(i));
+        }
+        for i in flap_start..(flap_start + flap_len) {
+            prop_assert!(a.decision(i).offline, "flap window must read offline at {}", i);
+        }
+        prop_assert!(!a.decision(flap_start + flap_len + 1).offline, "past the flap window");
+    }
+}
+
+/// Builds a tiny chaotic system: 3 shards, seeded weights (no training),
+/// every node armed with a transient + flap + latency plan, hardened
+/// resilience policy with breakers.
+fn chaotic_system(seed: u64, threaded: bool) -> (RetrievalSystem, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let mut system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded },
+    )
+    .unwrap();
+    for (i, node) in system.nodes().iter().enumerate() {
+        node.set_fault_plan(Some(
+            FaultPlan::transient(seed ^ (0xF1A9 + i as u64), 0.3)
+                .with_latency(500, 400, 0.2, 9_000)
+                .with_flap(3 + 2 * i as u64, 7 + 2 * i as u64),
+        ));
+    }
+    system.set_resilience(ResilienceConfig::hardened(seed ^ 0xBACC0FF));
+    (system, ds)
+}
+
+/// Replays the test probes and returns everything observable: ranked
+/// lists, coverage, telemetry, and final breaker states.
+fn replay(seed: u64, threaded: bool) -> Vec<(Vec<VideoId>, Coverage, QueryTelemetry)> {
+    let (system, ds) = chaotic_system(seed, threaded);
+    let mut out = Vec::new();
+    for &id in ds.test().iter().filter(|id| id.class < 8) {
+        let feature = system.embed(&ds.video(id)).unwrap();
+        let got = system.retrieve_resilient(&feature).unwrap();
+        out.push((got.ids, got.coverage, got.telemetry));
+    }
+    assert_eq!(
+        system.breaker_states().map(|s| s.len()),
+        Some(3),
+        "armed system exposes per-node breaker states"
+    );
+    out
+}
+
+#[test]
+fn same_chaos_seed_replays_bit_identically_across_runs_and_fanout_modes() {
+    for seed in [601u64, 602, 603] {
+        let inline_a = replay(seed, false);
+        let inline_b = replay(seed, false);
+        let threaded = replay(seed, true);
+        assert_eq!(inline_a, inline_b, "seed {seed}: two inline runs diverged");
+        assert_eq!(
+            inline_a, threaded,
+            "seed {seed}: threaded fan-out must match inline (lists, coverage, telemetry)"
+        );
+        // The schedule must actually exercise the machinery, or the
+        // assertions above are vacuous.
+        let faults: u64 = inline_a.iter().map(|(_, _, t)| t.transient_faults).sum();
+        assert!(faults > 0, "seed {seed}: chaos schedule never fired");
+    }
+}
+
+#[test]
+fn different_chaos_seeds_produce_different_telemetry() {
+    let a = replay(611, false);
+    let b = replay(612, false);
+    let faults = |r: &[(Vec<VideoId>, Coverage, QueryTelemetry)]| -> Vec<u64> {
+        r.iter().map(|(_, _, t)| t.transient_faults + t.node_timeouts).collect()
+    };
+    assert_ne!(faults(&a), faults(&b), "independent seeds should not share a fault schedule");
+}

@@ -82,6 +82,122 @@ fn sharding_layout_does_not_change_results() {
     assert_eq!(results[0], results[2], "1 vs 7 shards");
 }
 
+/// A node inside a flap window must be indistinguishable from a
+/// hard-offline node: the degraded ranking is exactly the global top-m
+/// over the surviving shards.
+#[test]
+fn flap_window_ranking_matches_hard_offline_node() {
+    let make = || {
+        let mut rng = Rng64::new(541);
+        let ds =
+            SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 541, 2, 1);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 10).copied().collect();
+        let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let system = RetrievalSystem::build(
+            victim,
+            &ds,
+            &gallery,
+            RetrievalConfig { m: 5, nodes: 4, threaded: false },
+        )
+        .unwrap();
+        (system, ds)
+    };
+    let (mut flapping, ds) = make();
+    let (hard, _) = make();
+    flapping.nodes()[2].set_fault_plan(Some(FaultPlan::none(541).with_flap(0, u64::MAX)));
+    flapping.set_resilience(ResilienceConfig::hardened(542));
+    hard.nodes()[2].set_offline();
+    for &id in ds.test().iter().filter(|id| id.class < 10) {
+        let feature = flapping.embed(&ds.video(id)).unwrap();
+        let got = flapping.retrieve_resilient(&feature).unwrap();
+        assert_eq!(got.coverage.answered, 3, "exactly the flapped shard is missing");
+        assert_eq!(
+            got.ids,
+            hard.retrieve_by_feature(&feature).unwrap(),
+            "degraded ranking must be the top-m over the surviving shards"
+        );
+    }
+}
+
+/// A node flapping under concurrent duo-serve traffic: every client keeps
+/// getting full-length (possibly degraded) rankings, and the query-budget
+/// ledgers stay exact — `served + failed` equals the sum of charges, and
+/// deadline-shed requests are never charged at all.
+#[test]
+fn flapping_node_under_concurrent_serve_keeps_ledgers_exact() {
+    let (mut system, ds) = world(551);
+    // Node 1 flaps over the early traffic; node 3 suffers 30% transients
+    // throughout. The hardened policy retries/hedges around both.
+    system.nodes()[1].set_fault_plan(Some(FaultPlan::none(551).with_flap(0, 20)));
+    system.nodes()[3].set_fault_plan(Some(FaultPlan::transient(552, 0.3)));
+    system.set_resilience(ResilienceConfig::hardened(553));
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+
+    let probes: Vec<Video> = ds
+        .test()
+        .iter()
+        .filter(|id| id.class < 10)
+        .map(|&id| ds.video(id))
+        .collect();
+    let charged: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let client = service.client(Some(64), None);
+            let probes = &probes;
+            handles.push(scope.spawn(move || {
+                let mut oks = 0u64;
+                let mut fails = 0u64;
+                for _ in 0..3 {
+                    for video in probes {
+                        match client.retrieve(video) {
+                            Ok(list) => {
+                                assert_eq!(list.len(), 5, "degraded lists keep top-m length");
+                                oks += 1;
+                            }
+                            // Model-reached failures are charged; admission
+                            // rejections (rate/overload) never are.
+                            Err(duo::serve::ServeError::Retrieval(_)) => fails += 1,
+                            Err(_) => {}
+                        }
+                    }
+                }
+                assert_eq!(
+                    client.queries_used(),
+                    oks + fails,
+                    "a client is charged exactly for queries that reached the model"
+                );
+                client.queries_used()
+            }));
+        }
+
+        // A fourth client whose every request expires before service: all
+        // shed, all refunded, none ever charged to its ledger.
+        let shedder = service.client(Some(64), None);
+        for video in probes.iter().take(4) {
+            let got = shedder.retrieve_with_deadline(video, std::time::Duration::ZERO);
+            assert!(
+                matches!(got, Err(duo::serve::ServeError::DeadlineExceeded)),
+                "zero deadline must shed, got {got:?}"
+            );
+        }
+        assert_eq!(shedder.queries_used(), 0, "shed requests are refunded, never charged");
+        assert_eq!(shedder.budget_remaining(), Some(64));
+
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let stats = service.shutdown();
+    assert_eq!(
+        charged,
+        stats.served + stats.failed,
+        "ledger drift between client charges and model-reached queries"
+    );
+    assert_eq!(stats.deadline_misses, 4, "every zero-deadline request was shed");
+    assert!(stats.degraded > 0, "the flap window must have produced degraded coverage");
+    assert!(stats.retries > 0, "the transient node must have forced retries");
+}
+
 #[test]
 fn threaded_fanout_matches_inline_under_failures() {
     let mut r1 = Rng64::new(531);
