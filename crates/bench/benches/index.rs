@@ -1,0 +1,165 @@
+//! Shard-index benchmarks: the exact SoA + bounded top-m path against the
+//! seed per-entry scan, and the IVF latency/recall trade-off.
+//!
+//! Three measurement families per gallery size:
+//!
+//! * `index/seed_scan_*` — the pre-index `DataNode::scan` implementation,
+//!   verbatim: one `Tensor::sq_distance` (with its per-entry shape check)
+//!   per entry into a `Vec`, full `O(G log G)` sort, truncate.
+//! * `index/exact_soa_*` — `ShardIndex` in exact mode: flattened
+//!   row-major features, check-free blocked kernel, `O(G log m)` bounded
+//!   max-heap. Bit-identical results to the seed scan.
+//! * `index/ivf_*` — `ShardIndex` in IVF mode at several `nprobe`
+//!   settings. Approximate: each run prints its measured recall@10
+//!   against the exact answer, which also lands in the
+//!   `DUO_BENCH_JSON` sidecar rows printed at the end.
+//!
+//! The gallery is clustered (points = cluster center + small noise, the
+//! regime IVF is built for, and roughly what a trained metric embedding
+//! produces) and queries are perturbed gallery points. `DUO_SCALE=smoke`
+//! shrinks sizes/dim for the tier-1 gate in `scripts/verify.sh`.
+
+use duo_bench::{bench_group, bench_main, Runner};
+use duo_retrieval::{recall_at_m, IndexMode, ScoredId, ShardIndex};
+use duo_tensor::{Rng64, Tensor};
+use duo_video::VideoId;
+use std::hint::black_box;
+
+const TOP_M: usize = 10;
+const QUERIES: usize = 16;
+
+fn smoke() -> bool {
+    std::env::var("DUO_SCALE").as_deref() == Ok("smoke")
+}
+
+fn sizes() -> Vec<usize> {
+    if smoke() {
+        vec![2_000]
+    } else {
+        vec![1_000, 10_000]
+    }
+}
+
+fn dim() -> usize {
+    if smoke() {
+        32
+    } else {
+        64
+    }
+}
+
+/// A clustered gallery: `n` points spread evenly over `n/50` centers,
+/// each point a center plus small isotropic noise.
+fn clustered_gallery(n: usize, dim: usize, seed: u64) -> Vec<(VideoId, Tensor)> {
+    let mut rng = Rng64::new(seed);
+    let clusters = (n / 50).max(4);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| 4.0 * rng.normal()).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % clusters];
+            let data: Vec<f32> = c.iter().map(|&x| x + 0.1 * rng.normal()).collect();
+            let id = VideoId { class: (i % clusters) as u32, instance: (i / clusters) as u32 };
+            (id, Tensor::from_vec(data, &[dim]).unwrap())
+        })
+        .collect()
+}
+
+/// Queries near gallery points: what a retrieval service actually sees.
+fn queries(entries: &[(VideoId, Tensor)], seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng64::new(seed ^ 0x51EE7);
+    (0..QUERIES)
+        .map(|_| {
+            let (_, feat) = &entries[rng.below(entries.len())];
+            let data: Vec<f32> =
+                feat.as_slice().iter().map(|&x| x + 0.05 * rng.normal()).collect();
+            Tensor::from_vec(data, &[feat.len()]).unwrap()
+        })
+        .collect()
+}
+
+/// The seed implementation of the shard scan, for the baseline bars.
+fn seed_scan(entries: &[(VideoId, Tensor)], q: &Tensor, m: usize) -> Vec<ScoredId> {
+    let mut scored: Vec<ScoredId> = entries
+        .iter()
+        .map(|(id, feat)| ScoredId { id: *id, distance: feat.sq_distance(q).unwrap() })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
+    });
+    scored.truncate(m);
+    scored
+}
+
+fn bench_index(c: &mut Runner) {
+    let d = dim();
+    let mut recall_rows: Vec<String> = Vec::new();
+    for n in sizes() {
+        let entries = clustered_gallery(n, d, 0x1D5EED ^ n as u64);
+        let qs = queries(&entries, n as u64);
+        let exact = ShardIndex::build(&entries, IndexMode::Exact, 0).unwrap();
+
+        c.bench_function(&format!("index/seed_scan_{n}"), |bench| {
+            bench.iter(|| {
+                for q in &qs {
+                    black_box(seed_scan(&entries, q, TOP_M));
+                }
+            })
+        });
+        c.bench_function(&format!("index/exact_soa_{n}"), |bench| {
+            bench.iter(|| {
+                for q in &qs {
+                    black_box(exact.search(q.as_slice(), TOP_M));
+                }
+            })
+        });
+
+        let exact_ids: Vec<Vec<VideoId>> = qs
+            .iter()
+            .map(|q| exact.search(q.as_slice(), TOP_M).into_iter().map(|s| s.id).collect())
+            .collect();
+
+        let nlist = (n / 100).clamp(4, 64);
+        for nprobe in [nlist / 8, nlist / 4].into_iter().filter(|&p| p >= 1) {
+            let ivf =
+                ShardIndex::build(&entries, IndexMode::ivf(nlist, nprobe), 7).unwrap();
+            let recall: f32 = qs
+                .iter()
+                .zip(&exact_ids)
+                .map(|(q, exact)| {
+                    let got: Vec<VideoId> =
+                        ivf.search(q.as_slice(), TOP_M).into_iter().map(|s| s.id).collect();
+                    recall_at_m(&got, exact)
+                })
+                .sum::<f32>()
+                / qs.len() as f32;
+            let name = format!("index/ivf_{n}_nlist{nlist}_nprobe{nprobe}");
+            c.bench_function(&name, |bench| {
+                bench.iter(|| {
+                    for q in &qs {
+                        black_box(ivf.search(q.as_slice(), TOP_M));
+                    }
+                })
+            });
+            recall_rows.push(format!(
+                "{{\"bench\":\"{name}\",\"gallery\":{n},\"nlist\":{nlist},\
+                 \"nprobe\":{nprobe},\"recall_at_{TOP_M}\":{recall:.4}}}"
+            ));
+            println!("  {name}: recall@{TOP_M} {recall:.4} over {QUERIES} queries");
+        }
+    }
+    println!("index recall rows:");
+    for row in &recall_rows {
+        println!("  {row}");
+    }
+}
+
+bench_group! {
+    name = benches;
+    config = Runner::default().sample_size(20);
+    targets = bench_index
+}
+bench_main!(benches);

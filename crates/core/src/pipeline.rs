@@ -240,7 +240,7 @@ mod tests {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+            RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         let surrogate =

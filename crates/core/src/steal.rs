@@ -224,7 +224,7 @@ mod tests {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 4, nodes: 2, threaded: false },
+            RetrievalConfig { m: 4, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         (BlackBox::new(sys), ds)

@@ -178,7 +178,7 @@ mod tests {
             primary,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+            RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         let secondary =

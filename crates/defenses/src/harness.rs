@@ -128,7 +128,7 @@ mod tests {
             backbone,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+            RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         (sys, ds)

@@ -1,0 +1,10 @@
+//! Exact-vs-IVF index sweep: latency/recall rows plus an end-to-end
+//! retrieval-system pass exercising the recall audit counters.
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::index_sweep::run(scale) {
+        eprintln!("index_sweep failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -221,7 +221,7 @@ pub fn build_world(
         backbone,
         &dataset,
         &gallery,
-        RetrievalConfig { m: scale.m, nodes: scale.nodes, threaded: true },
+        RetrievalConfig { m: scale.m, nodes: scale.nodes, threaded: true, ..Default::default() },
         workers,
     )?;
     Ok(World { dataset, system, arch, loss, scale })

@@ -78,7 +78,7 @@ fn determinism_probe(
         backbone,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 3, threaded },
+        RetrievalConfig { m: 5, nodes: 3, threaded, ..Default::default() },
     )?;
     arm(&mut system, seed);
     let mut lists = Vec::new();

@@ -8,6 +8,7 @@ pub mod ext_ensemble;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod index_sweep;
 pub mod serve;
 pub mod table10;
 pub mod table2;

@@ -107,7 +107,7 @@ mod tests {
             backbone,
             &ds,
             &gallery,
-            RetrievalConfig { m: 4, nodes: 2, threaded: false },
+            RetrievalConfig { m: 4, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         let bb = match budget {

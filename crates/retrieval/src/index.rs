@@ -1,0 +1,757 @@
+//! The shard-local ANN index: structure-of-arrays storage, a check-free
+//! blocked distance kernel, bounded top-`m` selection, and a seeded IVF
+//! (inverted-file) coarse quantizer.
+//!
+//! Every [`crate::DataNode`] owns one [`ShardIndex`]. The seed
+//! implementation scanned a `Vec<(VideoId, Tensor)>` per query — one
+//! heap-allocated tensor, one shape check, and one bounds-checked
+//! iterator chain per entry, followed by a full `O(G log G)` sort for a
+//! top-`m` answer. The index replaces that with:
+//!
+//! * **SoA storage** — all features live in one flattened row-major
+//!   `Vec<f32>` (`row r` at `feats[r*dim .. (r+1)*dim]`), ids in a
+//!   parallel `Vec<VideoId>`. Dimension agreement is validated *once* at
+//!   build time, so the query loop carries no per-entry checks.
+//! * **Bounded top-`m`** — a max-heap of capacity `m` ([`TopM`]) replaces
+//!   collect-all-and-sort: `O(G log m)` and `O(m)` memory.
+//! * **Optional IVF** — a seeded k-means coarse quantizer partitions the
+//!   shard into `nlist` inverted lists; a query scans only the `nprobe`
+//!   nearest lists with *exact* distances (probed candidates are fully
+//!   re-ranked, never approximated).
+//!
+//! # Determinism
+//!
+//! Exact mode is **bit-identical** to the seed scan: the kernel
+//! accumulates each row's squared distance in strictly sequential element
+//! order (the same order `Tensor::sq_distance` used), blocking only
+//! *across* rows, and the heap's total order `(distance.total_cmp, id)`
+//! is exactly the seed sort's comparator — so the selected set and its
+//! final ascending order coincide with sort-and-truncate. IVF is
+//! deterministic too: k-means is seeded ([`shard_seed`] per shard),
+//! assignment and probe ties break on the lower list index, and result
+//! ties break by id. Same shard contents + same seed ⇒ same index, same
+//! rankings, on every run and thread interleaving.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_retrieval::{IndexMode, ShardIndex};
+//! use duo_tensor::Tensor;
+//! use duo_video::VideoId;
+//!
+//! // 64 points on a line; the nearest neighbours of 3.2 are 3, 4, 2…
+//! let entries: Vec<(VideoId, Tensor)> = (0..64)
+//!     .map(|i| {
+//!         let feat = Tensor::from_vec(vec![i as f32, 0.0], &[2]).unwrap();
+//!         (VideoId { class: i, instance: 0 }, feat)
+//!     })
+//!     .collect();
+//! let exact = ShardIndex::build(&entries, IndexMode::Exact, 0)?;
+//! let ivf = ShardIndex::build(&entries, IndexMode::ivf(8, 8), 7)?;
+//!
+//! let top = exact.search(&[3.2, 0.0], 3);
+//! assert_eq!(top[0].id.class, 3);
+//! // Probing every list makes IVF exhaustive: identical to exact.
+//! assert_eq!(ivf.search(&[3.2, 0.0], 3), top);
+//! # Ok::<(), duo_retrieval::RetrievalError>(())
+//! ```
+
+use crate::{Result, RetrievalError, ScoredId};
+use duo_tensor::{Json, Rng64, Tensor, ToJson};
+use duo_video::VideoId;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rounds of Lloyd iteration for the IVF coarse quantizer. Assignment
+/// converges long before this on shard-sized galleries; the fixed bound
+/// keeps index builds predictable.
+const KMEANS_ROUNDS: usize = 8;
+
+/// Every `AUDIT_PERIOD`-th IVF query on a shard is audited: the exact
+/// answer is computed alongside and the overlap recorded, so recall@m is
+/// observable in production stats at ~1/16th of an exact scan's cost.
+const AUDIT_PERIOD: u64 = 16;
+
+/// Rows per block in the exact kernel. Blocking is across *rows* only —
+/// each row's accumulation stays strictly sequential so distances remain
+/// bit-identical to `Tensor::sq_distance` — and exists to keep the heap
+/// maintenance out of the kernel's inner loop.
+const ROW_BLOCK: usize = 16;
+
+/// How a shard answers nearest-neighbour queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexMode {
+    /// Scan every row (the default). Exhaustive and bit-identical to the
+    /// seed per-entry scan, but on SoA storage with bounded top-`m`.
+    Exact,
+    /// Inverted-file index: k-means partitions the shard into `nlist`
+    /// cells; a query scans the `nprobe` nearest cells exhaustively with
+    /// exact distances. Sublinear when `nprobe < nlist`, exhaustive
+    /// (equal to [`IndexMode::Exact`]) when `nprobe == nlist`.
+    Ivf {
+        /// Number of inverted lists (k-means centroids) per shard.
+        nlist: usize,
+        /// Lists scanned per query, nearest centroid first.
+        nprobe: usize,
+    },
+}
+
+impl Default for IndexMode {
+    fn default() -> Self {
+        IndexMode::Exact
+    }
+}
+
+impl IndexMode {
+    /// Shorthand for [`IndexMode::Ivf`].
+    pub fn ivf(nlist: usize, nprobe: usize) -> Self {
+        IndexMode::Ivf { nlist, nprobe }
+    }
+
+    /// Whether this mode scans the whole shard (no coarse quantizer).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, IndexMode::Exact)
+    }
+
+    /// Validates the mode's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for zero `nlist`/`nprobe` or
+    /// `nprobe > nlist`.
+    pub fn validate(&self) -> Result<()> {
+        if let IndexMode::Ivf { nlist, nprobe } = *self {
+            if nlist == 0 || nprobe == 0 {
+                return Err(RetrievalError::BadConfig(format!(
+                    "nlist and nprobe must be positive, got {self:?}"
+                )));
+            }
+            if nprobe > nlist {
+                return Err(RetrievalError::BadConfig(format!(
+                    "nprobe must not exceed nlist, got {self:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for IndexMode {
+    fn to_json(&self) -> Json {
+        match *self {
+            IndexMode::Exact => {
+                Json::object(vec![("mode".to_string(), Json::Str("exact".to_string()))])
+            }
+            IndexMode::Ivf { nlist, nprobe } => Json::object(vec![
+                ("mode".to_string(), Json::Str("ivf".to_string())),
+                ("nlist".to_string(), Json::Int(nlist as i128)),
+                ("nprobe".to_string(), Json::Int(nprobe as i128)),
+            ]),
+        }
+    }
+}
+
+/// The deterministic k-means seed for shard `shard` of a system. Builds
+/// and index restores use the same function, so a restored shard with
+/// identical contents trains the identical quantizer.
+pub fn shard_seed(shard: usize) -> u64 {
+    (0x1DF5_EED0_u64.wrapping_add(shard as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Bounded top-`m` selection: a max-heap of capacity `m` keeping the `m`
+/// smallest candidates under the total order `(distance, id)` — the same
+/// comparator the seed scan sorted with, so the surviving set and its
+/// sorted order are identical to sort-and-truncate.
+#[derive(Debug)]
+pub struct TopM {
+    cap: usize,
+    heap: BinaryHeap<Cand>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    distance: f32,
+    id: VideoId,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| (self.id.class, self.id.instance).cmp(&(other.id.class, other.id.instance)))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopM {
+    /// An empty selector keeping at most `cap` candidates.
+    pub fn new(cap: usize) -> Self {
+        TopM { cap, heap: BinaryHeap::with_capacity(cap.saturating_add(1)) }
+    }
+
+    /// Offers one candidate; it survives only while it is among the `cap`
+    /// smallest seen so far.
+    #[inline]
+    pub fn push(&mut self, distance: f32, id: VideoId) {
+        if self.cap == 0 {
+            return;
+        }
+        let cand = Cand { distance, id };
+        if self.heap.len() < self.cap {
+            self.heap.push(cand);
+        } else if let Some(worst) = self.heap.peek() {
+            if cand < *worst {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// Candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate survived (or `cap` was zero).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The survivors, ascending by `(distance, id)` — nearest first.
+    pub fn into_sorted(self) -> Vec<ScoredId> {
+        self.heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| ScoredId { id: c.id, distance: c.distance })
+            .collect()
+    }
+}
+
+/// One row's squared Euclidean distance, accumulated in strictly
+/// sequential element order — bit-identical to `Tensor::sq_distance` on
+/// the same data.
+#[inline]
+fn sq_distance_row(row: &[f32], query: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (a, b) in row.iter().zip(query) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// A trained inverted-file structure: `nlist` centroids plus the row
+/// indices assigned to each.
+#[derive(Debug, Clone)]
+struct Ivf {
+    nprobe: usize,
+    /// Row-major `lists.len() × dim` centroid matrix.
+    centroids: Vec<f32>,
+    /// Member rows per list, ascending (assignment iterates in row order).
+    lists: Vec<Vec<u32>>,
+}
+
+/// Aggregated scan counters for one index (or, merged, for a whole
+/// system). All counters are monotonic; [`IndexStats::recall_at_m`]
+/// derives the running recall estimate from the audit counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Shard-level searches answered.
+    pub queries: u64,
+    /// Inverted lists scanned across all IVF queries (0 in exact mode).
+    pub probed_lists: u64,
+    /// Feature rows pushed through the distance kernel.
+    pub scanned_rows: u64,
+    /// IVF queries that were recall-audited against an exact scan.
+    pub audit_queries: u64,
+    /// Audited result ids that the exact answer also contained.
+    pub audit_hits: u64,
+    /// Total result ids the exact answers of audited queries contained.
+    pub audit_expected: u64,
+}
+
+duo_tensor::impl_to_json!(struct IndexStats {
+    queries, probed_lists, scanned_rows, audit_queries, audit_hits, audit_expected
+});
+
+impl IndexStats {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.queries += other.queries;
+        self.probed_lists += other.probed_lists;
+        self.scanned_rows += other.scanned_rows;
+        self.audit_queries += other.audit_queries;
+        self.audit_hits += other.audit_hits;
+        self.audit_expected += other.audit_expected;
+    }
+
+    /// Mean inverted lists probed per query (0 for pure exact traffic).
+    pub fn mean_probes(&self) -> f32 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.probed_lists as f32 / self.queries as f32
+        }
+    }
+
+    /// The running recall@m estimate from audited IVF queries, or `None`
+    /// before the first audit (exact mode never audits — its recall is 1
+    /// by construction).
+    pub fn recall_at_m(&self) -> Option<f32> {
+        if self.audit_expected == 0 {
+            None
+        } else {
+            Some(self.audit_hits as f32 / self.audit_expected as f32)
+        }
+    }
+}
+
+/// The per-shard nearest-neighbour index: SoA feature storage plus an
+/// optional IVF coarse quantizer. See the [module docs](self) for the
+/// layout and determinism contract.
+#[derive(Debug)]
+pub struct ShardIndex {
+    ids: Vec<VideoId>,
+    /// Row-major `ids.len() × dim` feature matrix.
+    feats: Vec<f32>,
+    dim: usize,
+    mode: IndexMode,
+    ivf: Option<Ivf>,
+    queries: AtomicU64,
+    probed_lists: AtomicU64,
+    scanned_rows: AtomicU64,
+    audit_queries: AtomicU64,
+    audit_hits: AtomicU64,
+    audit_expected: AtomicU64,
+}
+
+impl ShardIndex {
+    /// Builds an index over `(id, feature)` entries.
+    ///
+    /// All feature dimensions are validated here — the one place the
+    /// check runs — so the query kernel is check-free. For
+    /// [`IndexMode::Ivf`], the coarse quantizer is trained immediately
+    /// with a k-means seeded from `seed` (use [`shard_seed`] for the
+    /// per-shard convention); `nlist` is silently capped at the number of
+    /// rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for invalid IVF parameters
+    /// or entries with disagreeing dimensions.
+    pub fn build(entries: &[(VideoId, Tensor)], mode: IndexMode, seed: u64) -> Result<Self> {
+        mode.validate()?;
+        let dim = entries.first().map(|(_, feat)| feat.len()).unwrap_or(0);
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut feats = Vec::with_capacity(entries.len() * dim);
+        for (id, feat) in entries {
+            if feat.len() != dim {
+                return Err(RetrievalError::BadConfig(format!(
+                    "shard features must share one dimension: got {} after {dim}",
+                    feat.len()
+                )));
+            }
+            ids.push(*id);
+            feats.extend_from_slice(feat.as_slice());
+        }
+        let ivf = match mode {
+            IndexMode::Ivf { nlist, nprobe } if !ids.is_empty() => {
+                Some(train_ivf(&feats, dim, ids.len(), nlist, nprobe, seed))
+            }
+            _ => None,
+        };
+        Ok(ShardIndex {
+            ids,
+            feats,
+            dim,
+            mode,
+            ivf,
+            queries: AtomicU64::new(0),
+            probed_lists: AtomicU64::new(0),
+            scanned_rows: AtomicU64::new(0),
+            audit_queries: AtomicU64::new(0),
+            audit_hits: AtomicU64::new(0),
+            audit_expected: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty index).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The mode this index answers queries in.
+    pub fn mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// The indexed ids, in row order.
+    pub fn ids(&self) -> &[VideoId] {
+        &self.ids
+    }
+
+    /// The feature vector of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= self.len()`.
+    pub fn feature(&self, row: usize) -> &[f32] {
+        &self.feats[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Number of inverted lists actually trained (0 in exact mode; capped
+    /// at the row count in IVF mode).
+    pub fn nlist(&self) -> usize {
+        self.ivf.as_ref().map_or(0, |ivf| ivf.lists.len())
+    }
+
+    /// A snapshot of this shard's scan counters.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            probed_lists: self.probed_lists.load(Ordering::Relaxed),
+            scanned_rows: self.scanned_rows.load(Ordering::Relaxed),
+            audit_queries: self.audit_queries.load(Ordering::Relaxed),
+            audit_hits: self.audit_hits.load(Ordering::Relaxed),
+            audit_expected: self.audit_expected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The local top-`m` nearest rows to `query`, ascending by
+    /// `(distance, id)`. Exact mode is bit-identical to the seed scan;
+    /// IVF mode scans the `nprobe` nearest lists with exact distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query.len()` disagrees with the index dimension —
+    /// the build-time dimension contract makes this the only check on
+    /// the query path, hoisted out of the per-row loop.
+    pub fn search(&self, query: &[f32], m: usize) -> Vec<ScoredId> {
+        let qidx = self.queries.fetch_add(1, Ordering::Relaxed);
+        if self.ids.is_empty() || m == 0 {
+            return Vec::new();
+        }
+        assert_eq!(
+            query.len(),
+            self.dim,
+            "query dimension must match the index dimension"
+        );
+        match &self.ivf {
+            None => {
+                self.scanned_rows.fetch_add(self.ids.len() as u64, Ordering::Relaxed);
+                self.scan_all(query, m)
+            }
+            Some(ivf) => {
+                let results = self.scan_ivf(ivf, query, m);
+                if qidx % AUDIT_PERIOD == 0 {
+                    // Recall audit: compare against the exact answer
+                    // (counted separately; audit scans do not inflate the
+                    // kernel-row counter).
+                    let exact = self.scan_all(query, m);
+                    let hits = results
+                        .iter()
+                        .filter(|s| exact.iter().any(|e| e.id == s.id))
+                        .count() as u64;
+                    self.audit_queries.fetch_add(1, Ordering::Relaxed);
+                    self.audit_hits.fetch_add(hits, Ordering::Relaxed);
+                    self.audit_expected.fetch_add(exact.len() as u64, Ordering::Relaxed);
+                }
+                results
+            }
+        }
+    }
+
+    /// Exhaustive scan over the SoA matrix, blocked across rows.
+    fn scan_all(&self, query: &[f32], m: usize) -> Vec<ScoredId> {
+        let mut top = TopM::new(m);
+        let mut distances = [0.0f32; ROW_BLOCK];
+        let mut row = 0usize;
+        while row < self.ids.len() {
+            let block = ROW_BLOCK.min(self.ids.len() - row);
+            for (i, d) in distances[..block].iter_mut().enumerate() {
+                let r = row + i;
+                *d = sq_distance_row(&self.feats[r * self.dim..(r + 1) * self.dim], query);
+            }
+            for (i, &d) in distances[..block].iter().enumerate() {
+                top.push(d, self.ids[row + i]);
+            }
+            row += block;
+        }
+        top.into_sorted()
+    }
+
+    /// IVF probe: rank centroids by exact distance, scan the `nprobe`
+    /// nearest lists exhaustively.
+    fn scan_ivf(&self, ivf: &Ivf, query: &[f32], m: usize) -> Vec<ScoredId> {
+        let nlist = ivf.lists.len();
+        let mut order: Vec<(f32, usize)> = (0..nlist)
+            .map(|c| (sq_distance_row(&ivf.centroids[c * self.dim..(c + 1) * self.dim], query), c))
+            .collect();
+        // Ties on centroid distance break toward the lower list index.
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let probe = ivf.nprobe.min(nlist);
+        let mut top = TopM::new(m);
+        let mut scanned = 0u64;
+        for &(_, list) in &order[..probe] {
+            for &row in &ivf.lists[list] {
+                let r = row as usize;
+                let d = sq_distance_row(&self.feats[r * self.dim..(r + 1) * self.dim], query);
+                top.push(d, self.ids[r]);
+            }
+            scanned += ivf.lists[list].len() as u64;
+        }
+        self.probed_lists.fetch_add(probe as u64, Ordering::Relaxed);
+        self.scanned_rows.fetch_add(scanned, Ordering::Relaxed);
+        top.into_sorted()
+    }
+
+    /// Materializes `(id, feature)` pairs in row order (snapshots and
+    /// persistence; the serving path never calls this).
+    pub fn entries(&self) -> Vec<(VideoId, Tensor)> {
+        (0..self.ids.len())
+            .map(|row| {
+                let feat = Tensor::from_vec(self.feature(row).to_vec(), &[self.dim])
+                    .expect("row length equals dim by construction");
+                (self.ids[row], feat)
+            })
+            .collect()
+    }
+}
+
+/// Seeded Lloyd k-means over the flattened feature matrix. Every step is
+/// a pure function of `(feats, seed)`: seeded sampling for the initial
+/// centroids, sequential assignment with lower-index tie-breaks, and
+/// fixed-order mean recomputation.
+fn train_ivf(
+    feats: &[f32],
+    dim: usize,
+    rows: usize,
+    nlist: usize,
+    nprobe: usize,
+    seed: u64,
+) -> Ivf {
+    let k = nlist.min(rows);
+    let mut rng = Rng64::new(seed);
+    let mut centroids = Vec::with_capacity(k * dim);
+    for row in rng.sample_indices(rows, k) {
+        centroids.extend_from_slice(&feats[row * dim..(row + 1) * dim]);
+    }
+    let mut assign = vec![0u32; rows];
+    for round in 0..KMEANS_ROUNDS {
+        // Assignment: nearest centroid, first (lowest-index) winner on ties.
+        let mut changed = false;
+        for row in 0..rows {
+            let rf = &feats[row * dim..(row + 1) * dim];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let d = sq_distance_row(&centroids[c * dim..(c + 1) * dim], rf);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assign[row] != best as u32 {
+                assign[row] = best as u32;
+                changed = true;
+            }
+        }
+        if !changed && round > 0 {
+            break;
+        }
+        // Update: per-cluster mean in f64, sequential row order. Empty
+        // clusters keep their previous centroid.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for row in 0..rows {
+            let c = assign[row] as usize;
+            counts[c] += 1;
+            for j in 0..dim {
+                sums[c * dim + j] += f64::from(feats[row * dim + j]);
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..dim {
+                    centroids[c * dim + j] = (sums[c * dim + j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (row, &c) in assign.iter().enumerate() {
+        lists[c as usize].push(row as u32);
+    }
+    Ivf { nprobe, centroids, lists }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(points: &[(u32, Vec<f32>)]) -> Vec<(VideoId, Tensor)> {
+        points
+            .iter()
+            .map(|(class, v)| {
+                let n = v.len();
+                (
+                    VideoId { class: *class, instance: 0 },
+                    Tensor::from_vec(v.clone(), &[n]).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    fn line_gallery(n: u32) -> Vec<(VideoId, Tensor)> {
+        entries(&(0..n).map(|i| (i, vec![i as f32, 0.0])).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exact_search_matches_sort_and_truncate() {
+        let gallery = line_gallery(40);
+        let index = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        let got = index.search(&[7.3, 0.0], 4);
+        let mut reference: Vec<ScoredId> = gallery
+            .iter()
+            .map(|(id, feat)| ScoredId {
+                id: *id,
+                distance: feat
+                    .sq_distance(&Tensor::from_vec(vec![7.3, 0.0], &[2]).unwrap())
+                    .unwrap(),
+            })
+            .collect();
+        reference.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
+        });
+        reference.truncate(4);
+        assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(&reference) {
+            assert_eq!(g.id, r.id);
+            assert_eq!(g.distance.to_bits(), r.distance.to_bits(), "bit-identical distances");
+        }
+    }
+
+    #[test]
+    fn full_probe_ivf_equals_exact() {
+        let gallery = line_gallery(50);
+        let exact = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        let ivf = ShardIndex::build(&gallery, IndexMode::ivf(5, 5), 99).unwrap();
+        for q in [[0.0, 0.0], [12.6, 0.0], [49.9, 0.0]] {
+            assert_eq!(ivf.search(&q, 7), exact.search(&q, 7));
+        }
+    }
+
+    #[test]
+    fn partial_probe_finds_local_neighbours() {
+        // Two well-separated clusters; probing one list still answers the
+        // in-cluster query perfectly.
+        let mut points = Vec::new();
+        for i in 0..20u32 {
+            points.push((i, vec![i as f32 * 0.01, 0.0]));
+            points.push((100 + i, vec![1000.0 + i as f32 * 0.01, 0.0]));
+        }
+        let index = ShardIndex::build(&entries(&points), IndexMode::ivf(2, 1), 7).unwrap();
+        let got = index.search(&[0.05, 0.0], 3);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|s| s.id.class < 100), "all answers from the near cluster");
+    }
+
+    #[test]
+    fn stats_count_probes_and_rows() {
+        let gallery = line_gallery(30);
+        let index = ShardIndex::build(&gallery, IndexMode::ivf(3, 2), 3).unwrap();
+        index.search(&[1.0, 0.0], 5);
+        let stats = index.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.probed_lists, 2);
+        assert!(stats.scanned_rows > 0 && stats.scanned_rows < 30);
+        // First query is audited.
+        assert_eq!(stats.audit_queries, 1);
+        assert!(stats.recall_at_m().is_some());
+    }
+
+    #[test]
+    fn exact_mode_counts_all_rows() {
+        let index = ShardIndex::build(&line_gallery(30), IndexMode::Exact, 0).unwrap();
+        index.search(&[1.0, 0.0], 5);
+        index.search(&[2.0, 0.0], 5);
+        let stats = index.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.scanned_rows, 60);
+        assert_eq!(stats.probed_lists, 0);
+        assert_eq!(stats.recall_at_m(), None);
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions_at_build() {
+        let bad = vec![
+            (VideoId { class: 0, instance: 0 }, Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap()),
+            (VideoId { class: 1, instance: 0 }, Tensor::from_vec(vec![0.0], &[1]).unwrap()),
+        ];
+        assert!(ShardIndex::build(&bad, IndexMode::Exact, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_ivf_parameters() {
+        let gallery = line_gallery(4);
+        assert!(ShardIndex::build(&gallery, IndexMode::ivf(0, 1), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::ivf(4, 0), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::ivf(2, 3), 0).is_err());
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let index = ShardIndex::build(&[], IndexMode::ivf(4, 2), 0).unwrap();
+        assert!(index.is_empty());
+        assert!(index.search(&[1.0], 3).is_empty());
+    }
+
+    #[test]
+    fn nlist_caps_at_row_count() {
+        let index = ShardIndex::build(&line_gallery(3), IndexMode::ivf(16, 16), 1).unwrap();
+        assert_eq!(index.nlist(), 3);
+    }
+
+    #[test]
+    fn top_m_zero_cap_keeps_nothing() {
+        let mut top = TopM::new(0);
+        top.push(1.0, VideoId { class: 0, instance: 0 });
+        assert!(top.is_empty());
+        assert!(top.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let gallery = line_gallery(5);
+        let index = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        assert_eq!(index.entries(), gallery);
+    }
+
+    #[test]
+    fn mode_serializes_to_json() {
+        assert_eq!(IndexMode::Exact.to_json().to_string(), r#"{"mode":"exact"}"#);
+        assert_eq!(
+            IndexMode::ivf(16, 4).to_json().to_string(),
+            r#"{"mode":"ivf","nlist":16,"nprobe":4}"#
+        );
+    }
+}

@@ -34,6 +34,7 @@ mod blackbox;
 mod breaker;
 pub mod chaos;
 mod error;
+pub mod index;
 mod ledger;
 mod metrics;
 mod node;
@@ -46,8 +47,9 @@ pub use blackbox::BlackBox;
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use chaos::{FaultDecision, FaultPlan, FlapWindow};
 pub use error::RetrievalError;
+pub use index::{shard_seed, IndexMode, IndexStats, ShardIndex, TopM};
 pub use ledger::QueryLedger;
-pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence};
+pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m};
 pub use node::{DataNode, NodeAnswer, NodeFault, NodeStatus, ScoredId};
 pub use oracle::QueryOracle;
 pub use persist::GalleryIndex;

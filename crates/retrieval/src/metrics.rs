@@ -81,6 +81,21 @@ pub fn ndcg_cooccurrence(a: &[VideoId], b: &[VideoId]) -> f32 {
     (gain / ideal) as f32
 }
 
+/// Recall@m of an approximate retrieval list against the exact answer:
+/// the fraction of `exact`'s members that `approx` also returned.
+///
+/// Order-insensitive (recall measures membership, not ranking). An empty
+/// exact answer has nothing to miss and scores 1. This is the offline
+/// counterpart of the running estimate in
+/// [`crate::IndexStats::recall_at_m`].
+pub fn recall_at_m(approx: &[VideoId], exact: &[VideoId]) -> f32 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.iter().filter(|id| approx.contains(id)).count();
+    hits as f32 / exact.len() as f32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +213,17 @@ mod tests {
         let wrong_head = ids(&[(9, 9), (1, 0), (2, 0), (3, 0)]);
         let wrong_tail = ids(&[(0, 0), (1, 0), (2, 0), (9, 9)]);
         assert!(ndcg_cooccurrence(&a, &wrong_tail) > ndcg_cooccurrence(&a, &wrong_head));
+    }
+
+    #[test]
+    fn recall_counts_membership_not_order() {
+        let exact = ids(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let reversed: Vec<VideoId> = exact.iter().rev().copied().collect();
+        assert_eq!(recall_at_m(&reversed, &exact), 1.0);
+        let half = ids(&[(0, 0), (2, 0)]);
+        assert_eq!(recall_at_m(&half, &exact), 0.5);
+        assert_eq!(recall_at_m(&[], &exact), 0.0);
+        assert_eq!(recall_at_m(&half, &[]), 1.0);
     }
 
     #[test]

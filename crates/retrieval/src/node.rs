@@ -1,4 +1,4 @@
-use crate::FaultPlan;
+use crate::{FaultPlan, IndexMode, IndexStats, ShardIndex};
 use duo_tensor::Tensor;
 use duo_video::VideoId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,31 +53,57 @@ pub struct NodeAnswer {
 
 /// One shard of the distributed gallery.
 ///
-/// A node stores `(id, feature)` pairs for its share of the gallery and
-/// answers local top-`m` nearest-neighbour queries. Status is behind a
-/// read–write lock so a failure-injection harness can flip nodes offline
-/// while queries are in flight; an optional seeded [`FaultPlan`] injects
+/// A node stores its share of the gallery in a [`ShardIndex`] — a
+/// structure-of-arrays feature matrix with an optional IVF coarse
+/// quantizer (see [`crate::index`]) — and answers local top-`m`
+/// nearest-neighbour queries through it. Status is behind a read–write
+/// lock so a failure-injection harness can flip nodes offline while
+/// queries are in flight; an optional seeded [`FaultPlan`] injects
 /// transient errors, latency, and flap schedules deterministically (see
 /// [`crate::chaos`]).
 #[derive(Debug)]
 pub struct DataNode {
     name: String,
-    entries: Vec<(VideoId, Tensor)>,
+    index: ShardIndex,
     status: RwLock<NodeStatus>,
     fault_plan: RwLock<Option<FaultPlan>>,
     queries_seen: AtomicU64,
 }
 
 impl DataNode {
-    /// Creates an online node with the given shard contents.
+    /// Creates an online exact-mode node with the given shard contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics when entries disagree on feature dimension — the
+    /// validation the seed scan repeated per entry per query, hoisted to
+    /// construction.
     pub fn new(name: impl Into<String>, entries: Vec<(VideoId, Tensor)>) -> Self {
-        DataNode {
+        Self::with_index_mode(name, entries, IndexMode::Exact, 0)
+            .expect("gallery features share one dimension")
+    }
+
+    /// Creates an online node whose shard is indexed in `mode`; `seed`
+    /// feeds the IVF k-means (use [`crate::shard_seed`] for the
+    /// per-shard convention; exact mode ignores it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RetrievalError::BadConfig`] for invalid IVF
+    /// parameters or entries with disagreeing dimensions.
+    pub fn with_index_mode(
+        name: impl Into<String>,
+        entries: Vec<(VideoId, Tensor)>,
+        mode: IndexMode,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        Ok(DataNode {
             name: name.into(),
-            entries,
+            index: ShardIndex::build(&entries, mode, seed)?,
             status: RwLock::new(NodeStatus::Online),
             fault_plan: RwLock::new(None),
             queries_seen: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Node name (for diagnostics).
@@ -87,17 +113,34 @@ impl DataNode {
 
     /// Number of gallery entries held by this node.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
-    /// The `(id, feature)` entries stored on this shard (for snapshots).
-    pub fn entries(&self) -> &[(VideoId, Tensor)] {
-        &self.entries
+    /// The `(id, feature)` entries stored on this shard, materialized
+    /// from the index's flattened storage (snapshots and persistence —
+    /// the query path never pays this copy).
+    pub fn entries(&self) -> Vec<(VideoId, Tensor)> {
+        self.index.entries()
+    }
+
+    /// The shard's nearest-neighbour index.
+    pub fn index(&self) -> &ShardIndex {
+        &self.index
+    }
+
+    /// How this shard answers queries ([`IndexMode::Exact`] or IVF).
+    pub fn index_mode(&self) -> IndexMode {
+        self.index.mode()
+    }
+
+    /// A snapshot of the shard index's scan counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
     }
 
     /// Current operational status.
@@ -187,22 +230,10 @@ impl DataNode {
     }
 
     /// The raw shard scan, independent of status and fault schedule.
+    /// Routes through the [`ShardIndex`]; exact mode is bit-identical to
+    /// the seed per-entry scan (see [`crate::index`]).
     fn scan(&self, query: &Tensor, m: usize) -> Vec<ScoredId> {
-        let mut scored: Vec<ScoredId> = self
-            .entries
-            .iter()
-            .map(|(id, feat)| ScoredId {
-                id: *id,
-                distance: feat.sq_distance(query).expect("gallery features share query dims"),
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.distance
-                .total_cmp(&b.distance)
-                .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
-        });
-        scored.truncate(m);
-        scored
+        self.index.search(query.as_slice(), m)
     }
 }
 
@@ -293,6 +324,38 @@ mod tests {
         node.set_offline();
         assert_eq!(node.try_query(&feat(vec![0.0, 0.0]), 1), Err(NodeFault::Offline));
         assert_eq!(node.queries_seen(), 0, "hard-down attempts consume no schedule index");
+    }
+
+    #[test]
+    fn ivf_node_answers_like_exact_at_full_probe() {
+        let entries: Vec<(VideoId, Tensor)> = (0..24u32)
+            .map(|i| (VideoId { class: i, instance: 0 }, feat(vec![i as f32, 0.5])))
+            .collect();
+        let exact = DataNode::new("exact", entries.clone());
+        let ivf =
+            DataNode::with_index_mode("ivf", entries, IndexMode::ivf(4, 4), 11).unwrap();
+        let q = feat(vec![9.4, 0.5]);
+        assert_eq!(ivf.query(&q, 6), exact.query(&q, 6));
+        assert!(ivf.index_stats().probed_lists > 0);
+        assert_eq!(exact.index_stats().probed_lists, 0);
+    }
+
+    #[test]
+    fn mixed_dimension_entries_fail_index_build() {
+        let entries = vec![
+            (VideoId { class: 0, instance: 0 }, feat(vec![0.0, 0.0])),
+            (VideoId { class: 1, instance: 0 }, feat(vec![0.0])),
+        ];
+        assert!(DataNode::with_index_mode("bad", entries, IndexMode::Exact, 0).is_err());
+    }
+
+    #[test]
+    fn entries_materialize_in_row_order() {
+        let node = sample_node();
+        let got = node.entries();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, VideoId { class: 0, instance: 0 });
+        assert_eq!(got[2].1.as_slice(), &[3.0, 4.0]);
     }
 
     #[test]

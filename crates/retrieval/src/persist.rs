@@ -3,39 +3,60 @@
 //! A production retrieval service re-indexes its gallery only when the
 //! embedding model changes; across restarts the feature index is loaded
 //! from disk. The format is the same minimal self-describing binary style
-//! used for model checkpoints: magic, entry count, then
+//! used for model checkpoints: magic, index mode, entry count, then
 //! `(class, instance, dim, f32-LE features…)` per entry.
+//!
+//! Two on-disk versions exist. `DUOINDX2` (current) stores the
+//! [`IndexMode`] after the magic — a mode byte, then `nlist`/`nprobe` as
+//! u64 for IVF. `DUOINDX1` (legacy, features only) still loads and maps
+//! to [`IndexMode::Exact`]. Only the *mode* is persisted, never the
+//! trained IVF structure: k-means is seeded and deterministic
+//! ([`crate::shard_seed`] per shard), so retraining at load reproduces
+//! the index from the features alone and the snapshot stays
+//! layout-independent.
 
-use crate::{DataNode, RetrievalConfig, RetrievalError, Result, RetrievalSystem};
+use crate::{shard_seed, DataNode, IndexMode, RetrievalConfig, RetrievalError, Result, RetrievalSystem};
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::VideoId;
 use std::io::{Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DUOINDX1";
+const MAGIC_V2: &[u8; 8] = b"DUOINDX2";
+const MAGIC_V1: &[u8; 8] = b"DUOINDX1";
 
-/// A serializable snapshot of an indexed gallery.
+const MODE_EXACT: u8 = 0;
+const MODE_IVF: u8 = 1;
+
+/// A serializable snapshot of an indexed gallery: the `(id, feature)`
+/// entries plus the [`IndexMode`] the system served them in.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GalleryIndex {
     entries: Vec<(VideoId, Tensor)>,
+    mode: IndexMode,
 }
 
 impl GalleryIndex {
-    /// Snapshots the given `(id, feature)` entries.
+    /// Snapshots the given `(id, feature)` entries in exact mode.
     pub fn new(entries: Vec<(VideoId, Tensor)>) -> Self {
-        GalleryIndex { entries }
+        GalleryIndex { entries, mode: IndexMode::Exact }
     }
 
-    /// Extracts the index currently served by a retrieval system.
+    /// Snapshots entries together with an index mode.
+    pub fn with_mode(entries: Vec<(VideoId, Tensor)>, mode: IndexMode) -> Self {
+        GalleryIndex { entries, mode }
+    }
+
+    /// Extracts the index currently served by a retrieval system,
+    /// including its index mode.
     pub fn from_system(system: &RetrievalSystem) -> Self {
         let mut entries = Vec::with_capacity(system.gallery_len());
         for node in system.nodes() {
-            entries.extend(node.entries().iter().cloned());
+            entries.extend(node.entries());
         }
         // Deterministic order regardless of shard layout.
         entries.sort_by_key(|(id, _)| (id.class, id.instance));
-        GalleryIndex { entries }
+        GalleryIndex { entries, mode: system.config().index }
     }
 
     /// Number of indexed videos.
@@ -53,14 +74,27 @@ impl GalleryIndex {
         &self.entries
     }
 
-    /// Writes the index in the `DUOINDX1` format.
+    /// The index mode captured in this snapshot.
+    pub fn mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// Writes the index in the `DUOINDX2` format.
     ///
     /// # Errors
     ///
     /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
     pub fn write<W: Write>(&self, mut w: W) -> Result<()> {
         let io = |e: std::io::Error| RetrievalError::BadConfig(format!("index write: {e}"));
-        w.write_all(MAGIC).map_err(io)?;
+        w.write_all(MAGIC_V2).map_err(io)?;
+        match self.mode {
+            IndexMode::Exact => w.write_all(&[MODE_EXACT]).map_err(io)?,
+            IndexMode::Ivf { nlist, nprobe } => {
+                w.write_all(&[MODE_IVF]).map_err(io)?;
+                w.write_all(&(nlist as u64).to_le_bytes()).map_err(io)?;
+                w.write_all(&(nprobe as u64).to_le_bytes()).map_err(io)?;
+            }
+        }
         w.write_all(&(self.entries.len() as u64).to_le_bytes()).map_err(io)?;
         for (id, feat) in &self.entries {
             w.write_all(&id.class.to_le_bytes()).map_err(io)?;
@@ -73,7 +107,9 @@ impl GalleryIndex {
         Ok(())
     }
 
-    /// Reads an index written by [`GalleryIndex::write`].
+    /// Reads an index written by [`GalleryIndex::write`]. Legacy
+    /// `DUOINDX1` snapshots (no mode header) load as
+    /// [`IndexMode::Exact`].
     ///
     /// # Errors
     ///
@@ -83,10 +119,32 @@ impl GalleryIndex {
         let io = |e: std::io::Error| RetrievalError::BadConfig(format!("index read: {e}"));
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic).map_err(io)?;
-        if &magic != MAGIC {
-            return Err(RetrievalError::BadConfig("not a DUOINDX1 index".into()));
-        }
         let mut u64buf = [0u8; 8];
+        let mode = match &magic {
+            m if m == MAGIC_V1 => IndexMode::Exact,
+            m if m == MAGIC_V2 => {
+                let mut tag = [0u8; 1];
+                r.read_exact(&mut tag).map_err(io)?;
+                match tag[0] {
+                    MODE_EXACT => IndexMode::Exact,
+                    MODE_IVF => {
+                        r.read_exact(&mut u64buf).map_err(io)?;
+                        let nlist = u64::from_le_bytes(u64buf) as usize;
+                        r.read_exact(&mut u64buf).map_err(io)?;
+                        let nprobe = u64::from_le_bytes(u64buf) as usize;
+                        let mode = IndexMode::Ivf { nlist, nprobe };
+                        mode.validate()?;
+                        mode
+                    }
+                    other => {
+                        return Err(RetrievalError::BadConfig(format!(
+                            "unknown index mode tag {other}"
+                        )))
+                    }
+                }
+            }
+            _ => return Err(RetrievalError::BadConfig("not a DUOINDX1/DUOINDX2 index".into())),
+        };
         let mut u32buf = [0u8; 4];
         r.read_exact(&mut u64buf).map_err(io)?;
         let count = u64::from_le_bytes(u64buf) as usize;
@@ -114,7 +172,7 @@ impl GalleryIndex {
                 .map_err(|e| RetrievalError::BadConfig(format!("index feature: {e}")))?;
             entries.push((VideoId { class, instance }, feat));
         }
-        Ok(GalleryIndex { entries })
+        Ok(GalleryIndex { entries, mode })
     }
 
     /// Saves the index to a file.
@@ -145,6 +203,15 @@ impl RetrievalSystem {
     /// (restart-without-reindexing: the backbone is only used for *query*
     /// embeddings; gallery features come from the snapshot).
     ///
+    /// The serving index mode is taken from `config.index` — the caller
+    /// decides, typically forwarding [`GalleryIndex::mode`]. IVF shards
+    /// are retrained at load from the snapshot's features with the same
+    /// per-shard seeds a fresh build uses. Exact-mode rankings are
+    /// bit-identical to the snapshotted system regardless of node count;
+    /// IVF rankings can differ from the original when the snapshot's
+    /// entries re-shard into different k-means problems (see the
+    /// equivalence contract in DESIGN.md §6d).
+    ///
     /// # Errors
     ///
     /// Returns [`RetrievalError::BadConfig`] for invalid configuration.
@@ -166,8 +233,10 @@ impl RetrievalSystem {
         let nodes = shards
             .into_iter()
             .enumerate()
-            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
-            .collect();
+            .map(|(i, entries)| {
+                DataNode::with_index_mode(format!("node-{i}"), entries, config.index, shard_seed(i))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(RetrievalSystem::assemble(backbone, nodes, config, index.len()))
     }
 }
@@ -189,7 +258,7 @@ mod tests {
             backbone,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 3, threaded: false },
+            RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() },
         )
         .unwrap();
         (sys, ds)
@@ -207,6 +276,37 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_ivf_mode() {
+        let entries = vec![(
+            VideoId { class: 0, instance: 0 },
+            Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(),
+        )];
+        let index = GalleryIndex::with_mode(entries, IndexMode::ivf(16, 4));
+        let mut buf = Vec::new();
+        index.write(&mut buf).unwrap();
+        let back = GalleryIndex::read(buf.as_slice()).unwrap();
+        assert_eq!(back.mode(), IndexMode::ivf(16, 4));
+        assert_eq!(index, back);
+    }
+
+    #[test]
+    fn legacy_v1_snapshot_loads_as_exact() {
+        // Hand-assemble a DUOINDX1 stream: magic, count, one 2-d entry.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DUOINDX1");
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&0.5f32.to_le_bytes());
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        let index = GalleryIndex::read(buf.as_slice()).unwrap();
+        assert_eq!(index.mode(), IndexMode::Exact);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.entries()[0].0, VideoId { class: 3, instance: 7 });
+    }
+
+    #[test]
     fn restored_service_ranks_identically() {
         let (mut sys, ds) = system();
         let index = GalleryIndex::from_system(&sys);
@@ -219,12 +319,44 @@ mod tests {
         let restored = RetrievalSystem::from_index(
             restored_backbone,
             &index,
-            RetrievalConfig { m: 5, nodes: 5, threaded: false },
+            RetrievalConfig { m: 5, nodes: 5, threaded: false, index: index.mode() },
         )
         .unwrap();
         for c in 0..8 {
             let q = ds.video(VideoId { class: c, instance: 1 });
             assert_eq!(sys.retrieve(&q).unwrap(), restored.retrieve(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn restored_ivf_service_with_full_probe_matches_exact_restore() {
+        let (mut sys, ds) = system();
+        let snapshot = GalleryIndex::from_system(&sys);
+        let params = duo_models::export_params(sys.backbone_mut());
+        let make_backbone = || {
+            let mut rng = Rng64::new(283);
+            let mut b =
+                Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+            duo_models::import_params(&mut b, &params).unwrap();
+            b
+        };
+        let exact = RetrievalSystem::from_index(
+            make_backbone(),
+            &snapshot,
+            RetrievalConfig { m: 5, nodes: 4, threaded: false, index: IndexMode::Exact },
+        )
+        .unwrap();
+        // nprobe == nlist: IVF is exhaustive, so the restored services
+        // must agree ranking-for-ranking.
+        let ivf = RetrievalSystem::from_index(
+            make_backbone(),
+            &snapshot,
+            RetrievalConfig { m: 5, nodes: 4, threaded: false, index: IndexMode::ivf(3, 3) },
+        )
+        .unwrap();
+        for c in 0..8 {
+            let q = ds.video(VideoId { class: c, instance: 1 });
+            assert_eq!(exact.retrieve(&q).unwrap(), ivf.retrieve(&q).unwrap());
         }
     }
 

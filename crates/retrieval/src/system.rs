@@ -1,7 +1,7 @@
 use crate::resilience::{query_node, FailCause, NodeReport};
 use crate::{
-    BreakerState, CircuitBreaker, Coverage, DataNode, QueryTelemetry, ResilienceConfig, Retrieved,
-    RetrievalError, Result, ScoredId,
+    shard_seed, BreakerState, CircuitBreaker, Coverage, DataNode, IndexMode, IndexStats,
+    QueryTelemetry, ResilienceConfig, Retrieved, RetrievalError, Result, ScoredId,
 };
 use duo_models::Backbone;
 use duo_tensor::Tensor;
@@ -19,12 +19,17 @@ pub struct RetrievalConfig {
     /// (false). Thread fan-out demonstrates the distributed query path;
     /// inline is faster on a single core.
     pub threaded: bool,
+    /// How each shard indexes its gallery slice: [`IndexMode::Exact`]
+    /// (the default; bit-identical to an exhaustive scan) or
+    /// [`IndexMode::Ivf`] (sublinear approximate search with exact
+    /// re-ranking inside the probed lists). See [`crate::index`].
+    pub index: IndexMode,
 }
-duo_tensor::impl_to_json!(struct RetrievalConfig { m, nodes, threaded });
+duo_tensor::impl_to_json!(struct RetrievalConfig { m, nodes, threaded, index });
 
 impl Default for RetrievalConfig {
     fn default() -> Self {
-        RetrievalConfig { m: 10, nodes: 4, threaded: false }
+        RetrievalConfig { m: 10, nodes: 4, threaded: false, index: IndexMode::Exact }
     }
 }
 
@@ -133,8 +138,10 @@ impl RetrievalSystem {
         let nodes = shards
             .into_iter()
             .enumerate()
-            .map(|(i, entries)| DataNode::new(format!("node-{i}"), entries))
-            .collect();
+            .map(|(i, entries)| {
+                DataNode::with_index_mode(format!("node-{i}"), entries, config.index, shard_seed(i))
+            })
+            .collect::<Result<Vec<_>>>()?;
         Ok(RetrievalSystem {
             backbone,
             nodes,
@@ -175,6 +182,17 @@ impl RetrievalSystem {
     /// The data-node shards (for failure injection in tests).
     pub fn nodes(&self) -> &[DataNode] {
         &self.nodes
+    }
+
+    /// Shard-index scan counters summed over every node: queries, probed
+    /// lists, kernel rows, and the running recall@m audit (see
+    /// [`IndexStats`]). All zeros until the first query.
+    pub fn index_stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for node in &self.nodes {
+            total.merge(&node.index_stats());
+        }
+        total
     }
 
     /// Read access to the victim backbone (white-box evaluations and
@@ -219,6 +237,28 @@ impl RetrievalSystem {
     /// Takes `&self` end to end — extraction, fan-out and merge are all
     /// read-only — so a single system instance is safely shared across
     /// serving threads without a global lock.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use duo_retrieval::{IndexMode, RetrievalConfig, RetrievalSystem};
+    /// use duo_models::{Architecture, Backbone, BackboneConfig};
+    /// use duo_tensor::Rng64;
+    /// use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+    ///
+    /// let mut rng = Rng64::new(7);
+    /// let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 2, 1, 0);
+    /// let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
+    /// let config = RetrievalConfig { m: 3, index: IndexMode::Exact, ..RetrievalConfig::default() };
+    /// let system = RetrievalSystem::build(backbone, &ds, ds.train(), config)?;
+    ///
+    /// let query = ds.video(ds.train()[0]);
+    /// let top_m = system.retrieve(&query)?;
+    /// // A gallery video retrieves itself at rank 1 (distance zero).
+    /// assert_eq!(top_m[0], ds.train()[0]);
+    /// assert_eq!(top_m.len(), 3);
+    /// # Ok::<(), duo_retrieval::RetrievalError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -423,7 +463,7 @@ mod tests {
         let gallery: Vec<VideoId> =
             ds.train().iter().filter(|id| id.class < 12).copied().collect();
         let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-        let config = RetrievalConfig { m: 5, nodes: 3, threaded };
+        let config = RetrievalConfig { m: 5, nodes: 3, threaded, ..RetrievalConfig::default() };
         (RetrievalSystem::build(backbone, &ds, &gallery, config).unwrap(), ds)
     }
 
@@ -478,7 +518,7 @@ mod tests {
         let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 31, 1, 1);
         let gallery: Vec<VideoId> =
             ds.train().iter().filter(|id| id.class < 10).copied().collect();
-        let config = RetrievalConfig { m: 5, nodes: 3, threaded: false };
+        let config = RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() };
         // Identical weights in both builds via a shared seed.
         let serial = {
             let mut rng = Rng64::new(132);
@@ -506,7 +546,7 @@ mod tests {
         let mut rng = Rng64::new(133);
         let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 31, 1, 0);
         let b = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-        let config = RetrievalConfig { m: 5, nodes: 2, threaded: false };
+        let config = RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() };
         assert!(RetrievalSystem::build_parallel(b, &ds, ds.train(), config, 0).is_err());
     }
 
@@ -515,7 +555,38 @@ mod tests {
         let mut rng = Rng64::new(132);
         let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 3, 1, 0);
         let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-        let bad = RetrievalConfig { m: 0, nodes: 1, threaded: false };
+        let bad = RetrievalConfig { m: 0, nodes: 1, threaded: false, ..Default::default() };
+        assert!(RetrievalSystem::build(backbone, &ds, ds.train(), bad).is_err());
+    }
+
+    #[test]
+    fn ivf_system_builds_and_retrieves_self() {
+        let mut rng = Rng64::new(134);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 3, 1, 0);
+        let gallery: Vec<VideoId> =
+            ds.train().iter().filter(|id| id.class < 12).copied().collect();
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let config = RetrievalConfig {
+            m: 5,
+            nodes: 3,
+            index: IndexMode::ivf(4, 4),
+            ..Default::default()
+        };
+        let sys = RetrievalSystem::build(backbone, &ds, &gallery, config).unwrap();
+        let probe = ds.video(VideoId { class: 0, instance: 0 });
+        let result = sys.retrieve(&probe).unwrap();
+        assert_eq!(result[0], VideoId { class: 0, instance: 0 });
+        let stats = sys.index_stats();
+        assert_eq!(stats.queries, 3, "one shard search per node");
+        assert!(stats.probed_lists > 0);
+    }
+
+    #[test]
+    fn rejects_invalid_ivf_config() {
+        let mut rng = Rng64::new(135);
+        let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 3, 1, 0);
+        let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let bad = RetrievalConfig { index: IndexMode::ivf(2, 5), ..Default::default() };
         assert!(RetrievalSystem::build(backbone, &ds, ds.train(), bad).is_err());
     }
 }

@@ -3,6 +3,40 @@
 use std::time::Duration;
 
 /// Configuration of the serving layer.
+///
+/// # Example
+///
+/// Stand a service up over a retrieval system, issue one query, and shut
+/// down:
+///
+/// ```
+/// use duo_serve::{RetrievalService, ServeConfig};
+/// use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+/// use duo_models::{Architecture, Backbone, BackboneConfig};
+/// use duo_tensor::Rng64;
+/// use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+/// use std::time::Duration;
+///
+/// let mut rng = Rng64::new(5);
+/// let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 2, 1, 0);
+/// let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng)?;
+/// let system = RetrievalSystem::build(backbone, &ds, ds.train(), RetrievalConfig::default())?;
+///
+/// let config = ServeConfig {
+///     workers: 2,
+///     batch_max: 4,
+///     batch_wait: Duration::from_millis(1),
+///     ..ServeConfig::default()
+/// };
+/// let service = RetrievalService::start(system, config)?;
+/// let client = service.client(None, None);
+/// let top_m = client.retrieve(&ds.video(ds.train()[0]))?;
+/// assert_eq!(top_m[0], ds.train()[0]);
+///
+/// let stats = service.shutdown();
+/// assert_eq!(stats.served, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Retrieval worker threads draining the batched work queue.

@@ -150,7 +150,8 @@ impl RetrievalService {
     /// A live snapshot of the service counters.
     pub fn stats(&self) -> crate::ServiceStats {
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
-        self.shared.stats.lock().expect("stats lock").snapshot(queue_depth)
+        let index = self.shared.system.index_stats();
+        self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index)
     }
 
     /// Read access to the served system (evaluation only; clients go
@@ -180,7 +181,8 @@ impl RetrievalService {
             let _ = handle.join();
         }
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
-        let stats = self.shared.stats.lock().expect("stats lock").snapshot(queue_depth);
+        let index = self.shared.system.index_stats();
+        let stats = self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index);
         match Arc::try_unwrap(self.shared) {
             Ok(shared) => (Some(shared.system), stats),
             Err(_) => (None, stats),

@@ -2,7 +2,7 @@
 //! quantiles.
 
 use crate::LatencyHistogram;
-use duo_retrieval::QueryTelemetry;
+use duo_retrieval::{IndexStats, QueryTelemetry};
 
 /// Mutable counters maintained by the service under its stats lock.
 #[derive(Debug)]
@@ -76,7 +76,11 @@ impl StatsInner {
         }
     }
 
-    pub fn snapshot(&self, queue_depth: usize) -> ServiceStats {
+    /// Builds the public snapshot. `index` is the system's summed
+    /// shard-index counters ([`duo_retrieval::RetrievalSystem::index_stats`]),
+    /// sampled by the caller at snapshot time — the index maintains its own
+    /// atomics on the query path, outside the service stats lock.
+    pub fn snapshot(&self, queue_depth: usize, index: IndexStats) -> ServiceStats {
         let mut weighted = 0u64;
         let mut max_batch = 0usize;
         for (size, &n) in self.batch_hist.iter().enumerate() {
@@ -117,6 +121,12 @@ impl StatsInner {
             breaker_half_opens: self.breaker_half_opens,
             breaker_closes: self.breaker_closes,
             node_failures: self.node_failures.clone(),
+            index_queries: index.queries,
+            index_probed_lists: index.probed_lists,
+            index_scanned_rows: index.scanned_rows,
+            index_mean_probes: index.mean_probes(),
+            recall_audits: index.audit_queries,
+            recall_at_m: index.recall_at_m(),
         }
     }
 }
@@ -182,6 +192,20 @@ pub struct ServiceStats {
     pub breaker_closes: u64,
     /// Failed queries per data node (shard index order).
     pub node_failures: Vec<u64>,
+    /// Shard-index searches executed (one per node per retrieval).
+    pub index_queries: u64,
+    /// Inverted lists probed across all IVF queries (0 for exact shards).
+    pub index_probed_lists: u64,
+    /// Feature rows pushed through the distance kernel.
+    pub index_scanned_rows: u64,
+    /// Mean inverted lists probed per shard search.
+    pub index_mean_probes: f32,
+    /// IVF searches recall-audited against an exact scan.
+    pub recall_audits: u64,
+    /// Running recall@m estimate from the audited IVF searches; `None`
+    /// until the first audit (always `None` for exact-only traffic,
+    /// whose recall is 1 by construction).
+    pub recall_at_m: Option<f32>,
 }
 duo_tensor::impl_to_json!(struct ServiceStats {
     served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
@@ -189,7 +213,9 @@ duo_tensor::impl_to_json!(struct ServiceStats {
     latency_p50_us, latency_p95_us, latency_max_us,
     deadline_misses, degraded, retries, hedges, node_timeouts, transient_faults,
     contained_panics, breaker_skips, breaker_opens, breaker_half_opens,
-    breaker_closes, node_failures
+    breaker_closes, node_failures,
+    index_queries, index_probed_lists, index_scanned_rows, index_mean_probes,
+    recall_audits, recall_at_m
 });
 
 impl std::fmt::Display for ServiceStats {
@@ -211,13 +237,24 @@ impl std::fmt::Display for ServiceStats {
             "latency p50 {} us, p95 {} us, max {} us",
             self.latency_p50_us, self.latency_p95_us, self.latency_max_us
         )?;
-        write!(
+        writeln!(
             f,
             "resilience: {} retries, {} hedges, {} timeouts, {} transients, \
              {} degraded, {} deadline misses, breaker {}/{}/{} (open/probe/close)",
             self.retries, self.hedges, self.node_timeouts, self.transient_faults,
             self.degraded, self.deadline_misses, self.breaker_opens,
             self.breaker_half_opens, self.breaker_closes
+        )?;
+        write!(
+            f,
+            "index: {} searches, {} rows scanned, {:.2} mean probes, recall@m {}",
+            self.index_queries,
+            self.index_scanned_rows,
+            self.index_mean_probes,
+            match self.recall_at_m {
+                Some(r) => format!("{r:.3} ({} audits)", self.recall_audits),
+                None => "n/a (exact)".to_string(),
+            }
         )
     }
 }
@@ -233,7 +270,7 @@ mod tests {
         inner.batch_hist[1] = 2;
         inner.batch_hist[3] = 2;
         inner.batches = 4;
-        let stats = inner.snapshot(1);
+        let stats = inner.snapshot(1, IndexStats::default());
         assert_eq!(stats.mean_batch, 2.0);
         assert_eq!(stats.max_batch, 3);
         assert_eq!(stats.queue_depth, 1);
@@ -242,12 +279,34 @@ mod tests {
     #[test]
     fn stats_serialize_to_json() {
         let inner = StatsInner::new(2, 3);
-        let json = inner.snapshot(0).to_json().to_string();
+        let json = inner.snapshot(0, IndexStats::default()).to_json().to_string();
         assert!(json.contains("\"served\":0"), "{json}");
         assert!(json.contains("\"batch_hist\":[0,0,0]"), "{json}");
         assert!(json.contains("\"latency_p95_us\":0"), "{json}");
         assert!(json.contains("\"node_failures\":[0,0,0]"), "{json}");
         assert!(json.contains("\"deadline_misses\":0"), "{json}");
+        assert!(json.contains("\"index_queries\":0"), "{json}");
+        assert!(json.contains("\"recall_at_m\":null"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_carries_index_counters() {
+        let inner = StatsInner::new(2, 2);
+        let index = IndexStats {
+            queries: 10,
+            probed_lists: 40,
+            scanned_rows: 500,
+            audit_queries: 2,
+            audit_hits: 19,
+            audit_expected: 20,
+        };
+        let stats = inner.snapshot(0, index);
+        assert_eq!(stats.index_queries, 10);
+        assert_eq!(stats.index_mean_probes, 4.0);
+        assert_eq!(stats.recall_audits, 2);
+        assert_eq!(stats.recall_at_m, Some(0.95));
+        let json = stats.to_json().to_string();
+        assert!(json.contains("\"recall_at_m\":0.95"), "{json}");
     }
 
     #[test]
@@ -261,7 +320,7 @@ mod tests {
         t.node_failures[1] = 2;
         inner.absorb(&t);
         inner.absorb(&t);
-        let stats = inner.snapshot(0);
+        let stats = inner.snapshot(0, IndexStats::default());
         assert_eq!(stats.retries, 6);
         assert_eq!(stats.hedges, 2);
         assert_eq!(stats.node_timeouts, 4);

@@ -13,7 +13,7 @@ fn make_system(seed: u64, threaded: bool) -> (RetrievalSystem, SyntheticDataset)
     let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
     let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 10).copied().collect();
     let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
-    let config = RetrievalConfig { m: 5, nodes: 3, threaded };
+    let config = RetrievalConfig { m: 5, nodes: 3, threaded, ..Default::default() };
     (RetrievalSystem::build(backbone, &ds, &gallery, config).unwrap(), ds)
 }
 

@@ -3,7 +3,7 @@
 //! The hermetic build has no `serde`, but experiment binaries and the
 //! bench runner still need machine-readable output for the paper-style
 //! tables. This module provides the small subset actually used: a [`Json`]
-//! value tree, a [`ToJson`] trait, and the [`impl_to_json!`] macro that
+//! value tree, a [`ToJson`] trait, and the [`crate::impl_to_json!`] macro that
 //! derives `ToJson` for plain structs and fieldless enums. There is
 //! deliberately no parser — nothing in the workspace reads JSON back.
 //!

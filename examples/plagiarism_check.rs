@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 6, nodes: 2, threaded: false },
+        RetrievalConfig { m: 6, nodes: 2, threaded: false, ..Default::default() },
     )?;
     let mut blackbox = BlackBox::new(system);
 

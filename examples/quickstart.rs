@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+        RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() },
     )?;
     println!("  gallery: {} videos over {} data nodes", system.gallery_len(), 3);
     let mut blackbox = BlackBox::new(system);

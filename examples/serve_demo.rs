@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         backbone,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+        RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() },
     )?;
     println!("  gallery: {} videos over 3 data nodes", system.gallery_len());
 

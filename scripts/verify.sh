@@ -18,3 +18,15 @@ cargo run --release --offline --example serve_demo
 # exact query-budget accounting (charged == served + failed) and exits
 # nonzero on any drift.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin chaos_serve
+
+# Documentation gate: every public item documented, every doc-example
+# compiles. Warnings are errors so rustdoc regressions fail tier-1.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+# Index smoke: the shard-index bench at tiny scale — exercises the seed
+# scan vs SoA vs IVF paths end to end and prints recall@10 rows.
+DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench index
+
+# Index sweep smoke: asserts the IVF equivalence contract (full probe ==
+# exact) and that recall audits fire on live IVF traffic.
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_sweep

@@ -76,10 +76,11 @@ pub mod prelude {
         TripletLoss,
     };
     pub use duo_retrieval::{
-        ap_at_m, mean_average_precision, ndcg_cooccurrence, BlackBox, BreakerConfig, BreakerState,
-        BreakerTransitions, CircuitBreaker, Coverage, FaultDecision, FaultPlan, FlapWindow,
-        GalleryIndex, NodeAnswer, NodeFault, QueryLedger, QueryOracle, QueryTelemetry,
-        ResilienceConfig, RetrievalConfig, RetrievalSystem, Retrieved,
+        ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m, shard_seed, BlackBox,
+        BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, Coverage, DataNode,
+        FaultDecision, FaultPlan, FlapWindow, GalleryIndex, IndexMode, IndexStats, NodeAnswer,
+        NodeFault, QueryLedger, QueryOracle, QueryTelemetry, ResilienceConfig, RetrievalConfig,
+        RetrievalSystem, Retrieved, ShardIndex,
     };
     pub use duo_serve::{
         RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,

@@ -174,7 +174,7 @@ fn chaotic_system(seed: u64, threaded: bool) -> (RetrievalSystem, SyntheticDatas
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 3, threaded },
+        RetrievalConfig { m: 5, nodes: 3, threaded, ..Default::default() },
     )
     .unwrap();
     for (i, node) in system.nodes().iter().enumerate() {

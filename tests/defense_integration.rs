@@ -11,7 +11,7 @@ fn trained_world(seed: u64) -> (RetrievalSystem, SyntheticDataset) {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
     )
     .unwrap();
     (system, ds)

@@ -83,7 +83,7 @@ fn attack_perturbation_is_bit_identical_across_runs() {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 2, threaded: false },
+            RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
         )
         .unwrap();
         let mut bb = BlackBox::new(system);
@@ -128,7 +128,7 @@ fn threaded_retrieval_is_deterministic() {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 3, threaded },
+            RetrievalConfig { m: 5, nodes: 3, threaded, ..Default::default() },
         )
         .unwrap();
         (sys, ds)

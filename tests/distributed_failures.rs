@@ -12,7 +12,7 @@ fn world(seed: u64) -> (RetrievalSystem, SyntheticDataset) {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 4, threaded: false },
+        RetrievalConfig { m: 5, nodes: 4, threaded: false, ..Default::default() },
     )
     .unwrap();
     (system, ds)
@@ -73,7 +73,7 @@ fn sharding_layout_does_not_change_results() {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 6, nodes, threaded: false },
+            RetrievalConfig { m: 6, nodes, threaded: false, ..Default::default() },
         )
         .unwrap();
         results.push(system.retrieve(&ds.video(gallery[0])).unwrap());
@@ -98,7 +98,7 @@ fn flap_window_ranking_matches_hard_offline_node() {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 5, nodes: 4, threaded: false },
+            RetrievalConfig { m: 5, nodes: 4, threaded: false, ..Default::default() },
         )
         .unwrap();
         (system, ds)
@@ -210,7 +210,7 @@ fn threaded_fanout_matches_inline_under_failures() {
             victim,
             &ds,
             &gallery,
-            RetrievalConfig { m: 4, nodes: 3, threaded },
+            RetrievalConfig { m: 4, nodes: 3, threaded, ..Default::default() },
         )
         .unwrap()
     };

@@ -13,7 +13,7 @@ fn victim_world(seed: u64) -> (BlackBox, SyntheticDataset) {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
     )
     .expect("retrieval system builds");
     (BlackBox::new(system), ds)

@@ -15,7 +15,7 @@ fn world(seed: u64) -> (BlackBox, SyntheticDataset, Vec<VideoId>) {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 6, nodes: 2, threaded: false },
+        RetrievalConfig { m: 6, nodes: 2, threaded: false, ..Default::default() },
     )
     .unwrap();
     (BlackBox::new(system), ds, gallery)
@@ -111,7 +111,7 @@ fn checkpointed_victim_reproduces_retrieval_service() {
         victim,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 2, threaded: false },
+        RetrievalConfig { m: 5, nodes: 2, threaded: false, ..Default::default() },
     )
     .unwrap();
 
@@ -121,7 +121,7 @@ fn checkpointed_victim_reproduces_retrieval_service() {
         restored,
         &ds,
         &gallery,
-        RetrievalConfig { m: 5, nodes: 3, threaded: false },
+        RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() },
     )
     .unwrap();
 

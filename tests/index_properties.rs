@@ -1,0 +1,129 @@
+//! Property-based coverage of the shard index layer: the exact-mode
+//! bit-identity contract against the seed per-entry scan, the
+//! `nprobe == nlist` ⇒ exhaustive equivalence of IVF, and monotonicity
+//! of recall@m in `nprobe` (DESIGN.md §6d's equivalence contract).
+//!
+//! This suite persists failing case seeds to
+//! `tests/index_properties.regressions` (see [`duo_check`]); past
+//! failures replay before fresh generation.
+
+use duo::prelude::*;
+use duo_check::{check, prop_assert, prop_assert_eq, Config};
+use duo_retrieval::ScoredId;
+
+fn config() -> Config {
+    Config::default()
+        .with_cases(48)
+        .with_regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/index_properties.regressions"))
+}
+
+/// A random gallery of `n` unique ids with `dim`-dimensional features,
+/// a pure function of `seed`.
+fn gallery(seed: u64, n: usize, dim: usize) -> Vec<(VideoId, Tensor)> {
+    let mut rng = Rng64::new(seed);
+    (0..n)
+        .map(|i| {
+            let data: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+            let id = VideoId { class: (i / 4) as u32, instance: (i % 4) as u32 };
+            (id, Tensor::from_vec(data, &[dim]).unwrap())
+        })
+        .collect()
+}
+
+fn query(seed: u64, dim: usize) -> Tensor {
+    let mut rng = Rng64::new(seed ^ 0xA5A5_A5A5);
+    let data: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+    Tensor::from_vec(data, &[dim]).unwrap()
+}
+
+/// The seed implementation of `DataNode::scan`, verbatim: per-entry
+/// `Tensor::sq_distance`, full sort with the id tie-break, truncate.
+fn reference_scan(entries: &[(VideoId, Tensor)], q: &Tensor, m: usize) -> Vec<ScoredId> {
+    let mut scored: Vec<ScoredId> = entries
+        .iter()
+        .map(|(id, feat)| ScoredId { id: *id, distance: feat.sq_distance(q).unwrap() })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
+    });
+    scored.truncate(m);
+    scored
+}
+
+check! {
+    #![config(config())]
+
+    /// Exact mode must reproduce the seed scan bit for bit: same ids in
+    /// the same order, and distances equal at the representation level
+    /// (`to_bits`), not merely approximately.
+    fn exact_mode_is_bit_identical_to_seed_scan(
+        seed in 0u64..1_000_000,
+        n in 1usize..120,
+        dim in 1usize..12,
+        m in 1usize..20,
+    ) {
+        let entries = gallery(seed, n, dim);
+        let q = query(seed, dim);
+        let node = DataNode::new("p", entries.clone());
+        let got = node.query(&q, m).unwrap();
+        let want = reference_scan(&entries, &q, m);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.id, w.id);
+            prop_assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+        }
+    }
+
+    /// Probing every list makes IVF exhaustive: the candidate set is the
+    /// whole shard, so results must equal exact mode exactly (same total
+    /// order, same distances).
+    fn full_probe_ivf_equals_exact(
+        seed in 0u64..1_000_000,
+        n in 1usize..100,
+        dim in 1usize..10,
+        nlist in 1usize..12,
+    ) {
+        let m = 1 + (seed % 16) as usize;
+        let entries = gallery(seed, n, dim);
+        let q = query(seed, dim);
+        let exact = DataNode::new("e", entries.clone());
+        let ivf = DataNode::with_index_mode(
+            "i", entries, IndexMode::ivf(nlist, nlist), shard_seed(seed as usize),
+        ).unwrap();
+        prop_assert_eq!(ivf.query(&q, m).unwrap(), exact.query(&q, m).unwrap());
+    }
+
+    /// Widening the probe never hurts: the candidate set at `nprobe+1`
+    /// is a superset of the set at `nprobe`, so recall@m against the
+    /// exact answer is monotone non-decreasing, ending at 1 when every
+    /// list is probed.
+    fn recall_is_monotone_in_nprobe(
+        seed in 0u64..1_000_000,
+        n in 8usize..100,
+        dim in 1usize..8,
+        nlist in 2usize..10,
+    ) {
+        let m = 1 + (seed % 12) as usize;
+        let entries = gallery(seed, n, dim);
+        let q = query(seed, dim);
+        let exact_ids: Vec<VideoId> = reference_scan(&entries, &q, m)
+            .into_iter().map(|s| s.id).collect();
+        let mut last = 0.0f32;
+        for nprobe in 1..=nlist {
+            let node = DataNode::with_index_mode(
+                "i", entries.clone(), IndexMode::ivf(nlist, nprobe), shard_seed(3),
+            ).unwrap();
+            let approx_ids: Vec<VideoId> =
+                node.query(&q, m).unwrap().into_iter().map(|s| s.id).collect();
+            let r = recall_at_m(&approx_ids, &exact_ids);
+            prop_assert!(
+                r >= last,
+                "recall dropped from {} to {} at nprobe {}", last, r, nprobe
+            );
+            last = r;
+        }
+        prop_assert_eq!(last, 1.0);
+    }
+}
