@@ -1,0 +1,108 @@
+//! GEMM kernel benchmarks: the PR 5 blocked/threaded kernels against the
+//! seed naive kernel (`matmul_into_reference`).
+//!
+//! For each shape the bench times:
+//!
+//! * `reference` — the seed's streaming i·k·j kernel, the baseline every
+//!   speedup in `BENCH_gemm.json` and the README table is quoted against;
+//! * `serial_blocked` — the cache-blocked 4×16 micro-kernel on the
+//!   calling thread (`matmul_into_serial`);
+//! * `threadsN` — the same kernel row-partitioned over an explicit
+//!   `ThreadPool` of N workers (`matmul_into_with`), N ∈ {1, 2, 4, 8}.
+//!
+//! Before timing, every configuration's output is asserted bit-identical
+//! to the serial blocked kernel — the determinism contract is enforced in
+//! the bench itself, not just the test suite. Results (median/p95 per
+//! kernel size and thread count) land in `BENCH_gemm.json` at the repo
+//! root; `DUO_SCALE=smoke` shrinks shapes and samples for the verify
+//! gate. Note the threaded rows only beat `serial_blocked` when the host
+//! actually has spare cores; on a single-core host they measure the
+//! (small) partition-and-stitch overhead instead.
+
+use duo_bench::Runner;
+use duo_tensor::{
+    matmul_into_reference, matmul_into_serial, matmul_into_with, Rng64, Tensor, ThreadPool,
+};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    std::env::var("DUO_SCALE").as_deref() == Ok("smoke")
+}
+
+/// Benched shapes `(m, k, n)`. The 256³ GEMM is the headline size; the
+/// skinny 128×1024×512 shape is where panel packing pays most (k spans
+/// four KC panels); 512³ stresses the full blocking hierarchy.
+fn sizes() -> Vec<(usize, usize, usize)> {
+    if smoke() {
+        vec![(48, 64, 48), (96, 160, 80)]
+    } else {
+        vec![(256, 256, 256), (128, 1024, 512), (512, 512, 512)]
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn main() {
+    let mut runner = Runner::default()
+        .sample_size(if smoke() { 5 } else { 15 })
+        .warmup_iters(1);
+    runner.apply_cli_args();
+
+    for (m, k, n) in sizes() {
+        let tag = format!("{m}x{k}x{n}");
+        let mut rng = Rng64::new(0x6E44 ^ ((m * 1_000_003 + k * 1_009 + n) as u64));
+        let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+
+        let mut serial = Tensor::zeros(&[m, n]);
+        matmul_into_serial(&a, &b, &mut serial).unwrap();
+        let want = bits(&serial);
+
+        let mut out = Tensor::zeros(&[m, n]);
+        runner.bench_function(&format!("gemm/{tag}/reference"), |bench| {
+            bench.iter(|| matmul_into_reference(&a, &b, &mut out).unwrap())
+        });
+        runner.bench_function(&format!("gemm/{tag}/serial_blocked"), |bench| {
+            bench.iter(|| matmul_into_serial(&a, &b, &mut out).unwrap())
+        });
+
+        for threads in THREADS {
+            let pool = ThreadPool::new(threads);
+            matmul_into_with(&a, &b, &mut out, &pool).unwrap();
+            assert_eq!(want, bits(&out), "gemm/{tag} drifted at {threads} threads");
+            runner.bench_function(&format!("gemm/{tag}/threads{threads}"), |bench| {
+                bench.iter(|| matmul_into_with(&a, &b, &mut out, &pool).unwrap())
+            });
+        }
+    }
+
+    // Speedup table vs the seed kernel, from the recorded medians.
+    let results = runner.results().to_vec();
+    for (m, k, n) in sizes() {
+        let tag = format!("{m}x{k}x{n}");
+        let median = |suffix: &str| {
+            results
+                .iter()
+                .find(|r| r.name == format!("gemm/{tag}/{suffix}"))
+                .map(|r| r.median_s)
+        };
+        let Some(base) = median("reference") else { continue };
+        let mut row = format!("gemm/{tag} speedup vs reference:");
+        for suffix in
+            ["serial_blocked", "threads1", "threads2", "threads4", "threads8"]
+        {
+            if let Some(t) = median(suffix) {
+                row.push_str(&format!(" {suffix} {:.2}x", base / t));
+            }
+        }
+        println!("{row}");
+    }
+
+    let path = duo_bench::repo_root_bench_path("gemm");
+    duo_bench::write_bench_json(&path, &results).expect("write BENCH_gemm.json");
+    println!("wrote {}", path.display());
+    runner.finish();
+}

@@ -23,7 +23,7 @@
 //! latency for each configuration is printed after the timing run (and
 //! lands in `DUO_BENCH_JSON` like every other result).
 
-use duo_bench::{bench_group, bench_main, Runner};
+use duo_bench::{bench_group, Runner};
 use duo_experiments::{build_world, Scale};
 use duo_models::{Architecture, Backbone, BackboneConfig, LossKind};
 use duo_retrieval::RetrievalSystem;
@@ -126,9 +126,26 @@ fn bench_serve(c: &mut Runner) {
     }
 }
 
+/// `DUO_SCALE=smoke` (the verify-gate setting) trims the sample count so
+/// the artifact still gets written without the full timing run.
+fn sample_size() -> usize {
+    if std::env::var("DUO_SCALE").as_deref() == Ok("smoke") {
+        5
+    } else {
+        20
+    }
+}
+
 bench_group! {
     name = benches;
-    config = Runner::default().sample_size(20);
+    config = Runner::default().sample_size(sample_size());
     targets = bench_batched_forward, bench_serve
 }
-bench_main!(benches);
+
+fn main() {
+    let runner = benches();
+    let path = duo_bench::repo_root_bench_path("serve");
+    duo_bench::write_bench_json(&path, runner.results()).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+    runner.finish();
+}

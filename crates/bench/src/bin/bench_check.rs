@@ -1,0 +1,44 @@
+//! Gate on emitted bench artifacts.
+//!
+//! Checks that each `BENCH_*.json` file (default: `BENCH_gemm.json` and
+//! `BENCH_serve.json` at the repo root; or explicit paths as arguments)
+//! exists, parses as JSON, and carries every required result field
+//! (`name`, `samples`, `min_s`, `median_s`, `p95_s`, `mean_s`, `max_s`).
+//! Exits nonzero with a diagnostic on the first failure, so
+//! `scripts/verify.sh` can treat a malformed or missing artifact as a
+//! tier-1 break.
+
+use duo_bench::validate::validate_bench_json;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let paths = if args.is_empty() {
+        vec![
+            duo_bench::repo_root_bench_path("gemm"),
+            duo_bench::repo_root_bench_path("serve"),
+        ]
+    } else {
+        args
+    };
+
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("bench_check: {}: {e}", path.display());
+                failed = true;
+            }
+            Ok(text) => match validate_bench_json(&text) {
+                Ok(count) => println!("bench_check: {}: ok ({count} results)", path.display()),
+                Err(msg) => {
+                    eprintln!("bench_check: {}: {msg}", path.display());
+                    failed = true;
+                }
+            },
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -11,8 +11,9 @@
 #![warn(missing_docs)]
 
 pub mod runner;
+pub mod validate;
 
-pub use runner::{BenchResult, Bencher, Runner};
+pub use runner::{repo_root_bench_path, write_bench_json, BenchResult, Bencher, Runner};
 
 use duo_attack::steal_surrogate;
 use duo_experiments::{attack_pairs, build_world, Scale};

@@ -214,6 +214,29 @@ impl Runner {
     }
 }
 
+/// The canonical location of an emitted bench artifact: `BENCH_<tag>.json`
+/// at the repository root (two levels above this crate), where
+/// `scripts/verify.sh` and the `bench_check` binary look for it.
+pub fn repo_root_bench_path(tag: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{tag}.json"))
+}
+
+/// Writes `results` to `path` as a JSON array of result objects
+/// (the same format `DUO_BENCH_JSON` emission uses).
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying write.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    results: &[BenchResult],
+) -> std::io::Result<()> {
+    let json = Json::Array(results.iter().map(ToJson::to_json).collect());
+    std::fs::write(path, format!("{json}\n"))
+}
+
 /// Declares a bench group: a function running each target against a
 /// configured [`Runner`]. Mirrors `criterion_group!`.
 #[macro_export]
@@ -294,6 +317,25 @@ mod tests {
         let s = r.to_json().to_string();
         assert!(s.contains("\"name\":\"unit/json\""), "{s}");
         assert!(s.contains("\"median_s\":0.5"), "{s}");
+    }
+
+    #[test]
+    fn write_bench_json_round_trips_through_validator() {
+        let results = vec![
+            BenchResult::from_times("unit/alpha", vec![0.25, 0.5, 0.75]),
+            BenchResult::from_times("unit/beta", vec![1.0]),
+        ];
+        let path = std::env::temp_dir().join("duo_bench_writer_test.json");
+        write_bench_json(&path, &results).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(crate::validate::validate_bench_json(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn repo_root_path_names_the_tagged_artifact() {
+        let p = repo_root_bench_path("gemm");
+        assert!(p.ends_with("BENCH_gemm.json"), "{}", p.display());
     }
 
     #[test]

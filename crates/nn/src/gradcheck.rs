@@ -76,6 +76,44 @@ mod tests {
     }
 
     #[test]
+    fn conv3d_gradient_checks_past_tile_remainders() {
+        // Large enough that the backward GEMMs (dW = g·colsᵀ and
+        // col2im(Wᵀ·g)) exercise the blocked kernel's partial NR/MR
+        // tiles: 81 im2col rows and 144 positions are not multiples of
+        // the 4×16 micro-tile.
+        let mut rng = Rng64::new(75);
+        let mut layer = Conv3d::new(Conv3dSpec::cubic(3, 3, (1, 1, 1), 1), 5, &mut rng);
+        let x = Tensor::randn(&[3, 4, 6, 6], 0.5, rng.as_rng());
+        let err = check_input_gradient(&mut layer, &x, 1e-2).unwrap();
+        assert!(err < 2e-2, "relative error {err}");
+    }
+
+    #[test]
+    fn infer_batch_is_bitwise_eval_forward_after_kernel_swap() {
+        // The Layer contract: `infer_batch` equals per-sample eval-mode
+        // `forward` at f32::to_bits granularity. The batched path runs the
+        // blocked (possibly threaded) GEMM with hoisted workspaces, the
+        // per-sample path runs the same kernels one item at a time.
+        let mut rng = Rng64::new(76);
+        let mut net = Sequential::new(vec![
+            Box::new(Conv3d::new(Conv3dSpec::cubic(2, 3, (1, 1, 1), 1), 4, &mut rng))
+                as Box<dyn Layer>,
+            Box::new(Relu::new()),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Linear::new(4, 3, &mut rng)),
+        ]);
+        let inputs: Vec<Tensor> =
+            (0..4).map(|_| Tensor::randn(&[2, 3, 7, 7], 1.0, rng.as_rng())).collect();
+        let batched = net.infer_batch(&inputs).unwrap();
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = net.forward(x).unwrap();
+            let sb: Vec<u32> = single.as_slice().iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u32> = y.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, yb, "batched inference drifted from eval-mode forward");
+        }
+    }
+
+    #[test]
     fn l2_normalize_gradient_checks() {
         let mut rng = Rng64::new(73);
         let mut layer = L2Normalize::new();

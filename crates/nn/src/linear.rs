@@ -1,7 +1,14 @@
 use crate::{Layer, NnError, Param, Result};
-use duo_tensor::{Rng64, Tensor};
+use duo_tensor::{matmul_into, Rng64, Tensor};
 
 /// Fully-connected layer: `y = W x + b` over rank-1 inputs.
+///
+/// The batched inference path ([`Layer::infer_batch`]) stacks the batch
+/// into one `[batch, in] × [in, out]` product on the blocked (and, for
+/// large batches, multi-threaded) GEMM kernel. Each output element still
+/// accumulates `w·x` in the same index order as the per-sample path and
+/// adds the bias last, so the batched result is bit-identical to calling
+/// [`Layer::infer`] per sample.
 pub struct Linear {
     weight: Param,
     bias: Param,
@@ -69,6 +76,55 @@ impl Layer for Linear {
 
     fn infer(&self, input: &Tensor) -> Result<Tensor> {
         self.compute(input)
+    }
+
+    fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        if inputs.len() < 2 {
+            return inputs.iter().map(|x| self.infer(x)).collect();
+        }
+        for input in inputs {
+            if input.rank() != 1 || input.len() != self.in_features {
+                return Err(NnError::BadInput {
+                    layer: "Linear",
+                    reason: format!(
+                        "expected rank-1 input of length {}, got {:?}",
+                        self.in_features,
+                        input.dims()
+                    ),
+                });
+            }
+        }
+        let (batch, nin, nout) = (inputs.len(), self.in_features, self.out_features);
+        let mut xmat = Tensor::zeros(&[batch, nin]);
+        let xv = xmat.as_mut_slice();
+        for (s, input) in inputs.iter().enumerate() {
+            xv[s * nin..(s + 1) * nin].copy_from_slice(input.as_slice());
+        }
+        // The GEMM streams rows of B, so multiply against Wᵀ [in, out]
+        // rather than W [out, in]; the p-order of the accumulation (over
+        // `in`) matches the per-sample dot product exactly.
+        let wv = self.weight.value.as_slice();
+        let mut wt = Tensor::zeros(&[nin, nout]);
+        let wtv = wt.as_mut_slice();
+        for o in 0..nout {
+            for i in 0..nin {
+                wtv[i * nout + o] = wv[o * nin + i];
+            }
+        }
+        let mut ymat = Tensor::zeros(&[batch, nout]);
+        matmul_into(&xmat, &wt, &mut ymat)?;
+        let yv = ymat.as_slice();
+        Ok((0..batch)
+            .map(|s| {
+                // Bias first, product added onto it — the same float
+                // program as `compute`, hence the same bits.
+                let mut out = self.bias.value.clone();
+                for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
+                    *out_val += yv[s * nout + o];
+                }
+                out
+            })
+            .collect())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -181,6 +237,27 @@ mod tests {
         // Accumulation: a second backward doubles the gradients.
         lin.backward(&Tensor::from_vec(vec![2.0], &[1]).unwrap()).unwrap();
         assert_eq!(lin.weight.grad.as_slice(), &[12.0, 20.0]);
+    }
+
+    #[test]
+    fn linear_infer_batch_is_bitwise_per_sample() {
+        let mut rng = Rng64::new(6);
+        let lin = Linear::new(13, 7, &mut rng);
+        let inputs: Vec<Tensor> =
+            (0..5).map(|_| Tensor::randn(&[13], 1.0, rng.as_rng())).collect();
+        let batched = lin.infer_batch(&inputs).unwrap();
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = lin.infer(x).unwrap();
+            assert_eq!(single.as_slice(), y.as_slice(), "batched GEMM path must not drift");
+        }
+    }
+
+    #[test]
+    fn linear_infer_batch_rejects_bad_item() {
+        let mut rng = Rng64::new(7);
+        let lin = Linear::new(3, 2, &mut rng);
+        let inputs = vec![Tensor::ones(&[3]), Tensor::ones(&[4])];
+        assert!(lin.infer_batch(&inputs).is_err());
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub struct ServeConfig {
     /// query is never billed to the client's ledger. `None` disables the
     /// default deadline.
     pub default_deadline: Option<Duration>,
+    /// Threads the tensor kernels (GEMM / im2col) may use *inside* one
+    /// forward pass, applied process-wide at
+    /// [`crate::RetrievalService::start`] via
+    /// [`duo_tensor::set_intra_op_threads`]. `0` (the default) resolves
+    /// to the machine's available parallelism, capped at
+    /// [`duo_tensor::MAX_AUTO_THREADS`]. Results are bit-identical at
+    /// every setting — this trades latency only, never numerics — so the
+    /// knob composes freely with `workers` (inter-request parallelism):
+    /// batch-heavy deployments favour `workers`, latency-sensitive ones
+    /// give the spare cores to `intra_op_threads`.
+    pub intra_op_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +75,7 @@ impl Default for ServeConfig {
             batch_wait: Duration::from_millis(2),
             queue_cap: 64,
             default_deadline: None,
+            intra_op_threads: 0,
         }
     }
 }

@@ -6,6 +6,9 @@
 //! lowering here (as pure tensor-to-tensor functions) lets the property
 //! tests validate it against a naive direct convolution.
 
+use std::sync::Arc;
+
+use crate::par::{intra_op_pool, row_ranges, ThreadPool};
 use crate::{Tensor, TensorError};
 
 /// Geometry of a 2-D convolution over `[C, H, W]` inputs.
@@ -234,21 +237,29 @@ pub fn im2col3d(input: &Tensor, spec: &Conv3dSpec) -> Result<Tensor, TensorError
     Ok(out)
 }
 
-/// [`im2col3d`] writing into a preallocated `[rows, cols]` output — every
-/// position (padding zeros included) is overwritten, so the buffer can be
-/// reused across the items of a batch without clearing. This is the
-/// workspace-reuse entry point the batched inference path is built on:
-/// the column matrix is the largest allocation of a convolution forward,
-/// and sharing one across a batch amortizes its cost to one item.
-///
-/// # Errors
-///
-/// Returns an error for rank/shape mismatches or invalid geometry.
-pub fn im2col3d_into(
+/// `rows · cols` volume below which [`im2col3d_into`] stays serial; the
+/// lowering is pure data movement, so it needs a bigger matrix than GEMM
+/// does before the per-worker input copy pays for itself.
+const IM2COL_PAR_MIN_VOLUME: usize = 1 << 16;
+
+/// Validated geometry of one im2col3d lowering.
+#[derive(Clone, Copy)]
+struct ColGeom {
+    t: usize,
+    h: usize,
+    w: usize,
+    ot: usize,
+    oh: usize,
+    ow: usize,
+    rows: usize,
+    cols: usize,
+}
+
+fn im2col3d_geom(
     input: &Tensor,
     spec: &Conv3dSpec,
-    out: &mut Tensor,
-) -> Result<(), TensorError> {
+    out: &Tensor,
+) -> Result<ColGeom, TensorError> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch { expected: 4, actual: input.rank(), op: "im2col3d" });
     }
@@ -270,36 +281,131 @@ pub fn im2col3d_into(
             op: "im2col3d_into(out)",
         });
     }
-    let iv = input.as_slice();
-    let ov = out.as_mut_slice();
-    for ch in 0..c {
-        for kz in 0..spec.kt {
-            for ky in 0..spec.kh {
-                for kx in 0..spec.kw {
-                    let row = ((ch * spec.kt + kz) * spec.kh + ky) * spec.kw + kx;
-                    for oz in 0..ot {
-                        let z = (oz * spec.st + kz) as isize - spec.pt as isize;
-                        let z_ok = z >= 0 && (z as usize) < t;
-                        for oy in 0..oh {
-                            let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
-                            let y_ok = y >= 0 && (y as usize) < h;
-                            for ox in 0..ow {
-                                let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
-                                let col = (oz * oh + oy) * ow + ox;
-                                let val = if z_ok && y_ok && x >= 0 && (x as usize) < w {
-                                    iv[((ch * t + z as usize) * h + y as usize) * w + x as usize]
-                                } else {
-                                    0.0
-                                };
-                                ov[row * cols + col] = val;
-                            }
-                        }
-                    }
+    Ok(ColGeom { t, h, w, ot, oh, ow, rows, cols })
+}
+
+/// Fills `stripe` (a `[stripe_rows × cols]` block starting at output row
+/// `row_start`) of the im2col matrix. The lowering is pure data movement
+/// — every element is an independent copy-or-zero — so running disjoint
+/// row ranges on different workers is trivially bit-identical to serial.
+fn im2col3d_rows(
+    iv: &[f32],
+    spec: &Conv3dSpec,
+    g: ColGeom,
+    row_start: usize,
+    stripe: &mut [f32],
+) {
+    let cols = g.cols;
+    for (local, out_row) in stripe.chunks_exact_mut(cols).enumerate() {
+        // Invert `row = ((ch·kt + kz)·kh + ky)·kw + kx`.
+        let row = row_start + local;
+        let kx = row % spec.kw;
+        let rest = row / spec.kw;
+        let ky = rest % spec.kh;
+        let rest = rest / spec.kh;
+        let kz = rest % spec.kt;
+        let ch = rest / spec.kt;
+        for oz in 0..g.ot {
+            let z = (oz * spec.st + kz) as isize - spec.pt as isize;
+            let z_ok = z >= 0 && (z as usize) < g.t;
+            for oy in 0..g.oh {
+                let y = (oy * spec.sh + ky) as isize - spec.ph as isize;
+                let y_ok = y >= 0 && (y as usize) < g.h;
+                for ox in 0..g.ow {
+                    let x = (ox * spec.sw + kx) as isize - spec.pw as isize;
+                    let col = (oz * g.oh + oy) * g.ow + ox;
+                    out_row[col] = if z_ok && y_ok && x >= 0 && (x as usize) < g.w {
+                        iv[((ch * g.t + z as usize) * g.h + y as usize) * g.w + x as usize]
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
     }
+}
+
+fn im2col3d_parallel(
+    iv: &[f32],
+    spec: &Conv3dSpec,
+    g: ColGeom,
+    ov: &mut [f32],
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let ranges = row_ranges(g.rows, pool.threads());
+    if ranges.len() <= 1 {
+        im2col3d_rows(iv, spec, g, 0, ov);
+        return Ok(());
+    }
+    let input_shared: Arc<Vec<f32>> = Arc::new(iv.to_vec());
+    let spec = *spec;
+    let jobs: Vec<_> = ranges
+        .iter()
+        .map(|r| {
+            let input_shared = Arc::clone(&input_shared);
+            let (start, len) = (r.start, r.len());
+            move || {
+                let mut stripe = vec![0.0f32; len * g.cols];
+                im2col3d_rows(&input_shared, &spec, g, start, &mut stripe);
+                stripe
+            }
+        })
+        .collect();
+    let stripes = pool
+        .run(jobs)
+        .map_err(|e| TensorError::Parallel { op: "im2col3d_into", message: e.to_string() })?;
+    for (r, stripe) in ranges.iter().zip(stripes) {
+        ov[r.start * g.cols..r.end * g.cols].copy_from_slice(&stripe);
+    }
     Ok(())
+}
+
+/// [`im2col3d`] writing into a preallocated `[rows, cols]` output — every
+/// position (padding zeros included) is overwritten, so the buffer can be
+/// reused across the items of a batch without clearing. This is the
+/// workspace-reuse entry point the batched inference path is built on:
+/// the column matrix is the largest allocation of a convolution forward,
+/// and sharing one across a batch amortizes its cost to one item.
+///
+/// Matrices large enough to amortize the dispatch split their rows
+/// across the intra-op pool ([`crate::set_intra_op_threads`]); the output
+/// is bit-identical to the serial lowering at any thread count.
+///
+/// # Errors
+///
+/// Returns an error for rank/shape mismatches or invalid geometry.
+pub fn im2col3d_into(
+    input: &Tensor,
+    spec: &Conv3dSpec,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let g = im2col3d_geom(input, spec, out)?;
+    if g.rows.saturating_mul(g.cols) >= IM2COL_PAR_MIN_VOLUME {
+        if let Some(pool) = intra_op_pool() {
+            return im2col3d_parallel(input.as_slice(), spec, g, out.as_mut_slice(), &pool);
+        }
+    }
+    im2col3d_rows(input.as_slice(), spec, g, 0, out.as_mut_slice());
+    Ok(())
+}
+
+/// [`im2col3d_into`] on an explicit [`ThreadPool`], always taking the
+/// row-partitioned parallel path (no size threshold). Property tests use
+/// this to pin the thread count per case without mutating the global
+/// intra-op setting.
+///
+/// # Errors
+///
+/// Same as [`im2col3d_into`]; additionally [`TensorError::Parallel`] if a
+/// job panicked.
+pub fn im2col3d_into_with(
+    input: &Tensor,
+    spec: &Conv3dSpec,
+    out: &mut Tensor,
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let g = im2col3d_geom(input, spec, out)?;
+    im2col3d_parallel(input.as_slice(), spec, g, out.as_mut_slice(), pool)
 }
 
 /// Folds a `[C·kt·kh·kw, out_t·out_h·out_w]` gradient matrix back onto a

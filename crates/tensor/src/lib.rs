@@ -31,15 +31,24 @@ mod conv;
 mod error;
 pub mod json;
 mod matmul;
+mod par;
 mod pool;
 mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im2d, col2im3d, im2col2d, im2col3d, im2col3d_into, Conv2dSpec, Conv3dSpec};
+pub use conv::{
+    col2im2d, col2im3d, im2col2d, im2col3d, im2col3d_into, im2col3d_into_with, Conv2dSpec,
+    Conv3dSpec,
+};
 pub use error::TensorError;
 pub use json::{Json, ToJson};
-pub use matmul::matmul_into;
+pub use matmul::{
+    matmul_into, matmul_into_reference, matmul_into_serial, matmul_into_with,
+};
+pub use par::{
+    intra_op_threads, set_intra_op_threads, PoolError, ThreadPool, MAX_AUTO_THREADS,
+};
 pub use pool::{avg_pool3d, avg_pool3d_backward, max_pool3d, max_pool3d_backward, Pool3dSpec};
 pub use rng::{RandomSource, Rng64, Xoshiro256pp};
 pub use shape::Shape;

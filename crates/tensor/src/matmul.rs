@@ -1,24 +1,46 @@
-//! Blocked matrix multiplication.
+//! Blocked, optionally multi-threaded matrix multiplication.
 //!
-//! The convolution kernels in this crate lower to matrix multiplication via
-//! im2col, so `matmul` dominates the runtime of every model forward/backward
-//! pass in the workspace. The implementation below uses a simple i-k-j loop
-//! order (inner loop streams over contiguous memory of both the packed `b`
-//! row and the output row) which is enough to keep single-core experiments
-//! tractable without unsafe code.
+//! The convolution kernels in this crate lower to matrix multiplication
+//! via im2col, so `matmul` dominates the runtime of every model
+//! forward/backward pass in the workspace. The implementation is a
+//! cache-blocked GEMM: the right-hand side is packed one `KC × NC` panel
+//! at a time into a contiguous buffer, and a hand-unrolled `MR × NR`
+//! register-tiled micro-kernel sweeps 4 output rows against that panel.
+//! Large products additionally split their *output rows* across the
+//! intra-op thread pool ([`crate::set_intra_op_threads`]).
+//!
+//! # Determinism contract
+//!
+//! Every path through this module — the 4-row micro-kernel, the 1-row
+//! remainder kernel, the scalar column tail, serial or parallel — builds
+//! a given output element `out[i][j]` by the *same* float program: start
+//! from `0.0` and add `a[i][p] * b[p][j]` in strictly increasing `p`
+//! order (panelled as `pc`-major, identical for every path). Workers own
+//! disjoint row ranges and never share accumulators, so the result is
+//! bit-identical (`f32::to_bits`) at any thread count, any row
+//! partitioning, and any tile remainder. The property suite in
+//! `tests/kernel_bit_identity.rs` enforces this contract.
 
+use std::sync::Arc;
+
+use crate::par::{intra_op_pool, row_ranges, ThreadPool};
 use crate::{Tensor, TensorError};
 
-/// Multiplies two rank-2 tensors, writing into a preallocated output.
-///
-/// `out` must have shape `[a.rows, b.cols]`. Prefer this over
-/// [`Tensor::matmul`] inside hot loops to avoid reallocation.
-///
-/// # Errors
-///
-/// Returns [`TensorError::RankMismatch`] if any operand is not rank 2 and
-/// [`TensorError::ShapeMismatch`] if the dimensions are incompatible.
-pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+/// Rows swept together by the register-tiled micro-kernel.
+const MR: usize = 4;
+/// Columns held in the accumulator tile.
+const NR: usize = 16;
+/// Depth (k) extent of one packed panel.
+const KC: usize = 256;
+/// Width (n) extent of one packed panel.
+const NC: usize = 1024;
+
+/// `m·k·n` volume below which [`matmul_into`] stays serial: at small
+/// sizes the per-job operand copies and pool round-trip cost more than
+/// the multiply itself. 64³ is the empirical break-even on one core.
+const PAR_MIN_VOLUME: usize = 1 << 18;
+
+fn validate(a: &Tensor, b: &Tensor, out: &Tensor) -> Result<(usize, usize, usize), TensorError> {
     if a.rank() != 2 {
         return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "matmul" });
     }
@@ -41,7 +63,75 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), Tenso
             op: "matmul_into(out)",
         });
     }
+    Ok((m, k, n))
+}
 
+/// Multiplies two rank-2 tensors, writing into a preallocated output.
+///
+/// `out` must have shape `[a.rows, b.cols]`. Prefer this over
+/// [`Tensor::matmul`] inside hot loops to avoid reallocation. Products
+/// large enough to amortize the dispatch run on the intra-op pool
+/// ([`crate::set_intra_op_threads`]); the result is bit-identical to
+/// [`matmul_into_serial`] either way.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if any operand is not rank 2,
+/// [`TensorError::ShapeMismatch`] if the dimensions are incompatible, and
+/// [`TensorError::Parallel`] if a pool worker panicked (not reachable
+/// from this crate's kernels).
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
+    if m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_VOLUME {
+        if let Some(pool) = intra_op_pool() {
+            return gemm_parallel(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n, &pool);
+        }
+    }
+    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    Ok(())
+}
+
+/// [`matmul_into`] forced onto the blocked serial kernel, regardless of
+/// the intra-op setting. This is the reference side of the bit-identity
+/// contract the parallel path is tested against.
+///
+/// # Errors
+///
+/// Same shape/rank errors as [`matmul_into`].
+pub fn matmul_into_serial(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
+    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
+    Ok(())
+}
+
+/// [`matmul_into`] on an explicit [`ThreadPool`], always taking the
+/// row-partitioned parallel path (no size threshold). Property tests use
+/// this to pin the thread count per case without mutating the global
+/// intra-op setting.
+///
+/// # Errors
+///
+/// Same as [`matmul_into`]; additionally [`TensorError::Parallel`] if a
+/// job panicked.
+pub fn matmul_into_with(
+    a: &Tensor,
+    b: &Tensor,
+    out: &mut Tensor,
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
+    gemm_parallel(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n, pool)
+}
+
+/// The pre-blocking naive i-k-j kernel, kept as the benchmark baseline
+/// (`benches/gemm.rs` reports blocked/threaded speedups against it) and
+/// as an independent oracle for the property tests.
+///
+/// # Errors
+///
+/// Same shape/rank errors as [`matmul_into`].
+pub fn matmul_into_reference(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
     let av = a.as_slice();
     let bv = b.as_slice();
     let ov = out.as_mut_slice();
@@ -78,6 +168,191 @@ pub(crate) fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let mut out = Tensor::zeros(&[a.dims()[0], b.dims()[1]]);
     matmul_into(a, b, &mut out)?;
     Ok(out)
+}
+
+/// Row-partitioned parallel GEMM. Each worker receives an owned copy of
+/// its A row stripe, shares B via `Arc`, and returns an owned output
+/// stripe computed by the same [`gemm_rows`] kernel the serial path runs;
+/// the caller stitches stripes back in range order. Copies are
+/// `O(mk + kn + mn)` against `O(mkn)` compute. Disjoint rows + identical
+/// per-row code ⇒ bit-identical to serial at any partitioning.
+fn gemm_parallel(
+    av: &[f32],
+    bv: &[f32],
+    ov: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let ranges = row_ranges(m, pool.threads());
+    if ranges.len() <= 1 {
+        gemm_rows(av, bv, ov, m, k, n);
+        return Ok(());
+    }
+    let b_shared: Arc<Vec<f32>> = Arc::new(bv.to_vec());
+    let jobs: Vec<_> = ranges
+        .iter()
+        .map(|r| {
+            let a_stripe = av[r.start * k..r.end * k].to_vec();
+            let b_shared = Arc::clone(&b_shared);
+            let rows = r.len();
+            move || {
+                let mut stripe = vec![0.0f32; rows * n];
+                gemm_rows(&a_stripe, &b_shared, &mut stripe, rows, k, n);
+                stripe
+            }
+        })
+        .collect();
+    let stripes = pool
+        .run(jobs)
+        .map_err(|e| TensorError::Parallel { op: "matmul_into", message: e.to_string() })?;
+    for (r, stripe) in ranges.iter().zip(stripes) {
+        ov[r.start * n..r.end * n].copy_from_slice(&stripe);
+    }
+    Ok(())
+}
+
+/// Blocked GEMM over a contiguous block of output rows: `ov[rows × n] =
+/// av[rows × k] · bv[k × n]`. This single kernel body serves the serial
+/// path (all rows) and every worker stripe, which is what makes the
+/// thread-count independence argument a one-liner.
+fn gemm_rows(av: &[f32], bv: &[f32], ov: &mut [f32], rows: usize, k: usize, n: usize) {
+    ov.fill(0.0);
+    if rows == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut panel = vec![0.0f32; KC.min(k) * NC.min(n)];
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            for p in 0..kc {
+                let src = (pc + p) * n + jc;
+                panel[p * nc..p * nc + nc].copy_from_slice(&bv[src..src + nc]);
+            }
+            let mut i = 0;
+            while i + MR <= rows {
+                micro_4(av, ov, k, n, i, pc, kc, jc, nc, &panel);
+                i += MR;
+            }
+            while i < rows {
+                micro_1(av, ov, k, n, i, pc, kc, jc, nc, &panel);
+                i += 1;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Register-tiled micro-kernel: 4 output rows × one packed panel. The
+/// `[[f32; NR]; MR]` accumulator tile is loaded from `ov` (carrying the
+/// partial sum of earlier `pc` panels), updated in increasing-`p` order,
+/// and stored back. Remainder columns past the last full `NR` tile use a
+/// scalar loop with the identical per-element accumulation order. The
+/// 4-row body is deliberately hand-unrolled: a generic `for r in 0..MR`
+/// formulation measurably defeats the autovectorizer.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_4(
+    av: &[f32],
+    ov: &mut [f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    panel: &[f32],
+) {
+    let a0 = &av[i * k + pc..i * k + pc + kc];
+    let a1 = &av[(i + 1) * k + pc..(i + 1) * k + pc + kc];
+    let a2 = &av[(i + 2) * k + pc..(i + 2) * k + pc + kc];
+    let a3 = &av[(i + 3) * k + pc..(i + 3) * k + pc + kc];
+    let mut j = 0;
+    while j + NR <= nc {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, tile) in acc.iter_mut().enumerate() {
+            let base = (i + r) * n + jc + j;
+            tile.copy_from_slice(&ov[base..base + NR]);
+        }
+        for p in 0..kc {
+            let br = &panel[p * nc + j..p * nc + j + NR];
+            let x0 = a0[p];
+            let x1 = a1[p];
+            let x2 = a2[p];
+            let x3 = a3[p];
+            for (jj, &bval) in br.iter().enumerate() {
+                acc[0][jj] += x0 * bval;
+                acc[1][jj] += x1 * bval;
+                acc[2][jj] += x2 * bval;
+                acc[3][jj] += x3 * bval;
+            }
+        }
+        for (r, tile) in acc.iter().enumerate() {
+            let base = (i + r) * n + jc + j;
+            ov[base..base + NR].copy_from_slice(tile);
+        }
+        j += NR;
+    }
+    while j < nc {
+        for (r, ar) in [a0, a1, a2, a3].into_iter().enumerate() {
+            let idx = (i + r) * n + jc + j;
+            let mut s = ov[idx];
+            for (p, &x) in ar.iter().enumerate() {
+                s += x * panel[p * nc + j];
+            }
+            ov[idx] = s;
+        }
+        j += 1;
+    }
+}
+
+/// Single-row remainder kernel; per-element float program identical to
+/// [`micro_4`], so remainder rows land on the same bits no matter where
+/// a partition boundary falls.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_1(
+    av: &[f32],
+    ov: &mut [f32],
+    k: usize,
+    n: usize,
+    i: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    panel: &[f32],
+) {
+    let a0 = &av[i * k + pc..i * k + pc + kc];
+    let mut j = 0;
+    while j + NR <= nc {
+        let base = i * n + jc + j;
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&ov[base..base + NR]);
+        for (p, &x0) in a0.iter().enumerate() {
+            let br = &panel[p * nc + j..p * nc + j + NR];
+            for (jj, &bval) in br.iter().enumerate() {
+                acc[jj] += x0 * bval;
+            }
+        }
+        ov[base..base + NR].copy_from_slice(&acc);
+        j += NR;
+    }
+    while j < nc {
+        let idx = i * n + jc + j;
+        let mut s = ov[idx];
+        for (p, &x0) in a0.iter().enumerate() {
+            s += x0 * panel[p * nc + j];
+        }
+        ov[idx] = s;
+        j += 1;
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +397,7 @@ mod tests {
     #[test]
     fn matches_naive_on_rectangular_inputs() {
         let mut rng = Rng64::new(12);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16)] {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (7, 4, 9), (16, 16, 16), (21, 19, 35)] {
             let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
             let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
             let fast = a.matmul(&b).unwrap();
@@ -130,6 +405,36 @@ mod tests {
             for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
                 assert!((x - y).abs() < 1e-4, "mismatch at ({m},{k},{n}): {x} vs {y}");
             }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_is_bitwise_naive_per_element() {
+        // Both kernels sum a[i][p]·b[p][j] from 0.0 in increasing-p order,
+        // so they must agree bit-for-bit, tile remainders included.
+        let mut rng = Rng64::new(14);
+        for &(m, k, n) in &[(5, 7, 3), (4, 16, 16), (9, 300, 21), (17, 33, 40)] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let mut blocked = Tensor::zeros(&[m, n]);
+            matmul_into_serial(&a, &b, &mut blocked).unwrap();
+            let slow = naive(&a, &b);
+            assert_eq!(blocked.as_slice(), slow.as_slice(), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn explicit_pool_matches_serial_bitwise() {
+        let mut rng = Rng64::new(15);
+        let pool = ThreadPool::new(3);
+        for &(m, k, n) in &[(1, 4, 4), (6, 20, 18), (23, 17, 31)] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let mut serial = Tensor::zeros(&[m, n]);
+            let mut parallel = Tensor::zeros(&[m, n]);
+            matmul_into_serial(&a, &b, &mut serial).unwrap();
+            matmul_into_with(&a, &b, &mut parallel, &pool).unwrap();
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "({m},{k},{n})");
         }
     }
 
@@ -144,9 +449,9 @@ mod tests {
 
     #[test]
     fn sparse_lhs_rows_are_skipped_correctly() {
-        // The inner loop skips zero entries of `a`; results must match the
-        // naive path exactly when `a` is mostly zeros (the regime of
-        // masked attack tensors).
+        // `matmul_into_reference` skips zero entries of `a`; the blocked
+        // kernel performs them. Both must land on the same values for the
+        // mostly-zero masked attack tensors.
         let mut rng = Rng64::new(13);
         let mut a = Tensor::zeros(&[5, 8]);
         for i in [0usize, 9, 17, 33] {
@@ -154,6 +459,9 @@ mod tests {
         }
         let b = Tensor::randn(&[8, 6], 1.0, rng.as_rng());
         let fast = a.matmul(&b).unwrap();
+        let mut reference = Tensor::zeros(&[5, 6]);
+        matmul_into_reference(&a, &b, &mut reference).unwrap();
+        assert_eq!(fast.as_slice(), reference.as_slice());
         let slow = naive(&a, &b);
         assert_eq!(fast.as_slice(), slow.as_slice());
     }
@@ -168,12 +476,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_path_overwrites_stale_output() {
+        let mut rng = Rng64::new(16);
+        let pool = ThreadPool::new(2);
+        let a = Tensor::randn(&[7, 5], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[5, 9], 1.0, rng.as_rng());
+        let mut fresh = Tensor::zeros(&[7, 9]);
+        let mut stale = Tensor::full(&[7, 9], -3.5);
+        matmul_into_with(&a, &b, &mut fresh, &pool).unwrap();
+        matmul_into_with(&a, &b, &mut stale, &pool).unwrap();
+        assert_eq!(fresh.as_slice(), stale.as_slice());
+    }
+
+    #[test]
     fn matmul_into_validates_out_shape() {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[3, 4]);
         let mut bad = Tensor::zeros(&[2, 3]);
         assert!(matmul_into(&a, &b, &mut bad).is_err());
+        let pool = ThreadPool::new(2);
+        assert!(matmul_into_with(&a, &b, &mut bad, &pool).is_err());
+        assert!(matmul_into_serial(&a, &b, &mut bad).is_err());
+        assert!(matmul_into_reference(&a, &b, &mut bad).is_err());
         let mut good = Tensor::zeros(&[2, 4]);
         assert!(matmul_into(&a, &b, &mut good).is_ok());
+    }
+
+    #[test]
+    fn degenerate_inner_dimension_zeroes_output() {
+        let a = Tensor::zeros(&[3, 0]);
+        let b = Tensor::zeros(&[0, 2]);
+        let mut out = Tensor::full(&[3, 2], 5.0);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
     }
 }

@@ -1,0 +1,373 @@
+//! Deterministic fixed-size thread pool for intra-op kernel parallelism.
+//!
+//! The parallel kernels in this crate ([`crate::matmul_into`],
+//! [`crate::im2col3d_into`] and the conv3d lowering built on them) split
+//! their *output rows* across workers. Each worker owns a disjoint,
+//! contiguous row range and runs exactly the same per-row code as the
+//! serial kernel, so the per-element `f32` accumulation order — and
+//! therefore every output bit — is independent of the thread count. The
+//! pool below only has to guarantee plumbing properties: jobs run exactly
+//! once, results come back in submission order, a panicking job is
+//! contained (never poisons or deadlocks the pool), and dropping the pool
+//! joins every worker.
+//!
+//! The whole crate is `#![forbid(unsafe_code)]`, so the pool cannot lend
+//! borrowed slices across threads the way `rayon`'s scoped tasks do.
+//! Instead every job is a `'static` closure owning its inputs: callers
+//! copy the operands a worker needs (the kernels share the right-hand
+//! side via `Arc` and hand each worker its own row stripe), and workers
+//! return owned output stripes that the caller stitches back together.
+//! For the GEMM-shaped workloads this pool exists for, those copies are
+//! `O(n²)` against `O(n³)` compute and disappear in the noise.
+//!
+//! # Example
+//!
+//! ```
+//! use duo_tensor::ThreadPool;
+//!
+//! let pool = ThreadPool::new(2);
+//! let jobs: Vec<_> = (0..8).map(|i| move || i * i).collect();
+//! let squares = pool.run(jobs)?;
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! # Ok::<(), duo_tensor::PoolError>(())
+//! ```
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Largest thread count the automatic (`intra_op_threads == 0`) setting
+/// resolves to; explicit settings may exceed it.
+pub const MAX_AUTO_THREADS: usize = 8;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Error returned by [`ThreadPool::run`] when a job panicked.
+///
+/// The panic is contained: every other job in the batch still runs to
+/// completion, the worker that caught the panic keeps serving, and the
+/// pool remains fully usable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Submission index of the first (lowest-index) panicked job.
+    pub index: usize,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+/// A fixed-size pool of `std::thread` workers fed over a shared channel.
+///
+/// See `DESIGN.md` §6e for the determinism contract. Dropping the
+/// pool disconnects the job channel and joins every worker, so a pool can
+/// be created and torn down freely (the property-test suites build pools
+/// of many sizes per case).
+pub struct ThreadPool {
+    injector: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (`0` is clamped to `1`).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        ThreadPool { injector: Some(tx), workers, threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when called from inside a pool worker thread (any pool).
+    ///
+    /// The parallel kernels consult this to fall back to their serial path
+    /// instead of re-entering a pool: a job that blocked on a nested
+    /// `run` while every worker was busy running such jobs would deadlock.
+    pub fn is_worker() -> bool {
+        IS_POOL_WORKER.with(Cell::get)
+    }
+
+    /// Runs every job and returns their results in submission order.
+    ///
+    /// Jobs may outnumber workers arbitrarily (they queue and drain), and
+    /// `run` may be called from many threads at once — concurrent batches
+    /// interleave in the shared queue but each batch's results are routed
+    /// over its own channel, so batches never observe each other.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError`] describing the lowest-index panicked job.
+    /// All jobs in the batch have finished (or panicked) by the time this
+    /// returns, success or failure.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let total = jobs.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let injector = self.injector.as_ref().expect("pool alive while not dropped");
+        let (results_tx, results_rx) = channel::<(usize, Result<T, String>)>();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let results_tx = results_tx.clone();
+            let wrapped: Job = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(&*p));
+                // The receiver outlives the batch; a send can only fail if
+                // `run` itself panicked, in which case nobody is counting.
+                let _ = results_tx.send((index, outcome));
+            });
+            injector.send(wrapped).expect("workers alive while pool not dropped");
+        }
+        drop(results_tx);
+
+        // Drain *all* results before reporting, so a failed batch leaves
+        // no stragglers behind in the queue.
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        let mut first_panic: Option<PoolError> = None;
+        for _ in 0..total {
+            let (index, outcome) = results_rx.recv().expect("every job sends exactly once");
+            match outcome {
+                Ok(value) => slots[index] = Some(value),
+                Err(message) => {
+                    let better = first_panic.as_ref().is_none_or(|p| index < p.index);
+                    if better {
+                        first_panic = Some(PoolError { index, message });
+                    }
+                }
+            }
+        }
+        if let Some(err) = first_panic {
+            return Err(err);
+        }
+        Ok(slots.into_iter().map(|s| s.expect("all slots filled on success")).collect())
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the queue; each worker finishes its current job,
+        // drains nothing further, and exits.
+        self.injector = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        // Hold the receiver lock only for the blocking take, never while
+        // running a job. Jobs are panic-wrapped by `run`, so the lock is
+        // never poisoned.
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        job();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global intra-op pool
+// ---------------------------------------------------------------------
+
+struct IntraOp {
+    /// Requested thread count; `0` means automatic.
+    requested: usize,
+    /// Lazily-spawned pool for the resolved count (never built for 1).
+    pool: Option<Arc<ThreadPool>>,
+}
+
+fn intra_op_state() -> &'static Mutex<IntraOp> {
+    static STATE: OnceLock<Mutex<IntraOp>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(IntraOp { requested: 0, pool: None }))
+}
+
+fn resolve(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_AUTO_THREADS)
+}
+
+/// Sets the process-wide intra-op thread count used by the parallel
+/// kernels ([`crate::matmul_into`], [`crate::im2col3d_into`] and the
+/// convolutions lowered onto them). `0` restores the automatic setting
+/// (`available_parallelism`, capped at [`MAX_AUTO_THREADS`]).
+///
+/// Results are **bit-identical at every setting** — this knob trades
+/// wall-clock time only, never numerics — so it is safe to tune freely
+/// (the serving layer exposes it as `ServeConfig::intra_op_threads`).
+/// An existing pool with a different size is torn down once its in-flight
+/// work completes; kernels already running keep their pool via `Arc`.
+pub fn set_intra_op_threads(threads: usize) {
+    let mut state = intra_op_state().lock().expect("intra-op state lock");
+    if resolve(state.requested) != resolve(threads) {
+        state.pool = None;
+    }
+    state.requested = threads;
+}
+
+/// The resolved intra-op thread count the parallel kernels currently use.
+pub fn intra_op_threads() -> usize {
+    let state = intra_op_state().lock().expect("intra-op state lock");
+    resolve(state.requested)
+}
+
+/// The shared intra-op pool, or `None` when the resolved thread count is
+/// 1 (serial) or the caller is already inside a pool worker.
+pub(crate) fn intra_op_pool() -> Option<Arc<ThreadPool>> {
+    if ThreadPool::is_worker() {
+        return None;
+    }
+    let mut state = intra_op_state().lock().expect("intra-op state lock");
+    let threads = resolve(state.requested);
+    if threads <= 1 {
+        return None;
+    }
+    if state.pool.as_ref().is_none_or(|p| p.threads() != threads) {
+        state.pool = Some(Arc::new(ThreadPool::new(threads)));
+    }
+    state.pool.clone()
+}
+
+/// Splits `total` items into at most `parts` contiguous ranges of
+/// near-equal size (earlier ranges take the remainder), skipping empty
+/// ranges. The partition depends only on `(total, parts)`, which keeps
+/// worker assignment deterministic.
+pub(crate) fn row_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.clamp(1, total.max(1));
+    let base = total / parts;
+    let extra = total % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for part in 0..parts {
+        let len = base + usize::from(part < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ThreadPool::new(3);
+        let jobs: Vec<_> = (0..32usize).map(|i| move || i * 2).collect();
+        assert_eq!(pool.run(jobs).unwrap(), (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run(vec![|| 7]).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn empty_batch_is_ok() {
+        let pool = ThreadPool::new(2);
+        let empty: Vec<fn() -> u8> = Vec::new();
+        assert_eq!(pool.run(empty).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn panicked_job_reports_lowest_index_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 2 && i != 5, "boom {i}");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = pool.run(jobs).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(err.message.contains("boom 2"), "{}", err.message);
+        // The pool keeps working after containment.
+        assert_eq!(pool.run(vec![|| 1, || 2]).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn worker_flag_is_set_inside_jobs_only() {
+        assert!(!ThreadPool::is_worker());
+        let pool = ThreadPool::new(1);
+        let flags = pool.run(vec![ThreadPool::is_worker]).unwrap();
+        assert_eq!(flags, vec![true]);
+        assert!(!ThreadPool::is_worker());
+    }
+
+    #[test]
+    fn row_ranges_cover_exactly_without_overlap() {
+        for total in [0usize, 1, 3, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = row_ranges(total, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous at {total}/{parts}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, total, "full cover at {total}/{parts}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn intra_op_resolution_defaults_to_auto() {
+        // Only observe; mutating the global here would race other tests.
+        let n = intra_op_threads();
+        assert!(n >= 1);
+        assert!(n <= MAX_AUTO_THREADS || n == intra_op_threads());
+    }
+}

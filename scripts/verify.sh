@@ -30,3 +30,14 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench index
 # Index sweep smoke: asserts the IVF equivalence contract (full probe ==
 # exact) and that recall audits fire on live IVF traffic.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_sweep
+
+# Kernel + serving bench smokes: the GEMM bench asserts bit-identity of
+# the blocked/threaded kernels against serial before timing, and both
+# benches write their BENCH_*.json artifacts at the repo root.
+DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench gemm
+DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench serve
+
+# Artifact gate: both emitted files must parse and carry every required
+# field (name, samples, min/median/p95/mean/max). Missing or malformed
+# artifacts fail tier-1 here.
+cargo run --release --offline -p duo-bench --bin bench_check

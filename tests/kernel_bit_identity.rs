@@ -1,0 +1,210 @@
+//! Bit-identity property suite for the parallel compute core.
+//!
+//! The PR 5 determinism contract: the threaded, cache-blocked kernels
+//! (`matmul_into_with`, `im2col3d_into_with`, and conv3d as their
+//! composition) produce outputs equal to the serial kernels at
+//! `f32::to_bits` granularity for every shape and every thread count —
+//! workers own disjoint output rows and run the identical per-element
+//! float program, so partitioning can never move a bit. Thread counts
+//! {1, 2, 3, 8} cover the degenerate pool, non-divisible row splits, and
+//! oversubscription; the generated shapes land on every `MR`/`NR` tile
+//! remainder class.
+//!
+//! Failing case seeds persist to `tests/properties.regressions` and
+//! replay before fresh generation (asserted at the bottom of this file).
+
+use duo_check::{check, prop_assert_eq, Config, Strategy};
+use duo_tensor::{
+    im2col3d_into_with, matmul_into_serial, matmul_into_with, Conv3dSpec, Rng64, Tensor,
+    ThreadPool,
+};
+use std::ops::Range;
+
+/// Thread counts every property sweeps: serial shortcut, uneven splits,
+/// and oversubscription past any sane core count for the tiny shapes.
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.regressions");
+
+fn config() -> Config {
+    Config::default().with_cases(24).with_regressions(REGRESSIONS)
+}
+
+/// GEMM dimension strategy, shared with the replay-order test below so
+/// replayed seeds regenerate the exact committed cases.
+fn dim() -> Range<usize> {
+    1..48
+}
+
+fn seed() -> Range<u64> {
+    0..0x1000_0000
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+check! {
+    #![config(config())]
+
+    fn threaded_matmul_is_bitwise_serial(m in dim(), k in dim(), n in dim(), s in seed()) {
+        let mut rng = Rng64::new(s);
+        let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+        let mut serial = Tensor::zeros(&[m, n]);
+        matmul_into_serial(&a, &b, &mut serial).unwrap();
+        for &threads in &THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Tensor::zeros(&[m, n]);
+            matmul_into_with(&a, &b, &mut par, &pool).unwrap();
+            prop_assert_eq!(
+                bits(&serial),
+                bits(&par),
+                "({m},{k},{n}) drifted at {threads} threads"
+            );
+        }
+    }
+
+    fn threaded_im2col_is_bitwise_serial(
+        chans in 1usize..4,
+        thw in (3usize..8, 3usize..8, 3usize..8),
+        ksp in (1usize..4, 1usize..4, 0usize..3),
+        s in seed(),
+    ) {
+        let (t, h, w) = thw;
+        let (kern, stride, pad) = ksp;
+        let spec = Conv3dSpec::cubic(chans, kern, (stride, stride, stride), pad);
+        let mut rng = Rng64::new(s);
+        let input = Tensor::randn(&[chans, t, h, w], 1.0, rng.as_rng());
+        let (ot, oh, ow) = spec.output_thw(t, h, w).unwrap();
+        let rows = chans * kern * kern * kern;
+        let cols = ot * oh * ow;
+        let serial_pool = ThreadPool::new(1);
+        let mut serial = Tensor::zeros(&[rows, cols]);
+        im2col3d_into_with(&input, &spec, &mut serial, &serial_pool).unwrap();
+        for &threads in &THREADS[1..] {
+            let pool = ThreadPool::new(threads);
+            let mut par = Tensor::full(&[rows, cols], f32::NAN);
+            im2col3d_into_with(&input, &spec, &mut par, &pool).unwrap();
+            prop_assert_eq!(
+                bits(&serial),
+                bits(&par),
+                "im2col [{chans},{t},{h},{w}] k{kern} s{stride} p{pad} drifted at {threads} threads"
+            );
+        }
+    }
+
+    fn threaded_conv3d_is_bitwise_serial(
+        oc in 1usize..6,
+        thw in (3usize..7, 3usize..7, 3usize..7),
+        ck in (1usize..3, 1usize..4),
+        s in seed(),
+    ) {
+        let (t, h, w) = thw;
+        let (chans, kern) = ck;
+        let spec = Conv3dSpec::cubic(chans, kern, (1, 1, 1), 1);
+        let mut rng = Rng64::new(s);
+        let input = Tensor::randn(&[chans, t, h, w], 1.0, rng.as_rng());
+        let (ot, oh, ow) = spec.output_thw(t, h, w).unwrap();
+        let rows = chans * kern * kern * kern;
+        let cols = ot * oh * ow;
+        let weight = Tensor::randn(&[oc, rows], 1.0, rng.as_rng());
+
+        // Serial conv3d: serial lowering, serial GEMM.
+        let serial_pool = ThreadPool::new(1);
+        let mut cols_serial = Tensor::zeros(&[rows, cols]);
+        im2col3d_into_with(&input, &spec, &mut cols_serial, &serial_pool).unwrap();
+        let mut out_serial = Tensor::zeros(&[oc, cols]);
+        matmul_into_serial(&weight, &cols_serial, &mut out_serial).unwrap();
+
+        for &threads in &THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut cols_par = Tensor::zeros(&[rows, cols]);
+            im2col3d_into_with(&input, &spec, &mut cols_par, &pool).unwrap();
+            let mut out_par = Tensor::zeros(&[oc, cols]);
+            matmul_into_with(&weight, &cols_par, &mut out_par, &pool).unwrap();
+            prop_assert_eq!(
+                bits(&out_serial),
+                bits(&out_par),
+                "conv3d [{chans},{t},{h},{w}] k{kern} oc{oc} drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Fixed shapes that straddle the blocking constants (`KC = 256`,
+/// `NC = 1024`, `MR = 4`, `NR = 16`): multi-panel k, multi-panel n, and
+/// dimensions one off every tile multiple.
+#[test]
+fn panel_boundary_shapes_are_bitwise_serial() {
+    let mut rng = Rng64::new(0xb10c);
+    for &(m, k, n) in &[
+        (13usize, 259usize, 60usize), // k crosses one KC boundary, odd everything
+        (5, 513, 48),                 // k spans three KC panels
+        (9, 40, 1030),                // n crosses the NC panel boundary
+        (64, 256, 64),                // exact tile/panel multiples
+        (3, 17, 15),                  // below one NR tile, m < MR
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+        let mut serial = Tensor::zeros(&[m, n]);
+        matmul_into_serial(&a, &b, &mut serial).unwrap();
+        for &threads in &THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Tensor::zeros(&[m, n]);
+            matmul_into_with(&a, &b, &mut par, &pool).unwrap();
+            assert_eq!(
+                serial.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m},{k},{n}) drifted at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The committed kernel regression seeds must replay *before* fresh
+/// generation: running the property with zero fresh cases must evaluate
+/// exactly the values those seeds regenerate, in file order.
+#[test]
+fn committed_regression_seeds_replay_before_fresh_generation() {
+    let text = std::fs::read_to_string(REGRESSIONS).unwrap();
+    let committed: Vec<u64> = duo_check::parse_regressions(&text)
+        .into_iter()
+        .filter(|(name, _)| name == "threaded_matmul_is_bitwise_serial")
+        .map(|(_, s)| s)
+        .collect();
+    assert!(
+        !committed.is_empty(),
+        "tests/properties.regressions must carry the PR 5 kernel seeds"
+    );
+    assert!(
+        duo_check::parse_regressions(&text)
+            .iter()
+            .any(|(name, _)| name == "threaded_im2col_is_bitwise_serial"),
+        "the im2col suite's seed must be committed too"
+    );
+
+    let strategy = (dim(), dim(), dim(), seed());
+    let observed = std::cell::RefCell::new(Vec::new());
+    let cfg = Config::default().with_cases(0).with_regressions(REGRESSIONS);
+    let outcome = duo_check::run_property_result(
+        "threaded_matmul_is_bitwise_serial",
+        &cfg,
+        &strategy,
+        |value| {
+            observed.borrow_mut().push(*value);
+            Ok(())
+        },
+    );
+    assert!(outcome.is_ok(), "recorder property cannot fail");
+
+    let expected: Vec<(usize, usize, usize, u64)> = committed
+        .iter()
+        .map(|&s| strategy.generate(&mut Rng64::new(s)))
+        .collect();
+    assert_eq!(
+        *observed.borrow(),
+        expected,
+        "replayed cases must come first and regenerate the committed seeds exactly"
+    );
+}

@@ -1,0 +1,146 @@
+//! Torture tests for the intra-op thread pool.
+//!
+//! The pool's plumbing guarantees — results in submission order, panic
+//! containment without deadlock, clean join on drop — are what let the
+//! kernels promise bit-identical output at any thread count. These tests
+//! hammer each guarantee well past normal operating conditions
+//! (oversubscription, hundreds of queued jobs, repeated panics,
+//! concurrent batches from many threads).
+
+use duo_tensor::{matmul_into_serial, matmul_into_with, Rng64, Tensor, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn oversubscribed_matmul_is_deterministic_across_repeats() {
+    // 8 workers on however few cores the host has, and a row count that
+    // splits 8 ways unevenly (37 = 8·4 + 5). Three repeats and the serial
+    // kernel must all agree to the bit.
+    let mut rng = Rng64::new(0x70a7);
+    let a = Tensor::randn(&[37, 29], 1.0, rng.as_rng());
+    let b = Tensor::randn(&[29, 43], 1.0, rng.as_rng());
+    let mut serial = Tensor::zeros(&[37, 43]);
+    matmul_into_serial(&a, &b, &mut serial).unwrap();
+    let want: Vec<u32> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+
+    let pool = ThreadPool::new(8);
+    for round in 0..3 {
+        let mut out = Tensor::zeros(&[37, 43]);
+        matmul_into_with(&a, &b, &mut out, &pool).unwrap();
+        let got: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got, "round {round} drifted under oversubscription");
+    }
+}
+
+#[test]
+fn hundreds_of_queued_jobs_return_in_submission_order() {
+    let pool = ThreadPool::new(3);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let jobs: Vec<_> = (0..500usize)
+        .map(|i| {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i * 31
+            }
+        })
+        .collect();
+    let results = pool.run(jobs).unwrap();
+    assert_eq!(results, (0..500).map(|i| i * 31).collect::<Vec<_>>());
+    assert_eq!(ran.load(Ordering::Relaxed), 500, "every job ran exactly once");
+}
+
+#[test]
+fn drop_joins_workers_and_loses_no_work() {
+    // Churn pools: every batch completes fully before the drop, and the
+    // drop itself terminates (a leaked or deadlocked worker would hang
+    // the test binary here).
+    let completed = Arc::new(AtomicUsize::new(0));
+    for _ in 0..40 {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..16)
+            .map(|_| {
+                let completed = Arc::clone(&completed);
+                move || completed.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        pool.run(jobs).unwrap();
+        drop(pool);
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), 40 * 16);
+}
+
+#[test]
+fn worker_panic_is_contained_and_surfaced() {
+    let pool = ThreadPool::new(2);
+    for round in 0..10 {
+        // One poisoned batch…
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 3, "deliberate torture panic (round {round})");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = pool.run(jobs).expect_err("panicked job must surface as an error");
+        assert_eq!(err.index, 3, "lowest panicked index is reported");
+        assert!(err.message.contains("deliberate torture panic"), "{}", err.message);
+
+        // …must leave the pool fully serviceable for the next batch.
+        let ok = pool.run((0..6usize).map(|i| move || i).collect::<Vec<_>>()).unwrap();
+        assert_eq!(ok, vec![0, 1, 2, 3, 4, 5], "pool unusable after contained panic");
+    }
+}
+
+#[test]
+fn concurrent_batches_from_many_threads_never_interleave_results() {
+    let pool = Arc::new(ThreadPool::new(2));
+    let handles: Vec<_> = (0..4u64)
+        .map(|tid| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let jobs: Vec<_> =
+                        (0..32u64).map(|i| move || tid * 1000 + i).collect();
+                    let got = pool.run(jobs).unwrap();
+                    let want: Vec<u64> = (0..32).map(|i| tid * 1000 + i).collect();
+                    assert_eq!(got, want, "batch from thread {tid} saw foreign results");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn jobs_may_call_tensor_kernels_without_deadlock() {
+    // A pool job that itself invokes `matmul_into` above the parallel
+    // threshold must not re-enter a pool (the worker-context guard routes
+    // it to the serial kernel); with 1 worker, any nested blocking `run`
+    // would deadlock this test instead of passing.
+    let mut rng = Rng64::new(0xdead);
+    let a = Arc::new(Tensor::randn(&[64, 64], 1.0, rng.as_rng()));
+    let b = Arc::new(Tensor::randn(&[64, 64], 1.0, rng.as_rng()));
+    let mut serial = Tensor::zeros(&[64, 64]);
+    matmul_into_serial(&a, &b, &mut serial).unwrap();
+    let want: Vec<u32> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+
+    let pool = ThreadPool::new(1);
+    let jobs: Vec<_> = (0..3)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            move || {
+                assert!(ThreadPool::is_worker());
+                let mut out = Tensor::zeros(&[64, 64]);
+                duo_tensor::matmul_into(&a, &b, &mut out).unwrap();
+                out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            }
+        })
+        .collect();
+    for got in pool.run(jobs).unwrap() {
+        assert_eq!(want, got, "nested kernel call drifted from serial");
+    }
+}
