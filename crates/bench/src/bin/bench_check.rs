@@ -1,14 +1,28 @@
 //! Gate on emitted bench artifacts.
 //!
-//! Checks that each `BENCH_*.json` file (default: `BENCH_gemm.json` and
-//! `BENCH_serve.json` at the repo root; or explicit paths as arguments)
-//! exists, parses as JSON, and carries every required result field
-//! (`name`, `samples`, `min_s`, `median_s`, `p95_s`, `mean_s`, `max_s`).
-//! Exits nonzero with a diagnostic on the first failure, so
-//! `scripts/verify.sh` can treat a malformed or missing artifact as a
-//! tier-1 break.
+//! Two layers, both of which must pass:
+//!
+//! 1. **Structure** — each `BENCH_*.json` file (default: `BENCH_gemm.json`
+//!    and `BENCH_serve.json` at the repo root; or explicit paths as
+//!    arguments) exists, parses as JSON, and carries every required
+//!    result field (`name`, `samples`, `min_s`, `median_s`, `p95_s`,
+//!    `mean_s`, `trimmed_mean_s`, `max_s`).
+//! 2. **Performance** — the committed rules in `BENCH_thresholds.txt` at
+//!    the repo root (`<name> <= <factor> * <name>` per line, compared on
+//!    the trimmed mean) hold across all loaded artifacts. Rules whose
+//!    entries are absent on both sides are skipped, so one rule file
+//!    serves both the smoke-scale artifacts `scripts/verify.sh` emits
+//!    and the committed full-scale ones; a rule matching only one side
+//!    fails, because that means names drifted.
+//!
+//! Exits nonzero with a diagnostic naming the first failure — the
+//! malformed artifact, or the regressing bench entry with its measured
+//! value and the bound it broke — so `scripts/verify.sh` can treat
+//! either as a tier-1 break.
 
-use duo_bench::validate::validate_bench_json;
+use duo_bench::validate::{
+    check_thresholds, parse_threshold_rules, threshold_stats, validate_bench_json,
+};
 use std::path::PathBuf;
 
 fn main() {
@@ -23,6 +37,7 @@ fn main() {
     };
 
     let mut failed = false;
+    let mut stats: Vec<(String, f64)> = Vec::new();
     for path in &paths {
         match std::fs::read_to_string(path) {
             Err(e) => {
@@ -30,7 +45,10 @@ fn main() {
                 failed = true;
             }
             Ok(text) => match validate_bench_json(&text) {
-                Ok(count) => println!("bench_check: {}: ok ({count} results)", path.display()),
+                Ok(count) => {
+                    println!("bench_check: {}: ok ({count} results)", path.display());
+                    stats.extend(threshold_stats(&text).unwrap_or_default());
+                }
                 Err(msg) => {
                     eprintln!("bench_check: {}: {msg}", path.display());
                     failed = true;
@@ -38,6 +56,44 @@ fn main() {
             },
         }
     }
+
+    let rules_path = duo_bench::repo_root_bench_path("gemm")
+        .parent()
+        .map(|root| root.join("BENCH_thresholds.txt"))
+        .expect("artifact path has a parent");
+    match std::fs::read_to_string(&rules_path) {
+        Err(e) => {
+            eprintln!("bench_check: {}: {e}", rules_path.display());
+            failed = true;
+        }
+        Ok(text) => match parse_threshold_rules(&text) {
+            Err(msg) => {
+                eprintln!("bench_check: {}: {msg}", rules_path.display());
+                failed = true;
+            }
+            Ok(rules) => match check_thresholds(&rules, &stats) {
+                Ok(checked) => {
+                    println!(
+                        "bench_check: {}: ok ({checked} of {} rules checked at this scale)",
+                        rules_path.display(),
+                        rules.len()
+                    );
+                    if checked == 0 && !rules.is_empty() {
+                        eprintln!(
+                            "bench_check: no threshold rule matched any bench entry — \
+                             rule names and bench names have drifted apart"
+                        );
+                        failed = true;
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("bench_check: {msg}");
+                    failed = true;
+                }
+            },
+        },
+    }
+
     if failed {
         std::process::exit(1);
     }

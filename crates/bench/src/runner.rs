@@ -72,11 +72,16 @@ pub struct BenchResult {
     pub p95_s: f64,
     /// Arithmetic mean.
     pub mean_s: f64,
+    /// Mean of the middle samples after dropping the fastest and slowest
+    /// fifth — the statistic threshold rules compare, immune to the
+    /// one-off stalls (page-fault storms, allocator mode switches,
+    /// neighbor noise) that poison plain means on shared hosts.
+    pub trimmed_mean_s: f64,
     /// Slowest sample.
     pub max_s: f64,
 }
 
-duo_tensor::impl_to_json!(struct BenchResult { name, samples, min_s, median_s, p95_s, mean_s, max_s });
+duo_tensor::impl_to_json!(struct BenchResult { name, samples, min_s, median_s, p95_s, mean_s, trimmed_mean_s, max_s });
 
 /// Returns the `q`-quantile (0.0–1.0) of an **ascending sorted** slice
 /// using the nearest-rank method.
@@ -97,6 +102,8 @@ impl BenchResult {
         assert!(!times_s.is_empty(), "bench `{name}` collected no samples");
         times_s.sort_by(f64::total_cmp);
         let samples = times_s.len();
+        let trim = samples / 5;
+        let mid = &times_s[trim..samples - trim];
         BenchResult {
             name: name.to_string(),
             samples,
@@ -104,6 +111,7 @@ impl BenchResult {
             median_s: quantile(&times_s, 0.5),
             p95_s: quantile(&times_s, 0.95),
             mean_s: times_s.iter().sum::<f64>() / samples as f64,
+            trimmed_mean_s: mid.iter().sum::<f64>() / mid.len() as f64,
             max_s: times_s[samples - 1],
         }
     }
@@ -291,7 +299,20 @@ mod tests {
         assert_eq!(r.median_s, 2.0);
         assert_eq!(r.p95_s, 10.0);
         assert_eq!(r.mean_s, 4.0);
+        // Under 5 samples nothing is trimmed.
+        assert_eq!(r.trimmed_mean_s, 4.0);
         assert_eq!(r.samples, 4);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_a_fifth_from_each_end() {
+        // 10 samples: trim 2 from each end, mean of the middle 6.
+        let times: Vec<f64> = vec![100.0, 0.001, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 0.002, 200.0];
+        let r = BenchResult::from_times("t", times);
+        assert_eq!(r.trimmed_mean_s, (1.0 + 2.0 + 3.0 + 4.0 + 5.0 + 6.0) / 6.0);
+        // The outliers still show up in the untrimmed stats.
+        assert_eq!(r.max_s, 200.0);
+        assert!(r.mean_s > r.trimmed_mean_s);
     }
 
     #[test]

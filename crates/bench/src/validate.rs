@@ -227,8 +227,8 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
 }
 
 /// The fields every emitted [`crate::BenchResult`] object must carry.
-pub const REQUIRED_NUM_FIELDS: [&str; 5] =
-    ["min_s", "median_s", "p95_s", "mean_s", "max_s"];
+pub const REQUIRED_NUM_FIELDS: [&str; 6] =
+    ["min_s", "median_s", "p95_s", "mean_s", "trimmed_mean_s", "max_s"];
 
 /// Validates the contents of a `BENCH_*.json` artifact: a non-empty JSON
 /// array whose every element is an object with a non-empty string `name`,
@@ -274,12 +274,145 @@ pub fn validate_bench_json(text: &str) -> Result<usize, String> {
     Ok(items.len())
 }
 
+// ---------------------------------------------------------------------
+// Performance threshold rules
+// ---------------------------------------------------------------------
+
+/// One committed performance requirement:
+/// `lhs <= factor * rhs`, both sides naming bench results and compared on
+/// their [`THRESHOLD_STAT`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdRule {
+    /// Name of the entry under constraint (e.g. `gemm/256x256x256/threads2`).
+    pub lhs: String,
+    /// Maximum allowed ratio of `lhs` to `rhs`.
+    pub factor: f64,
+    /// Name of the baseline entry.
+    pub rhs: String,
+}
+
+/// The statistic threshold rules compare: the trimmed mean, which drops
+/// the fastest and slowest fifth of the samples before averaging — the
+/// steadiest of the emitted statistics on a noisy shared host.
+pub const THRESHOLD_STAT: &str = "trimmed_mean_s";
+
+/// Parses a committed threshold-rule file. Each non-comment line reads
+///
+/// ```text
+/// <lhs-name> <= <factor> * <rhs-name>
+/// ```
+///
+/// e.g. `gemm/256x256x256/threads2 <= 0.90 * gemm/256x256x256/serial_blocked`.
+/// Blank lines and `#` comments (full-line or trailing) are ignored.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line (1-based).
+pub fn parse_threshold_rules(text: &str) -> Result<Vec<ThresholdRule>, String> {
+    let mut rules = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = || format!("line {}: expected `<name> <= <factor> * <name>`, got `{raw}`", lineno + 1);
+        let (lhs, rest) = line.split_once("<=").ok_or_else(err)?;
+        let (factor, rhs) = rest.split_once('*').ok_or_else(err)?;
+        let (lhs, rhs) = (lhs.trim(), rhs.trim());
+        let factor: f64 = factor.trim().parse().map_err(|_| err())?;
+        if lhs.is_empty() || rhs.is_empty() || !factor.is_finite() || factor <= 0.0 {
+            return Err(err());
+        }
+        rules.push(ThresholdRule { lhs: lhs.to_string(), factor, rhs: rhs.to_string() });
+    }
+    Ok(rules)
+}
+
+/// Evaluates threshold rules against a parsed artifact set, given as
+/// `(name, trimmed_mean_s)` pairs. Returns the number of rules actually
+/// checked: a rule referencing entries absent from `stats` on **both**
+/// sides is skipped (the artifact was produced at a different scale —
+/// e.g. smoke shapes vs the committed full-scale rules), but a rule with
+/// exactly one side present is an error, since that means the artifact
+/// and the rule file drifted apart.
+///
+/// # Errors
+///
+/// Returns a message naming the first regressing entry — which entry,
+/// its measured value, the bound it violated, and the baseline — or the
+/// first half-matched rule.
+pub fn check_thresholds(
+    rules: &[ThresholdRule],
+    stats: &[(String, f64)],
+) -> Result<usize, String> {
+    let lookup = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let mut checked = 0usize;
+    for rule in rules {
+        match (lookup(&rule.lhs), lookup(&rule.rhs)) {
+            (None, None) => continue,
+            (Some(_), None) => {
+                return Err(format!(
+                    "threshold rule references `{}` which is missing from the artifact \
+                     (while `{}` is present) — rules and bench names drifted apart",
+                    rule.rhs, rule.lhs
+                ));
+            }
+            (None, Some(_)) => {
+                return Err(format!(
+                    "threshold rule references `{}` which is missing from the artifact \
+                     (while `{}` is present) — rules and bench names drifted apart",
+                    rule.lhs, rule.rhs
+                ));
+            }
+            (Some(lhs), Some(rhs)) => {
+                let bound = rule.factor * rhs;
+                if lhs > bound {
+                    return Err(format!(
+                        "`{}` regressed: {} = {:.6}s exceeds {} × `{}` = {:.6}s \
+                         (baseline {:.6}s, ratio {:.3})",
+                        rule.lhs,
+                        THRESHOLD_STAT,
+                        lhs,
+                        rule.factor,
+                        rule.rhs,
+                        bound,
+                        rhs,
+                        lhs / rhs
+                    ));
+                }
+                checked += 1;
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Extracts `(name, trimmed_mean_s)` pairs from a validated artifact for
+/// [`check_thresholds`]. Call [`validate_bench_json`] first; this assumes
+/// the shape it enforces.
+pub fn threshold_stats(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = parse(text)?;
+    let JsonValue::Arr(items) = doc else {
+        return Err("top-level value must be an array of results".to_string());
+    };
+    let mut out = Vec::new();
+    for item in &items {
+        let name = item.get("name").and_then(JsonValue::as_str).unwrap_or_default();
+        let stat = item.get(THRESHOLD_STAT).and_then(JsonValue::as_num);
+        if let Some(stat) = stat {
+            out.push((name.to_string(), stat));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const GOOD: &str = r#"[{"name":"gemm/256x256x256/threads4","samples":15,
-        "min_s":0.01,"median_s":0.012,"p95_s":0.013,"mean_s":0.0121,"max_s":0.02}]"#;
+        "min_s":0.01,"median_s":0.012,"p95_s":0.013,"mean_s":0.0121,
+        "trimmed_mean_s":0.0119,"max_s":0.02}]"#;
 
     #[test]
     fn accepts_a_well_formed_artifact() {
@@ -317,10 +450,60 @@ mod tests {
     #[test]
     fn rejects_missing_required_fields() {
         let err = validate_bench_json(
-            r#"[{"name":"gemm/x","samples":5,"min_s":0.1,"median_s":0.1,"p95_s":0.1,"mean_s":0.1}]"#,
+            r#"[{"name":"gemm/x","samples":5,"min_s":0.1,"median_s":0.1,"p95_s":0.1,"mean_s":0.1,"max_s":0.1}]"#,
         )
         .unwrap_err();
-        assert!(err.contains("max_s"), "{err}");
+        assert!(err.contains("trimmed_mean_s"), "{err}");
+    }
+
+    #[test]
+    fn threshold_rules_parse_with_comments_and_reject_garbage() {
+        let rules = parse_threshold_rules(
+            "# headline gate\n\
+             gemm/256x256x256/threads2 <= 0.90 * gemm/256x256x256/serial_blocked\n\
+             \n\
+             a/b <= 1.5 * c/d # trailing note\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].lhs, "gemm/256x256x256/threads2");
+        assert_eq!(rules[0].factor, 0.90);
+        assert_eq!(rules[0].rhs, "gemm/256x256x256/serial_blocked");
+
+        assert!(parse_threshold_rules("a <= fast * b").is_err());
+        assert!(parse_threshold_rules("a <= -1 * b").is_err());
+        assert!(parse_threshold_rules("a 0.9 b").is_err());
+        assert!(parse_threshold_rules("<= 0.9 * b").is_err());
+    }
+
+    #[test]
+    fn threshold_check_passes_fails_and_names_the_regressor() {
+        let rules = parse_threshold_rules("x/fast <= 0.9 * x/base").unwrap();
+        let ok = vec![("x/fast".to_string(), 0.8), ("x/base".to_string(), 1.0)];
+        assert_eq!(check_thresholds(&rules, &ok), Ok(1));
+
+        let bad = vec![("x/fast".to_string(), 0.95), ("x/base".to_string(), 1.0)];
+        let err = check_thresholds(&rules, &bad).unwrap_err();
+        assert!(err.contains("`x/fast` regressed"), "{err}");
+        assert!(err.contains("x/base"), "{err}");
+    }
+
+    #[test]
+    fn threshold_check_skips_other_scales_but_rejects_half_matches() {
+        let rules = parse_threshold_rules("full/t2 <= 0.9 * full/base").unwrap();
+        // Smoke-scale artifact: neither side present → skipped, zero checked.
+        let smoke = vec![("smoke/t2".to_string(), 1.0), ("smoke/base".to_string(), 1.0)];
+        assert_eq!(check_thresholds(&rules, &smoke), Ok(0));
+        // Exactly one side present → the names drifted; must fail loudly.
+        let half = vec![("full/t2".to_string(), 1.0)];
+        let err = check_thresholds(&rules, &half).unwrap_err();
+        assert!(err.contains("drifted apart"), "{err}");
+    }
+
+    #[test]
+    fn threshold_stats_extracts_the_trimmed_mean() {
+        let stats = threshold_stats(GOOD).unwrap();
+        assert_eq!(stats, vec![("gemm/256x256x256/threads4".to_string(), 0.0119)]);
     }
 
     #[test]

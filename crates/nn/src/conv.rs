@@ -1,5 +1,8 @@
 use crate::{Layer, NnError, Param, Result};
-use duo_tensor::{col2im3d, im2col3d, im2col3d_into, matmul_into, Conv3dSpec, Rng64, Tensor};
+use duo_tensor::{
+    col2im3d, gemm_packed, im2col3d, im2col3d_into, matmul_into, Conv3dSpec, PackedA, Rng64,
+    Tensor,
+};
 
 /// 3-D convolution over `[C, T, H, W]` inputs.
 ///
@@ -129,15 +132,20 @@ impl Layer for Conv3d {
         let positions = out_thw.0 * out_thw.1 * out_thw.2;
         let k = self.spec.in_channels * self.spec.kt * self.spec.kh * self.spec.kw;
         let wm = self.weight.value.reshape(&[self.out_channels, k])?;
+        // The weight matrix is the left GEMM operand of every item, so
+        // pack it once and reuse the packed panels across the whole
+        // batch (and across the output stripes of each threaded GEMM)
+        // instead of re-packing per item.
+        let packed_w = PackedA::pack(&wm)?;
         let bv = self.bias.value.as_slice().to_vec();
         let mut cols = Tensor::zeros(&[k, positions]);
-        // Scratch output reused across items: `matmul_into` zero-fills it
-        // before accumulating, so stale values never leak between items.
+        // Scratch output reused across items: the GEMM overwrites every
+        // element, so stale values never leak between items.
         let mut out = Tensor::zeros(&[self.out_channels, positions]);
         let mut outs = Vec::with_capacity(inputs.len());
         for input in inputs {
             im2col3d_into(input, &self.spec, &mut cols)?;
-            matmul_into(&wm, &cols, &mut out)?;
+            gemm_packed(&packed_w, &cols, &mut out)?;
             let ov = out.as_mut_slice();
             for (o, &b) in bv.iter().enumerate() {
                 for x in &mut ov[o * positions..(o + 1) * positions] {

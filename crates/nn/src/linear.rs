@@ -1,5 +1,5 @@
 use crate::{Layer, NnError, Param, Result};
-use duo_tensor::{matmul_into, Rng64, Tensor};
+use duo_tensor::{gemm_bias, Rng64, Tensor};
 
 /// Fully-connected layer: `y = W x + b` over rank-1 inputs.
 ///
@@ -47,12 +47,17 @@ impl Linear {
                 ),
             });
         }
-        let mut out = self.bias.value.clone();
+        // Products fold with fused multiply-add from 0.0 in index order,
+        // bias lands last — the same per-element float program as the
+        // fused-bias GEMM ([`duo_tensor::gemm_bias`]) that `infer_batch`
+        // rides, so the batched path is bit-identical to this one.
+        let mut out = Tensor::zeros(&[self.out_features]);
         let wv = self.weight.value.as_slice();
+        let bv = self.bias.value.as_slice();
         let xv = input.as_slice();
         for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
             let row = &wv[o * self.in_features..(o + 1) * self.in_features];
-            *out_val += row.iter().zip(xv).map(|(w, x)| w * x).sum::<f32>();
+            *out_val = row.iter().zip(xv).fold(0.0f32, |s, (w, &x)| w.mul_add(x, s)) + bv[o];
         }
         Ok(out)
     }
@@ -111,20 +116,19 @@ impl Layer for Linear {
                 wtv[i * nout + o] = wv[o * nin + i];
             }
         }
+        // Fused-bias GEMM: one pass writes `x·Wᵀ + b` directly instead of
+        // a matmul followed by a bias sweep over the whole output. Each
+        // element accumulates products in the same order as `compute` and
+        // adds the bias last, hence the same bits.
         let mut ymat = Tensor::zeros(&[batch, nout]);
-        matmul_into(&xmat, &wt, &mut ymat)?;
+        gemm_bias(&xmat, &wt, &self.bias.value, &mut ymat)?;
         let yv = ymat.as_slice();
-        Ok((0..batch)
+        (0..batch)
             .map(|s| {
-                // Bias first, product added onto it — the same float
-                // program as `compute`, hence the same bits.
-                let mut out = self.bias.value.clone();
-                for (o, out_val) in out.as_mut_slice().iter_mut().enumerate() {
-                    *out_val += yv[s * nout + o];
-                }
-                out
+                Tensor::from_vec(yv[s * nout..(s + 1) * nout].to_vec(), &[nout])
+                    .map_err(NnError::from)
             })
-            .collect())
+            .collect()
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -44,10 +44,12 @@ pub use conv::{
 pub use error::TensorError;
 pub use json::{Json, ToJson};
 pub use matmul::{
-    matmul_into, matmul_into_reference, matmul_into_serial, matmul_into_with,
+    gemm, gemm_bias, gemm_bias_packed, gemm_bias_with, gemm_packed, matmul_into,
+    matmul_into_reference, matmul_into_serial, matmul_into_with, PackedA,
 };
 pub use par::{
     intra_op_threads, set_intra_op_threads, PoolError, ThreadPool, MAX_AUTO_THREADS,
+    RING_CAPACITY,
 };
 pub use pool::{avg_pool3d, avg_pool3d_backward, max_pool3d, max_pool3d_backward, Pool3dSpec};
 pub use rng::{RandomSource, Rng64, Xoshiro256pp};

@@ -2,32 +2,55 @@
 //!
 //! The convolution kernels in this crate lower to matrix multiplication
 //! via im2col, so `matmul` dominates the runtime of every model
-//! forward/backward pass in the workspace. The implementation is a
-//! cache-blocked GEMM: the right-hand side is packed one `KC × NC` panel
-//! at a time into a contiguous buffer, and a hand-unrolled `MR × NR`
-//! register-tiled micro-kernel sweeps 4 output rows against that panel.
-//! Large products additionally split their *output rows* across the
-//! intra-op thread pool ([`crate::set_intra_op_threads`]).
+//! forward/backward pass in the workspace. The fast path is a
+//! cache-blocked GEMM with packed operands on both sides: A is packed
+//! once per call into 8-row interleaved blocks ([`PackedA`], reusable
+//! across calls that share a left operand), B is packed once into
+//! [`NR2`]-column depth-major strips ([`PackedB`]), and a hand-unrolled
+//! `8 × NR2` two-accumulator micro-kernel ([`micro_8w`], with
+//! [`micro_8n`] for the narrow final strip) sweeps 8 output rows across
+//! the full depth in one register pass. Remainder rows (fewer than 8 at
+//! the bottom of a stripe) fall back to the original 4-row/1-row
+//! kernels. Bias addition is fused into the final store ([`gemm_bias`])
+//! instead of costing a second pass over the output. Large products
+//! additionally split their *output rows* across the intra-op thread
+//! pool ([`crate::set_intra_op_threads`]) on packed-block boundaries,
+//! reusing one packed A/B pair across every stripe; the caller computes
+//! the first stripe inline while the ring workers chew the rest.
 //!
 //! # Determinism contract
 //!
-//! Every path through this module — the 4-row micro-kernel, the 1-row
-//! remainder kernel, the scalar column tail, serial or parallel — builds
-//! a given output element `out[i][j]` by the *same* float program: start
-//! from `0.0` and add `a[i][p] * b[p][j]` in strictly increasing `p`
-//! order (panelled as `pc`-major, identical for every path). Workers own
-//! disjoint row ranges and never share accumulators, so the result is
-//! bit-identical (`f32::to_bits`) at any thread count, any row
-//! partitioning, and any tile remainder. The property suite in
-//! `tests/kernel_bit_identity.rs` enforces this contract.
+//! Every path through this module — the 8-row packed micro-kernel, the
+//! 4-row and 1-row fallback kernels, the scalar column tail, serial or
+//! parallel, bias fused or not — builds a given output element
+//! `out[i][j]` by the *same* float program: start from `0.0`, fold in
+//! `a[i][p].mul_add(b[p][j], acc)` (one IEEE fused multiply-add, single
+//! rounding per step) in strictly increasing `p` order (panelled as
+//! `pc`-major, identical for every path), then add `bias[j]` last if a
+//! bias is given. The FMA order is *fixed*: no kernel may re-associate,
+//! split a fused step into mul-then-add, or hoist the bias. Packing only
+//! relocates operand bytes; it never reorders the accumulation. Workers
+//! own disjoint row ranges aligned to packed 8-row blocks and never
+//! share accumulators, so the result is bit-identical (`f32::to_bits`)
+//! at any thread count, any row partitioning, and any tile remainder —
+//! and `gemm_bias` is bit-equal to `gemm` followed by a bias loop,
+//! because `f32` addition of the same operands in the same order is one
+//! program. The property suite in `tests/kernel_bit_identity.rs`
+//! enforces this contract.
 
 use std::sync::Arc;
 
-use crate::par::{intra_op_pool, row_ranges, ThreadPool};
+use crate::par::{intra_op_pool, row_ranges_blocked, ThreadPool};
 use crate::{Tensor, TensorError};
 
-/// Rows swept together by the register-tiled micro-kernel.
+/// Rows swept together by the fallback register-tiled micro-kernel.
 const MR: usize = 4;
+/// Rows swept together by the wide packed micro-kernel; also the A
+/// packing block height and the parallel stripe alignment.
+const MR8: usize = 8;
+/// Column width of the wide micro-kernel's main tile and of the packed B
+/// strips (two NR-wide accumulator pairs).
+const NR2: usize = 2 * NR;
 /// Columns held in the accumulator tile.
 const NR: usize = 16;
 /// Depth (k) extent of one packed panel.
@@ -36,9 +59,14 @@ const KC: usize = 256;
 const NC: usize = 1024;
 
 /// `m·k·n` volume below which [`matmul_into`] stays serial: at small
-/// sizes the per-job operand copies and pool round-trip cost more than
+/// sizes the per-job operand shares and pool round-trip cost more than
 /// the multiply itself. 64³ is the empirical break-even on one core.
 const PAR_MIN_VOLUME: usize = 1 << 18;
+
+/// `m·k·n` volume below which the serial path skips operand packing and
+/// runs the legacy [`gemm_rows`] kernel directly: packing A and B is an
+/// `O(mk + kn)` tax that tiny products never pay back.
+const FAST_MIN_VOLUME: usize = 1 << 13;
 
 fn validate(a: &Tensor, b: &Tensor, out: &Tensor) -> Result<(usize, usize, usize), TensorError> {
     if a.rank() != 2 {
@@ -66,6 +94,225 @@ fn validate(a: &Tensor, b: &Tensor, out: &Tensor) -> Result<(usize, usize, usize
     Ok((m, k, n))
 }
 
+fn validate_bias(bias: &Tensor, n: usize) -> Result<(), TensorError> {
+    if bias.rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, actual: bias.rank(), op: "gemm_bias" });
+    }
+    if bias.dims()[0] != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: bias.dims().to_vec(),
+            rhs: vec![n],
+            op: "gemm_bias(bias)",
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Workspace buffer cache
+// ---------------------------------------------------------------------
+
+/// Process-wide recycling bin for the transient `Vec<f32>` workspaces the
+/// packed GEMM path burns through (packed A, packed B, worker output
+/// stripes). Serving workloads issue the same shapes call after call;
+/// without reuse every call mmaps fresh pages and pays the page-fault
+/// tax again — which on a single-core box is a large slice of the whole
+/// parallel dispatch overhead. Buffers handed out by [`take`] carry
+/// arbitrary stale contents; every consumer in this module fully
+/// overwrites its workspace (packers write all `len` elements, stripe
+/// outputs are written by the kernels' first-panel stores or explicitly
+/// zeroed), so no value ever leaks between calls.
+mod workspace {
+    use std::sync::Mutex;
+
+    /// Max cached buffers and max floats per cached buffer (16 MiB) —
+    /// bounds worst-case idle retention at ~256 MiB while covering every
+    /// shape the serving/attack workloads use.
+    const MAX_ENTRIES: usize = 16;
+    const MAX_FLOATS: usize = 1 << 22;
+
+    static BIN: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+    /// Returns a buffer of exactly `len` elements with unspecified
+    /// contents (best-fitting cached allocation, else fresh).
+    pub(super) fn take(len: usize) -> Vec<f32> {
+        let mut bin = BIN.lock().expect("workspace bin lock");
+        // Smallest cached buffer whose capacity already covers `len`;
+        // falls back to the largest one (realloc grows it in place-ish)
+        // or a fresh Vec.
+        let mut pick: Option<usize> = None;
+        for (idx, buf) in bin.iter().enumerate() {
+            if buf.capacity() >= len {
+                let better = pick.is_none_or(|p: usize| buf.capacity() < bin[p].capacity());
+                if better {
+                    pick = Some(idx);
+                }
+            }
+        }
+        let mut buf = match pick {
+            Some(idx) => bin.swap_remove(idx),
+            None => Vec::new(),
+        };
+        drop(bin);
+        if buf.len() >= len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
+    /// Returns a workspace to the bin for reuse (oversized or surplus
+    /// buffers are simply dropped).
+    pub(super) fn give(buf: Vec<f32>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_FLOATS {
+            return;
+        }
+        let mut bin = BIN.lock().expect("workspace bin lock");
+        if bin.len() < MAX_ENTRIES {
+            bin.push(buf);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Packed operands
+// ---------------------------------------------------------------------
+
+/// The left GEMM operand packed for the wide micro-kernel, reusable
+/// across calls ([`gemm_packed`] / [`gemm_bias_packed`]).
+///
+/// Layout: rows are grouped into blocks of 8 (`MR8`); within block `b`,
+/// element `a[8b + r][p]` lives at `data[8bk + 8p + r]`, so the wide
+/// micro-kernel (`micro_8w`)
+/// reads each depth step as 8 contiguous floats. The final `rows % 8`
+/// tail rows are stored row-major immediately after the blocks — because
+/// the blocks occupy exactly `(rows - tail) · k` floats, the whole buffer
+/// doubles as a row-major matrix for rows past the last full block, which
+/// is how the 4-row/1-row fallback kernels read it unchanged.
+///
+/// The buffer is behind an `Arc`: cloning a `PackedA` (or handing it to
+/// pool workers) shares the packing instead of repeating it. A `PackedA`
+/// is a snapshot — it does not observe later writes to the tensor it was
+/// packed from, so repack after any weight update (the nn layers pack
+/// per `infer_batch` call, which makes staleness impossible by
+/// construction).
+#[derive(Clone)]
+pub struct PackedA {
+    data: Arc<Vec<f32>>,
+    rows: usize,
+    k: usize,
+}
+
+impl std::fmt::Debug for PackedA {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedA").field("rows", &self.rows).field("k", &self.k).finish()
+    }
+}
+
+impl PackedA {
+    /// Packs a rank-2 tensor as a reusable left GEMM operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `a` is not rank 2.
+    pub fn pack(a: &Tensor) -> Result<PackedA, TensorError> {
+        if a.rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: a.rank(), op: "pack_a" });
+        }
+        Ok(Self::pack_slice(a.as_slice(), a.dims()[0], a.dims()[1]))
+    }
+
+    fn pack_slice(av: &[f32], rows: usize, k: usize) -> PackedA {
+        let mut data = workspace::take(rows * k);
+        let full = rows / MR8;
+        for b in 0..full {
+            let dst = &mut data[b * MR8 * k..(b + 1) * MR8 * k];
+            for r in 0..MR8 {
+                let src = &av[(b * MR8 + r) * k..(b * MR8 + r + 1) * k];
+                for (p, &x) in src.iter().enumerate() {
+                    dst[p * MR8 + r] = x;
+                }
+            }
+        }
+        let tail_start = full * MR8 * k;
+        data[tail_start..].copy_from_slice(&av[tail_start..rows * k]);
+        PackedA { data: Arc::new(data), rows, k }
+    }
+
+    /// Row count of the packed matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Depth (column count) of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns the packing buffer to the workspace bin if this is the
+    /// last reference (internal: only for packings this module created
+    /// and never handed out).
+    fn reclaim(self) {
+        if let Ok(data) = Arc::try_unwrap(self.data) {
+            workspace::give(data);
+        }
+    }
+}
+
+/// The right GEMM operand packed once per call into column strips of
+/// [`NR2`] columns: strip `s` covers columns `[s·NR2, s·NR2 + w)`
+/// (`w < NR2` only for the final strip) and stores element `b[p][j]` at
+/// `strip_base + p·w + (j − s·NR2)`, so the wide micro-kernel streams
+/// one contiguous strip for its entire depth sweep. Packed once and
+/// shared (`Arc`) across every worker stripe instead of re-packed per
+/// worker. A strip is exactly the `[p·nc + j]` panel image the legacy
+/// kernels expect (with `nc = w`, `kc = k`, `jc = s·NR2`), which is how
+/// tail rows reuse [`micro_4`]/[`micro_1`] against it unchanged.
+struct PackedB {
+    data: Vec<f32>,
+}
+
+fn pack_b_slice(bv: &[f32], k: usize, n: usize) -> PackedB {
+    let mut data = workspace::take(k * n);
+    // Rows outer, strips inner: each source row is read once,
+    // sequentially, and scattered to the per-strip cursors. The obvious
+    // strip-outer order instead reads at stride `n` — jumps that cross a
+    // page every couple of rows, defeat the prefetchers, and make
+    // packing cost a measurable slice of the whole GEMM at depth ≥ 1024.
+    let full = n / NR2 * NR2;
+    // Row-group blocking: 8 source rows (L1-resident) are scattered per
+    // pass, so each strip receives one contiguous 8-row chunk instead of
+    // a single [`NR2`]-wide sliver — sequential reads *and* chunked
+    // sequential writes.
+    let mut p0 = 0;
+    while p0 < k {
+        let pg = MR8.min(k - p0);
+        let rows = &bv[p0 * n..(p0 + pg) * n];
+        let mut js = 0;
+        while js < full {
+            let dst = js * k + p0 * NR2;
+            for (p, row) in rows.chunks_exact(n).enumerate() {
+                data[dst + p * NR2..dst + p * NR2 + NR2].copy_from_slice(&row[js..js + NR2]);
+            }
+            js += NR2;
+        }
+        if full < n {
+            let w = n - full;
+            let dst = full * k + p0 * w;
+            for (p, row) in rows.chunks_exact(n).enumerate() {
+                data[dst + p * w..dst + p * w + w].copy_from_slice(&row[full..]);
+            }
+        }
+        p0 += pg;
+    }
+    PackedB { data }
+}
+
+// ---------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------
+
 /// Multiplies two rank-2 tensors, writing into a preallocated output.
 ///
 /// `out` must have shape `[a.rows, b.cols]`. Prefer this over
@@ -81,19 +328,125 @@ fn validate(a: &Tensor, b: &Tensor, out: &Tensor) -> Result<(usize, usize, usize
 /// [`TensorError::Parallel`] if a pool worker panicked (not reachable
 /// from this crate's kernels).
 pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    gemm(a, b, out)
+}
+
+/// Tiered GEMM entry point: `out = a · b`.
+///
+/// Dispatch tiers by `m·k·n` volume: tiny products run the unpacked
+/// legacy kernel (packing would cost more than it saves), mid-size
+/// products pack both operands and run the wide serial kernel, and large
+/// products additionally stripe rows across the intra-op pool with one
+/// shared packing. Identical output bits at every tier.
+///
+/// # Errors
+///
+/// Same as [`matmul_into`].
+pub fn gemm(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     let (m, k, n) = validate(a, b, out)?;
-    if m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_VOLUME {
-        if let Some(pool) = intra_op_pool() {
-            return gemm_parallel(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n, &pool);
-        }
+    gemm_tiered(a.as_slice(), b.as_slice(), None, out.as_mut_slice(), m, k, n)
+}
+
+/// Tiered GEMM with fused column bias: `out = a · b + bias` with `bias`
+/// broadcast across rows (`bias.len() == b.cols`).
+///
+/// The bias add is fused into the micro-kernel's final panel store, so it
+/// costs no extra pass over `out` — yet the result is bit-identical to
+/// [`gemm`] followed by `out[i][j] += bias[j]`, because both orderings
+/// add `bias[j]` to the identical completed sum (asserted by the property
+/// suite in `tests/kernel_bit_identity.rs`).
+///
+/// # Errors
+///
+/// Same as [`matmul_into`], plus rank/shape errors for a `bias` that is
+/// not a length-`n` vector.
+pub fn gemm_bias(a: &Tensor, b: &Tensor, bias: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
+    validate_bias(bias, n)?;
+    gemm_tiered(a.as_slice(), b.as_slice(), Some(bias.as_slice()), out.as_mut_slice(), m, k, n)
+}
+
+/// [`gemm_bias`] on an explicit [`ThreadPool`], always taking the
+/// row-partitioned parallel path (no size threshold). Property tests use
+/// this to pin the thread count per case without mutating the global
+/// intra-op setting.
+///
+/// # Errors
+///
+/// Same as [`gemm_bias`]; additionally [`TensorError::Parallel`] if a job
+/// panicked.
+pub fn gemm_bias_with(
+    a: &Tensor,
+    b: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let (m, k, n) = validate(a, b, out)?;
+    validate_bias(bias, n)?;
+    let pa = PackedA::pack_slice(a.as_slice(), m, k);
+    let result =
+        gemm_parallel_packed(&pa, b.as_slice(), Some(bias.as_slice()), out.as_mut_slice(), n, pool);
+    pa.reclaim();
+    result
+}
+
+/// [`gemm`] against a pre-packed left operand, skipping the per-call A
+/// packing. `Conv3d::infer_batch` packs its weight matrix once and reuses
+/// it for every item in the batch.
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul_into`] with `a`'s shape taken from the
+/// packing.
+pub fn gemm_packed(pa: &PackedA, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
+    let n = validate_packed(pa, b, out)?;
+    gemm_packed_tiered(pa, b.as_slice(), None, out.as_mut_slice(), n)
+}
+
+/// [`gemm_bias`] against a pre-packed left operand.
+///
+/// # Errors
+///
+/// Same as [`gemm_packed`], plus bias shape errors as in [`gemm_bias`].
+pub fn gemm_bias_packed(
+    pa: &PackedA,
+    b: &Tensor,
+    bias: &Tensor,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    let n = validate_packed(pa, b, out)?;
+    validate_bias(bias, n)?;
+    gemm_packed_tiered(pa, b.as_slice(), Some(bias.as_slice()), out.as_mut_slice(), n)
+}
+
+fn validate_packed(pa: &PackedA, b: &Tensor, out: &Tensor) -> Result<usize, TensorError> {
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: b.rank(), op: "matmul" });
     }
-    gemm_rows(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n);
-    Ok(())
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if pa.k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![pa.rows, pa.k],
+            rhs: b.dims().to_vec(),
+            op: "matmul",
+        });
+    }
+    if out.dims() != [pa.rows, n] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: out.dims().to_vec(),
+            rhs: vec![pa.rows, n],
+            op: "matmul_into(out)",
+        });
+    }
+    Ok(n)
 }
 
 /// [`matmul_into`] forced onto the blocked serial kernel, regardless of
 /// the intra-op setting. This is the reference side of the bit-identity
-/// contract the parallel path is tested against.
+/// contract the packed and parallel paths are tested against, and is
+/// deliberately the *pre-packing* kernel (`gemm_rows`): the fast paths
+/// must reproduce its bits, not the other way round.
 ///
 /// # Errors
 ///
@@ -120,7 +473,10 @@ pub fn matmul_into_with(
     pool: &ThreadPool,
 ) -> Result<(), TensorError> {
     let (m, k, n) = validate(a, b, out)?;
-    gemm_parallel(a.as_slice(), b.as_slice(), out.as_mut_slice(), m, k, n, pool)
+    let pa = PackedA::pack_slice(a.as_slice(), m, k);
+    let result = gemm_parallel_packed(&pa, b.as_slice(), None, out.as_mut_slice(), n, pool);
+    pa.reclaim();
+    result
 }
 
 /// The pre-blocking naive i-k-j kernel, kept as the benchmark baseline
@@ -145,7 +501,7 @@ pub fn matmul_into_reference(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result
             }
             let brow = &bv[p * n..(p + 1) * n];
             for (o, &bpn) in orow.iter_mut().zip(brow) {
-                *o += aip * bpn;
+                *o = aip.mul_add(bpn, *o);
             }
         }
     }
@@ -170,53 +526,256 @@ pub(crate) fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     Ok(out)
 }
 
-/// Row-partitioned parallel GEMM. Each worker receives an owned copy of
-/// its A row stripe, shares B via `Arc`, and returns an owned output
-/// stripe computed by the same [`gemm_rows`] kernel the serial path runs;
-/// the caller stitches stripes back in range order. Copies are
-/// `O(mk + kn + mn)` against `O(mkn)` compute. Disjoint rows + identical
-/// per-row code ⇒ bit-identical to serial at any partitioning.
-fn gemm_parallel(
+// ---------------------------------------------------------------------
+// Dispatch tiers
+// ---------------------------------------------------------------------
+
+fn gemm_tiered(
     av: &[f32],
     bv: &[f32],
+    bias: Option<&[f32]>,
     ov: &mut [f32],
     m: usize,
     k: usize,
     n: usize,
-    pool: &ThreadPool,
 ) -> Result<(), TensorError> {
-    let ranges = row_ranges(m, pool.threads());
-    if ranges.len() <= 1 {
-        gemm_rows(av, bv, ov, m, k, n);
+    let volume = m.saturating_mul(k).saturating_mul(n);
+    if volume >= PAR_MIN_VOLUME {
+        if let Some(pool) = intra_op_pool() {
+            let pa = PackedA::pack_slice(av, m, k);
+            let result = gemm_parallel_packed(&pa, bv, bias, ov, n, &pool);
+            pa.reclaim();
+            return result;
+        }
+    }
+    if volume >= FAST_MIN_VOLUME {
+        let pa = PackedA::pack_slice(av, m, k);
+        let pb = pack_b_slice(bv, k, n);
+        gemm_packed_stripe(&pa.data, m, k, &pb.data, n, bias, ov);
+        pa.reclaim();
+        workspace::give(pb.data);
         return Ok(());
     }
-    let b_shared: Arc<Vec<f32>> = Arc::new(bv.to_vec());
-    let jobs: Vec<_> = ranges
-        .iter()
-        .map(|r| {
-            let a_stripe = av[r.start * k..r.end * k].to_vec();
-            let b_shared = Arc::clone(&b_shared);
-            let rows = r.len();
-            move || {
-                let mut stripe = vec![0.0f32; rows * n];
-                gemm_rows(&a_stripe, &b_shared, &mut stripe, rows, k, n);
-                stripe
+    gemm_rows(av, bv, ov, m, k, n);
+    if let Some(bv) = bias {
+        if n > 0 {
+            for row in ov.chunks_exact_mut(n) {
+                for (o, &b) in row.iter_mut().zip(bv) {
+                    *o += b;
+                }
             }
-        })
-        .collect();
-    let stripes = pool
-        .run(jobs)
-        .map_err(|e| TensorError::Parallel { op: "matmul_into", message: e.to_string() })?;
-    for (r, stripe) in ranges.iter().zip(stripes) {
-        ov[r.start * n..r.end * n].copy_from_slice(&stripe);
+        }
     }
     Ok(())
 }
 
-/// Blocked GEMM over a contiguous block of output rows: `ov[rows × n] =
-/// av[rows × k] · bv[k × n]`. This single kernel body serves the serial
-/// path (all rows) and every worker stripe, which is what makes the
-/// thread-count independence argument a one-liner.
+fn gemm_packed_tiered(
+    pa: &PackedA,
+    bv: &[f32],
+    bias: Option<&[f32]>,
+    ov: &mut [f32],
+    n: usize,
+) -> Result<(), TensorError> {
+    let volume = pa.rows.saturating_mul(pa.k).saturating_mul(n);
+    if volume >= PAR_MIN_VOLUME {
+        if let Some(pool) = intra_op_pool() {
+            return gemm_parallel_packed(pa, bv, bias, ov, n, &pool);
+        }
+    }
+    // The packing is already paid for, so even tiny products take the
+    // packed kernel (only B remains to pack — same cost as a legacy
+    // panel pass).
+    let pb = pack_b_slice(bv, pa.k, n);
+    gemm_packed_stripe(&pa.data, pa.rows, pa.k, &pb.data, n, bias, ov);
+    workspace::give(pb.data);
+    Ok(())
+}
+
+/// Row-partitioned parallel GEMM over packed operands. A and B are packed
+/// *once*; each worker shares them via `Arc`, computes an owned output
+/// stripe with the same [`gemm_packed_stripe`] kernel the serial path
+/// runs, and the caller stitches stripes back in range order. Stripe
+/// boundaries align to [`MR8`]-row packed blocks
+/// ([`row_ranges_blocked`]), so a worker's slice of the packed A buffer
+/// is itself a valid blocks-then-tail packing (only the final stripe can
+/// own tail rows). Shares are `O(mk + kn + mn)` against `O(mkn)` compute.
+/// Disjoint rows + identical per-row code ⇒ bit-identical to serial at
+/// any partitioning.
+fn gemm_parallel_packed(
+    pa: &PackedA,
+    bv: &[f32],
+    bias: Option<&[f32]>,
+    ov: &mut [f32],
+    n: usize,
+    pool: &ThreadPool,
+) -> Result<(), TensorError> {
+    let (rows, k) = (pa.rows, pa.k);
+    let ranges = row_ranges_blocked(rows, pool.threads(), MR8);
+    let pb = pack_b_slice(bv, k, n);
+    if ranges.len() <= 1 {
+        gemm_packed_stripe(&pa.data, rows, k, &pb.data, n, bias, ov);
+        workspace::give(pb.data);
+        return Ok(());
+    }
+    let pb = Arc::new(pb);
+    let bias_shared: Option<Arc<Vec<f32>>> = bias.map(|b| Arc::new(b.to_vec()));
+    // The caller computes the first stripe itself, directly into the
+    // output buffer, while the workers chew the rest: one less wakeup
+    // and stitch, and the calling core never idles waiting on the pool.
+    let (first, rest) = ranges.split_first().expect("ranges.len() > 1 checked above");
+    let jobs: Vec<_> = rest
+        .iter()
+        .map(|r| {
+            let a_data = Arc::clone(&pa.data);
+            let pb = Arc::clone(&pb);
+            let bias_shared = bias_shared.clone();
+            let (start, end) = (r.start, r.end);
+            move || {
+                let stripe_rows = end - start;
+                let mut stripe = workspace::take(stripe_rows * n);
+                gemm_packed_stripe(
+                    &a_data[start * k..end * k],
+                    stripe_rows,
+                    k,
+                    &pb.data,
+                    n,
+                    bias_shared.as_deref().map(Vec::as_slice),
+                    &mut stripe,
+                );
+                stripe
+            }
+        })
+        .collect();
+    let (first_out, rest_out) = ov.split_at_mut(first.end * n);
+    let (stripes, ()) = pool.run_with_local(jobs, || {
+        gemm_packed_stripe(
+            &pa.data[first.start * k..first.end * k],
+            first.end - first.start,
+            k,
+            &pb.data,
+            n,
+            bias,
+            first_out,
+        );
+    });
+    let stripes = stripes
+        .map_err(|e| TensorError::Parallel { op: "matmul_into", message: e.to_string() })?;
+    for (r, stripe) in rest.iter().zip(stripes) {
+        rest_out[(r.start - first.end) * n..(r.end - first.end) * n].copy_from_slice(&stripe);
+        workspace::give(stripe);
+    }
+    if let Ok(pb) = Arc::try_unwrap(pb) {
+        workspace::give(pb.data);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------
+
+/// Packed-operand GEMM over a contiguous block of output rows:
+/// `ov[rows × n] = pa[rows × k] · pb[k × n] (+ bias)`. `pa` is a
+/// [`PackedA`] buffer (or a block-aligned slice of one); `pb` is a full
+/// strip-packed [`PackedB`] buffer. This single kernel body serves the
+/// packed serial path and every worker stripe.
+///
+/// Each full 8-row block sweeps the *entire depth* against one B strip
+/// at a time ([`micro_8w`]/[`micro_8n`]): accumulators live in registers
+/// for the whole `k` extent and are stored exactly once, with the
+/// optional bias fused into that store — no output pre-fill, no partial
+/// sums round-tripping through memory between depth panels. (The store
+/// schedule differs from the legacy KC-panelled kernel, but the
+/// per-element float program — products added in strictly increasing `p`
+/// from `0.0`, bias last — is identical, and f32 ops are deterministic,
+/// so the bits can't differ.) The A block (`8·k` floats) stays hot
+/// across strips; each strip (`k·NR2` floats) streams once per block.
+///
+/// Tail rows (fewer than 8 at the bottom) reuse the legacy
+/// [`micro_4`]/[`micro_1`] kernels — the packed buffer is row-major past
+/// the last full block (see [`PackedA`]), and a B strip is exactly a
+/// legacy panel of shape `k × w` — with an explicit pre-zero and
+/// post-loop bias add. Either way each element runs the contract's float
+/// program exactly.
+fn gemm_packed_stripe(
+    pa: &[f32],
+    rows: usize,
+    k: usize,
+    pb: &[f32],
+    n: usize,
+    bias: Option<&[f32]>,
+    ov: &mut [f32],
+) {
+    if rows == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        ov.fill(0.0);
+        if let Some(bv) = bias {
+            for row in ov.chunks_exact_mut(n) {
+                for (o, &b) in row.iter_mut().zip(bv) {
+                    *o += b;
+                }
+            }
+        }
+        return;
+    }
+    let tail = (rows / MR8) * MR8;
+    // Strips outer, row-blocks inner: the strip under work stays warm
+    // while the A blocks stream past it sequentially once per strip —
+    // the A side is `rows/8`× smaller than re-streaming all of B per
+    // row-block would be.
+    let mut cursor = 0;
+    let mut js = 0;
+    while js < n {
+        let w = NR2.min(n - js);
+        let strip = &pb[cursor..cursor + k * w];
+        cursor += k * w;
+        let mut i = 0;
+        while i + MR8 <= rows {
+            let ablock = &pa[i * k..(i + MR8) * k];
+            if w == NR2 {
+                micro_8w(ablock, strip, ov, n, i, js, bias);
+            } else {
+                micro_8n(ablock, strip, k, w, ov, n, i, js, bias);
+            }
+            i += MR8;
+        }
+        js += w;
+    }
+    if tail < rows {
+        ov[tail * n..].fill(0.0);
+        let mut cursor = 0;
+        let mut js = 0;
+        while js < n {
+            let w = NR2.min(n - js);
+            let strip = &pb[cursor..cursor + k * w];
+            cursor += k * w;
+            let mut i = tail;
+            while i + MR <= rows {
+                micro_4(pa, ov, k, n, i, 0, k, js, w, strip);
+                i += MR;
+            }
+            while i < rows {
+                micro_1(pa, ov, k, n, i, 0, k, js, w, strip);
+                i += 1;
+            }
+            js += w;
+        }
+        if let Some(bv) = bias {
+            for row in ov[tail * n..].chunks_exact_mut(n) {
+                for (o, &b) in row.iter_mut().zip(bv) {
+                    *o += b;
+                }
+            }
+        }
+    }
+}
+
+/// Legacy blocked GEMM over a contiguous block of output rows:
+/// `ov[rows × n] = av[rows × k] · bv[k × n]` with per-call panel packing
+/// and the 4-row micro-kernel. Serves [`matmul_into_serial`] (the
+/// bit-identity reference) and the sub-[`FAST_MIN_VOLUME`] serial tier.
 fn gemm_rows(av: &[f32], bv: &[f32], ov: &mut [f32], rows: usize, k: usize, n: usize) {
     ov.fill(0.0);
     if rows == 0 || k == 0 || n == 0 {
@@ -248,13 +807,182 @@ fn gemm_rows(av: &[f32], bv: &[f32], ov: &mut [f32], rows: usize, k: usize, n: u
     }
 }
 
-/// Register-tiled micro-kernel: 4 output rows × one packed panel. The
-/// `[[f32; NR]; MR]` accumulator tile is loaded from `ov` (carrying the
-/// partial sum of earlier `pc` panels), updated in increasing-`p` order,
-/// and stored back. Remainder columns past the last full `NR` tile use a
-/// scalar loop with the identical per-element accumulation order. The
-/// 4-row body is deliberately hand-unrolled: a generic `for r in 0..MR`
-/// formulation measurably defeats the autovectorizer.
+/// Wide packed micro-kernel: 8 output rows × one full-width B strip,
+/// sweeping the **entire depth** in one register pass. The accumulators
+/// are four `[[f32; NR]; 4]` tiles — a two-accumulator unroll where
+/// `lo`/`hi` split the 8 rows and `_a`/`_b` split the [`NR2`]-column
+/// pair — 16 wide vectors total, sized to the AVX-512 register file.
+/// `ablock` is the packed A block for rows `i..i+8` (`ablock[8p + r]`,
+/// depth-major: every depth step reads 8 contiguous floats, and each
+/// broadcast B value feeds 8 FMAs instead of 4); `strip` is one packed B
+/// strip (`strip[p·NR2 + j]`). The FMA order is fixed: per element,
+/// products accumulate from `0.0` in increasing `p` exactly as in
+/// [`micro_4`], and the optional `bias[j]` lands after the final
+/// product, fused into the single store. The 8-row body is deliberately
+/// hand-unrolled: a generic `for r in 0..8` formulation measurably
+/// defeats the autovectorizer.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_8w(
+    ablock: &[f32],
+    strip: &[f32],
+    ov: &mut [f32],
+    n: usize,
+    i: usize,
+    js: usize,
+    bias: Option<&[f32]>,
+) {
+    let mut lo_a = [[0.0f32; NR]; 4];
+    let mut lo_b = [[0.0f32; NR]; 4];
+    let mut hi_a = [[0.0f32; NR]; 4];
+    let mut hi_b = [[0.0f32; NR]; 4];
+    // chunks_exact (not indexed slicing) so the depth loop carries no
+    // bounds checks: both iterators yield fixed-size chunks whose length
+    // the optimizer knows statically.
+    for (ar, br) in ablock.chunks_exact(MR8).zip(strip.chunks_exact(NR2)) {
+        let (b0, b1) = br.split_at(NR);
+        let x0 = ar[0];
+        let x1 = ar[1];
+        let x2 = ar[2];
+        let x3 = ar[3];
+        let x4 = ar[4];
+        let x5 = ar[5];
+        let x6 = ar[6];
+        let x7 = ar[7];
+        for (jj, &bval) in b0.iter().enumerate() {
+            lo_a[0][jj] = x0.mul_add(bval, lo_a[0][jj]);
+            lo_a[1][jj] = x1.mul_add(bval, lo_a[1][jj]);
+            lo_a[2][jj] = x2.mul_add(bval, lo_a[2][jj]);
+            lo_a[3][jj] = x3.mul_add(bval, lo_a[3][jj]);
+            hi_a[0][jj] = x4.mul_add(bval, hi_a[0][jj]);
+            hi_a[1][jj] = x5.mul_add(bval, hi_a[1][jj]);
+            hi_a[2][jj] = x6.mul_add(bval, hi_a[2][jj]);
+            hi_a[3][jj] = x7.mul_add(bval, hi_a[3][jj]);
+        }
+        for (jj, &bval) in b1.iter().enumerate() {
+            lo_b[0][jj] = x0.mul_add(bval, lo_b[0][jj]);
+            lo_b[1][jj] = x1.mul_add(bval, lo_b[1][jj]);
+            lo_b[2][jj] = x2.mul_add(bval, lo_b[2][jj]);
+            lo_b[3][jj] = x3.mul_add(bval, lo_b[3][jj]);
+            hi_b[0][jj] = x4.mul_add(bval, hi_b[0][jj]);
+            hi_b[1][jj] = x5.mul_add(bval, hi_b[1][jj]);
+            hi_b[2][jj] = x6.mul_add(bval, hi_b[2][jj]);
+            hi_b[3][jj] = x7.mul_add(bval, hi_b[3][jj]);
+        }
+    }
+    if let Some(bv) = bias {
+        let bt = &bv[js..js + NR2];
+        let (t0, t1) = bt.split_at(NR);
+        for r in 0..4 {
+            for jj in 0..NR {
+                lo_a[r][jj] += t0[jj];
+                lo_b[r][jj] += t1[jj];
+                hi_a[r][jj] += t0[jj];
+                hi_b[r][jj] += t1[jj];
+            }
+        }
+    }
+    for r in 0..4 {
+        let base = (i + r) * n + js;
+        ov[base..base + NR].copy_from_slice(&lo_a[r]);
+        ov[base + NR..base + NR2].copy_from_slice(&lo_b[r]);
+        let base = (i + 4 + r) * n + js;
+        ov[base..base + NR].copy_from_slice(&hi_a[r]);
+        ov[base + NR..base + NR2].copy_from_slice(&hi_b[r]);
+    }
+}
+
+/// Narrow-strip variant of [`micro_8w`] for the final B strip when
+/// `n % NR2 != 0`: one 8×NR register pass while a full NR tile remains,
+/// then a scalar column loop — each running the identical per-element
+/// program (full-depth accumulation from `0.0`, bias last, single
+/// store).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_8n(
+    ablock: &[f32],
+    strip: &[f32],
+    k: usize,
+    w: usize,
+    ov: &mut [f32],
+    n: usize,
+    i: usize,
+    js: usize,
+    bias: Option<&[f32]>,
+) {
+    let mut j = 0;
+    while j + NR <= w {
+        let mut lo = [[0.0f32; NR]; 4];
+        let mut hi = [[0.0f32; NR]; 4];
+        for (ar, brow) in ablock.chunks_exact(MR8).zip(strip.chunks_exact(w)) {
+            let br = &brow[j..j + NR];
+            let x0 = ar[0];
+            let x1 = ar[1];
+            let x2 = ar[2];
+            let x3 = ar[3];
+            let x4 = ar[4];
+            let x5 = ar[5];
+            let x6 = ar[6];
+            let x7 = ar[7];
+            for (jj, &bval) in br.iter().enumerate() {
+                lo[0][jj] = x0.mul_add(bval, lo[0][jj]);
+                lo[1][jj] = x1.mul_add(bval, lo[1][jj]);
+                lo[2][jj] = x2.mul_add(bval, lo[2][jj]);
+                lo[3][jj] = x3.mul_add(bval, lo[3][jj]);
+                hi[0][jj] = x4.mul_add(bval, hi[0][jj]);
+                hi[1][jj] = x5.mul_add(bval, hi[1][jj]);
+                hi[2][jj] = x6.mul_add(bval, hi[2][jj]);
+                hi[3][jj] = x7.mul_add(bval, hi[3][jj]);
+            }
+        }
+        if let Some(bv) = bias {
+            let bt = &bv[js + j..js + j + NR];
+            for tile in lo.iter_mut() {
+                for (o, &b) in tile.iter_mut().zip(bt) {
+                    *o += b;
+                }
+            }
+            for tile in hi.iter_mut() {
+                for (o, &b) in tile.iter_mut().zip(bt) {
+                    *o += b;
+                }
+            }
+        }
+        for (r, tile) in lo.iter().enumerate() {
+            let base = (i + r) * n + js + j;
+            ov[base..base + NR].copy_from_slice(tile);
+        }
+        for (r, tile) in hi.iter().enumerate() {
+            let base = (i + 4 + r) * n + js + j;
+            ov[base..base + NR].copy_from_slice(tile);
+        }
+        j += NR;
+    }
+    while j < w {
+        for r in 0..MR8 {
+            let idx = (i + r) * n + js + j;
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s = ablock[p * MR8 + r].mul_add(strip[p * w + j], s);
+            }
+            if let Some(bv) = bias {
+                s += bv[js + j];
+            }
+            ov[idx] = s;
+        }
+        j += 1;
+    }
+}
+
+/// Register-tiled fallback micro-kernel: 4 output rows × one packed
+/// panel, reading row-major A. The `[[f32; NR]; MR]` accumulator tile is
+/// loaded from `ov` (carrying the partial sum of earlier `pc` panels),
+/// updated in increasing-`p` order, and stored back. Remainder columns
+/// past the last full `NR` tile use a scalar loop with the identical
+/// per-element accumulation order. The 4-row body is deliberately
+/// hand-unrolled: a generic `for r in 0..MR` formulation measurably
+/// defeats the autovectorizer. Serves [`gemm_rows`] for all rows and
+/// [`gemm_packed_stripe`] for tail rows past the last packed 8-block.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn micro_4(
@@ -287,10 +1015,10 @@ fn micro_4(
             let x2 = a2[p];
             let x3 = a3[p];
             for (jj, &bval) in br.iter().enumerate() {
-                acc[0][jj] += x0 * bval;
-                acc[1][jj] += x1 * bval;
-                acc[2][jj] += x2 * bval;
-                acc[3][jj] += x3 * bval;
+                acc[0][jj] = x0.mul_add(bval, acc[0][jj]);
+                acc[1][jj] = x1.mul_add(bval, acc[1][jj]);
+                acc[2][jj] = x2.mul_add(bval, acc[2][jj]);
+                acc[3][jj] = x3.mul_add(bval, acc[3][jj]);
             }
         }
         for (r, tile) in acc.iter().enumerate() {
@@ -304,7 +1032,7 @@ fn micro_4(
             let idx = (i + r) * n + jc + j;
             let mut s = ov[idx];
             for (p, &x) in ar.iter().enumerate() {
-                s += x * panel[p * nc + j];
+                s = x.mul_add(panel[p * nc + j], s);
             }
             ov[idx] = s;
         }
@@ -338,7 +1066,7 @@ fn micro_1(
         for (p, &x0) in a0.iter().enumerate() {
             let br = &panel[p * nc + j..p * nc + j + NR];
             for (jj, &bval) in br.iter().enumerate() {
-                acc[jj] += x0 * bval;
+                acc[jj] = x0.mul_add(bval, acc[jj]);
             }
         }
         ov[base..base + NR].copy_from_slice(&acc);
@@ -348,7 +1076,7 @@ fn micro_1(
         let idx = i * n + jc + j;
         let mut s = ov[idx];
         for (p, &x0) in a0.iter().enumerate() {
-            s += x0 * panel[p * nc + j];
+            s = x0.mul_add(panel[p * nc + j], s);
         }
         ov[idx] = s;
         j += 1;
@@ -368,7 +1096,7 @@ mod tests {
             for j in 0..n {
                 let mut s = 0.0;
                 for p in 0..k {
-                    s += a.as_slice()[i * k + p] * b.as_slice()[p * n + j];
+                    s = a.as_slice()[i * k + p].mul_add(b.as_slice()[p * n + j], s);
                 }
                 out.as_mut_slice()[i * n + j] = s;
             }
@@ -424,6 +1152,121 @@ mod tests {
     }
 
     #[test]
+    fn packed_serial_kernel_is_bitwise_legacy_serial() {
+        // The 8×16 packed fast path must land on the legacy reference's
+        // bits for every row-remainder class and panel boundary.
+        let mut rng = Rng64::new(21);
+        for &(m, k, n) in &[
+            (8, 16, 16),   // exactly one packed block
+            (16, 300, 33), // k crosses a KC panel, two blocks, odd n
+            (7, 25, 18),   // tail-only (no full 8-block)
+            (23, 40, 17),  // two blocks + 7-row tail
+            (9, 5, 40),    // one block + 1-row tail
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let mut serial = Tensor::zeros(&[m, n]);
+            matmul_into_serial(&a, &b, &mut serial).unwrap();
+            let pa = PackedA::pack(&a).unwrap();
+            let pb = pack_b_slice(b.as_slice(), k, n);
+            let mut fast = Tensor::full(&[m, n], f32::NAN);
+            gemm_packed_stripe(&pa.data, m, k, &pb.data, n, None, fast.as_mut_slice());
+            assert_eq!(
+                serial.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_a_layout_interleaves_blocks_and_leaves_tail_row_major() {
+        // 10 rows of k=3: one full 8-block (depth-major, 8-interleaved)
+        // then 2 tail rows stored row-major at their natural offset.
+        let rows = 10;
+        let k = 3;
+        let a = Tensor::from_vec((0..rows * k).map(|x| x as f32).collect(), &[rows, k]).unwrap();
+        let pa = PackedA::pack(&a).unwrap();
+        assert_eq!(pa.rows(), rows);
+        assert_eq!(pa.k(), k);
+        let av = a.as_slice();
+        for p in 0..k {
+            for r in 0..MR8 {
+                assert_eq!(pa.data[p * MR8 + r], av[r * k + p], "block element ({r},{p})");
+            }
+        }
+        assert_eq!(&pa.data[MR8 * k..], &av[MR8 * k..], "tail rows must stay row-major");
+    }
+
+    #[test]
+    fn gemm_bias_matches_gemm_plus_bias_loop_bitwise() {
+        let mut rng = Rng64::new(22);
+        for &(m, k, n) in &[(1, 3, 5), (8, 16, 16), (13, 70, 21), (24, 300, 40)] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let bias = Tensor::randn(&[n], 1.0, rng.as_rng());
+            let mut unfused = Tensor::zeros(&[m, n]);
+            gemm(&a, &b, &mut unfused).unwrap();
+            for row in unfused.as_mut_slice().chunks_exact_mut(n) {
+                for (o, &bb) in row.iter_mut().zip(bias.as_slice()) {
+                    *o += bb;
+                }
+            }
+            let mut fused = Tensor::full(&[m, n], f32::NAN);
+            gemm_bias(&a, &b, &bias, &mut fused).unwrap();
+            assert_eq!(
+                unfused.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fused.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_packed_reuses_packing_across_right_operands() {
+        let mut rng = Rng64::new(23);
+        let a = Tensor::randn(&[11, 19], 1.0, rng.as_rng());
+        let pa = PackedA::pack(&a).unwrap();
+        for _ in 0..3 {
+            let b = Tensor::randn(&[19, 23], 1.0, rng.as_rng());
+            let mut want = Tensor::zeros(&[11, 23]);
+            matmul_into_serial(&a, &b, &mut want).unwrap();
+            let mut got = Tensor::zeros(&[11, 23]);
+            gemm_packed(&pa, &b, &mut got).unwrap();
+            assert_eq!(want.as_slice(), got.as_slice());
+        }
+    }
+
+    #[test]
+    fn gemm_bias_validates_bias_shape() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let mut out = Tensor::zeros(&[2, 4]);
+        let wrong_len = Tensor::zeros(&[5]);
+        assert!(gemm_bias(&a, &b, &wrong_len, &mut out).is_err());
+        let wrong_rank = Tensor::zeros(&[4, 1]);
+        assert!(gemm_bias(&a, &b, &wrong_rank, &mut out).is_err());
+        let pool = ThreadPool::new(2);
+        assert!(gemm_bias_with(&a, &b, &wrong_len, &mut out, &pool).is_err());
+        let good = Tensor::zeros(&[4]);
+        assert!(gemm_bias(&a, &b, &good, &mut out).is_ok());
+    }
+
+    #[test]
+    fn packed_entry_points_validate_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let pa = PackedA::pack(&a).unwrap();
+        let bad_b = Tensor::zeros(&[4, 2]);
+        let mut out = Tensor::zeros(&[2, 4]);
+        assert!(gemm_packed(&pa, &bad_b, &mut out).is_err());
+        let b = Tensor::zeros(&[3, 4]);
+        let mut bad_out = Tensor::zeros(&[2, 3]);
+        assert!(gemm_packed(&pa, &b, &mut bad_out).is_err());
+        assert!(PackedA::pack(&Tensor::zeros(&[3])).is_err());
+        assert!(gemm_packed(&pa, &b, &mut out).is_ok());
+    }
+
+    #[test]
     fn explicit_pool_matches_serial_bitwise() {
         let mut rng = Rng64::new(15);
         let pool = ThreadPool::new(3);
@@ -476,6 +1319,22 @@ mod tests {
     }
 
     #[test]
+    fn packed_path_overwrites_stale_output() {
+        // The 8×16 kernel skips the output pre-fill (first-panel
+        // accumulators start in registers), so stale output reuse is a
+        // dedicated hazard for it.
+        let mut rng = Rng64::new(17);
+        let a = Tensor::randn(&[16, 20], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[20, 24], 1.0, rng.as_rng());
+        let mut want = Tensor::zeros(&[16, 24]);
+        matmul_into_serial(&a, &b, &mut want).unwrap();
+        let pa = PackedA::pack(&a).unwrap();
+        let mut stale = Tensor::full(&[16, 24], f32::NAN);
+        gemm_packed(&pa, &b, &mut stale).unwrap();
+        assert_eq!(want.as_slice(), stale.as_slice(), "NaN canary leaked into output");
+    }
+
+    #[test]
     fn parallel_path_overwrites_stale_output() {
         let mut rng = Rng64::new(16);
         let pool = ThreadPool::new(2);
@@ -509,5 +1368,14 @@ mod tests {
         let mut out = Tensor::full(&[3, 2], 5.0);
         matmul_into(&a, &b, &mut out).unwrap();
         assert!(out.as_slice().iter().all(|&x| x == 0.0));
+        // The fused-bias path must still see the bias on a k=0 product.
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let mut with_bias = Tensor::full(&[3, 2], 5.0);
+        gemm_bias(&a, &b, &bias, &mut with_bias).unwrap();
+        assert_eq!(with_bias.as_slice(), &[1.5, -2.0, 1.5, -2.0, 1.5, -2.0]);
+        let pool = ThreadPool::new(2);
+        let mut par = Tensor::full(&[3, 2], 5.0);
+        gemm_bias_with(&a, &b, &bias, &mut par, &pool).unwrap();
+        assert_eq!(par.as_slice(), with_bias.as_slice());
     }
 }

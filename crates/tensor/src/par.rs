@@ -11,13 +11,32 @@
 //! contained (never poisons or deadlocks the pool), and dropping the pool
 //! joins every worker.
 //!
+//! # Job-ring dispatch
+//!
+//! Each worker owns a private bounded job ring — a long-lived
+//! `sync_channel` of capacity [`RING_CAPACITY`] created once at spawn —
+//! instead of the shared mutex-guarded injector queue earlier revisions
+//! used. Dispatching a row stripe is therefore one enqueue onto the
+//! target worker's ring (lock-free array ring buffer in std's channel
+//! implementation), with no per-call channel setup and no receiver-lock
+//! contention between workers. Batches are stamped with a monotone
+//! *generation* from a pool-wide counter; every job echoes its batch
+//! generation alongside its result, and the collector verifies the echo,
+//! so a result can never be attributed to the wrong batch even with many
+//! concurrent callers. Jobs within a batch are assigned round-robin from
+//! a rotating start worker, which keeps single-batch GEMM dispatch "one
+//! stripe per worker" while spreading concurrent batches across rings.
+//! Rings are bounded, so a caller that enqueues more than
+//! [`RING_CAPACITY`] jobs per worker simply blocks until the worker
+//! drains — backpressure, not failure (tortured in
+//! `tests/pool_ring_torture.rs`).
+//!
 //! The whole crate is `#![forbid(unsafe_code)]`, so the pool cannot lend
 //! borrowed slices across threads the way `rayon`'s scoped tasks do.
 //! Instead every job is a `'static` closure owning its inputs: callers
-//! copy the operands a worker needs (the kernels share the right-hand
-//! side via `Arc` and hand each worker its own row stripe), and workers
+//! share packed operands via `Arc` (see [`crate::PackedA`]), and workers
 //! return owned output stripes that the caller stitches back together.
-//! For the GEMM-shaped workloads this pool exists for, those copies are
+//! For the GEMM-shaped workloads this pool exists for, those shares are
 //! `O(n²)` against `O(n³)` compute and disappear in the noise.
 //!
 //! # Example
@@ -34,7 +53,8 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -42,7 +62,16 @@ use std::thread::JoinHandle;
 /// resolves to; explicit settings may exceed it.
 pub const MAX_AUTO_THREADS: usize = 8;
 
+/// Bounded capacity of each worker's private job ring. A batch may
+/// enqueue arbitrarily more jobs than this per worker — the dispatcher
+/// blocks until the ring drains (backpressure), it never drops or fails.
+pub const RING_CAPACITY: usize = 64;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One entry on a worker's job ring: the dispatching batch's generation
+/// stamp plus the panic-wrapped work closure.
+type RingJob = (u64, Job);
 
 thread_local! {
     static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -51,8 +80,8 @@ thread_local! {
 /// Error returned by [`ThreadPool::run`] when a job panicked.
 ///
 /// The panic is contained: every other job in the batch still runs to
-/// completion, the worker that caught the panic keeps serving, and the
-/// pool remains fully usable afterwards.
+/// completion, the worker that caught the panic keeps serving its ring,
+/// and the pool remains fully usable afterwards.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolError {
     /// Submission index of the first (lowest-index) panicked job.
@@ -79,59 +108,88 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A fixed-size pool of `std::thread` workers fed over a shared channel.
+/// A fixed-size pool of `std::thread` workers, each draining its own
+/// persistent bounded job ring.
 ///
-/// See `DESIGN.md` §6e for the determinism contract. Dropping the
-/// pool disconnects the job channel and joins every worker, so a pool can
-/// be created and torn down freely (the property-test suites build pools
-/// of many sizes per case).
+/// See `DESIGN.md` §6e for the determinism contract and the ring
+/// dispatch protocol. Dropping the pool disconnects every ring and joins
+/// every worker, so a pool can be created and torn down freely (the
+/// property-test suites build pools of many sizes per case).
 pub struct ThreadPool {
-    injector: Option<Sender<Job>>,
+    rings: Vec<SyncSender<RingJob>>,
     workers: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Monotone batch stamp; see [`ThreadPool::generation`].
+    generation: AtomicU64,
+    /// Rotating ring cursor so concurrent batches start on different
+    /// workers instead of all hammering ring 0.
+    cursor: AtomicUsize,
 }
 
 impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadPool").field("threads", &self.threads).finish()
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("generation", &self.generation.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
 impl ThreadPool {
-    /// Spawns a pool with `threads` workers (`0` is clamped to `1`).
+    /// Spawns a pool with `threads` workers (`0` is clamped to `1`),
+    /// each owning a private job ring of [`RING_CAPACITY`] slots.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let mut rings = Vec::with_capacity(threads);
         let workers = (0..threads)
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let (tx, rx) = sync_channel::<RingJob>(RING_CAPACITY);
+                rings.push(tx);
                 std::thread::spawn(move || worker_loop(&rx))
             })
             .collect();
-        ThreadPool { injector: Some(tx), workers, threads }
+        ThreadPool {
+            rings,
+            workers,
+            threads,
+            generation: AtomicU64::new(0),
+            cursor: AtomicUsize::new(0),
+        }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (= number of job rings).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of batches dispatched over this pool's rings so far. Each
+    /// [`ThreadPool::run`] call claims the next generation; the stamp
+    /// travels with every job and is echoed back with its result, where
+    /// the collector verifies it.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// True when called from inside a pool worker thread (any pool).
     ///
     /// The parallel kernels consult this to fall back to their serial path
     /// instead of re-entering a pool: a job that blocked on a nested
-    /// `run` while every worker was busy running such jobs would deadlock.
+    /// `run` while every worker was busy running such jobs would deadlock
+    /// (and with bounded rings, so could a nested dispatch into a full
+    /// ring). Tortured in `tests/pool_ring_torture.rs`.
     pub fn is_worker() -> bool {
         IS_POOL_WORKER.with(Cell::get)
     }
 
     /// Runs every job and returns their results in submission order.
     ///
-    /// Jobs may outnumber workers arbitrarily (they queue and drain), and
-    /// `run` may be called from many threads at once — concurrent batches
-    /// interleave in the shared queue but each batch's results are routed
-    /// over its own channel, so batches never observe each other.
+    /// Jobs are assigned round-robin onto the per-worker rings starting
+    /// from a rotating cursor, so a GEMM-style batch of `threads` stripes
+    /// costs exactly one enqueue per worker. Jobs may outnumber workers
+    /// (and even exceed [`RING_CAPACITY`] per ring — dispatch then blocks
+    /// until the ring drains), and `run` may be called from many threads
+    /// at once: each batch routes results over its own channel stamped
+    /// with the batch generation, so batches never observe each other.
     ///
     /// # Errors
     ///
@@ -143,30 +201,60 @@ impl ThreadPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.run_with_local(jobs, || ()).0
+    }
+
+    /// [`ThreadPool::run`], with the calling thread doing useful work
+    /// instead of idling: `jobs` are enqueued onto the rings first, then
+    /// `local` runs *on the caller* while the workers chew, and only then
+    /// does the caller block draining results. The parallel GEMM hands
+    /// its first output stripe to `local`, which both saves one
+    /// enqueue/wakeup round-trip and keeps the caller's core busy —
+    /// exactly the stripe that would otherwise be computed by a worker
+    /// while the caller sleeps. `local` needs no `'static` bound (it
+    /// never leaves the caller), so it may borrow the output buffer
+    /// directly.
+    pub fn run_with_local<T, F, L, R>(
+        &self,
+        jobs: Vec<F>,
+        local: L,
+    ) -> (Result<Vec<T>, PoolError>, R)
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        L: FnOnce() -> R,
+    {
         let total = jobs.len();
         if total == 0 {
-            return Ok(Vec::new());
+            return (Ok(Vec::new()), local());
         }
-        let injector = self.injector.as_ref().expect("pool alive while not dropped");
-        let (results_tx, results_rx) = channel::<(usize, Result<T, String>)>();
+        let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let (results_tx, results_rx) = channel::<(usize, u64, Result<T, String>)>();
         for (index, job) in jobs.into_iter().enumerate() {
             let results_tx = results_tx.clone();
             let wrapped: Job = Box::new(move || {
                 let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(|p| panic_message(&*p));
                 // The receiver outlives the batch; a send can only fail if
                 // `run` itself panicked, in which case nobody is counting.
-                let _ = results_tx.send((index, outcome));
+                let _ = results_tx.send((index, gen, outcome));
             });
-            injector.send(wrapped).expect("workers alive while pool not dropped");
+            let ring = &self.rings[(start + index) % self.threads];
+            ring.send((gen, wrapped)).expect("workers alive while pool not dropped");
         }
         drop(results_tx);
 
+        // The workers are chewing; do the caller's share before blocking.
+        let local_result = local();
+
         // Drain *all* results before reporting, so a failed batch leaves
-        // no stragglers behind in the queue.
+        // no stragglers behind on any ring.
         let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
         let mut first_panic: Option<PoolError> = None;
         for _ in 0..total {
-            let (index, outcome) = results_rx.recv().expect("every job sends exactly once");
+            let (index, echoed, outcome) =
+                results_rx.recv().expect("every job sends exactly once");
+            assert_eq!(echoed, gen, "job echoed a foreign batch generation");
             match outcome {
                 Ok(value) => slots[index] = Some(value),
                 Err(message) => {
@@ -178,33 +266,31 @@ impl ThreadPool {
             }
         }
         if let Some(err) = first_panic {
-            return Err(err);
+            return (Err(err), local_result);
         }
-        Ok(slots.into_iter().map(|s| s.expect("all slots filled on success")).collect())
+        let values =
+            slots.into_iter().map(|s| s.expect("all slots filled on success")).collect();
+        (Ok(values), local_result)
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Disconnect the queue; each worker finishes its current job,
-        // drains nothing further, and exits.
-        self.injector = None;
+        // Disconnect every ring; each worker finishes the jobs already on
+        // its ring, observes the disconnect, and exits.
+        self.rings.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(rx: &Receiver<RingJob>) {
     IS_POOL_WORKER.with(|flag| flag.set(true));
-    loop {
-        // Hold the receiver lock only for the blocking take, never while
-        // running a job. Jobs are panic-wrapped by `run`, so the lock is
-        // never poisoned.
-        let job = match rx.lock().expect("job queue lock").recv() {
-            Ok(job) => job,
-            Err(_) => break,
-        };
+    // The ring is this worker's private queue: no receiver lock to take,
+    // no contention with siblings. Jobs are panic-wrapped by `run`, so
+    // the loop only ends when every sender (the pool) is gone.
+    while let Ok((_gen, job)) = rx.recv() {
         job();
     }
 }
@@ -294,6 +380,25 @@ pub(crate) fn row_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usiz
     ranges
 }
 
+/// [`row_ranges`] with every boundary (except the final end) aligned to a
+/// multiple of `block`: partitions `total` rows by splitting the
+/// `ceil(total / block)` blocks evenly. Workers sharing a packed-A panel
+/// (see `matmul.rs`) need stripe starts on micro-kernel block boundaries
+/// so no packed block straddles two workers. Like [`row_ranges`], the
+/// result is a pure function of `(total, parts, block)`.
+pub(crate) fn row_ranges_blocked(
+    total: usize,
+    parts: usize,
+    block: usize,
+) -> Vec<std::ops::Range<usize>> {
+    debug_assert!(block > 0);
+    let blocks = total.div_ceil(block);
+    row_ranges(blocks, parts)
+        .into_iter()
+        .map(|r| r.start * block..(r.end * block).min(total))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +422,17 @@ mod tests {
         let pool = ThreadPool::new(2);
         let empty: Vec<fn() -> u8> = Vec::new();
         assert_eq!(pool.run(empty).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn generation_counts_dispatched_batches() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.generation(), 0);
+        pool.run(vec![|| 1, || 2]).unwrap();
+        assert_eq!(pool.generation(), 1);
+        pool.run(vec![|| 3]).unwrap();
+        pool.run(Vec::<fn() -> u8>::new()).unwrap(); // empty batches don't dispatch
+        assert_eq!(pool.generation(), 2);
     }
 
     #[test]
@@ -359,6 +475,28 @@ mod tests {
                 }
                 assert_eq!(next, total, "full cover at {total}/{parts}");
                 assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_ranges_align_to_block_boundaries() {
+        for total in [0usize, 1, 5, 8, 9, 16, 37, 100, 256] {
+            for parts in [1usize, 2, 3, 8] {
+                for block in [1usize, 4, 8] {
+                    let ranges = row_ranges_blocked(total, parts, block);
+                    let mut next = 0;
+                    for (idx, r) in ranges.iter().enumerate() {
+                        assert_eq!(r.start, next, "contiguous at {total}/{parts}/{block}");
+                        assert!(!r.is_empty());
+                        assert_eq!(r.start % block, 0, "start aligned at {total}/{parts}/{block}");
+                        if idx + 1 < ranges.len() {
+                            assert_eq!(r.end % block, 0, "interior end aligned");
+                        }
+                        next = r.end;
+                    }
+                    assert_eq!(next, total, "full cover at {total}/{parts}/{block}");
+                }
             }
         }
     }

@@ -31,13 +31,17 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench index
 # exact) and that recall audits fire on live IVF traffic.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_sweep
 
-# Kernel + serving bench smokes: the GEMM bench asserts bit-identity of
-# the blocked/threaded kernels against serial before timing, and both
-# benches write their BENCH_*.json artifacts at the repo root.
+# Kernel + serving bench smokes: the GEMM bench asserts bit-identity on
+# every variant (reference, serial, each thread count, fused bias)
+# before timing, and both benches write their BENCH_*.json artifacts at
+# the repo root.
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench gemm
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench serve
 
-# Artifact gate: both emitted files must parse and carry every required
-# field (name, samples, min/median/p95/mean/max). Missing or malformed
-# artifacts fail tier-1 here.
+# Artifact + threshold gate: both emitted files must parse and carry
+# every required field (name, samples, min/median/p95/mean/trimmed_mean/
+# max), and the smoke-scale rules in BENCH_thresholds.txt must hold on
+# the trimmed means — a kernel perf regression fails tier-1 here, not
+# just a schema break. (Full-scale rules are skipped at smoke scale;
+# they gate the committed BENCH_gemm.json instead.)
 cargo run --release --offline -p duo-bench --bin bench_check

@@ -10,13 +10,19 @@
 //! oversubscription; the generated shapes land on every `MR`/`NR` tile
 //! remainder class.
 //!
+//! The wide-kernel rework extends the wall: the fused-bias entry points
+//! (`gemm_bias`, `gemm_bias_with`) must equal a GEMM followed by a bias
+//! loop, a `PackedA` reused across right operands must equal packing
+//! fresh, and every 8-row block remainder class must survive the packed
+//! kernel's full-depth store schedule.
+//!
 //! Failing case seeds persist to `tests/properties.regressions` and
 //! replay before fresh generation (asserted at the bottom of this file).
 
 use duo_check::{check, prop_assert_eq, Config, Strategy};
 use duo_tensor::{
-    im2col3d_into_with, matmul_into_serial, matmul_into_with, Conv3dSpec, Rng64, Tensor,
-    ThreadPool,
+    gemm_bias, gemm_bias_with, gemm_packed, im2col3d_into_with, matmul_into_serial,
+    matmul_into_with, Conv3dSpec, PackedA, Rng64, Tensor, ThreadPool,
 };
 use std::ops::Range;
 
@@ -61,6 +67,63 @@ check! {
                 bits(&serial),
                 bits(&par),
                 "({m},{k},{n}) drifted at {threads} threads"
+            );
+        }
+    }
+
+    fn fused_bias_gemm_is_bitwise_unfused(m in dim(), k in dim(), n in dim(), s in seed()) {
+        let mut rng = Rng64::new(s);
+        let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+        let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+        let bias = Tensor::randn(&[n], 1.0, rng.as_rng());
+        // Unfused reference: serial GEMM, then a bias sweep adding
+        // `bias[j]` onto each finished element — bias last, exactly the
+        // contract's float program.
+        let mut reference = Tensor::zeros(&[m, n]);
+        matmul_into_serial(&a, &b, &mut reference).unwrap();
+        let bv = bias.as_slice().to_vec();
+        for row in reference.as_mut_slice().chunks_exact_mut(n) {
+            for (o, bval) in row.iter_mut().zip(&bv) {
+                *o += bval;
+            }
+        }
+        let mut fused = Tensor::full(&[m, n], f32::NAN);
+        gemm_bias(&a, &b, &bias, &mut fused).unwrap();
+        prop_assert_eq!(
+            bits(&reference),
+            bits(&fused),
+            "({m},{k},{n}) fused bias drifted from gemm + bias loop"
+        );
+        for &threads in &THREADS {
+            let pool = ThreadPool::new(threads);
+            let mut par = Tensor::full(&[m, n], f32::NAN);
+            gemm_bias_with(&a, &b, &bias, &mut par, &pool).unwrap();
+            prop_assert_eq!(
+                bits(&reference),
+                bits(&par),
+                "({m},{k},{n}) fused bias drifted at {threads} threads"
+            );
+        }
+    }
+
+    fn packed_a_reuse_is_bitwise_fresh(m in dim(), k in dim(), n in dim(), s in seed()) {
+        let mut rng = Rng64::new(s);
+        let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+        let b1 = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+        let b2 = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+        let packed = PackedA::pack(&a).unwrap();
+        // One packing, two right operands — the reuse pattern of
+        // `Conv3d::infer_batch` — must match the fresh serial kernel on
+        // both products.
+        for bmat in [&b1, &b2] {
+            let mut serial = Tensor::zeros(&[m, n]);
+            matmul_into_serial(&a, bmat, &mut serial).unwrap();
+            let mut reused = Tensor::full(&[m, n], f32::NAN);
+            gemm_packed(&packed, bmat, &mut reused).unwrap();
+            prop_assert_eq!(
+                bits(&serial),
+                bits(&reused),
+                "({m},{k},{n}) packed-A reuse drifted from the serial kernel"
             );
         }
     }
@@ -162,6 +225,50 @@ fn panel_boundary_shapes_are_bitwise_serial() {
     }
 }
 
+/// Every row-remainder class of the 8-row packed kernel, with the depth
+/// crossing the legacy `KC = 256` panel boundary: the packed path sweeps
+/// full depth in one register pass while the serial reference re-panels
+/// at `KC`, so these shapes prove the store-schedule difference never
+/// moves a bit. `m ∈ {1, 4, 7}` never fills a block (pure
+/// `micro_4`/`micro_1` tail), `{8, 16}` are exact blocks, `{9, 15, 17}`
+/// mix full blocks with every tail size class.
+#[test]
+fn eight_row_block_boundaries_are_bitwise_serial() {
+    let mut rng = Rng64::new(0x8b10c);
+    for &m in &[1usize, 4, 7, 8, 9, 15, 16, 17] {
+        for &(k, n) in &[(259usize, 37usize), (300, 64)] {
+            let a = Tensor::randn(&[m, k], 1.0, rng.as_rng());
+            let b = Tensor::randn(&[k, n], 1.0, rng.as_rng());
+            let bias = Tensor::randn(&[n], 1.0, rng.as_rng());
+            let mut serial = Tensor::zeros(&[m, n]);
+            matmul_into_serial(&a, &b, &mut serial).unwrap();
+            let mut expected_bias = serial.clone();
+            for row in expected_bias.as_mut_slice().chunks_exact_mut(n) {
+                for (o, bval) in row.iter_mut().zip(bias.as_slice()) {
+                    *o += bval;
+                }
+            }
+            for &threads in &THREADS {
+                let pool = ThreadPool::new(threads);
+                let mut par = Tensor::full(&[m, n], f32::NAN);
+                matmul_into_with(&a, &b, &mut par, &pool).unwrap();
+                assert_eq!(
+                    bits(&serial),
+                    bits(&par),
+                    "({m},{k},{n}) drifted at {threads} threads"
+                );
+                let mut fused = Tensor::full(&[m, n], f32::NAN);
+                gemm_bias_with(&a, &b, &bias, &mut fused, &pool).unwrap();
+                assert_eq!(
+                    bits(&expected_bias),
+                    bits(&fused),
+                    "({m},{k},{n}) fused bias drifted at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 /// The committed kernel regression seeds must replay *before* fresh
 /// generation: running the property with zero fresh cases must evaluate
 /// exactly the values those seeds regenerate, in file order.
@@ -177,12 +284,12 @@ fn committed_regression_seeds_replay_before_fresh_generation() {
         !committed.is_empty(),
         "tests/properties.regressions must carry the PR 5 kernel seeds"
     );
-    assert!(
-        duo_check::parse_regressions(&text)
-            .iter()
-            .any(|(name, _)| name == "threaded_im2col_is_bitwise_serial"),
-        "the im2col suite's seed must be committed too"
-    );
+    for required in ["threaded_im2col_is_bitwise_serial", "fused_bias_gemm_is_bitwise_unfused"] {
+        assert!(
+            duo_check::parse_regressions(&text).iter().any(|(name, _)| name == required),
+            "tests/properties.regressions must carry a seed for {required}"
+        );
+    }
 
     let strategy = (dim(), dim(), dim(), seed());
     let observed = std::cell::RefCell::new(Vec::new());

@@ -1,0 +1,212 @@
+//! Torture tests for the job-ring dispatch layer of the thread pool.
+//!
+//! The pool feeds workers through persistent bounded per-worker rings
+//! (one long-lived channel pair per worker) instead of per-call channel
+//! setup, stamping every batch with a generation counter that each
+//! result echoes back. These tests attack exactly that machinery: ring
+//! wraparound under a single giant batch, generation accounting across
+//! interleaved and failed batches, the caller-inline fast path
+//! (`run_with_local`), and drop with jobs still queued on the rings.
+//! `tests/pool_torture.rs` covers the pool's older ordering/panic
+//! guarantees; everything here is specific to the ring protocol.
+
+use duo_tensor::{matmul_into_serial, matmul_into_with, Rng64, Tensor, ThreadPool, RING_CAPACITY};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn one_batch_wraps_every_ring_several_times() {
+    // 3 workers and far more jobs per ring than its capacity: dispatch
+    // must block on the full ring and resume as workers drain it, with
+    // no job lost, duplicated, or reordered.
+    let pool = ThreadPool::new(3);
+    let total = 3 * RING_CAPACITY * 4 + 17;
+    let ran = Arc::new(AtomicUsize::new(0));
+    let jobs: Vec<_> = (0..total)
+        .map(|i| {
+            let ran = Arc::clone(&ran);
+            move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i
+            }
+        })
+        .collect();
+    let results = pool.run(jobs).unwrap();
+    assert_eq!(results, (0..total).collect::<Vec<_>>());
+    assert_eq!(ran.load(Ordering::Relaxed), total, "every job ran exactly once");
+}
+
+#[test]
+fn generation_counter_advances_once_per_batch_and_survives_failures() {
+    let pool = ThreadPool::new(2);
+    let base = pool.generation();
+    pool.run((0..4usize).map(|i| move || i).collect::<Vec<_>>()).unwrap();
+    assert_eq!(pool.generation(), base + 1, "a batch claims exactly one generation");
+
+    // A failing batch still claims (and retires) its generation…
+    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+        .map(|i| {
+            Box::new(move || {
+                assert!(i != 2, "ring torture panic");
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    pool.run(jobs).expect_err("poisoned batch must fail");
+    assert_eq!(pool.generation(), base + 2);
+
+    // …and empty batches claim none.
+    pool.run(Vec::<Box<dyn FnOnce() -> usize + Send>>::new()).unwrap();
+    assert_eq!(pool.generation(), base + 2, "empty batch must not burn a generation");
+
+    // The rings stay serviceable on the very next generation.
+    let ok = pool.run((0..4usize).map(|i| move || i * 7).collect::<Vec<_>>()).unwrap();
+    assert_eq!(ok, vec![0, 7, 14, 21]);
+}
+
+#[test]
+fn run_with_local_overlaps_caller_work_with_ring_jobs() {
+    let pool = ThreadPool::new(2);
+    for round in 0..50 {
+        let worker_sum = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let worker_sum = Arc::clone(&worker_sum);
+                move || {
+                    worker_sum.fetch_add(i, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        // The local closure borrows stack state mutably — no 'static, no
+        // Arc — which is the whole point of the caller-inline path.
+        let mut local_ran = false;
+        let (results, ()) = pool.run_with_local(jobs, || {
+            local_ran = true;
+        });
+        assert!(local_ran, "local closure must run (round {round})");
+        assert_eq!(results.unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(worker_sum.load(Ordering::Relaxed), 28);
+    }
+}
+
+#[test]
+fn run_with_local_surfaces_ring_panics_after_local_work() {
+    let pool = ThreadPool::new(2);
+    let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+        .map(|i| {
+            Box::new(move || {
+                assert!(i != 1, "ring panic under local overlap");
+                i
+            }) as Box<dyn FnOnce() -> usize + Send>
+        })
+        .collect();
+    let mut local_ran = false;
+    let (results, ()) = pool.run_with_local(jobs, || {
+        local_ran = true;
+    });
+    assert!(local_ran, "local work must complete even when ring jobs panic");
+    let err = results.expect_err("the panic must still surface");
+    assert_eq!(err.index, 1);
+    assert!(err.message.contains("ring panic under local overlap"), "{}", err.message);
+}
+
+#[test]
+fn drop_with_queued_ring_jobs_finishes_them_before_join() {
+    // Fill the rings well past a single in-flight job per worker, then
+    // drop the pool from another thread's perspective mid-drain: Drop
+    // disconnects the rings, workers finish what is queued, and the
+    // batch in flight still completes (run returns before drop begins
+    // here, so the invariant under test is that repeated churn with deep
+    // rings never wedges the join).
+    let completed = Arc::new(AtomicUsize::new(0));
+    let per_batch = 2 * RING_CAPACITY + 9;
+    for _ in 0..20 {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<_> = (0..per_batch)
+            .map(|_| {
+                let completed = Arc::clone(&completed);
+                move || {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .collect();
+        pool.run(jobs).unwrap();
+        drop(pool);
+    }
+    assert_eq!(completed.load(Ordering::Relaxed), 20 * per_batch);
+}
+
+#[test]
+fn repeated_contained_panics_never_leak_ring_slots() {
+    // A panicking batch after a wraparound-sized batch, 10 rounds: if a
+    // failed batch left stale entries on any ring, a later batch would
+    // receive a foreign-generation result and the pool would assert.
+    let pool = ThreadPool::new(2);
+    for round in 0..10 {
+        let big = 2 * RING_CAPACITY + 5;
+        let ok = pool.run((0..big).map(|i| move || i).collect::<Vec<_>>()).unwrap();
+        assert_eq!(ok.len(), big);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..5usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 4, "slot-leak probe panic (round {round})");
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = pool.run(jobs).expect_err("poisoned batch must fail");
+        assert_eq!(err.index, 4);
+    }
+}
+
+#[test]
+fn oversubscribed_matmul_stays_bitwise_deterministic_on_rings() {
+    // End-to-end: the GEMM dispatch path (caller-inline first stripe +
+    // ring jobs for the rest) at 8 workers on however few cores the host
+    // has, against the serial reference, across repeats.
+    let mut rng = Rng64::new(0x41f6);
+    let a = Tensor::randn(&[41, 83], 1.0, rng.as_rng());
+    let b = Tensor::randn(&[83, 59], 1.0, rng.as_rng());
+    let mut serial = Tensor::zeros(&[41, 59]);
+    matmul_into_serial(&a, &b, &mut serial).unwrap();
+    let want: Vec<u32> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+
+    let pool = ThreadPool::new(8);
+    for round in 0..5 {
+        let mut out = Tensor::full(&[41, 59], f32::NAN);
+        matmul_into_with(&a, &b, &mut out, &pool).unwrap();
+        let got: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got, "round {round} drifted on the ring dispatch path");
+    }
+}
+
+#[test]
+fn nested_kernel_calls_inside_ring_jobs_do_not_deadlock() {
+    // One worker, jobs that themselves call the auto-parallel matmul
+    // entry point: the worker-context guard must route the nested call
+    // to the serial kernel — a nested blocking `run` on the same ring
+    // would deadlock here.
+    let mut rng = Rng64::new(0x51);
+    let a = Arc::new(Tensor::randn(&[72, 48], 1.0, rng.as_rng()));
+    let b = Arc::new(Tensor::randn(&[48, 64], 1.0, rng.as_rng()));
+    let mut serial = Tensor::zeros(&[72, 64]);
+    matmul_into_serial(&a, &b, &mut serial).unwrap();
+    let want: Vec<u32> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+
+    let pool = ThreadPool::new(1);
+    let jobs: Vec<_> = (0..4)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            move || {
+                assert!(ThreadPool::is_worker());
+                let mut out = Tensor::zeros(&[72, 64]);
+                duo_tensor::matmul_into(&a, &b, &mut out).unwrap();
+                out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            }
+        })
+        .collect();
+    for got in pool.run(jobs).unwrap() {
+        assert_eq!(want, got, "nested kernel call drifted from serial");
+    }
+}
