@@ -2,11 +2,11 @@
 //!
 //! Two layers, both of which must pass:
 //!
-//! 1. **Structure** — each `BENCH_*.json` file (default: `BENCH_gemm.json`
-//!    and `BENCH_serve.json` at the repo root; or explicit paths as
-//!    arguments) exists, parses as JSON, and carries every required
-//!    result field (`name`, `samples`, `min_s`, `median_s`, `p95_s`,
-//!    `mean_s`, `trimmed_mean_s`, `max_s`).
+//! 1. **Structure** — each `BENCH_*.json` file (default: `BENCH_gemm.json`,
+//!    `BENCH_serve.json`, and `BENCH_campaign.json` at the repo root; or
+//!    explicit paths as arguments) exists, parses as JSON, and carries
+//!    every required result field (`name`, `samples`, `min_s`,
+//!    `median_s`, `p95_s`, `mean_s`, `trimmed_mean_s`, `max_s`).
 //! 2. **Performance** — the committed rules in `BENCH_thresholds.txt` at
 //!    the repo root (`<name> <= <factor> * <name>` per line, compared on
 //!    the trimmed mean) hold across all loaded artifacts. Rules whose
@@ -31,6 +31,7 @@ fn main() {
         vec![
             duo_bench::repo_root_bench_path("gemm"),
             duo_bench::repo_root_bench_path("serve"),
+            duo_bench::repo_root_bench_path("campaign"),
         ]
     } else {
         args

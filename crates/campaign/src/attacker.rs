@@ -1,0 +1,267 @@
+//! The unified [`Attacker`] trait and adapters for the existing attack
+//! families (DUO, Vanilla, TIMI, HEU-Nes, HEU-Sim).
+
+use duo_attack::{AttackOutcome, DuoAttack, DuoConfig, Result};
+use duo_baselines::{HeuConfig, HeuNesAttack, HeuSimAttack, TimiAttack, TimiConfig, VanillaAttack, VanillaConfig};
+use duo_models::Backbone;
+use duo_retrieval::QueryOracle;
+use duo_tensor::Rng64;
+use duo_video::Video;
+
+/// One attack family, behind one seeded black-box interface.
+///
+/// Every attack in the workspace — query-driven or pure transfer — runs
+/// the same way: given oracle access to the victim, an attack pair
+/// `(v, v_t)` and a private RNG stream, produce an
+/// [`AttackOutcome`]. The contract the fleet runner depends on:
+///
+/// * **Seeded.** All randomness comes from the passed `rng`; two calls
+///   with equal inputs and equal RNG state produce identical outcomes.
+/// * **Budget-honest.** `outcome.queries` equals the number of oracle
+///   queries *charged* during the call (zero for transfer-only
+///   families). Attacks must survive budget exhaustion gracefully —
+///   return the best adversarial video found so far rather than erroring
+///   — whenever they can detect it via
+///   [`QueryOracle::budget_remaining`].
+/// * **Owned state.** An attacker owns whatever model state it needs
+///   (e.g. a surrogate clone), so a fleet of attackers can run on
+///   concurrent threads without sharing mutable state.
+pub trait Attacker: Send {
+    /// Short family name used in leaderboard rows (e.g. `"duo"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the family never queries the service (pure transfer).
+    fn is_zero_query(&self) -> bool {
+        false
+    }
+
+    /// Runs the attack on the pair `(v, v_t)` against `oracle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates surrogate evaluation and retrieval failures.
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome>;
+}
+
+// ---------------------------------------------------------------------
+// DUO
+// ---------------------------------------------------------------------
+
+/// [`Attacker`] adapter for the full DUO pipeline (frame-pixel dual
+/// search on an owned surrogate + SimBA-style query rectification).
+pub struct DuoAttacker {
+    attack: DuoAttack,
+}
+
+impl DuoAttacker {
+    /// Binds DUO to an owned surrogate copy.
+    pub fn new(surrogate: Backbone, config: DuoConfig) -> Self {
+        DuoAttacker { attack: DuoAttack::new(surrogate, config) }
+    }
+}
+
+impl Attacker for DuoAttacker {
+    fn name(&self) -> &'static str {
+        "duo"
+    }
+
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        self.attack.run(oracle, v, v_t, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vanilla
+// ---------------------------------------------------------------------
+
+/// [`Attacker`] adapter for the Vanilla baseline (random sparse support
+/// + SimBA rectification).
+#[derive(Debug, Clone, Copy)]
+pub struct VanillaAttacker {
+    attack: VanillaAttack,
+}
+
+impl VanillaAttacker {
+    /// Creates the adapter.
+    pub fn new(config: VanillaConfig) -> Self {
+        VanillaAttacker { attack: VanillaAttack::new(config) }
+    }
+}
+
+impl Attacker for VanillaAttacker {
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        self.attack.run(oracle, v, v_t, rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TIMI
+// ---------------------------------------------------------------------
+
+/// [`Attacker`] adapter for TIMI: dense momentum-iterative transfer on
+/// an owned surrogate. Never touches the oracle.
+pub struct TimiAttacker {
+    surrogate: Backbone,
+    config: TimiConfig,
+}
+
+impl TimiAttacker {
+    /// Binds TIMI to an owned surrogate copy.
+    pub fn new(surrogate: Backbone, config: TimiConfig) -> Self {
+        TimiAttacker { surrogate, config }
+    }
+}
+
+impl Attacker for TimiAttacker {
+    fn name(&self) -> &'static str {
+        "timi"
+    }
+
+    fn is_zero_query(&self) -> bool {
+        true
+    }
+
+    fn attack(
+        &mut self,
+        _oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        _rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        TimiAttack::new(&mut self.surrogate, self.config).run(v, v_t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// HEU-Nes / HEU-Sim
+// ---------------------------------------------------------------------
+
+/// [`Attacker`] adapter for HEU-Nes (motion-saliency support + NES
+/// gradient estimation on the black box).
+#[derive(Debug, Clone, Copy)]
+pub struct HeuNesAttacker {
+    attack: HeuNesAttack,
+}
+
+impl HeuNesAttacker {
+    /// Creates the adapter.
+    pub fn new(config: HeuConfig) -> Self {
+        HeuNesAttacker { attack: HeuNesAttack::new(config) }
+    }
+}
+
+impl Attacker for HeuNesAttacker {
+    fn name(&self) -> &'static str {
+        "heu_nes"
+    }
+
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        self.attack.run(oracle, v, v_t, rng)
+    }
+}
+
+/// [`Attacker`] adapter for HEU-Sim (motion-saliency support + SimBA
+/// coordinate descent).
+#[derive(Debug, Clone, Copy)]
+pub struct HeuSimAttacker {
+    attack: HeuSimAttack,
+}
+
+impl HeuSimAttacker {
+    /// Creates the adapter.
+    pub fn new(config: HeuConfig) -> Self {
+        HeuSimAttacker { attack: HeuSimAttack::new(config) }
+    }
+}
+
+impl Attacker for HeuSimAttacker {
+    fn name(&self) -> &'static str {
+        "heu_sim"
+    }
+
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        self.attack.run(oracle, v, v_t, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{attack_pair, blackbox};
+    use duo_tensor::Rng64;
+
+    #[test]
+    fn vanilla_adapter_matches_direct_run() {
+        let (mut bb1, v, vt) = blackbox(31);
+        let (mut bb2, _, _) = blackbox(31);
+        let cfg = VanillaConfig { k: 100, n: 2, tau: 30.0, iter_num_q: 5 };
+        let direct = VanillaAttack::new(cfg).run(&mut bb1, &v, &vt, &mut Rng64::new(3)).unwrap();
+        let adapted = VanillaAttacker::new(cfg)
+            .attack(&mut bb2, &v, &vt, &mut Rng64::new(3))
+            .unwrap();
+        assert_eq!(direct.perturbation, adapted.perturbation);
+        assert_eq!(direct.queries, adapted.queries);
+    }
+
+    #[test]
+    fn timi_adapter_never_queries_the_oracle() {
+        let (mut bb, v, vt) = blackbox(32);
+        let mut rng = Rng64::new(4);
+        let surrogate = crate::test_support::surrogate(33);
+        let cfg = TimiConfig { iters: 2, ..TimiConfig::default() };
+        let mut attacker = TimiAttacker::new(surrogate, cfg);
+        assert!(attacker.is_zero_query());
+        let outcome = attacker.attack(&mut bb, &v, &vt, &mut rng).unwrap();
+        assert_eq!(outcome.queries, 0);
+        assert_eq!(bb.queries_used(), 0, "TIMI must not touch the service");
+    }
+
+    #[test]
+    fn adapters_report_distinct_family_names() {
+        let (v, _vt) = attack_pair(35);
+        let _ = v;
+        let names = [
+            VanillaAttacker::new(VanillaConfig::default()).name(),
+            HeuNesAttacker::new(HeuConfig::default()).name(),
+            HeuSimAttacker::new(HeuConfig::default()).name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

@@ -1,0 +1,200 @@
+//! Zero-query feature-map attack in the FeatureFool style (arXiv
+//! 2510.18362): drive the *surrogate's* feature map toward the target's,
+//! never touching the victim service.
+//!
+//! Where TIMI perturbs every scalar of the clip, this attack first reads
+//! the surrogate's input-gradient saliency to pick a sparse support
+//! (top-`n` frames by gradient mass, top-`k` positions inside them),
+//! then runs momentum-iterative signed descent on the feature-space
+//! distance restricted to that support. The result is a *stealthy*
+//! transfer attack: sparse like DUO, query-free like TIMI.
+
+use crate::Attacker;
+use duo_attack::{AttackOutcome, Result};
+use duo_models::Backbone;
+use duo_retrieval::QueryOracle;
+use duo_tensor::{Rng64, Tensor};
+use duo_video::Video;
+
+/// Configuration of the feature-map attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureMapConfig {
+    /// Pixels perturbed per selected frame.
+    pub k: usize,
+    /// Number of selected frames.
+    pub n: usize,
+    /// Per-pixel perturbation bound τ.
+    pub tau: f32,
+    /// Momentum-descent iterations on the surrogate.
+    pub iters: usize,
+    /// Momentum decay μ.
+    pub mu: f32,
+}
+duo_tensor::impl_to_json!(struct FeatureMapConfig { k, n, tau, iters, mu });
+
+impl Default for FeatureMapConfig {
+    fn default() -> Self {
+        FeatureMapConfig { k: 3_000, n: 4, tau: 30.0, iters: 8, mu: 1.0 }
+    }
+}
+
+/// The zero-query feature-map attack, bound to an owned surrogate.
+pub struct FeatureMapAttacker {
+    surrogate: Backbone,
+    config: FeatureMapConfig,
+}
+
+impl FeatureMapAttacker {
+    /// Binds the attack to an owned surrogate copy.
+    pub fn new(surrogate: Backbone, config: FeatureMapConfig) -> Self {
+        FeatureMapAttacker { surrogate, config }
+    }
+
+    /// Consumes the attacker, returning the surrogate.
+    pub fn into_surrogate(self) -> Backbone {
+        self.surrogate
+    }
+}
+
+/// Flat support indices: top-`n` frames by per-frame absolute gradient
+/// mass, then the top-`k` positions by |gradient| inside each selected
+/// frame. Ties break toward the lower index, so selection is fully
+/// deterministic.
+fn saliency_support(grad: &Tensor, k: usize, n: usize) -> Vec<usize> {
+    let dims = grad.dims();
+    let frames = dims[0];
+    let per_frame: usize = dims[1..].iter().product();
+    let gv = grad.as_slice();
+
+    let mut frame_mass: Vec<(f32, usize)> = (0..frames)
+        .map(|f| (gv[f * per_frame..(f + 1) * per_frame].iter().map(|g| g.abs()).sum(), f))
+        .collect();
+    frame_mass.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    let mut support = Vec::with_capacity(k.min(per_frame) * n.min(frames));
+    for &(_, f) in frame_mass.iter().take(n.min(frames).max(1)) {
+        let base = f * per_frame;
+        let mut pos: Vec<(f32, usize)> =
+            (0..per_frame).map(|p| (gv[base + p].abs(), p)).collect();
+        pos.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(_, p) in pos.iter().take(k.min(per_frame).max(1)) {
+            support.push(base + p);
+        }
+    }
+    support.sort_unstable();
+    support
+}
+
+impl Attacker for FeatureMapAttacker {
+    fn name(&self) -> &'static str {
+        "feature_map"
+    }
+
+    fn is_zero_query(&self) -> bool {
+        true
+    }
+
+    fn attack(
+        &mut self,
+        _oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        _rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let cfg = self.config;
+        let target_feat = self.surrogate.extract(v_t)?;
+
+        // Saliency pass: the input gradient of the feature-space distance
+        // at the clean video picks the sparse support.
+        let feat = self.surrogate.extract_training(v)?;
+        let diff = feat.sub(&target_feat)?;
+        let grad = self.surrogate.input_gradient(v, &diff.scale(2.0))?;
+        let support = saliency_support(&grad, cfg.k, cfg.n);
+
+        // Momentum-iterative signed descent restricted to the support,
+        // projected into the τ-ball around v intersected with [0, 255].
+        let alpha = cfg.tau / cfg.iters.max(1) as f32 * 1.5;
+        let mut v_adv = v.clone();
+        let mut momentum = vec![0.0f32; support.len()];
+        let mut trajectory = Vec::with_capacity(cfg.iters);
+        let original = v.tensor().as_slice().to_vec();
+        for _ in 0..cfg.iters {
+            let feat = self.surrogate.extract_training(&v_adv)?;
+            let diff = feat.sub(&target_feat)?;
+            trajectory.push(diff.dot(&diff)?);
+            let grad = self.surrogate.input_gradient(&v_adv, &diff.scale(2.0))?;
+            let gv = grad.as_slice();
+            let l1: f32 = support.iter().map(|&i| gv[i].abs()).sum::<f32>().max(1e-12);
+            let av = v_adv.tensor_mut().as_mut_slice();
+            for (m, &idx) in momentum.iter_mut().zip(&support) {
+                *m = cfg.mu * *m + gv[idx] / l1;
+                let lo = (original[idx] - cfg.tau).max(0.0);
+                let hi = (original[idx] + cfg.tau).min(255.0);
+                av[idx] = (av[idx] - alpha * m.signum()).clamp(lo, hi);
+            }
+        }
+
+        let perturbation = v_adv.perturbation_from(v)?;
+        Ok(AttackOutcome { adversarial: v_adv, perturbation, queries: 0, loss_trajectory: trajectory })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{attack_pair, surrogate, PanickingOracle};
+
+    fn quick() -> FeatureMapConfig {
+        FeatureMapConfig { k: 60, n: 2, tau: 30.0, iters: 3, mu: 1.0 }
+    }
+
+    #[test]
+    fn never_touches_the_oracle() {
+        // The oracle panics on *any* call — the attack must complete
+        // without one.
+        let (v, vt) = attack_pair(51);
+        let mut attacker = FeatureMapAttacker::new(surrogate(52), quick());
+        assert!(attacker.is_zero_query());
+        let outcome =
+            attacker.attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(9)).unwrap();
+        assert_eq!(outcome.queries, 0);
+    }
+
+    #[test]
+    fn support_is_sparse_and_bounded() {
+        let (v, vt) = attack_pair(53);
+        let cfg = quick();
+        let outcome = FeatureMapAttacker::new(surrogate(54), cfg)
+            .attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(10))
+            .unwrap();
+        assert!(outcome.spa() <= cfg.k * cfg.n, "Spa {} > k*n", outcome.spa());
+        assert!(outcome.spa() > 0, "attack must actually perturb something");
+        assert!(outcome.perturbation.linf_norm() <= cfg.tau + 1e-3);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_fixed_surrogate() {
+        let (v, vt) = attack_pair(55);
+        let o1 = FeatureMapAttacker::new(surrogate(56), quick())
+            .attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(11))
+            .unwrap();
+        let o2 = FeatureMapAttacker::new(surrogate(56), quick())
+            .attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(99))
+            .unwrap();
+        assert_eq!(o1.perturbation, o2.perturbation, "RNG must not influence the attack");
+        assert_eq!(o1.loss_trajectory, o2.loss_trajectory);
+    }
+
+    #[test]
+    fn cloned_surrogates_do_not_share_gradient_state() {
+        // Two attackers cloned from one backbone, run interleaved, must
+        // match two attackers run back-to-back.
+        let (v, vt) = attack_pair(57);
+        let base = surrogate(58);
+        let mut a = FeatureMapAttacker::new(base.clone(), quick());
+        let mut b = FeatureMapAttacker::new(base.clone(), quick());
+        let oa = a.attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(12)).unwrap();
+        let ob = b.attack(&mut PanickingOracle, &v, &vt, &mut Rng64::new(12)).unwrap();
+        assert_eq!(oa.perturbation, ob.perturbation);
+    }
+}

@@ -1,0 +1,496 @@
+//! The fleet runner: N concurrent attack clients against one live
+//! service, aggregated into a deterministic leaderboard.
+//!
+//! Each client gets its own [`Rng64`] stream (forked from the campaign
+//! seed on the spawning thread, so forking order never races), its own
+//! budgeted service client for attack queries, and its own unbudgeted
+//! *grader* client for the before/after retrieval lists the AP-drop
+//! metric needs — grading must never eat into the attack budget the
+//! paper's threat model meters.
+//!
+//! Determinism: every value that reaches the [`Leaderboard`] (queries
+//! charged, AP drop, Spa, PScore, budget rejections, deadline misses) is
+//! a function of the client's own seeded query stream and the service's
+//! bit-identical retrieval lists. Wall-clock-dependent counters (rate and
+//! overload rejections, latencies) stay out of the artifact by
+//! construction.
+
+use crate::Attacker;
+use duo_attack::AttackError;
+use duo_retrieval::{ap_at_m, QueryOracle, RetrievalError};
+use duo_serve::{ClientStats, RetrievalService, ServiceOracle};
+use duo_tensor::{Json, Rng64};
+use duo_video::Video;
+
+/// Fleet-level configuration of one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Concurrent attack clients to spawn.
+    pub clients: usize,
+    /// Hard query budget per attack client ([`duo_retrieval::QueryLedger`]).
+    pub per_client_budget: u64,
+    /// Campaign seed; client `i` runs on `Rng64::new(seed).fork(i)`.
+    pub seed: u64,
+    /// Transient-rejection retries per query ([`ServiceOracle`]).
+    pub max_retries: u32,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { clients: 8, per_client_budget: 200, seed: 7, max_retries: 16 }
+    }
+}
+
+/// Campaign-level failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// `clients == 0`.
+    NoClients,
+    /// An empty attack-pair set.
+    NoPairs,
+    /// A client failed on something other than budget exhaustion
+    /// (model error, service shutdown, node failure).
+    Client {
+        /// Fleet slot of the failing client.
+        client: usize,
+        /// Attack family the client was running.
+        family: String,
+        /// The underlying attack failure, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::NoClients => write!(f, "campaign needs at least one client"),
+            CampaignError::NoPairs => write!(f, "campaign needs at least one attack pair"),
+            CampaignError::Client { client, family, message } => {
+                write!(f, "client {client} ({family}) failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// One client's end-of-campaign record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientOutcome {
+    /// Fleet slot (also the RNG fork salt and pair index modulus).
+    pub client: usize,
+    /// Attack family name ([`Attacker::name`]).
+    pub family: String,
+    /// Queries charged to the client's attack budget.
+    pub queries: u64,
+    /// AP drop `100 - AP(R(v_adv), R(v))`, clamped at 0.
+    pub ap_drop: f32,
+    /// Perturbed scalars (the paper's Spa).
+    pub spa: usize,
+    /// Mean absolute perturbation (the paper's PScore).
+    pub pscore: f32,
+    /// Whether the attack ran out of budget before finishing (the
+    /// degenerate outcome keeps `ap_drop`/`spa`/`pscore` at 0).
+    pub exhausted: bool,
+    /// The attack client's serving counters at campaign end.
+    pub stats: ClientStats,
+    /// Queries issued by the unbudgeted grader client (not part of the
+    /// attack budget, but still served traffic).
+    pub grader_queries: u64,
+}
+
+/// Distribution summary of one metric over a family's clients, with the
+/// same statistics (and the same trimming and quantile rules) as
+/// `duo-bench`'s `BenchResult`, so the rows slot straight into the
+/// `BENCH_*.json` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDist {
+    /// Metric name (e.g. `"ap_drop"`).
+    pub metric: &'static str,
+    /// Number of clients contributing samples.
+    pub samples: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Ceil-rank median.
+    pub median: f64,
+    /// Ceil-rank 95th percentile.
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Mean of the middle 60% (20% trimmed from each tail).
+    pub trimmed_mean: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Ceil-rank quantile over a sorted slice — the `duo-bench` rule.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn dist_of(metric: &'static str, mut xs: Vec<f64>) -> MetricDist {
+    assert!(!xs.is_empty(), "metric {metric} needs at least one sample");
+    xs.sort_by(f64::total_cmp);
+    let samples = xs.len();
+    let trim = samples / 5;
+    let mid = &xs[trim..samples - trim];
+    MetricDist {
+        metric,
+        samples,
+        min: xs[0],
+        median: quantile(&xs, 0.5),
+        p95: quantile(&xs, 0.95),
+        mean: xs.iter().sum::<f64>() / samples as f64,
+        trimmed_mean: mid.iter().sum::<f64>() / mid.len() as f64,
+        max: xs[samples - 1],
+    }
+}
+
+/// One attack family's aggregated leaderboard row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyRow {
+    /// Attack family name.
+    pub family: String,
+    /// Clients that ran this family.
+    pub clients: usize,
+    /// Clients that completed without exhausting their budget.
+    pub completed: usize,
+    /// Per-metric distributions, in fixed emission order.
+    pub metrics: Vec<MetricDist>,
+}
+
+/// The campaign leaderboard: one row per attack family, families sorted
+/// by name, metrics in fixed order — so equal inputs render to
+/// byte-identical JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaderboard {
+    /// Aggregated family rows, sorted by family name.
+    pub rows: Vec<FamilyRow>,
+}
+
+impl Leaderboard {
+    /// Aggregates client outcomes into family rows.
+    pub fn from_outcomes(outcomes: &[ClientOutcome]) -> Leaderboard {
+        let mut families: Vec<String> =
+            outcomes.iter().map(|o| o.family.clone()).collect();
+        families.sort_unstable();
+        families.dedup();
+        let rows = families
+            .into_iter()
+            .map(|family| {
+                // Client order within a family is slot order, which is
+                // deterministic; dist_of sorts anyway.
+                let of: Vec<&ClientOutcome> =
+                    outcomes.iter().filter(|o| o.family == family).collect();
+                let pull = |f: &dyn Fn(&ClientOutcome) -> f64| -> Vec<f64> {
+                    of.iter().map(|o| f(o)).collect()
+                };
+                let metrics = vec![
+                    dist_of("queries", pull(&|o| o.queries as f64)),
+                    dist_of("ap_drop", pull(&|o| f64::from(o.ap_drop))),
+                    dist_of(
+                        "ap_drop_per_query",
+                        pull(&|o| f64::from(o.ap_drop) / o.queries.max(1) as f64),
+                    ),
+                    dist_of("spa", pull(&|o| o.spa as f64)),
+                    dist_of("pscore", pull(&|o| f64::from(o.pscore))),
+                    dist_of("rejected_budget", pull(&|o| o.stats.rejected_budget as f64)),
+                    dist_of("deadline_misses", pull(&|o| o.stats.deadline_misses as f64)),
+                ];
+                FamilyRow {
+                    family,
+                    clients: of.len(),
+                    completed: of.iter().filter(|o| !o.exhausted).count(),
+                    metrics,
+                }
+            })
+            .collect();
+        Leaderboard { rows }
+    }
+
+    /// Renders the leaderboard in the `BENCH_*.json` schema `bench_check`
+    /// validates: a JSON array of result objects named
+    /// `campaign/<family>/<metric>`, each carrying the six distribution
+    /// statistics under the bench field names.
+    pub fn to_bench_json(&self) -> String {
+        let results: Vec<Json> = self
+            .rows
+            .iter()
+            .flat_map(|row| {
+                row.metrics.iter().map(|d| {
+                    Json::Object(vec![
+                        (
+                            "name".into(),
+                            Json::Str(format!("campaign/{}/{}", row.family, d.metric)),
+                        ),
+                        ("samples".into(), Json::Int(d.samples as i128)),
+                        ("min_s".into(), Json::F64(d.min)),
+                        ("median_s".into(), Json::F64(d.median)),
+                        ("p95_s".into(), Json::F64(d.p95)),
+                        ("mean_s".into(), Json::F64(d.mean)),
+                        ("trimmed_mean_s".into(), Json::F64(d.trimmed_mean)),
+                        ("max_s".into(), Json::F64(d.max)),
+                    ])
+                })
+            })
+            .collect();
+        format!("{}\n", Json::Array(results))
+    }
+}
+
+/// The full campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Every client's record, in fleet-slot order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// The aggregated, deterministic leaderboard.
+    pub leaderboard: Leaderboard,
+    /// Total queries charged across all campaign clients (attack ledgers
+    /// plus grader traffic) — the number that must equal the service's
+    /// `served + failed` delta once the fleet has drained.
+    pub charged: u64,
+}
+
+/// Runs one campaign: spawns `config.clients` concurrent attack clients
+/// against `service`, client `i` running `make_attacker(i)` on attack
+/// pair `pairs[i % pairs.len()]` with RNG stream `fork(i)`.
+///
+/// Budget exhaustion mid-attack is a *recorded outcome* (the client's
+/// row shows `exhausted`), not a campaign failure; anything else a
+/// client hits is.
+///
+/// # Errors
+///
+/// [`CampaignError::NoClients`] / [`CampaignError::NoPairs`] on empty
+/// input, [`CampaignError::Client`] when a client fails hard.
+pub fn run_campaign(
+    service: &RetrievalService,
+    mut make_attacker: impl FnMut(usize) -> Box<dyn Attacker>,
+    pairs: &[(Video, Video)],
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CampaignError> {
+    if config.clients == 0 {
+        return Err(CampaignError::NoClients);
+    }
+    if pairs.is_empty() {
+        return Err(CampaignError::NoPairs);
+    }
+    // Fork RNGs, build attackers, and register service clients on this
+    // thread: registration order (and thus slot numbering) must not
+    // depend on spawn timing.
+    let mut master = Rng64::new(config.seed);
+    let lanes: Vec<_> = (0..config.clients)
+        .map(|i| {
+            let rng = master.fork(i as u64);
+            let attacker = make_attacker(i);
+            let attack_client = service.client(Some(config.per_client_budget), None);
+            let grader_client = service.client(None, None);
+            (i, rng, attacker, attack_client, grader_client)
+        })
+        .collect();
+
+    let results: Vec<Result<ClientOutcome, CampaignError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|(i, mut rng, mut attacker, attack_client, grader_client)| {
+                let (v, v_t) = &pairs[i % pairs.len()];
+                scope.spawn(move || {
+                    let family = attacker.name().to_string();
+                    let mut oracle = ServiceOracle::new(attack_client.clone())
+                        .with_max_retries(config.max_retries);
+                    let mut grader = ServiceOracle::new(grader_client.clone())
+                        .with_max_retries(config.max_retries);
+                    let fail = |message: String| CampaignError::Client {
+                        client: i,
+                        family: family.clone(),
+                        message,
+                    };
+                    let r_v = grader.retrieve(v).map_err(|e| fail(e.to_string()))?;
+                    let attacked = attacker.attack(&mut oracle, v, v_t, &mut rng);
+                    let (ap_drop, spa, pscore, exhausted) = match attacked {
+                        Ok(outcome) => {
+                            let r_adv = grader
+                                .retrieve(&outcome.adversarial)
+                                .map_err(|e| fail(e.to_string()))?;
+                            let ap_drop = (100.0 - ap_at_m(&r_adv, &r_v)).max(0.0);
+                            (ap_drop, outcome.spa(), outcome.pscore(), false)
+                        }
+                        Err(AttackError::Retrieval(RetrievalError::BudgetExhausted {
+                            ..
+                        })) => (0.0, 0, 0.0, true),
+                        Err(e) => return Err(fail(e.to_string())),
+                    };
+                    Ok(ClientOutcome {
+                        client: i,
+                        family,
+                        queries: attack_client.queries_used(),
+                        ap_drop,
+                        spa,
+                        pscore,
+                        exhausted,
+                        stats: attack_client.stats().unwrap_or_default(),
+                        grader_queries: grader_client.queries_used(),
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign client thread panicked"))
+            .collect()
+    });
+
+    let outcomes: Vec<ClientOutcome> = results.into_iter().collect::<Result<_, _>>()?;
+    let charged = outcomes.iter().map(|o| o.stats.charged + o.grader_queries).sum();
+    let leaderboard = Leaderboard::from_outcomes(&outcomes);
+    Ok(CampaignReport { outcomes, leaderboard, charged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::attack_pair;
+    use crate::{SparseRlAttacker, SparseRlConfig, VanillaAttacker};
+    use duo_baselines::VanillaConfig;
+    use duo_models::{Architecture, Backbone, BackboneConfig};
+    use duo_retrieval::{RetrievalConfig, RetrievalSystem};
+    use duo_video::{ClipSpec, DatasetKind, SyntheticDataset};
+
+    fn service(seed: u64) -> duo_serve::RetrievalService {
+        let mut rng = Rng64::new(seed);
+        let ds =
+            SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 8, 1, 0);
+        let victim =
+            Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+        let sys = RetrievalSystem::build(
+            victim,
+            &ds,
+            ds.train(),
+            RetrievalConfig { m: 4, nodes: 2, threaded: false, ..Default::default() },
+        )
+        .unwrap();
+        duo_serve::RetrievalService::start(sys, duo_serve::ServeConfig::default()).unwrap()
+    }
+
+    fn zoo(client: usize) -> Box<dyn crate::Attacker> {
+        let quick = SparseRlConfig { k: 40, n: 2, tau: 30.0, episodes: 3, lr: 0.8, eta: 1.0 };
+        if client % 2 == 0 {
+            Box::new(SparseRlAttacker::new(quick))
+        } else {
+            Box::new(VanillaAttacker::new(VanillaConfig {
+                k: 60,
+                n: 2,
+                tau: 30.0,
+                iter_num_q: 3,
+            }))
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fleet_is_byte_identical() {
+        let config =
+            CampaignConfig { clients: 4, per_client_budget: 100, seed: 11, max_retries: 16 };
+        let pairs = vec![attack_pair(61), attack_pair(62)];
+        let svc = service(60);
+        let a = run_campaign(&svc, zoo, &pairs, &config).unwrap();
+        let b = run_campaign(&svc, zoo, &pairs, &config).unwrap();
+        svc.shutdown();
+        assert_eq!(
+            a.leaderboard.to_bench_json(),
+            b.leaderboard.to_bench_json(),
+            "same-seed campaigns must replay byte-identically"
+        );
+    }
+
+    #[test]
+    fn charged_matches_service_accounting() {
+        let config =
+            CampaignConfig { clients: 3, per_client_budget: 100, seed: 12, max_retries: 16 };
+        let pairs = vec![attack_pair(63)];
+        let svc = service(64);
+        let report = run_campaign(&svc, zoo, &pairs, &config).unwrap();
+        let stats = svc.shutdown();
+        assert_eq!(
+            report.charged,
+            stats.served + stats.failed,
+            "every charged query must be served or failed, none lost"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_outcome_not_an_error() {
+        // A 3-query budget cannot even cover sparse-RL's two setup
+        // queries plus an episode round-trip for every client.
+        let config =
+            CampaignConfig { clients: 2, per_client_budget: 3, seed: 13, max_retries: 16 };
+        let pairs = vec![attack_pair(65)];
+        let svc = service(66);
+        let report = run_campaign(
+            &svc,
+            |_| {
+                Box::new(SparseRlAttacker::new(SparseRlConfig {
+                    k: 40,
+                    n: 2,
+                    tau: 30.0,
+                    episodes: 50,
+                    lr: 0.8,
+                    eta: 1.0,
+                }))
+            },
+            &pairs,
+            &config,
+        )
+        .unwrap();
+        svc.shutdown();
+        for outcome in &report.outcomes {
+            assert!(outcome.queries <= 3, "budget must cap charges: {outcome:?}");
+        }
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_pairs_are_rejected() {
+        let pairs = vec![attack_pair(67)];
+        let svc = service(68);
+        let none = CampaignConfig { clients: 0, ..CampaignConfig::default() };
+        assert_eq!(run_campaign(&svc, zoo, &pairs, &none), Err(CampaignError::NoClients));
+        let some = CampaignConfig { clients: 1, ..CampaignConfig::default() };
+        assert_eq!(run_campaign(&svc, zoo, &[], &some), Err(CampaignError::NoPairs));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn bench_json_round_trips_the_schema() {
+        let outcomes = vec![
+            ClientOutcome {
+                client: 0,
+                family: "vanilla".into(),
+                queries: 10,
+                ap_drop: 50.0,
+                spa: 120,
+                pscore: 3.0,
+                exhausted: false,
+                stats: ClientStats::default(),
+                grader_queries: 2,
+            },
+            ClientOutcome {
+                client: 1,
+                family: "vanilla".into(),
+                queries: 12,
+                ap_drop: 75.0,
+                spa: 120,
+                pscore: 4.0,
+                exhausted: false,
+                stats: ClientStats::default(),
+                grader_queries: 2,
+            },
+        ];
+        let board = Leaderboard::from_outcomes(&outcomes);
+        assert_eq!(board.rows.len(), 1);
+        let json = board.to_bench_json();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"name\":\"campaign/vanilla/ap_drop\""), "{json}");
+        assert!(json.contains("\"trimmed_mean_s\":62.5"), "{json}");
+        assert!(json.ends_with("]\n"), "{json}");
+    }
+}

@@ -1,0 +1,66 @@
+//! duo-campaign: the attacker zoo behind one trait, and the fleet runner
+//! that drives it through a live `duo-serve` service.
+//!
+//! The paper's threat model is *many independent black-box clients*
+//! probing a shared retrieval service. This crate makes that scenario a
+//! subsystem:
+//!
+//! * [`Attacker`] — one seeded interface over every attack family in the
+//!   workspace. Adapters wrap DUO, Vanilla, TIMI and the HEU pair;
+//!   [`SparseRlAttacker`] (RL-style sparse key-frame/patch agent, after
+//!   arXiv 2001.03754) and [`FeatureMapAttacker`] (zero-query
+//!   feature-map transfer in the FeatureFool style, arXiv 2510.18362)
+//!   are implemented here.
+//! * [`run_campaign`] — spawns N concurrent attack clients (std
+//!   threads), each with its own forked [`duo_tensor::Rng64`] stream,
+//!   its own query-budget ledger on the service, and its own surrogate
+//!   clone, then aggregates a deterministic [`Leaderboard`].
+//! * [`Leaderboard::to_bench_json`] — emits the per-family metric
+//!   distributions in the exact `BENCH_*.json` schema `bench_check`
+//!   validates, so campaign regressions trip thresholds like GEMM ones.
+//!
+//! Determinism contract: with the same seed, service gallery, pairs and
+//! client count, two campaign runs produce **byte-identical**
+//! leaderboard JSON — thread interleaving never leaks into the artifact
+//! because every client's query stream is independent and the service's
+//! retrieval lists are bit-identical regardless of batching.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use duo_campaign::{run_campaign, CampaignConfig, VanillaAttacker};
+//! use duo_baselines::VanillaConfig;
+//! # fn f(service: &duo_serve::RetrievalService,
+//! #      pairs: Vec<(duo_video::Video, duo_video::Video)>)
+//! #      -> Result<(), duo_campaign::CampaignError> {
+//! let config = CampaignConfig { clients: 8, per_client_budget: 200, seed: 7, max_retries: 16 };
+//! let report = run_campaign(
+//!     service,
+//!     |_client| Box::new(VanillaAttacker::new(VanillaConfig::default())),
+//!     &pairs,
+//!     &config,
+//! )?;
+//! println!("{}", report.leaderboard.to_bench_json());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attacker;
+mod feature_map;
+mod fleet;
+mod sparse_rl;
+#[cfg(test)]
+mod test_support;
+
+pub use attacker::{
+    Attacker, DuoAttacker, HeuNesAttacker, HeuSimAttacker, TimiAttacker, VanillaAttacker,
+};
+pub use feature_map::{FeatureMapAttacker, FeatureMapConfig};
+pub use fleet::{
+    run_campaign, CampaignConfig, CampaignError, CampaignReport, ClientOutcome, FamilyRow,
+    Leaderboard, MetricDist,
+};
+pub use sparse_rl::{SparseRlAttacker, SparseRlConfig};

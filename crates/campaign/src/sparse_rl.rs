@@ -1,0 +1,222 @@
+//! Seeded RL-style sparse key-frame/patch agent (after the sparse
+//! black-box video-attack agent of arXiv 2001.03754).
+//!
+//! The agent learns *where to perturb*: it keeps per-frame and per-pixel
+//! selection logits, samples a sparse support each episode via seeded
+//! Gumbel top-k, scores the resulting adversarial video through the
+//! oracle, and reinforces the logits of selections that improved the
+//! retrieval objective (REINFORCE with a running-mean baseline). The
+//! perturbation magnitudes themselves stay fixed at signed τ — the
+//! policy's only job is frame/patch selection, which is what keeps the
+//! attack's Spa at exactly `k · n`.
+
+use crate::Attacker;
+use duo_attack::{AttackOutcome, Result};
+use duo_retrieval::{ndcg_cooccurrence, QueryOracle};
+use duo_tensor::Rng64;
+use duo_video::{Video, VideoId};
+
+/// Configuration of the sparse RL agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseRlConfig {
+    /// Pixels perturbed per selected frame.
+    pub k: usize,
+    /// Number of selected key frames.
+    pub n: usize,
+    /// Per-pixel perturbation bound τ.
+    pub tau: f32,
+    /// Episodes (one oracle query each, plus two up-front list queries).
+    pub episodes: usize,
+    /// Policy learning rate on the selection logits.
+    pub lr: f32,
+    /// Margin constant η of the retrieval objective.
+    pub eta: f32,
+}
+duo_tensor::impl_to_json!(struct SparseRlConfig { k, n, tau, episodes, lr, eta });
+
+impl Default for SparseRlConfig {
+    fn default() -> Self {
+        SparseRlConfig { k: 800, n: 4, tau: 30.0, episodes: 20, lr: 0.8, eta: 1.0 }
+    }
+}
+
+/// The RL-style sparse key-frame/patch agent.
+#[derive(Debug, Clone)]
+pub struct SparseRlAttacker {
+    config: SparseRlConfig,
+}
+
+impl SparseRlAttacker {
+    /// Creates the agent.
+    pub fn new(config: SparseRlConfig) -> Self {
+        SparseRlAttacker { config }
+    }
+}
+
+/// Indices of the `top` largest perturbed scores (`logit + Gumbel noise`),
+/// ascending by index for deterministic application order.
+fn gumbel_top(logits: &[f32], top: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut scored: Vec<(f32, usize)> = logits
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            // Gumbel(0,1) noise: -ln(-ln(u)), u clamped away from 0 and 1.
+            let u = rng.uniform().clamp(1e-7, 1.0 - 1e-7);
+            (l - (-(u.ln())).ln(), i)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut idx: Vec<usize> = scored.iter().take(top.min(logits.len())).map(|&(_, i)| i).collect();
+    idx.sort_unstable();
+    idx
+}
+
+impl Attacker for SparseRlAttacker {
+    fn name(&self) -> &'static str {
+        "sparse_rl"
+    }
+
+    fn attack(
+        &mut self,
+        oracle: &mut dyn QueryOracle,
+        v: &Video,
+        v_t: &Video,
+        rng: &mut Rng64,
+    ) -> Result<AttackOutcome> {
+        let cfg = self.config;
+        let queries_before = oracle.queries_used();
+        let dims = v.tensor().dims().to_vec();
+        let frames = dims[0];
+        let per_frame: usize = dims[1..].iter().product();
+        let n = cfg.n.min(frames).max(1);
+        let k = cfg.k.min(per_frame).max(1);
+
+        let r_v = oracle.retrieve(v)?;
+        let r_t = oracle.retrieve(v_t)?;
+        let objective = |list: &[VideoId]| -> f32 {
+            ndcg_cooccurrence(list, &r_v) - ndcg_cooccurrence(list, &r_t) + cfg.eta
+        };
+
+        // Selection policy: independent logits per frame and per in-frame
+        // pixel position, plus a fixed signed direction per position so
+        // reinforced selections always reapply the same perturbation.
+        let mut frame_logits = vec![0.0f32; frames];
+        let mut pixel_logits = vec![0.0f32; per_frame];
+        let signs: Vec<f32> =
+            (0..per_frame).map(|_| if rng.uniform() < 0.5 { -1.0 } else { 1.0 }).collect();
+        let original = v.tensor().as_slice().to_vec();
+
+        let mut best: Option<(f32, Video)> = None;
+        let mut baseline = 0.0f32;
+        let mut trajectory = Vec::with_capacity(cfg.episodes);
+
+        for episode in 0..cfg.episodes {
+            if oracle.budget_remaining() == Some(0) {
+                break;
+            }
+            let sel_frames = gumbel_top(&frame_logits, n, rng);
+            let sel_pixels = gumbel_top(&pixel_logits, k, rng);
+
+            let mut candidate = v.clone();
+            let cv = candidate.tensor_mut().as_mut_slice();
+            for &f in &sel_frames {
+                for &p in &sel_pixels {
+                    let idx = f * per_frame + p;
+                    let perturbed = original[idx] + cfg.tau * signs[p];
+                    cv[idx] = perturbed.clamp(0.0, 255.0);
+                }
+            }
+
+            let t_cur = objective(&oracle.retrieve(&candidate)?);
+            trajectory.push(t_cur);
+            // REINFORCE: reward is the *decrease* of the objective
+            // relative to the running baseline.
+            let reward = -t_cur;
+            let advantage = if episode == 0 { 0.0 } else { reward - baseline };
+            baseline = if episode == 0 {
+                reward
+            } else {
+                0.9 * baseline + 0.1 * reward
+            };
+            for &f in &sel_frames {
+                frame_logits[f] += cfg.lr * advantage;
+            }
+            for &p in &sel_pixels {
+                pixel_logits[p] += cfg.lr * advantage;
+            }
+
+            if best.as_ref().is_none_or(|(t_best, _)| t_cur < *t_best) {
+                best = Some((t_cur, candidate));
+            }
+        }
+
+        let adversarial = match best {
+            Some((_, video)) => video,
+            // Budget spent before any episode: degenerate identity outcome.
+            None => v.clone(),
+        };
+        let perturbation = adversarial.perturbation_from(v)?;
+        Ok(AttackOutcome {
+            adversarial,
+            perturbation,
+            queries: oracle.queries_used() - queries_before,
+            loss_trajectory: trajectory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::blackbox;
+
+    fn quick() -> SparseRlConfig {
+        SparseRlConfig { k: 50, n: 2, tau: 30.0, episodes: 5, lr: 0.8, eta: 1.0 }
+    }
+
+    #[test]
+    fn support_is_bounded_by_k_times_n() {
+        let (mut bb, v, vt) = blackbox(41);
+        let cfg = quick();
+        let outcome =
+            SparseRlAttacker::new(cfg).attack(&mut bb, &v, &vt, &mut Rng64::new(5)).unwrap();
+        assert!(
+            outcome.spa() <= cfg.k * cfg.n,
+            "Spa {} exceeds k*n = {}",
+            outcome.spa(),
+            cfg.k * cfg.n
+        );
+        assert!(outcome.perturbation.linf_norm() <= cfg.tau + 1e-3);
+    }
+
+    #[test]
+    fn queries_are_two_plus_one_per_episode() {
+        let (mut bb, v, vt) = blackbox(42);
+        let cfg = quick();
+        let outcome =
+            SparseRlAttacker::new(cfg).attack(&mut bb, &v, &vt, &mut Rng64::new(6)).unwrap();
+        assert_eq!(outcome.queries, 2 + cfg.episodes as u64);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let (mut bb1, v, vt) = blackbox(43);
+        let (mut bb2, _, _) = blackbox(43);
+        let cfg = quick();
+        let o1 = SparseRlAttacker::new(cfg).attack(&mut bb1, &v, &vt, &mut Rng64::new(7)).unwrap();
+        let o2 = SparseRlAttacker::new(cfg).attack(&mut bb2, &v, &vt, &mut Rng64::new(7)).unwrap();
+        assert_eq!(o1.perturbation, o2.perturbation);
+        assert_eq!(o1.loss_trajectory, o2.loss_trajectory);
+    }
+
+    #[test]
+    fn respects_a_hard_budget() {
+        let (bb, v, vt) = blackbox(44);
+        let sys = bb.into_inner();
+        let mut bb = duo_retrieval::BlackBox::with_budget(sys, 4);
+        let cfg = quick();
+        let outcome =
+            SparseRlAttacker::new(cfg).attack(&mut bb, &v, &vt, &mut Rng64::new(8)).unwrap();
+        assert!(outcome.queries <= 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared fixtures for the crate's unit tests: a tiny black-box world,
+//! tiny surrogates, attack pairs, and an oracle that panics on contact.
+
+use duo_models::{Architecture, Backbone, BackboneConfig};
+use duo_retrieval::{
+    BlackBox, QueryOracle, Result, RetrievalConfig, RetrievalSystem,
+};
+use duo_tensor::Rng64;
+use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, SyntheticVideoGenerator, Video, VideoId};
+
+/// A tiny in-process black box plus a cross-class attack pair.
+pub(crate) fn blackbox(seed: u64) -> (BlackBox, Video, Video) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 8, 1, 0);
+    let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let sys = RetrievalSystem::build(
+        victim,
+        &ds,
+        ds.train(),
+        RetrievalConfig { m: 4, nodes: 2, threaded: false, ..Default::default() },
+    )
+    .unwrap();
+    let (v, vt) = attack_pair(seed ^ 0x5eed);
+    (BlackBox::new(sys), v, vt)
+}
+
+/// A tiny surrogate backbone for transfer attacks.
+pub(crate) fn surrogate(seed: u64) -> Backbone {
+    let mut rng = Rng64::new(seed);
+    Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap()
+}
+
+/// A deterministic cross-class attack pair `(v, v_t)`.
+pub(crate) fn attack_pair(seed: u64) -> (Video, Video) {
+    let gen = SyntheticVideoGenerator::new(ClipSpec::tiny(), seed);
+    (gen.generate(0, 0), gen.generate(4, 0))
+}
+
+/// A [`QueryOracle`] that panics on *any* call — handed to zero-query
+/// attackers to prove they really never touch the service.
+pub(crate) struct PanickingOracle;
+
+impl QueryOracle for PanickingOracle {
+    fn retrieve(&mut self, _video: &Video) -> Result<Vec<VideoId>> {
+        panic!("zero-query attacker called retrieve()");
+    }
+
+    fn queries_used(&self) -> u64 {
+        panic!("zero-query attacker called queries_used()");
+    }
+
+    fn budget_remaining(&self) -> Option<u64> {
+        panic!("zero-query attacker called budget_remaining()");
+    }
+
+    fn m(&self) -> usize {
+        panic!("zero-query attacker called m()");
+    }
+}

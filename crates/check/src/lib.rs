@@ -37,6 +37,9 @@
 //! comments ignored) and replayed before fresh generation on later runs —
 //! the same role `proptest-regressions` files played before.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod strategy;
 
 pub use strategy::{bools, vec_of, Bools, Strategy, VecOf};

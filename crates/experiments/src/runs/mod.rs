@@ -3,6 +3,7 @@
 //! the bench crate calls the same entry points.
 
 pub mod ablations;
+pub mod campaign;
 pub mod chaos;
 pub mod ext_ensemble;
 pub mod fig3;

@@ -108,6 +108,7 @@ impl BackboneConfig {
 
 /// A video feature extractor: `[C, T, H, W]` clip → L2-normalized `[D]`
 /// embedding, with input gradients for transfer attacks.
+#[derive(Clone)]
 pub struct Backbone {
     arch: Architecture,
     config: BackboneConfig,

@@ -153,6 +153,14 @@ impl Layer for MultiPath {
     fn name(&self) -> &'static str {
         "MultiPath"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(MultiPath {
+            branches: self.branches.clone(),
+            out_lens: Vec::new(),
+            forwarded: false,
+        })
+    }
 }
 
 impl Parameterized for MultiPath {

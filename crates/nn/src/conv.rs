@@ -197,6 +197,16 @@ impl Layer for Conv3d {
     fn name(&self) -> &'static str {
         "Conv3d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Conv3d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            spec: self.spec,
+            out_channels: self.out_channels,
+            cache: None,
+        })
+    }
 }
 
 impl crate::Parameterized for Conv3d {

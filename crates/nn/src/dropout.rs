@@ -88,6 +88,17 @@ impl Layer for Dropout {
     fn name(&self) -> &'static str {
         "Dropout"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        // The mask RNG is cloned at its current position, so a clone and
+        // its source produce identical mask streams from here on.
+        Box::new(Dropout {
+            p: self.p,
+            rng: self.rng.clone(),
+            training: self.training,
+            mask: None,
+        })
+    }
 }
 
 impl Parameterized for Dropout {

@@ -96,6 +96,20 @@ pub trait Layer: Parameterized + Send + Sync {
 
     /// Short human-readable layer name used in error messages.
     fn name(&self) -> &'static str;
+
+    /// Clones the layer — parameters and configuration — behind a fresh
+    /// box. Transient backward caches are *not* carried over: the clone
+    /// behaves as if `forward` has never been called, so two clones can
+    /// run training-path gradient sequences concurrently without sharing
+    /// state. This is what lets each attack client in a campaign own its
+    /// own surrogate copied from one stolen backbone.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -103,6 +117,7 @@ pub trait Layer: Parameterized + Send + Sync {
 // ---------------------------------------------------------------------
 
 /// A chain of layers applied in order.
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -179,6 +194,10 @@ impl Layer for Sequential {
     fn name(&self) -> &'static str {
         "Sequential"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 impl Parameterized for Sequential {
@@ -237,6 +256,10 @@ impl Layer for Relu {
 
     fn name(&self) -> &'static str {
         "Relu"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Relu::new())
     }
 }
 
@@ -312,6 +335,10 @@ impl Layer for GlobalAvgPool {
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(GlobalAvgPool::new())
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -367,6 +394,10 @@ impl Layer for L2Normalize {
 
     fn name(&self) -> &'static str {
         "L2Normalize"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(L2Normalize { eps: self.eps, cache: None })
     }
 }
 
@@ -469,6 +500,14 @@ impl Layer for Residual {
     fn name(&self) -> &'static str {
         "Residual"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Residual {
+            main: self.main.clone(),
+            shortcut: self.shortcut.clone(),
+            forwarded: false,
+        })
+    }
 }
 
 impl Parameterized for Residual {
@@ -567,6 +606,10 @@ impl Layer for TemporalStride {
 
     fn name(&self) -> &'static str {
         "TemporalStride"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(TemporalStride { stride: self.stride, in_dims: None })
     }
 }
 

@@ -166,6 +166,16 @@ impl Layer for Linear {
     fn name(&self) -> &'static str {
         "Linear"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Linear {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+            cache: None,
+        })
+    }
 }
 
 impl crate::Parameterized for Linear {
@@ -209,6 +219,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "Flatten"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Flatten::new())
     }
 }
 

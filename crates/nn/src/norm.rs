@@ -168,6 +168,16 @@ impl Layer for InstanceNorm {
     fn name(&self) -> &'static str {
         "InstanceNorm"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(InstanceNorm {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            channels: self.channels,
+            eps: self.eps,
+            cache: None,
+        })
+    }
 }
 
 impl Parameterized for InstanceNorm {

@@ -36,6 +36,10 @@ impl Layer for MaxPool3d {
     fn name(&self) -> &'static str {
         "MaxPool3d"
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(MaxPool3d::new(self.spec))
+    }
 }
 
 /// Average-pooling layer over `[C, T, H, W]` inputs.
@@ -71,6 +75,10 @@ impl Layer for AvgPool3d {
 
     fn name(&self) -> &'static str {
         "AvgPool3d"
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(AvgPool3d::new(self.spec))
     }
 }
 

@@ -71,6 +71,6 @@ pub use error::ServeError;
 pub use histogram::LatencyHistogram;
 pub use oracle::ServiceOracle;
 pub use service::{ClientHandle, RetrievalService};
-pub use stats::ServiceStats;
+pub use stats::{ClientStats, ServiceStats};
 
 pub(crate) use stats::StatsInner;

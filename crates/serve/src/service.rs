@@ -13,7 +13,7 @@
 //! accounts (budget ledger + token bucket) and the stats counters, each
 //! behind its own mutex that is never held across model work.
 
-use crate::{ServeConfig, ServeError, StatsInner, TokenBucket};
+use crate::{ClientStats, ServeConfig, ServeError, StatsInner, TokenBucket};
 use duo_retrieval::{QueryLedger, RetrievalSystem};
 use duo_tensor::Tensor;
 use duo_video::{Video, VideoId};
@@ -29,6 +29,16 @@ use std::time::Instant;
 pub(crate) struct ClientAccount {
     ledger: QueryLedger,
     bucket: Option<TokenBucket>,
+    /// Per-client counters, maintained under the clients lock. `charged`
+    /// is filled in from the ledger at snapshot time so the two can never
+    /// disagree.
+    stats: ClientStats,
+}
+
+impl ClientAccount {
+    fn snapshot(&self) -> ClientStats {
+        ClientStats { charged: self.ledger.used(), ..self.stats }
+    }
 }
 
 pub(crate) struct Shared {
@@ -141,6 +151,7 @@ impl RetrievalService {
         clients.push(ClientAccount {
             ledger: QueryLedger::new(budget),
             bucket: rate.map(TokenBucket::new),
+            stats: ClientStats::default(),
         });
         ClientHandle {
             shared: Arc::downgrade(&self.shared),
@@ -149,6 +160,17 @@ impl RetrievalService {
             queue_cap: self.config.queue_cap,
             default_deadline: self.config.default_deadline,
         }
+    }
+
+    /// Per-client counter snapshots, in client registration (slot) order.
+    ///
+    /// Each row satisfies `charged == served + failed` once the client's
+    /// in-flight requests have drained, because admission charges and
+    /// deadline sheds refund — this is the budget-drift invariant the
+    /// campaign experiment asserts fleet-wide.
+    pub fn client_stats(&self) -> Vec<ClientStats> {
+        let clients = self.shared.clients.lock().expect("clients lock");
+        clients.iter().map(ClientAccount::snapshot).collect()
     }
 
     /// A live snapshot of the service counters.
@@ -237,7 +259,9 @@ fn batcher_loop(
 fn shed(shared: &Shared, request: Request) {
     {
         let mut clients = shared.clients.lock().expect("clients lock");
-        clients[request.slot].ledger.refund();
+        let account = &mut clients[request.slot];
+        account.ledger.refund();
+        account.stats.deadline_misses += 1;
     }
     shared.stats.lock().expect("stats lock").deadline_misses += 1;
     let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
@@ -290,6 +314,9 @@ fn flush_batch(shared: &Shared, batch: Vec<Request>, work_tx: &SyncSender<Work>,
                         }
                     }
                     Err(e) => {
+                        shared.clients.lock().expect("clients lock")[request.slot]
+                            .stats
+                            .failed += 1;
                         shared.stats.lock().expect("stats lock").failed += 1;
                         let _ = request.reply.send(Err(ServeError::Retrieval(e)));
                     }
@@ -333,6 +360,15 @@ fn worker_loop(shared: &Shared, work_rx: &Mutex<Receiver<Work>>) {
                 }
             }
         };
+        {
+            let mut clients = shared.clients.lock().expect("clients lock");
+            let stats = &mut clients[work.request.slot].stats;
+            if result.is_ok() {
+                stats.served += 1;
+            } else {
+                stats.failed += 1;
+            }
+        }
         let _ = work.request.reply.send(result);
     }
 }
@@ -407,12 +443,14 @@ impl ClientHandle {
             let account = &mut clients[self.slot];
             if account.ledger.is_exhausted() {
                 let budget = account.ledger.budget().expect("exhausted implies budget");
+                account.stats.rejected_budget += 1;
                 drop(clients);
                 shared.stats.lock().expect("stats lock").rejected_budget += 1;
                 return Err(ServeError::BudgetExhausted { budget });
             }
             if let Some(bucket) = &mut account.bucket {
                 if let Err(retry_after_ms) = bucket.ready() {
+                    account.stats.rejected_rate += 1;
                     drop(clients);
                     shared.stats.lock().expect("stats lock").rejected_rate += 1;
                     return Err(ServeError::RateLimited { retry_after_ms });
@@ -442,6 +480,7 @@ impl ClientHandle {
                 }
                 Err(TrySendError::Full(_)) => {
                     shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    account.stats.rejected_overload += 1;
                     drop(clients);
                     shared.stats.lock().expect("stats lock").rejected_overload += 1;
                     return Err(ServeError::Overloaded { queue_cap: self.queue_cap });
@@ -468,6 +507,13 @@ impl ClientHandle {
         self.shared
             .upgrade()
             .and_then(|s| s.clients.lock().expect("clients lock")[self.slot].ledger.remaining())
+    }
+
+    /// This client's counter snapshot, or `None` after shutdown.
+    pub fn stats(&self) -> Option<ClientStats> {
+        self.shared
+            .upgrade()
+            .map(|s| s.clients.lock().expect("clients lock")[self.slot].snapshot())
     }
 
     /// Length `m` of retrieval lists served by this service, or `None`

@@ -131,6 +131,45 @@ impl StatsInner {
     }
 }
 
+/// A point-in-time snapshot of one client's serving counters.
+///
+/// The service keeps these per [`ClientAccount`] slot, under the same
+/// lock that guards the client's budget ledger, so `charged` is always
+/// consistent with the rejection/serve counters:
+/// `charged == served + failed` once the client's in-flight requests
+/// have drained (deadline-shed requests are refunded before the miss is
+/// counted).
+///
+/// Unlike the global [`ServiceStats`], every field here is deterministic
+/// for a deterministic client workload — rejections on budget and
+/// deadline misses depend only on the client's own request stream, never
+/// on cross-client timing. (`rejected_rate` and `rejected_overload` are
+/// the exception: they depend on wall-clock arrival order, which is why
+/// the campaign leaderboard excludes them.)
+///
+/// [`ClientAccount`]: crate::RetrievalService::client
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Queries charged to the client's budget ledger (net of refunds).
+    pub charged: u64,
+    /// Queries answered successfully for this client.
+    pub served: u64,
+    /// Queries that reached the model for this client but failed.
+    pub failed: u64,
+    /// Admissions rejected on this client's exhausted budget.
+    pub rejected_budget: u64,
+    /// Admissions rejected by this client's token-bucket rate limiter.
+    pub rejected_rate: u64,
+    /// Admissions shed for this client because the ingress queue was full.
+    pub rejected_overload: u64,
+    /// Admitted requests shed (and refunded) on deadline expiry.
+    pub deadline_misses: u64,
+}
+duo_tensor::impl_to_json!(struct ClientStats {
+    charged, served, failed, rejected_budget, rejected_rate,
+    rejected_overload, deadline_misses
+});
+
 /// A point-in-time snapshot of service counters.
 ///
 /// `rejected_*` queries never reached the model and were not charged to

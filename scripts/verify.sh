@@ -38,10 +38,19 @@ DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_swe
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench gemm
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench serve
 
-# Artifact + threshold gate: both emitted files must parse and carry
-# every required field (name, samples, min/median/p95/mean/trimmed_mean/
-# max), and the smoke-scale rules in BENCH_thresholds.txt must hold on
-# the trimmed means — a kernel perf regression fails tier-1 here, not
-# just a schema break. (Full-scale rules are skipped at smoke scale;
-# they gate the committed BENCH_gemm.json instead.)
+# Campaign smoke: the full attacker zoo (DUO, Vanilla, TIMI, HEU-Nes,
+# HEU-Sim, sparse-RL, feature-map) as 8 concurrent metered clients
+# against a live duo-serve instance. The binary asserts fleet-wide exact
+# budget accounting and bit-identical seeded replay of the leaderboard,
+# and writes BENCH_campaign.json for the gate below.
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin campaign
+
+# Artifact + threshold gate: every emitted file (gemm, serve, campaign)
+# must parse and carry every required field (name, samples, min/median/
+# p95/mean/trimmed_mean/max), and the smoke-scale rules in
+# BENCH_thresholds.txt must hold on the trimmed means — a kernel perf
+# regression or a broken attack contract (zero-query family charging
+# queries, sparse family going dense) fails tier-1 here, not just a
+# schema break. (Full-scale rules are skipped at smoke scale; they gate
+# the committed BENCH_gemm.json instead.)
 cargo run --release --offline -p duo-bench --bin bench_check

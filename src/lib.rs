@@ -17,6 +17,7 @@
 //! | [`serve`] | `duo-serve` | concurrent micro-batched serving, budgets, rate limits |
 //! | [`attack`] | `duo-attack` | **DUO**: SparseTransfer + SparseQuery + stealing |
 //! | [`baselines`] | `duo-baselines` | Vanilla, TIMI, HEU-Nes, HEU-Sim |
+//! | [`campaign`] | `duo-campaign` | attacker zoo behind one trait, fleet campaign runner |
 //! | [`defenses`] | `duo-defenses` | feature squeezing, Noise2Self, detection |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@
 
 pub use duo_attack as attack;
 pub use duo_baselines as baselines;
+pub use duo_campaign as campaign;
 pub use duo_defenses as defenses;
 pub use duo_models as models;
 pub use duo_nn as nn;
@@ -68,6 +70,12 @@ pub mod prelude {
         HeuConfig, HeuNesAttack, HeuSimAttack, TimiAttack, TimiConfig, VanillaAttack,
         VanillaConfig,
     };
+    pub use duo_campaign::{
+        run_campaign, Attacker, CampaignConfig, CampaignError, CampaignReport, ClientOutcome,
+        DuoAttacker, FamilyRow, FeatureMapAttacker, FeatureMapConfig, HeuNesAttacker,
+        HeuSimAttacker, Leaderboard, MetricDist, SparseRlAttacker, SparseRlConfig, TimiAttacker,
+        VanillaAttacker,
+    };
     pub use duo_defenses::{
         Defense, DetectionHarness, EnsembleDetector, FeatureSqueezing, Noise2Self,
     };
@@ -83,7 +91,7 @@ pub mod prelude {
         RetrievalSystem, Retrieved, ShardIndex,
     };
     pub use duo_serve::{
-        RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,
+        ClientStats, RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,
     };
     pub use duo_tensor::{Rng64, Tensor};
     pub use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};

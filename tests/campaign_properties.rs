@@ -1,0 +1,94 @@
+//! Property-based coverage of the campaign fleet runner's determinism
+//! contract: same seed, same service, same pairs → byte-identical
+//! leaderboard JSON, at any client count and any budget.
+//!
+//! This suite persists failing case seeds to `tests/properties.regressions`
+//! (see [`duo_check`]); past failures replay before fresh generation.
+
+use duo::prelude::*;
+use duo::video::SyntheticVideoGenerator;
+use duo_check::{check, prop_assert, prop_assert_eq, Config};
+
+fn config() -> Config {
+    // Each case stands up a live service and runs six campaigns (two per
+    // client count), so the case count stays small.
+    Config::default()
+        .with_cases(3)
+        .with_regressions(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.regressions"))
+}
+
+/// A tiny live service over an untrained victim world.
+fn service(seed: u64) -> RetrievalService {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), 8, 1, 0);
+    let victim = Backbone::new(Architecture::I3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let system = RetrievalSystem::build(
+        victim,
+        &ds,
+        ds.train(),
+        RetrievalConfig { m: 4, nodes: 2, threaded: false, ..Default::default() },
+    )
+    .unwrap();
+    RetrievalService::start(system, ServeConfig::default()).unwrap()
+}
+
+/// A cheap mixed zoo: sparse-RL agents on even slots, Vanilla on odd.
+fn zoo(client: usize) -> Box<dyn Attacker> {
+    if client % 2 == 0 {
+        Box::new(SparseRlAttacker::new(SparseRlConfig {
+            k: 40,
+            n: 2,
+            tau: 30.0,
+            episodes: 3,
+            lr: 0.8,
+            eta: 1.0,
+        }))
+    } else {
+        Box::new(VanillaAttacker::new(VanillaConfig { k: 60, n: 2, tau: 30.0, iter_num_q: 3 }))
+    }
+}
+
+check! {
+    #![config(config())]
+
+    fn campaign_leaderboard_replay_is_byte_identical(
+        world_seed in 0u64..1_000,
+        campaign_seed in 0u64..1_000_000,
+        budget in 4u64..64,
+    ) {
+        let gen = SyntheticVideoGenerator::new(ClipSpec::tiny(), world_seed ^ 0xA11CE);
+        let pairs = vec![
+            (gen.generate(0, 0), gen.generate(4, 0)),
+            (gen.generate(1, 0), gen.generate(5, 0)),
+        ];
+        let svc = service(world_seed);
+        for clients in [1usize, 2, 8] {
+            let config = CampaignConfig {
+                clients,
+                per_client_budget: budget,
+                seed: campaign_seed,
+                max_retries: 16,
+            };
+            let a = run_campaign(&svc, zoo, &pairs, &config).unwrap();
+            let b = run_campaign(&svc, zoo, &pairs, &config).unwrap();
+            let (ja, jb) =
+                (a.leaderboard.to_bench_json(), b.leaderboard.to_bench_json());
+            prop_assert_eq!(
+                &ja, &jb,
+                "fleet of {} clients must replay byte-identically", clients
+            );
+            prop_assert!(!ja.is_empty() && ja.ends_with("]\n"), "artifact shape: {ja:?}");
+            // Thread interleaving may reorder *service* accounting, but
+            // every client's own charges are deterministic.
+            prop_assert_eq!(
+                a.charged, b.charged,
+                "fleet-wide charges must replay exactly"
+            );
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                prop_assert_eq!(oa.queries, ob.queries, "per-client charges must replay");
+                prop_assert!(oa.queries <= budget, "budget {budget} must cap charges");
+            }
+        }
+        svc.shutdown();
+    }
+}
