@@ -1,0 +1,13 @@
+//! Runs the mutate-under-serve experiment: a live service absorbing
+//! inserts, deletes, and a mid-flap rebalance while a seeded fault
+//! schedule rages, then asserts same-seed bit-identical replay of the
+//! whole trace and zero budget drift (set DUO_SCALE=smoke for a fast
+//! pass).
+
+fn main() {
+    let scale = duo_experiments::Scale::from_env();
+    if let Err(e) = duo_experiments::runs::mutate_serve::run(scale) {
+        eprintln!("mutate_serve failed: {e}");
+        std::process::exit(1);
+    }
+}

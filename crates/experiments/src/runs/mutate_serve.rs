@@ -1,0 +1,261 @@
+//! Mutate-under-serve experiment: a live service absorbing gallery
+//! mutations (inserts, deletes, a mid-flap rebalance) while a seeded
+//! fault schedule — ≥20% transient failures, latency spikes, and
+//! staggered per-node flap windows — rages on every data node.
+//!
+//! What this proves, machine-checked at the end of the run:
+//!
+//! 1. **Bit-identical replay.** The full interleaved mutate + query +
+//!    fault trace — every ranked list, every epoch-transition receipt,
+//!    and every deterministic telemetry counter — serializes to the
+//!    same bytes on a second run with the same seed.
+//! 2. **Zero budget drift.** `charged == served + failed` and
+//!    `refunded == deadline_misses` hold exactly while epochs swap
+//!    under the queries.
+//! 3. **Rebalance under flap.** The rebalance transaction is issued
+//!    while node 0 is inside its flap window (its breaker opening and
+//!    probing), and still moves every row exactly once.
+
+use super::RunResult;
+use crate::Scale;
+use duo_models::{Architecture, Backbone, BackboneConfig};
+use duo_retrieval::{
+    BreakerConfig, FaultPlan, MutationBatch, ResilienceConfig, RetrievalConfig, RetrievalSystem,
+};
+use duo_serve::{RetrievalService, ServeConfig, ServiceStats};
+use duo_tensor::{Rng64, ToJson};
+use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, VideoId};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The fault schedule installed on node `i`: 20% transients, latency
+/// spikes past the virtual node deadline, and one flap window per node,
+/// staggered so the windows never overlap (the service is degraded but
+/// never fully dark). Node 0's wide window (fault indices 12..36)
+/// brackets the rebalance step so the epoch transaction lands mid-flap.
+fn chaos_plan(seed: u64, node: usize) -> FaultPlan {
+    let node_u = node as u64;
+    FaultPlan::transient(seed ^ (0x0E70_C000 + node_u), 0.20)
+        .with_latency(200, 150, 0.05, 8_000)
+        .with_flap(12 + 28 * node_u, 36 + 28 * node_u)
+}
+
+fn chaos_policy(seed: u64) -> ResilienceConfig {
+    ResilienceConfig {
+        node_timeout_us: Some(5_000),
+        max_retries: 4,
+        backoff_base_us: 100,
+        backoff_jitter_us: 50,
+        hedge_after_us: Some(2_000),
+        breaker: Some(BreakerConfig { failure_threshold: 3, open_cooldown: 6 }),
+        seed,
+        require_full_coverage: false,
+    }
+}
+
+/// The deterministic counters of a [`ServiceStats`] snapshot — everything
+/// except wall-clock latency quantiles and queue-depth high-water marks,
+/// which legitimately vary run to run.
+fn deterministic_counters(stats: &ServiceStats) -> String {
+    format!(
+        "served {} failed {} deadline_misses {} refunded {} degraded {} \
+         retries {} hedges {} node_timeouts {} transients {} panics {} \
+         breaker {}/{}/{}/{} node_failures {:?} \
+         epoch {} max_served {} published {} mutations {} rebalances {} rows_moved {} \
+         index {}q/{}r",
+        stats.served,
+        stats.failed,
+        stats.deadline_misses,
+        stats.refunded,
+        stats.degraded,
+        stats.retries,
+        stats.hedges,
+        stats.node_timeouts,
+        stats.transient_faults,
+        stats.contained_panics,
+        stats.breaker_skips,
+        stats.breaker_opens,
+        stats.breaker_half_opens,
+        stats.breaker_closes,
+        stats.node_failures,
+        stats.current_epoch,
+        stats.max_epoch_served,
+        stats.epochs_published,
+        stats.mutations_applied,
+        stats.rebalances,
+        stats.rows_rebalanced,
+        stats.index_queries,
+        stats.index_scanned_rows,
+    )
+}
+
+/// One full trace: build the chaotic world, serve a fixed interleaving of
+/// queries and mutations, and serialize everything observable. Returns
+/// the transcript plus the final stats for the accounting asserts.
+fn trace(seed: u64, total_queries: usize) -> Result<(String, ServiceStats), String> {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 9).copied().collect();
+    let backbone =
+        Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).map_err(|e| e.to_string())?;
+    let mut system = RetrievalSystem::build(
+        backbone,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded: false, ..Default::default() },
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, node) in system.nodes().iter().enumerate() {
+        node.set_fault_plan(Some(chaos_plan(seed, i)));
+    }
+    system.set_resilience(chaos_policy(seed ^ 0xBACC0FF));
+
+    // Victims for the unbalancing delete, planted insert features, and
+    // probe videos — all fixed before the service starts, so the script
+    // is a pure function of the seed.
+    let victims: Vec<VideoId> =
+        system.nodes()[0].snapshot().ids().iter().copied().take(5).collect();
+    let probes: Vec<VideoId> = ds.test().iter().filter(|id| id.class < 9).copied().collect();
+    let planted_feature = system.embed(&ds.video(probes[0])).map_err(|e| e.to_string())?;
+    let planted = VideoId { class: 200, instance: 0 };
+    let extra = VideoId { class: 201, instance: 0 };
+
+    let config =
+        ServeConfig { default_deadline: Some(Duration::from_secs(30)), ..ServeConfig::default() };
+    let service = RetrievalService::start(system, config).map_err(|e| e.to_string())?;
+    let client = service.client(Some(100_000), None);
+    let mutator = service.mutator();
+
+    let mut transcript = String::new();
+    let record = |line: String, transcript: &mut String| {
+        transcript.push_str(&line);
+        transcript.push('\n');
+    };
+
+    for step in 0..total_queries {
+        // The mutation script, keyed to the query step. Step 16 is the
+        // rebalance: node 0's fault plan has served >= 16 queries by
+        // then, inside its 12..40 flap window.
+        let receipt = match step {
+            4 => Some(("insert planted", mutator.insert(planted, planted_feature.clone()))),
+            8 => {
+                let mut batch = MutationBatch::new();
+                for &id in &victims {
+                    batch.push(duo_retrieval::Mutation::Delete { id });
+                }
+                batch.push(duo_retrieval::Mutation::Insert {
+                    id: extra,
+                    feature: planted_feature.clone(),
+                });
+                Some(("unbalance shard 0", mutator.apply(&batch)))
+            }
+            16 => Some(("rebalance mid-flap", mutator.rebalance())),
+            24 => Some(("delete planted", mutator.delete(planted))),
+            30 => Some(("delete miss", mutator.delete(VideoId { class: 250, instance: 0 }))),
+            _ => None,
+        };
+        if let Some((label, receipt)) = receipt {
+            let t = receipt.map_err(|e| e.to_string())?;
+            record(format!("mutate[{step}] {label}: {}", t.to_json()), &mut transcript);
+        }
+        // Failed retrievals (e.g. every shard faulting at once) are part
+        // of the trace, not an abort: the query reached the model and was
+        // charged, so the replay and the accounting both cover it.
+        let video = ds.video(probes[step % probes.len()]);
+        match client.retrieve(&video) {
+            Ok(ids) => {
+                if step > 16 {
+                    for id in &ids {
+                        if victims.contains(id) {
+                            return Err(format!("deleted row {id:?} resurfaced after rebalance"));
+                        }
+                    }
+                }
+                record(format!("query[{step}] {ids:?}"), &mut transcript);
+            }
+            Err(e) => record(format!("query[{step}] failed: {e}"), &mut transcript),
+        }
+    }
+
+    let mine = client.stats().ok_or("client stats gone")?;
+    record(format!("client {}", mine.to_json()), &mut transcript);
+    let stats = service.stats();
+    record(format!("service {}", deterministic_counters(&stats)), &mut transcript);
+    record(
+        format!("mutation {}", service.system().mutation_stats().to_json()),
+        &mut transcript,
+    );
+
+    // Zero budget drift, asserted inside the trace so both runs check it.
+    if mine.charged != mine.served + mine.failed {
+        return Err(format!(
+            "budget drift: charged {} != served {} + failed {}",
+            mine.charged, mine.served, mine.failed
+        ));
+    }
+    if mine.refunded != mine.deadline_misses {
+        return Err(format!(
+            "refund drift: refunded {} != deadline misses {}",
+            mine.refunded, mine.deadline_misses
+        ));
+    }
+    service.shutdown();
+    Ok((transcript, stats))
+}
+
+/// Reproduces the mutate-under-serve experiment: same-seed bit-identical
+/// replay of an interleaved mutate + query + fault trace.
+pub fn run(scale: Scale) -> RunResult {
+    println!("\n=== Live mutation under serve (scale: {}) ===", scale.name);
+    let seed = 0x0E70_C5EED;
+    let total_queries = if scale.name == "smoke" { 44 } else { 72 };
+
+    let (a, stats_a) = trace(seed, total_queries)?;
+    let (b, _) = trace(seed, total_queries)?;
+    assert_eq!(
+        a, b,
+        "same-seed mutate+query+fault traces must serialize to identical bytes"
+    );
+    println!(
+        "replay exact: {} transcript bytes bit-identical across two runs \
+         ({} queries, {} epochs published, {} rows rebalanced)",
+        a.len(),
+        total_queries,
+        stats_a.epochs_published,
+        stats_a.rows_rebalanced
+    );
+
+    // The chaos schedule and the flap-bracketed rebalance must actually
+    // have fired, or the replay proves nothing.
+    assert!(stats_a.transient_faults > 0, "20% transient schedule never fired");
+    assert!(stats_a.retries > 0, "no retries under a 20% fault schedule");
+    assert!(
+        stats_a.breaker_opens > 0 && stats_a.breaker_closes > 0,
+        "flap windows must trip and recover breakers (got {}/{} opens/closes)",
+        stats_a.breaker_opens,
+        stats_a.breaker_closes
+    );
+    assert!(stats_a.degraded > 0, "flapped shards must degrade some coverage");
+    assert_eq!(stats_a.rebalances, 1, "exactly one rebalance moved rows");
+    assert!(stats_a.rows_rebalanced > 0, "the mid-flap rebalance must move rows");
+    assert_eq!(stats_a.current_epoch, 4, "insert + batch + rebalance + delete");
+    assert_eq!(stats_a.max_epoch_served, 4, "queries after the last publish see epoch 4");
+    assert_eq!(stats_a.deadline_misses, stats_a.refunded);
+    assert_eq!(stats_a.served + stats_a.failed, total_queries as u64);
+
+    let mut summary = String::new();
+    write!(
+        summary,
+        "accounting exact under {} transients / {} retries / breaker {}:{} \
+         — epoch {} with {} rows rebalanced mid-flap",
+        stats_a.transient_faults,
+        stats_a.retries,
+        stats_a.breaker_opens,
+        stats_a.breaker_closes,
+        stats_a.current_epoch,
+        stats_a.rows_rebalanced
+    )?;
+    println!("{summary}");
+    println!("final stats JSON: {}", stats_a.to_json());
+    Ok(())
+}

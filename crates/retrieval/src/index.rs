@@ -347,7 +347,6 @@ impl ShardIndex {
     /// Returns [`RetrievalError::BadConfig`] for invalid IVF parameters
     /// or entries with disagreeing dimensions.
     pub fn build(entries: &[(VideoId, Tensor)], mode: IndexMode, seed: u64) -> Result<Self> {
-        mode.validate()?;
         let dim = entries.first().map(|(_, feat)| feat.len()).unwrap_or(0);
         let mut ids = Vec::with_capacity(entries.len());
         let mut feats = Vec::with_capacity(entries.len() * dim);
@@ -360,6 +359,34 @@ impl ShardIndex {
             }
             ids.push(*id);
             feats.extend_from_slice(feat.as_slice());
+        }
+        Self::build_from_rows(ids, feats, dim, mode, seed)
+    }
+
+    /// Builds an index directly from flattened SoA storage: `ids.len()`
+    /// rows of `dim` features each, row `r` at `feats[r*dim..(r+1)*dim]`.
+    /// This is the epoch-rebuild entry point — a mutation staging buffer
+    /// (one `memcpy` of the previous generation's matrix) becomes the
+    /// next generation without materializing a tensor per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for invalid IVF parameters
+    /// or when `feats.len() != ids.len() * dim`.
+    pub fn build_from_rows(
+        ids: Vec<VideoId>,
+        feats: Vec<f32>,
+        dim: usize,
+        mode: IndexMode,
+        seed: u64,
+    ) -> Result<Self> {
+        mode.validate()?;
+        if feats.len() != ids.len() * dim {
+            return Err(RetrievalError::BadConfig(format!(
+                "flattened feature matrix must hold ids*dim floats: {} ids x {dim} != {}",
+                ids.len(),
+                feats.len()
+            )));
         }
         let ivf = match mode {
             IndexMode::Ivf { nlist, nprobe } if !ids.is_empty() => {
@@ -522,16 +549,33 @@ impl ShardIndex {
         top.into_sorted()
     }
 
-    /// Materializes `(id, feature)` pairs in row order (snapshots and
-    /// persistence; the serving path never calls this).
+    /// Materializes `(id, feature)` pairs in row order. This clones every
+    /// feature into a fresh tensor — callers that only need to *read* the
+    /// gallery (epoch rebuilds, persistence, tests) should iterate
+    /// [`ShardIndex::rows`] instead, which borrows straight from the SoA
+    /// matrix.
     pub fn entries(&self) -> Vec<(VideoId, Tensor)> {
-        (0..self.ids.len())
-            .map(|row| {
-                let feat = Tensor::from_vec(self.feature(row).to_vec(), &[self.dim])
+        self.rows()
+            .map(|(id, row)| {
+                let feat = Tensor::from_vec(row.to_vec(), &[self.dim])
                     .expect("row length equals dim by construction");
-                (self.ids[row], feat)
+                (id, feat)
             })
             .collect()
+    }
+
+    /// Iterates `(id, feature-row)` pairs in row order, borrowing from
+    /// the flattened storage — zero copies, zero allocations per row.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = (VideoId, &[f32])> + '_ {
+        self.ids
+            .iter()
+            .zip(self.feats.chunks_exact(self.dim.max(1)))
+            .map(|(&id, row)| (id, row))
+    }
+
+    /// The raw flattened feature matrix (row-major `len() × dim`).
+    pub fn features(&self) -> &[f32] {
+        &self.feats
     }
 }
 

@@ -37,6 +37,7 @@ mod error;
 pub mod index;
 mod ledger;
 mod metrics;
+mod mutation;
 mod node;
 mod oracle;
 mod persist;
@@ -50,6 +51,7 @@ pub use error::RetrievalError;
 pub use index::{shard_seed, IndexMode, IndexStats, ShardIndex, TopM};
 pub use ledger::QueryLedger;
 pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m};
+pub use mutation::{EpochTransition, Mutation, MutationBatch, MutationStats};
 pub use node::{DataNode, NodeAnswer, NodeFault, NodeStatus, ScoredId};
 pub use oracle::QueryOracle;
 pub use persist::GalleryIndex;

@@ -1,0 +1,197 @@
+//! Live gallery mutation: the batch description applied by
+//! [`crate::RetrievalSystem::apply`] and the receipt it returns.
+//!
+//! Galleries mutate through *epoch transactions*: a writer stages the
+//! next generation of every touched shard off to the side, rebuilds the
+//! per-shard [`crate::ShardIndex`] deterministically (seeded k-means,
+//! [`crate::shard_seed`] per shard, exactly the discipline the persist
+//! path restores with), and publishes all of them atomically under the
+//! system's epoch gate. In-flight queries keep scoring the generation
+//! they captured at admission; queries admitted after the publish see
+//! the whole batch. No query ever observes a half-applied batch.
+//!
+//! Determinism: given the same starting gallery and the same mutation
+//! sequence, the staged row order — and therefore the rebuilt index,
+//! its k-means, and every subsequent ranked list — is a pure function
+//! of the inputs. Inserts of new ids route to the smallest staged shard
+//! (ties to the lowest node index) and append at the tail; updates
+//! overwrite in place; deletes close the gap preserving row order.
+
+use duo_tensor::Tensor;
+use duo_video::VideoId;
+
+/// One gallery mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// Upsert: a new id is appended to the smallest shard, an existing
+    /// id has its feature overwritten in place (same shard, same row).
+    Insert {
+        /// The gallery video being inserted or updated.
+        id: VideoId,
+        /// Its embedding; must match the gallery feature dimension.
+        feature: Tensor,
+    },
+    /// Removes an id from the gallery. Deleting an absent id is a
+    /// counted no-op ([`EpochTransition::delete_misses`]), not an error.
+    Delete {
+        /// The gallery video to remove.
+        id: VideoId,
+    },
+}
+
+/// An ordered batch of mutations applied as one epoch transaction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MutationBatch {
+    mutations: Vec<Mutation>,
+}
+
+impl MutationBatch {
+    /// An empty batch (applying it publishes nothing).
+    pub fn new() -> Self {
+        MutationBatch::default()
+    }
+
+    /// Appends an insert/update.
+    pub fn insert(mut self, id: VideoId, feature: Tensor) -> Self {
+        self.mutations.push(Mutation::Insert { id, feature });
+        self
+    }
+
+    /// Appends a delete.
+    pub fn delete(mut self, id: VideoId) -> Self {
+        self.mutations.push(Mutation::Delete { id });
+        self
+    }
+
+    /// Appends an already-built mutation.
+    pub fn push(&mut self, mutation: Mutation) {
+        self.mutations.push(mutation);
+    }
+
+    /// The mutations, in application order.
+    pub fn mutations(&self) -> &[Mutation] {
+        &self.mutations
+    }
+
+    /// Number of mutations in the batch.
+    pub fn len(&self) -> usize {
+        self.mutations.len()
+    }
+
+    /// Whether the batch holds no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.mutations.is_empty()
+    }
+}
+
+/// The receipt of one published epoch transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochTransition {
+    /// The epoch number queries observe after this publish.
+    pub epoch: u64,
+    /// New ids appended to the gallery.
+    pub inserted: u64,
+    /// Existing ids whose features were overwritten in place.
+    pub updated: u64,
+    /// Ids removed from the gallery.
+    pub deleted: u64,
+    /// Deletes that named an absent id (counted no-ops).
+    pub delete_misses: u64,
+    /// Shards whose index generation was rebuilt and swapped.
+    pub rebuilt_shards: u64,
+    /// Rows moved between shards by a rebalance transaction.
+    pub rows_moved: u64,
+}
+duo_tensor::impl_to_json!(struct EpochTransition {
+    epoch, inserted, updated, deleted, delete_misses, rebuilt_shards, rows_moved
+});
+
+/// Monotonic mutation counters for a whole system, accumulated across
+/// every published epoch (see
+/// [`crate::RetrievalSystem::mutation_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MutationStats {
+    /// Epoch transactions published (mutation batches + rebalances).
+    pub epochs_published: u64,
+    /// Individual mutations applied (inserts + updates + deletes;
+    /// delete misses excluded).
+    pub mutations_applied: u64,
+    /// New ids appended, total.
+    pub inserted: u64,
+    /// In-place feature updates, total.
+    pub updated: u64,
+    /// Ids removed, total.
+    pub deleted: u64,
+    /// Deletes of absent ids, total.
+    pub delete_misses: u64,
+    /// Rebalance transactions published.
+    pub rebalances: u64,
+    /// Rows moved between shards by rebalances, total.
+    pub rows_rebalanced: u64,
+}
+duo_tensor::impl_to_json!(struct MutationStats {
+    epochs_published, mutations_applied, inserted, updated, deleted,
+    delete_misses, rebalances, rows_rebalanced
+});
+
+impl MutationStats {
+    /// Folds an apply/rebalance outcome into the totals. Outcomes that
+    /// published an epoch absorb fully; a no-op outcome (empty batch,
+    /// all delete misses, already balanced) still records its misses
+    /// but counts no epoch.
+    pub fn absorb_outcome(&mut self, t: &EpochTransition) {
+        if t.rebuilt_shards > 0 {
+            self.absorb(t);
+        } else {
+            self.delete_misses += t.delete_misses;
+        }
+    }
+
+    /// Folds one epoch receipt into the running totals.
+    pub fn absorb(&mut self, t: &EpochTransition) {
+        self.epochs_published += 1;
+        self.mutations_applied += t.inserted + t.updated + t.deleted;
+        self.inserted += t.inserted;
+        self.updated += t.updated;
+        self.deleted += t.deleted;
+        self.delete_misses += t.delete_misses;
+        if t.rows_moved > 0 {
+            self.rebalances += 1;
+        }
+        self.rows_rebalanced += t.rows_moved;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use duo_tensor::ToJson;
+
+    #[test]
+    fn batch_builder_preserves_order() {
+        let id = |c| VideoId { class: c, instance: 0 };
+        let f = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let batch = MutationBatch::new().insert(id(1), f.clone()).delete(id(2)).insert(id(3), f);
+        assert_eq!(batch.len(), 3);
+        assert!(matches!(batch.mutations()[1], Mutation::Delete { .. }));
+    }
+
+    #[test]
+    fn stats_absorb_counts_rebalances_only_when_rows_moved() {
+        let mut stats = MutationStats::default();
+        stats.absorb(&EpochTransition { epoch: 1, inserted: 2, deleted: 1, ..Default::default() });
+        stats.absorb(&EpochTransition { epoch: 2, rows_moved: 5, ..Default::default() });
+        assert_eq!(stats.epochs_published, 2);
+        assert_eq!(stats.mutations_applied, 3);
+        assert_eq!(stats.rebalances, 1);
+        assert_eq!(stats.rows_rebalanced, 5);
+    }
+
+    #[test]
+    fn transition_serializes_to_json() {
+        let t = EpochTransition { epoch: 3, inserted: 1, ..Default::default() };
+        let json = t.to_json().to_string();
+        assert!(json.contains("\"epoch\":3"), "{json}");
+        assert!(json.contains("\"inserted\":1"), "{json}");
+    }
+}

@@ -2,7 +2,7 @@ use crate::{FaultPlan, IndexMode, IndexStats, ShardIndex};
 use duo_tensor::Tensor;
 use duo_video::VideoId;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A gallery entry scored against a query embedding.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,13 +61,25 @@ pub struct NodeAnswer {
 /// queries are in flight; an optional seeded [`FaultPlan`] injects
 /// transient errors, latency, and flap schedules deterministically (see
 /// [`crate::chaos`]).
+///
+/// The index itself sits behind an `Arc` generation pointer: queries
+/// clone the pointer ([`DataNode::snapshot`]) and score one immutable
+/// generation end to end, while an epoch publisher swaps the pointer to
+/// the next generation ([`crate::RetrievalSystem::apply`]). Retired
+/// generations' scan counters fold into a node-level accumulator at the
+/// swap, so [`DataNode::index_stats`] stays monotonic across epochs.
 #[derive(Debug)]
 pub struct DataNode {
     name: String,
-    index: ShardIndex,
+    index: RwLock<Arc<ShardIndex>>,
+    /// The k-means seed every generation of this shard trains with
+    /// ([`crate::shard_seed`] of the node position, by convention).
+    seed: u64,
     status: RwLock<NodeStatus>,
     fault_plan: RwLock<Option<FaultPlan>>,
     queries_seen: AtomicU64,
+    /// Scan counters of retired index generations, folded in at swap.
+    retired_stats: Mutex<IndexStats>,
 }
 
 impl DataNode {
@@ -85,7 +97,8 @@ impl DataNode {
 
     /// Creates an online node whose shard is indexed in `mode`; `seed`
     /// feeds the IVF k-means (use [`crate::shard_seed`] for the
-    /// per-shard convention; exact mode ignores it).
+    /// per-shard convention; exact mode ignores it). The seed is kept:
+    /// every later epoch rebuild of this shard trains with it too.
     ///
     /// # Errors
     ///
@@ -99,10 +112,12 @@ impl DataNode {
     ) -> crate::Result<Self> {
         Ok(DataNode {
             name: name.into(),
-            index: ShardIndex::build(&entries, mode, seed)?,
+            index: RwLock::new(Arc::new(ShardIndex::build(&entries, mode, seed)?)),
+            seed,
             status: RwLock::new(NodeStatus::Online),
             fault_plan: RwLock::new(None),
             queries_seen: AtomicU64::new(0),
+            retired_stats: Mutex::new(IndexStats::default()),
         })
     }
 
@@ -111,36 +126,56 @@ impl DataNode {
         &self.name
     }
 
-    /// Number of gallery entries held by this node.
+    /// Number of gallery entries held by this node's current generation.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.snapshot().len()
     }
 
-    /// Whether the shard is empty.
+    /// Whether the current generation is empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.snapshot().is_empty()
     }
 
-    /// The `(id, feature)` entries stored on this shard, materialized
-    /// from the index's flattened storage (snapshots and persistence —
-    /// the query path never pays this copy).
-    pub fn entries(&self) -> Vec<(VideoId, Tensor)> {
-        self.index.entries()
+    /// The current index generation. The returned `Arc` pins an
+    /// immutable [`ShardIndex`]: queries that scan it are unaffected by
+    /// any epoch published afterwards. Iterate
+    /// [`ShardIndex::rows`] on it to read the shard's `(id, feature)`
+    /// contents without copying the gallery.
+    pub fn snapshot(&self) -> Arc<ShardIndex> {
+        Arc::clone(&self.index.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// The shard's nearest-neighbour index.
-    pub fn index(&self) -> &ShardIndex {
-        &self.index
+    /// The k-means seed this shard's generations train with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Publishes a new index generation, retiring the current one. The
+    /// retired generation's scan counters fold into the node's
+    /// accumulator so [`DataNode::index_stats`] never moves backwards.
+    /// Crate-internal: callers go through the system's epoch gate
+    /// ([`crate::RetrievalSystem::apply`]), which makes multi-shard
+    /// publishes atomic.
+    pub(crate) fn install_index(&self, next: Arc<ShardIndex>) {
+        let mut slot = self.index.write().unwrap_or_else(|e| e.into_inner());
+        let retired = std::mem::replace(&mut *slot, next);
+        self.retired_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&retired.stats());
     }
 
     /// How this shard answers queries ([`IndexMode::Exact`] or IVF).
     pub fn index_mode(&self) -> IndexMode {
-        self.index.mode()
+        self.snapshot().mode()
     }
 
-    /// A snapshot of the shard index's scan counters.
+    /// The shard's scan counters: the live generation's plus every
+    /// retired generation's (monotonic across epoch publishes).
     pub fn index_stats(&self) -> IndexStats {
-        self.index.stats()
+        let mut total = *self.retired_stats.lock().unwrap_or_else(|e| e.into_inner());
+        total.merge(&self.snapshot().stats());
+        total
     }
 
     /// Current operational status.
@@ -181,14 +216,35 @@ impl DataNode {
     /// Fault-aware local query: consumes one index of the node's fault
     /// schedule and answers, fails, or reports itself down accordingly.
     ///
-    /// Without an installed plan this is the plain scan with
-    /// `delay_us = 0` — bit-identical results to [`DataNode::query`].
+    /// Scores the current generation at call time. The resilient
+    /// fan-out uses [`DataNode::try_query_at`] instead, pinning the
+    /// generation captured at query admission so retries and hedges of
+    /// one query can never straddle an epoch publish.
     ///
     /// # Errors
     ///
     /// [`NodeFault::Offline`] when hard-offline or inside a flap window,
     /// [`NodeFault::Transient`] when the schedule fails this attempt.
     pub fn try_query(&self, query: &Tensor, m: usize) -> Result<NodeAnswer, NodeFault> {
+        let snap = self.snapshot();
+        self.try_query_at(&snap, query, m)
+    }
+
+    /// Like [`DataNode::try_query`], but scoring an explicit generation
+    /// (from [`DataNode::snapshot`], typically captured under the
+    /// system's epoch gate). The fault schedule and `queries_seen`
+    /// counter live on the *node*, not the generation, so chaos
+    /// trajectories are unaffected by epoch publishes.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DataNode::try_query`].
+    pub fn try_query_at(
+        &self,
+        snap: &ShardIndex,
+        query: &Tensor,
+        m: usize,
+    ) -> Result<NodeAnswer, NodeFault> {
         if self.status() == NodeStatus::Offline {
             return Err(NodeFault::Offline);
         }
@@ -214,7 +270,7 @@ impl DataNode {
         if decision.transient {
             return Err(NodeFault::Transient);
         }
-        let results = self.scan(query, m);
+        let results = snap.search(query.as_slice(), m);
         Ok(NodeAnswer { results, delay_us: decision.delay_us, index })
     }
 
@@ -226,14 +282,7 @@ impl DataNode {
         if self.status() == NodeStatus::Offline {
             return None;
         }
-        Some(self.scan(query, m))
-    }
-
-    /// The raw shard scan, independent of status and fault schedule.
-    /// Routes through the [`ShardIndex`]; exact mode is bit-identical to
-    /// the seed per-entry scan (see [`crate::index`]).
-    fn scan(&self, query: &Tensor, m: usize) -> Vec<ScoredId> {
-        self.index.search(query.as_slice(), m)
+        Some(self.snapshot().search(query.as_slice(), m))
     }
 }
 
@@ -350,12 +399,38 @@ mod tests {
     }
 
     #[test]
-    fn entries_materialize_in_row_order() {
+    fn snapshot_rows_borrow_in_row_order() {
         let node = sample_node();
-        let got = node.entries();
+        let snap = node.snapshot();
+        let got: Vec<_> = snap.rows().collect();
         assert_eq!(got.len(), 3);
         assert_eq!(got[0].0, VideoId { class: 0, instance: 0 });
-        assert_eq!(got[2].1.as_slice(), &[3.0, 4.0]);
+        assert_eq!(got[2].1, &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn install_index_pins_old_snapshots_and_folds_stats() {
+        let node = sample_node();
+        let q = feat(vec![0.0, 0.0]);
+        let old = node.snapshot();
+        node.query(&q, 1).unwrap();
+        assert_eq!(node.index_stats().queries, 1);
+        // Publish a one-row generation; the pinned snapshot still holds
+        // all three rows, the node now serves one, and the retired
+        // generation's counters survive in the accumulator.
+        let next = crate::ShardIndex::build(
+            &[(VideoId { class: 9, instance: 0 }, feat(vec![5.0, 5.0]))],
+            IndexMode::Exact,
+            0,
+        )
+        .unwrap();
+        node.install_index(std::sync::Arc::new(next));
+        assert_eq!(old.len(), 3, "pinned generation is immutable");
+        assert_eq!(node.len(), 1);
+        let res = node.query(&q, 3).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].id.class, 9);
+        assert_eq!(node.index_stats().queries, 2, "stats stay monotonic across the swap");
     }
 
     #[test]

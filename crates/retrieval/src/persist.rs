@@ -49,14 +49,77 @@ impl GalleryIndex {
 
     /// Extracts the index currently served by a retrieval system,
     /// including its index mode.
+    ///
+    /// The capture happens under the system's epoch gate — one
+    /// consistent cross-shard cut — so a snapshot taken while a
+    /// mutation batch or rebalance is publishing always equals exactly
+    /// one published epoch, never a half-applied batch or a row caught
+    /// mid-move. (To persist without materializing a tensor per row,
+    /// use [`GalleryIndex::save_system`].)
     pub fn from_system(system: &RetrievalSystem) -> Self {
+        let (_epoch, snaps) = system.snapshot_with_epoch();
         let mut entries = Vec::with_capacity(system.gallery_len());
-        for node in system.nodes() {
-            entries.extend(node.entries());
+        for snap in &snaps {
+            entries.extend(snap.entries());
         }
         // Deterministic order regardless of shard layout.
         entries.sort_by_key(|(id, _)| (id.class, id.instance));
         GalleryIndex { entries, mode: system.config().index }
+    }
+
+    /// Streams a system's gallery straight to `w` in the `DUOINDX2`
+    /// format, byte-identical to
+    /// `GalleryIndex::from_system(system).write(w)` but writing feature
+    /// rows from the shard snapshots' borrowed storage — no per-row
+    /// tensor materialization, no gallery copy. Returns the epoch the
+    /// snapshot was captured from (under the epoch gate, so the stream
+    /// is always one published epoch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
+    pub fn write_system<W: Write>(system: &RetrievalSystem, mut w: W) -> Result<u64> {
+        let io = |e: std::io::Error| RetrievalError::BadConfig(format!("index write: {e}"));
+        let (epoch, snaps) = system.snapshot_with_epoch();
+        // Global id order over borrowed rows: sort an (id, shard, row)
+        // directory instead of copying features.
+        let mut directory: Vec<(VideoId, usize, usize)> = Vec::new();
+        for (s, snap) in snaps.iter().enumerate() {
+            directory.extend(snap.ids().iter().enumerate().map(|(r, &id)| (id, s, r)));
+        }
+        directory.sort_by_key(|(id, _, _)| (id.class, id.instance));
+        w.write_all(MAGIC_V2).map_err(io)?;
+        match system.config().index {
+            IndexMode::Exact => w.write_all(&[MODE_EXACT]).map_err(io)?,
+            IndexMode::Ivf { nlist, nprobe } => {
+                w.write_all(&[MODE_IVF]).map_err(io)?;
+                w.write_all(&(nlist as u64).to_le_bytes()).map_err(io)?;
+                w.write_all(&(nprobe as u64).to_le_bytes()).map_err(io)?;
+            }
+        }
+        w.write_all(&(directory.len() as u64).to_le_bytes()).map_err(io)?;
+        for (id, shard, row) in directory {
+            let feat = snaps[shard].feature(row);
+            w.write_all(&id.class.to_le_bytes()).map_err(io)?;
+            w.write_all(&id.instance.to_le_bytes()).map_err(io)?;
+            w.write_all(&(feat.len() as u64).to_le_bytes()).map_err(io)?;
+            for &x in feat {
+                w.write_all(&x.to_le_bytes()).map_err(io)?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Streams a system's gallery to a file (see
+    /// [`GalleryIndex::write_system`]); returns the captured epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] wrapping I/O failures.
+    pub fn save_system<P: AsRef<Path>>(system: &RetrievalSystem, path: P) -> Result<u64> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| RetrievalError::BadConfig(format!("index create: {e}")))?;
+        Self::write_system(system, std::io::BufWriter::new(file))
     }
 
     /// Number of indexed videos.
@@ -358,6 +421,75 @@ mod tests {
             let q = ds.video(VideoId { class: c, instance: 1 });
             assert_eq!(exact.retrieve(&q).unwrap(), ivf.retrieve(&q).unwrap());
         }
+    }
+
+    #[test]
+    fn write_system_matches_materialized_snapshot_bytes() {
+        let (sys, _) = system();
+        // Publish one epoch first so the stream covers mutated state too.
+        sys.insert(
+            VideoId { class: 200, instance: 0 },
+            sys.nodes()[0].snapshot().entries().remove(0).1,
+        )
+        .unwrap();
+        let mut streamed = Vec::new();
+        let epoch = GalleryIndex::write_system(&sys, &mut streamed).unwrap();
+        assert_eq!(epoch, sys.current_epoch());
+        let mut materialized = Vec::new();
+        GalleryIndex::from_system(&sys).write(&mut materialized).unwrap();
+        assert_eq!(streamed, materialized, "streaming writer must be byte-identical");
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_mutation_is_one_published_epoch() {
+        let (sys, _) = system();
+        let base = sys.gallery_len();
+        let dim = sys.nodes()[0].snapshot().dim();
+        let marker = |k: u32| VideoId { class: 200 + k, instance: 0 };
+        let feature = |k: u32| {
+            Tensor::from_vec(vec![k as f32 + 1.0; dim], &[dim]).unwrap()
+        };
+
+        // Writer: five epoch transactions, each inserting TWO markers in
+        // one batch. A torn capture would show an odd marker count.
+        const EPOCHS: u32 = 5;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for k in 0..EPOCHS {
+                    let batch = crate::MutationBatch::new()
+                        .insert(marker(2 * k), feature(2 * k))
+                        .insert(marker(2 * k + 1), feature(2 * k + 1));
+                    sys.apply(&batch).unwrap();
+                }
+            });
+            // Reader: repeatedly persist mid-mutation and reload. Every
+            // capture must equal exactly the published epoch it reports —
+            // all of batch `e` and nothing of batch `e + 1`.
+            for _ in 0..40 {
+                let mut buf = Vec::new();
+                let epoch = GalleryIndex::write_system(&sys, &mut buf).unwrap();
+                let back = GalleryIndex::read(buf.as_slice()).unwrap();
+                let markers: Vec<u32> = back
+                    .entries()
+                    .iter()
+                    .filter(|(id, _)| id.class >= 200)
+                    .map(|(id, _)| id.class - 200)
+                    .collect();
+                assert_eq!(
+                    markers.len() as u64,
+                    2 * epoch,
+                    "epoch {epoch} snapshot shows a half-applied batch: {markers:?}"
+                );
+                assert_eq!(markers, (0..2 * epoch as u32).collect::<Vec<_>>());
+                assert_eq!(back.len(), base + markers.len());
+            }
+        });
+
+        // After the writer drains, a final capture holds every batch.
+        let mut buf = Vec::new();
+        let epoch = GalleryIndex::write_system(&sys, &mut buf).unwrap();
+        assert_eq!(epoch, u64::from(EPOCHS));
+        assert_eq!(GalleryIndex::read(buf.as_slice()).unwrap().len(), base + 10);
     }
 
     #[test]

@@ -142,6 +142,11 @@ pub struct Retrieved {
     pub coverage: Coverage,
     /// Resilience counters for this query.
     pub telemetry: QueryTelemetry,
+    /// The gallery epoch this query was served from: the epoch gate's
+    /// value at the instant the per-shard snapshots were captured. Every
+    /// shard answer of one query comes from this single epoch, however
+    /// many publishes land while the fan-out runs.
+    pub epoch: u64,
 }
 
 /// Cause of a node sitting a query out, for error selection and
@@ -205,10 +210,13 @@ fn backoff_jitter(policy: &ResilienceConfig, node_idx: usize, attempt: u32) -> u
 }
 
 /// Runs the full attempt loop (attempt → virtual-deadline check → hedge
-/// → retry with backoff) for one node. Panics inside the node query are
-/// contained and reported as [`FailCause::Panic`].
+/// → retry with backoff) for one node, scoring the index generation
+/// `snap` captured at query admission — retries and hedges of one query
+/// can never straddle an epoch publish. Panics inside the node query
+/// are contained and reported as [`FailCause::Panic`].
 pub(crate) fn query_node(
     node: &DataNode,
+    snap: &crate::ShardIndex,
     node_idx: usize,
     query: &duo_tensor::Tensor,
     m: usize,
@@ -217,7 +225,7 @@ pub(crate) fn query_node(
     let mut report = NodeReport::empty();
     let mut attempt: u32 = 0;
     loop {
-        let outcome = catch_unwind(AssertUnwindSafe(|| node.try_query(query, m)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| node.try_query_at(snap, query, m)));
         let cause = match outcome {
             Err(_) => {
                 report.panics += 1;
@@ -248,7 +256,7 @@ pub(crate) fn query_node(
                         if delay_us > hedge_after {
                             report.hedges += 1;
                             if let Ok(Ok(second)) =
-                                catch_unwind(AssertUnwindSafe(|| node.try_query(query, m)))
+                                catch_unwind(AssertUnwindSafe(|| node.try_query_at(snap, query, m)))
                             {
                                 let hedged = hedge_after + second.delay_us;
                                 let second_ok = !policy
@@ -327,7 +335,7 @@ mod tests {
     #[test]
     fn clean_node_answers_first_attempt() {
         let node = node_with_plan(None);
-        let report = query_node(&node, 0, &q(), 2, &ResilienceConfig::default());
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &ResilienceConfig::default());
         assert_eq!(report.answer.as_ref().map(Vec::len), Some(2));
         assert_eq!(report.retries, 0);
         assert_eq!(report.failure, None);
@@ -342,7 +350,7 @@ mod tests {
         let node = node_with_plan(Some(plan.clone()));
         let policy =
             ResilienceConfig { max_retries: 16, backoff_base_us: 10, ..ResilienceConfig::default() };
-        let report = query_node(&node, 0, &q(), 2, &policy);
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert!(report.answer.is_some(), "16 retries beat p=0.6 transients: {report:?}");
         let schedule = plan.schedule(report.retries + 1);
         let expected_failures = schedule.iter().filter(|d| d.transient).count() as u64;
@@ -354,7 +362,7 @@ mod tests {
     fn always_failing_node_exhausts_retries() {
         let node = node_with_plan(Some(FaultPlan::transient(5, 1.0)));
         let policy = ResilienceConfig { max_retries: 3, ..ResilienceConfig::default() };
-        let report = query_node(&node, 0, &q(), 2, &policy);
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert_eq!(report.answer, None);
         assert_eq!(report.failure, Some(FailCause::Transient));
         assert_eq!(report.retries, 3);
@@ -366,7 +374,7 @@ mod tests {
         let node = node_with_plan(None);
         node.set_offline();
         let policy = ResilienceConfig { max_retries: 5, ..ResilienceConfig::default() };
-        let report = query_node(&node, 0, &q(), 2, &policy);
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert_eq!(report.failure, Some(FailCause::Offline));
         assert_eq!(report.retries, 0, "hard-down nodes are failed fast");
     }
@@ -376,7 +384,7 @@ mod tests {
         let node = node_with_plan(Some(FaultPlan::none(9).with_latency(5_000, 0, 0.0, 0)));
         let policy =
             ResilienceConfig { node_timeout_us: Some(1_000), ..ResilienceConfig::default() };
-        let report = query_node(&node, 0, &q(), 2, &policy);
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert_eq!(report.failure, Some(FailCause::Timeout));
         assert_eq!(report.timeouts, 1);
     }
@@ -389,7 +397,7 @@ mod tests {
         let node = node_with_plan(Some(FaultPlan::none(3).with_latency(6_000, 0, 0.0, 0)));
         let policy =
             ResilienceConfig { hedge_after_us: Some(1_000), ..ResilienceConfig::default() };
-        let report = query_node(&node, 0, &q(), 2, &policy);
+        let report = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert_eq!(report.hedges, 1);
         assert_eq!(report.delay_us, 6_000);
         assert!(report.answer.is_some());
@@ -405,8 +413,8 @@ mod tests {
             seed: 77,
             ..ResilienceConfig::default()
         };
-        let a = query_node(&node, 0, &q(), 2, &policy);
-        let b = query_node(&node, 0, &q(), 2, &policy);
+        let a = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
+        let b = query_node(&node, &node.snapshot(), 0, &q(), 2, &policy);
         assert_eq!(a.backoff_us, b.backoff_us, "jitter is seeded, not sampled from time");
         let base: u64 = 100 + 200 + 400;
         assert!(a.backoff_us >= base && a.backoff_us < base + 3 * 50, "{}", a.backoff_us);

@@ -1,12 +1,14 @@
 use crate::resilience::{query_node, FailCause, NodeReport};
 use crate::{
-    shard_seed, BreakerState, CircuitBreaker, Coverage, DataNode, IndexMode, IndexStats,
-    QueryTelemetry, ResilienceConfig, Retrieved, RetrievalError, Result, ScoredId,
+    shard_seed, BreakerState, CircuitBreaker, Coverage, DataNode, EpochTransition, IndexMode,
+    IndexStats, Mutation, MutationBatch, MutationStats, QueryTelemetry, ResilienceConfig,
+    Retrieved, RetrievalError, Result, ScoredId, ShardIndex,
 };
 use duo_models::Backbone;
 use duo_tensor::Tensor;
 use duo_video::{SyntheticDataset, Video, VideoId};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Configuration of the distributed retrieval service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,13 +44,57 @@ pub struct RetrievalSystem {
     backbone: Backbone,
     nodes: Vec<DataNode>,
     config: RetrievalConfig,
-    gallery_len: usize,
+    gallery_len: AtomicUsize,
     resilience: ResilienceConfig,
     /// Per-node circuit breakers, created lazily on the first query
     /// under a breaker-enabled policy. Behind a mutex because the whole
     /// retrieval path takes `&self`; held only for admission/recording,
     /// never across shard work.
     breakers: Mutex<Vec<CircuitBreaker>>,
+    /// The epoch gate. Queries hold the read side only long enough to
+    /// clone every node's generation pointer — one consistent
+    /// cross-shard cut — and publishers hold the write side while
+    /// swapping the staged generations in and bumping the counter, so a
+    /// multi-shard publish is atomic with respect to every query.
+    epoch: RwLock<u64>,
+    /// Serializes gallery writers (one epoch transaction builds at a
+    /// time) and accumulates the system's mutation counters.
+    mutation: Mutex<MutationStats>,
+}
+
+/// A writer's off-to-the-side copy of the gallery: per-shard SoA
+/// buffers mutated freely before the dirty shards are rebuilt and
+/// published as one epoch.
+struct StagedGallery {
+    dim: usize,
+    shards: Vec<StagedShard>,
+}
+
+struct StagedShard {
+    ids: Vec<VideoId>,
+    feats: Vec<f32>,
+    dirty: bool,
+}
+
+impl StagedGallery {
+    /// Locates an id: shards in node order, rows in row order.
+    fn find(&self, id: VideoId) -> Option<(usize, usize)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find_map(|(s, shard)| shard.ids.iter().position(|&x| x == id).map(|r| (s, r)))
+    }
+
+    /// The shard new ids route to: fewest staged rows, ties to the
+    /// lowest node index.
+    fn smallest_shard(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, shard)| (shard.ids.len(), *i))
+            .map(|(i, _)| i)
+            .expect("systems have at least one node")
+    }
 }
 
 impl std::fmt::Debug for RetrievalSystem {
@@ -142,14 +188,7 @@ impl RetrievalSystem {
                 DataNode::with_index_mode(format!("node-{i}"), entries, config.index, shard_seed(i))
             })
             .collect::<Result<Vec<_>>>()?;
-        Ok(RetrievalSystem {
-            backbone,
-            nodes,
-            config,
-            gallery_len: gallery.len(),
-            resilience: ResilienceConfig::default(),
-            breakers: Mutex::new(Vec::new()),
-        })
+        Ok(Self::assemble(backbone, nodes, config, gallery.len()))
     }
 
     /// Assembles a system from prebuilt shards (used by index restore).
@@ -163,9 +202,11 @@ impl RetrievalSystem {
             backbone,
             nodes,
             config,
-            gallery_len,
+            gallery_len: AtomicUsize::new(gallery_len),
             resilience: ResilienceConfig::default(),
             breakers: Mutex::new(Vec::new()),
+            epoch: RwLock::new(0),
+            mutation: Mutex::new(MutationStats::default()),
         }
     }
 
@@ -174,14 +215,35 @@ impl RetrievalSystem {
         self.config
     }
 
-    /// Number of indexed gallery videos.
+    /// Number of indexed gallery videos (tracks live mutation).
     pub fn gallery_len(&self) -> usize {
-        self.gallery_len
+        self.gallery_len.load(Ordering::SeqCst)
     }
 
     /// The data-node shards (for failure injection in tests).
     pub fn nodes(&self) -> &[DataNode] {
         &self.nodes
+    }
+
+    /// The epoch queries admitted right now would be served from.
+    pub fn current_epoch(&self) -> u64 {
+        *self.epoch.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Monotonic mutation counters accumulated over every published
+    /// epoch (batches and rebalances).
+    pub fn mutation_stats(&self) -> MutationStats {
+        *self.mutation.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// One consistent cross-shard cut: the current epoch plus every
+    /// node's generation pointer, captured together under the epoch
+    /// gate. A publisher can never interleave inside the returned set —
+    /// this is the capture the query path, persistence, and any external
+    /// gallery reader should use.
+    pub fn snapshot_with_epoch(&self) -> (u64, Vec<Arc<ShardIndex>>) {
+        let gate = self.epoch.read().unwrap_or_else(|e| e.into_inner());
+        (*gate, self.nodes.iter().map(DataNode::snapshot).collect())
     }
 
     /// Shard-index scan counters summed over every node: queries, probed
@@ -294,6 +356,212 @@ impl RetrievalSystem {
         }
     }
 
+    /// Inserts (or updates) one gallery entry as its own epoch
+    /// transaction. See [`RetrievalSystem::apply`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetrievalSystem::apply`].
+    pub fn insert(&self, id: VideoId, feature: Tensor) -> Result<EpochTransition> {
+        self.apply(&MutationBatch::new().insert(id, feature))
+    }
+
+    /// Deletes one gallery entry as its own epoch transaction. Deleting
+    /// an absent id is a counted no-op. See [`RetrievalSystem::apply`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`RetrievalSystem::apply`].
+    pub fn delete(&self, id: VideoId) -> Result<EpochTransition> {
+        self.apply(&MutationBatch::new().delete(id))
+    }
+
+    /// Applies an ordered mutation batch as one epoch transaction.
+    ///
+    /// The writer stages every touched shard's next generation off to
+    /// the side (one `memcpy` of the SoA storage per touched shard, no
+    /// per-row tensor materialization), applies the batch in order,
+    /// rebuilds the dirty shards deterministically — same
+    /// [`crate::shard_seed`]-per-shard k-means discipline the persist
+    /// path restores with — and publishes all of them atomically under
+    /// the epoch gate. Queries in flight keep their captured generation;
+    /// queries admitted afterwards see the whole batch. A batch that
+    /// touches nothing (empty, or all delete misses) publishes no epoch.
+    ///
+    /// Insert routing is deterministic: an existing id updates in place
+    /// (same shard, same row); a new id appends to the smallest staged
+    /// shard, ties to the lowest node index. Mutation ignores
+    /// [`crate::NodeStatus`] and fault plans entirely — a flapping node
+    /// still receives its rows.
+    ///
+    /// Takes `&self`: concurrent writers serialize on an internal lock,
+    /// and queries never block on a writer except for the pointer swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] when an inserted feature
+    /// disagrees with the gallery dimension; the gallery is untouched
+    /// (staging is off to the side, so a failed batch publishes
+    /// nothing).
+    pub fn apply(&self, batch: &MutationBatch) -> Result<EpochTransition> {
+        let mut stats = self.mutation.lock().unwrap_or_else(|e| e.into_inner());
+        let mut transition = EpochTransition { epoch: self.current_epoch(), ..Default::default() };
+        if batch.is_empty() {
+            return Ok(transition);
+        }
+        let mut staged = self.stage();
+        let mut dim = staged.dim;
+        for mutation in batch.mutations() {
+            match mutation {
+                Mutation::Insert { id, feature } => {
+                    if dim == 0 {
+                        dim = feature.len();
+                        staged.dim = dim;
+                    }
+                    if feature.len() != dim {
+                        return Err(RetrievalError::BadConfig(format!(
+                            "inserted feature dimension {} disagrees with gallery dimension {dim}",
+                            feature.len()
+                        )));
+                    }
+                    match staged.find(*id) {
+                        Some((shard, row)) => {
+                            staged.shards[shard].feats[row * dim..(row + 1) * dim]
+                                .copy_from_slice(feature.as_slice());
+                            staged.shards[shard].dirty = true;
+                            transition.updated += 1;
+                        }
+                        None => {
+                            let shard = staged.smallest_shard();
+                            staged.shards[shard].ids.push(*id);
+                            staged.shards[shard].feats.extend_from_slice(feature.as_slice());
+                            staged.shards[shard].dirty = true;
+                            transition.inserted += 1;
+                        }
+                    }
+                }
+                Mutation::Delete { id } => match staged.find(*id) {
+                    Some((shard, row)) => {
+                        staged.shards[shard].ids.remove(row);
+                        staged.shards[shard].feats.drain(row * dim..(row + 1) * dim);
+                        staged.shards[shard].dirty = true;
+                        transition.deleted += 1;
+                    }
+                    None => transition.delete_misses += 1,
+                },
+            }
+        }
+        self.publish(staged, &mut transition)?;
+        stats.absorb_outcome(&transition);
+        Ok(transition)
+    }
+
+    /// Rebalances shard sizes as one epoch transaction: every shard ends
+    /// within one row of `gallery_len / nodes` (remainders to the lowest
+    /// node indices). Donor shards give rows from their tail in node
+    /// order; recipients append in node order — a pure function of the
+    /// current layout, so same gallery ⇒ same moves. Moves are staged
+    /// and published atomically: no query can observe a row on two
+    /// shards or on neither, and a node flapping through its fault
+    /// schedule mid-rebalance still receives its rows (mutation ignores
+    /// node status). An already-balanced gallery publishes no epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-rebuild failures ([`RetrievalError::BadConfig`]);
+    /// the gallery is untouched on error.
+    pub fn rebalance(&self) -> Result<EpochTransition> {
+        let mut stats = self.mutation.lock().unwrap_or_else(|e| e.into_inner());
+        let mut transition = EpochTransition { epoch: self.current_epoch(), ..Default::default() };
+        let mut staged = self.stage();
+        let dim = staged.dim;
+        let n = staged.shards.len();
+        let total: usize = staged.shards.iter().map(|s| s.ids.len()).sum();
+        let target =
+            |i: usize| -> usize { total / n + usize::from(i < total % n) };
+        // Donors surrender surplus rows from the tail, node order.
+        let mut surplus: Vec<(VideoId, Vec<f32>)> = Vec::new();
+        for i in 0..n {
+            while staged.shards[i].ids.len() > target(i) {
+                let id = staged.shards[i].ids.pop().expect("len > target >= 0");
+                let at = staged.shards[i].ids.len() * dim;
+                let feat = staged.shards[i].feats.split_off(at);
+                staged.shards[i].dirty = true;
+                surplus.push((id, feat));
+            }
+        }
+        // Recipients fill to target, node order, FIFO over the surplus.
+        let mut surplus = surplus.into_iter();
+        for i in 0..n {
+            while staged.shards[i].ids.len() < target(i) {
+                let (id, feat) = surplus.next().expect("surplus covers every deficit");
+                staged.shards[i].ids.push(id);
+                staged.shards[i].feats.extend_from_slice(&feat);
+                staged.shards[i].dirty = true;
+                transition.rows_moved += 1;
+            }
+        }
+        self.publish(staged, &mut transition)?;
+        stats.absorb_outcome(&transition);
+        Ok(transition)
+    }
+
+    /// Copies every shard's current generation into a staging buffer
+    /// (writer-side; the caller holds the mutation lock).
+    fn stage(&self) -> StagedGallery {
+        let snaps: Vec<Arc<ShardIndex>> = self.nodes.iter().map(DataNode::snapshot).collect();
+        let dim = snaps.iter().map(|s| s.dim()).find(|&d| d > 0).unwrap_or(0);
+        StagedGallery {
+            dim,
+            shards: snaps
+                .iter()
+                .map(|s| StagedShard {
+                    ids: s.ids().to_vec(),
+                    feats: s.features().to_vec(),
+                    dirty: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds every dirty staged shard off to the side, then swaps all
+    /// of them in and bumps the epoch under the write gate. Nothing
+    /// dirty ⇒ nothing published, epoch unchanged.
+    fn publish(&self, staged: StagedGallery, transition: &mut EpochTransition) -> Result<()> {
+        let dim = staged.dim;
+        let mut next: Vec<Option<Arc<ShardIndex>>> = Vec::with_capacity(staged.shards.len());
+        let mut total = 0usize;
+        for (i, shard) in staged.shards.into_iter().enumerate() {
+            total += shard.ids.len();
+            if shard.dirty {
+                let built = ShardIndex::build_from_rows(
+                    shard.ids,
+                    shard.feats,
+                    dim,
+                    self.config.index,
+                    self.nodes[i].seed(),
+                )?;
+                next.push(Some(Arc::new(built)));
+            } else {
+                next.push(None);
+            }
+        }
+        if next.iter().all(Option::is_none) {
+            return Ok(());
+        }
+        let mut epoch = self.epoch.write().unwrap_or_else(|e| e.into_inner());
+        for (node, generation) in self.nodes.iter().zip(next) {
+            if let Some(generation) = generation {
+                transition.rebuilt_shards += 1;
+                node.install_index(generation);
+            }
+        }
+        self.gallery_len.store(total, Ordering::SeqCst);
+        *epoch += 1;
+        transition.epoch = *epoch;
+        Ok(())
+    }
+
     /// Retrieval from a precomputed query embedding.
     ///
     /// # Errors
@@ -333,6 +601,13 @@ impl RetrievalSystem {
         let total = self.nodes.len();
         let mut telemetry = QueryTelemetry::new(total);
 
+        // Capture one consistent cross-shard cut under the epoch gate:
+        // every shard of this query scores the same epoch, and every
+        // retry/hedge scores the generation captured here, however many
+        // publishes land while the fan-out runs.
+        let (epoch, snaps) = self.snapshot_with_epoch();
+        let snaps = &snaps;
+
         // Breaker admission runs sequentially in node order (never
         // inside the fan-out threads), so breaker trajectories are
         // independent of thread interleavings.
@@ -368,7 +643,7 @@ impl RetrievalSystem {
                     .map(|(idx, node)| {
                         let run = admitted[idx];
                         scope.spawn(move || {
-                            run.then(|| query_node(node, idx, query, m, policy))
+                            run.then(|| query_node(node, &snaps[idx], idx, query, m, policy))
                         })
                     })
                     .collect();
@@ -381,7 +656,9 @@ impl RetrievalSystem {
             self.nodes
                 .iter()
                 .enumerate()
-                .map(|(idx, node)| admitted[idx].then(|| query_node(node, idx, query, m, policy)))
+                .map(|(idx, node)| {
+                    admitted[idx].then(|| query_node(node, &snaps[idx], idx, query, m, policy))
+                })
                 .collect()
         };
 
@@ -446,7 +723,7 @@ impl RetrievalSystem {
                 .then_with(|| (a.id.class, a.id.instance).cmp(&(b.id.class, b.id.instance)))
         });
         merged.truncate(m);
-        Ok(Retrieved { ids: merged.into_iter().map(|s| s.id).collect(), coverage, telemetry })
+        Ok(Retrieved { ids: merged.into_iter().map(|s| s.id).collect(), coverage, telemetry, epoch })
     }
 }
 
@@ -579,6 +856,111 @@ mod tests {
         let stats = sys.index_stats();
         assert_eq!(stats.queries, 3, "one shard search per node");
         assert!(stats.probed_lists > 0);
+    }
+
+    #[test]
+    fn insert_update_delete_roundtrip() {
+        let (sys, ds) = small_system(false);
+        let len0 = sys.gallery_len();
+        let probe = ds.video(VideoId { class: 0, instance: 0 });
+        let feat = sys.embed(&probe).unwrap();
+        let planted = VideoId { class: 99, instance: 9 };
+
+        let t = sys.insert(planted, feat.clone()).unwrap();
+        assert_eq!((t.epoch, t.inserted), (1, 1));
+        assert_eq!(sys.gallery_len(), len0 + 1);
+        let got = sys.retrieve_resilient(&feat).unwrap();
+        assert_eq!(got.epoch, 1);
+        assert!(got.ids.contains(&planted), "planted duplicate embedding must rank");
+
+        // Upsert the same id: no growth, updated counted.
+        let t = sys.insert(planted, feat.clone()).unwrap();
+        assert_eq!((t.epoch, t.inserted, t.updated), (2, 0, 1));
+        assert_eq!(sys.gallery_len(), len0 + 1);
+
+        let t = sys.delete(planted).unwrap();
+        assert_eq!((t.epoch, t.deleted), (3, 1));
+        assert_eq!(sys.gallery_len(), len0);
+        assert!(!sys.retrieve_resilient(&feat).unwrap().ids.contains(&planted));
+
+        // Deleting again is a counted no-op and publishes nothing.
+        let t = sys.delete(planted).unwrap();
+        assert_eq!((t.epoch, t.delete_misses, t.rebuilt_shards), (3, 1, 0));
+        assert_eq!(sys.current_epoch(), 3);
+        let stats = sys.mutation_stats();
+        assert_eq!(stats.epochs_published, 3);
+        assert_eq!(stats.mutations_applied, 3);
+        assert_eq!(stats.delete_misses, 1);
+    }
+
+    #[test]
+    fn bad_dimension_insert_leaves_gallery_untouched() {
+        let (sys, _) = small_system(false);
+        let len0 = sys.gallery_len();
+        let bad = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(sys.insert(VideoId { class: 77, instance: 0 }, bad).is_err());
+        assert_eq!(sys.gallery_len(), len0);
+        assert_eq!(sys.current_epoch(), 0, "failed batches publish nothing");
+    }
+
+    #[test]
+    fn rebalance_conserves_rows_and_evens_shards() {
+        let (sys, _) = small_system(false);
+        // Unbalance shard 0 by deleting everything it holds.
+        let victims: Vec<VideoId> = sys.nodes()[0].snapshot().ids().to_vec();
+        let mut batch = MutationBatch::new();
+        for id in &victims {
+            batch.push(Mutation::Delete { id: *id });
+        }
+        sys.apply(&batch).unwrap();
+        assert!(sys.nodes()[0].is_empty());
+
+        let mut before: Vec<VideoId> =
+            sys.nodes().iter().flat_map(|n| n.snapshot().ids().to_vec()).collect();
+        before.sort_by_key(|id| (id.class, id.instance));
+
+        let t = sys.rebalance().unwrap();
+        assert!(t.rows_moved > 0);
+        let lens: Vec<usize> = sys.nodes().iter().map(DataNode::len).collect();
+        assert!(
+            lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1,
+            "rebalance must even shards to within one row: {lens:?}"
+        );
+        let mut after: Vec<VideoId> =
+            sys.nodes().iter().flat_map(|n| n.snapshot().ids().to_vec()).collect();
+        after.sort_by_key(|id| (id.class, id.instance));
+        assert_eq!(before, after, "rows are moved, never lost or duplicated");
+
+        // A balanced gallery rebalances to a no-op.
+        let t2 = sys.rebalance().unwrap();
+        assert_eq!((t2.rows_moved, t2.rebuilt_shards), (0, 0));
+        assert_eq!(sys.current_epoch(), t.epoch);
+    }
+
+    #[test]
+    fn replayed_mutation_sequence_is_bit_identical() {
+        let run = |threaded: bool| {
+            let (sys, ds) = small_system(threaded);
+            let feats: Vec<Tensor> = (0..4)
+                .map(|c| sys.embed(&ds.video(VideoId { class: c, instance: 0 })).unwrap())
+                .collect();
+            let mut trace = Vec::new();
+            for (i, feat) in feats.iter().enumerate() {
+                sys.insert(VideoId { class: 90 + i as u32, instance: 0 }, feat.clone()).unwrap();
+                trace.push(sys.retrieve_resilient(feat).unwrap());
+            }
+            sys.rebalance().unwrap();
+            sys.delete(VideoId { class: 90, instance: 0 }).unwrap();
+            for feat in &feats {
+                trace.push(sys.retrieve_resilient(feat).unwrap());
+            }
+            trace
+        };
+        let a = run(false);
+        let b = run(false);
+        assert_eq!(a, b, "same seed + same mutations => identical lists, epochs, telemetry");
+        let c = run(true);
+        assert_eq!(a, c, "threaded fan-out changes nothing");
     }
 
     #[test]

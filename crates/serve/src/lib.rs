@@ -70,7 +70,7 @@ pub use config::{RateLimit, ServeConfig};
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
 pub use oracle::ServiceOracle;
-pub use service::{ClientHandle, RetrievalService};
+pub use service::{ClientHandle, MutatorHandle, RetrievalService};
 pub use stats::{ClientStats, ServiceStats};
 
 pub(crate) use stats::StatsInner;

@@ -177,7 +177,17 @@ impl RetrievalService {
     pub fn stats(&self) -> crate::ServiceStats {
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
         let index = self.shared.system.index_stats();
-        self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index)
+        let epoch = self.shared.system.current_epoch();
+        let mutation = self.shared.system.mutation_stats();
+        self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index, epoch, mutation)
+    }
+
+    /// Hands out the mutation control plane for the served gallery.
+    ///
+    /// Like [`ClientHandle`], the returned handle holds only a weak
+    /// reference, so it never keeps a shut-down service alive.
+    pub fn mutator(&self) -> MutatorHandle {
+        MutatorHandle { shared: Arc::downgrade(&self.shared) }
     }
 
     /// Read access to the served system (evaluation only; clients go
@@ -208,7 +218,10 @@ impl RetrievalService {
         }
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
         let index = self.shared.system.index_stats();
-        let stats = self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index);
+        let epoch = self.shared.system.current_epoch();
+        let mutation = self.shared.system.mutation_stats();
+        let stats =
+            self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index, epoch, mutation);
         match Arc::try_unwrap(self.shared) {
             Ok(shared) => (Some(shared.system), stats),
             Err(_) => (None, stats),
@@ -262,8 +275,13 @@ fn shed(shared: &Shared, request: Request) {
         let account = &mut clients[request.slot];
         account.ledger.refund();
         account.stats.deadline_misses += 1;
+        account.stats.refunded += 1;
     }
-    shared.stats.lock().expect("stats lock").deadline_misses += 1;
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.deadline_misses += 1;
+        stats.refunded += 1;
+    }
     let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
 }
 
@@ -348,6 +366,7 @@ fn worker_loop(shared: &Shared, work_rx: &Mutex<Receiver<Work>>) {
                 Ok(retrieved) => {
                     stats.served += 1;
                     stats.latency.record(latency_us);
+                    stats.max_epoch_served = stats.max_epoch_served.max(retrieved.epoch);
                     stats.absorb(&retrieved.telemetry);
                     if !retrieved.coverage.is_full() {
                         stats.degraded += 1;
@@ -520,5 +539,85 @@ impl ClientHandle {
     /// after shutdown.
     pub fn list_len(&self) -> Option<usize> {
         self.shared.upgrade().map(|s| s.system.config().m)
+    }
+}
+
+/// The gallery mutation control plane of a running service.
+///
+/// Mutations bypass the query path entirely: they do not queue, batch,
+/// or charge any budget — they call straight into the served
+/// [`duo_retrieval::RetrievalSystem`]'s epoch-transaction writer, which
+/// serializes writers on its own mutation lock. Queries in flight keep
+/// scoring the epoch they captured at admission; queries admitted after
+/// [`MutatorHandle::apply`] returns see the whole batch.
+///
+/// Obtained from [`RetrievalService::mutator`]. Holds a weak reference,
+/// so an outstanding handle never keeps a shut-down service alive.
+#[derive(Debug, Clone)]
+pub struct MutatorHandle {
+    pub(crate) shared: Weak<Shared>,
+}
+
+impl MutatorHandle {
+    fn upgrade(&self) -> Result<Arc<Shared>, ServeError> {
+        let shared = self.shared.upgrade().ok_or(ServeError::Stopped)?;
+        if shared.stopped.load(Ordering::SeqCst) {
+            return Err(ServeError::Stopped);
+        }
+        Ok(shared)
+    }
+
+    /// Applies one mutation batch as a single epoch transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Stopped`] when the service is shut down,
+    /// [`ServeError::Retrieval`] for a rejected batch (e.g. a feature
+    /// whose dimension does not match the gallery) — the gallery is
+    /// untouched in that case.
+    pub fn apply(
+        &self,
+        batch: &duo_retrieval::MutationBatch,
+    ) -> Result<duo_retrieval::EpochTransition, ServeError> {
+        self.upgrade()?.system.apply(batch).map_err(ServeError::Retrieval)
+    }
+
+    /// Upserts one gallery entry (see
+    /// [`duo_retrieval::RetrievalSystem::insert`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MutatorHandle::apply`].
+    pub fn insert(
+        &self,
+        id: VideoId,
+        feature: Tensor,
+    ) -> Result<duo_retrieval::EpochTransition, ServeError> {
+        self.upgrade()?.system.insert(id, feature).map_err(ServeError::Retrieval)
+    }
+
+    /// Deletes one gallery entry; deleting an absent id is a counted
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MutatorHandle::apply`].
+    pub fn delete(&self, id: VideoId) -> Result<duo_retrieval::EpochTransition, ServeError> {
+        self.upgrade()?.system.delete(id).map_err(ServeError::Retrieval)
+    }
+
+    /// Rebalances the gallery across shards as one epoch transaction
+    /// (see [`duo_retrieval::RetrievalSystem::rebalance`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MutatorHandle::apply`].
+    pub fn rebalance(&self) -> Result<duo_retrieval::EpochTransition, ServeError> {
+        self.upgrade()?.system.rebalance().map_err(ServeError::Retrieval)
+    }
+
+    /// The served gallery's current epoch, or `None` after shutdown.
+    pub fn current_epoch(&self) -> Option<u64> {
+        self.shared.upgrade().map(|s| s.system.current_epoch())
     }
 }

@@ -2,7 +2,7 @@
 //! quantiles.
 
 use crate::LatencyHistogram;
-use duo_retrieval::{IndexStats, QueryTelemetry};
+use duo_retrieval::{IndexStats, MutationStats, QueryTelemetry};
 
 /// Mutable counters maintained by the service under its stats lock.
 #[derive(Debug)]
@@ -19,6 +19,9 @@ pub(crate) struct StatsInner {
     pub max_queue_depth: usize,
     pub latency: LatencyHistogram,
     pub deadline_misses: u64,
+    pub refunded: u64,
+    /// Highest gallery epoch any served query scored against.
+    pub max_epoch_served: u64,
     pub degraded: u64,
     pub retries: u64,
     pub hedges: u64,
@@ -46,6 +49,8 @@ impl StatsInner {
             max_queue_depth: 0,
             latency: LatencyHistogram::new(),
             deadline_misses: 0,
+            refunded: 0,
+            max_epoch_served: 0,
             degraded: 0,
             retries: 0,
             hedges: 0,
@@ -78,9 +83,17 @@ impl StatsInner {
 
     /// Builds the public snapshot. `index` is the system's summed
     /// shard-index counters ([`duo_retrieval::RetrievalSystem::index_stats`]),
-    /// sampled by the caller at snapshot time — the index maintains its own
-    /// atomics on the query path, outside the service stats lock.
-    pub fn snapshot(&self, queue_depth: usize, index: IndexStats) -> ServiceStats {
+    /// `epoch`/`mutation` the gallery's epoch counter and mutation totals
+    /// ([`duo_retrieval::RetrievalSystem::mutation_stats`]) — all sampled
+    /// by the caller at snapshot time; the system maintains them on its
+    /// own paths, outside the service stats lock.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        index: IndexStats,
+        epoch: u64,
+        mutation: MutationStats,
+    ) -> ServiceStats {
         let mut weighted = 0u64;
         let mut max_batch = 0usize;
         for (size, &n) in self.batch_hist.iter().enumerate() {
@@ -110,6 +123,13 @@ impl StatsInner {
             latency_p95_us: self.latency.quantile_us(0.95),
             latency_max_us: self.latency.max_us(),
             deadline_misses: self.deadline_misses,
+            refunded: self.refunded,
+            current_epoch: epoch,
+            max_epoch_served: self.max_epoch_served,
+            epochs_published: mutation.epochs_published,
+            mutations_applied: mutation.mutations_applied,
+            rebalances: mutation.rebalances,
+            rows_rebalanced: mutation.rows_rebalanced,
             degraded: self.degraded,
             retries: self.retries,
             hedges: self.hedges,
@@ -164,10 +184,15 @@ pub struct ClientStats {
     pub rejected_overload: u64,
     /// Admitted requests shed (and refunded) on deadline expiry.
     pub deadline_misses: u64,
+    /// Admission-time charges handed back when the request was shed
+    /// before reaching the node fan-out. Every shed refunds exactly once,
+    /// so `refunded == deadline_misses` once in-flight requests drain —
+    /// the budget-drift invariant extended to epoch-swap sheds.
+    pub refunded: u64,
 }
 duo_tensor::impl_to_json!(struct ClientStats {
     charged, served, failed, rejected_budget, rejected_rate,
-    rejected_overload, deadline_misses
+    rejected_overload, deadline_misses, refunded
 });
 
 /// A point-in-time snapshot of service counters.
@@ -209,6 +234,25 @@ pub struct ServiceStats {
     /// Admitted requests shed because their end-to-end deadline expired
     /// in the queue; their charges were refunded.
     pub deadline_misses: u64,
+    /// Admission charges refunded to clients (one per shed request;
+    /// equals `deadline_misses` once in-flight requests have drained).
+    pub refunded: u64,
+    /// The gallery epoch at snapshot time (bumps once per published
+    /// mutation/rebalance transaction; 0 for an immutable gallery).
+    pub current_epoch: u64,
+    /// Highest epoch any served query scored against. At most
+    /// `current_epoch`; queries admitted before a publish may legally
+    /// serve from the prior epoch.
+    pub max_epoch_served: u64,
+    /// Epoch transactions published over the service's lifetime.
+    pub epochs_published: u64,
+    /// Individual gallery mutations applied (inserts + updates +
+    /// deletes; delete misses excluded).
+    pub mutations_applied: u64,
+    /// Rebalance transactions that moved at least one row.
+    pub rebalances: u64,
+    /// Rows moved between shards by rebalances.
+    pub rows_rebalanced: u64,
     /// Served queries answered from partial shard coverage.
     pub degraded: u64,
     /// Node retry attempts issued by the resilient fan-out.
@@ -250,7 +294,9 @@ duo_tensor::impl_to_json!(struct ServiceStats {
     served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
     batch_hist, mean_batch, max_batch, queue_depth, max_queue_depth,
     latency_p50_us, latency_p95_us, latency_max_us,
-    deadline_misses, degraded, retries, hedges, node_timeouts, transient_faults,
+    deadline_misses, refunded, current_epoch, max_epoch_served,
+    epochs_published, mutations_applied, rebalances, rows_rebalanced,
+    degraded, retries, hedges, node_timeouts, transient_faults,
     contained_panics, breaker_skips, breaker_opens, breaker_half_opens,
     breaker_closes, node_failures,
     index_queries, index_probed_lists, index_scanned_rows, index_mean_probes,
@@ -284,6 +330,14 @@ impl std::fmt::Display for ServiceStats {
             self.degraded, self.deadline_misses, self.breaker_opens,
             self.breaker_half_opens, self.breaker_closes
         )?;
+        writeln!(
+            f,
+            "gallery: epoch {} (max served {}), {} epochs published, \
+             {} mutations, {} rebalances ({} rows moved), {} refunds",
+            self.current_epoch, self.max_epoch_served, self.epochs_published,
+            self.mutations_applied, self.rebalances, self.rows_rebalanced,
+            self.refunded
+        )?;
         write!(
             f,
             "index: {} searches, {} rows scanned, {:.2} mean probes, recall@m {}",
@@ -309,7 +363,7 @@ mod tests {
         inner.batch_hist[1] = 2;
         inner.batch_hist[3] = 2;
         inner.batches = 4;
-        let stats = inner.snapshot(1, IndexStats::default());
+        let stats = inner.snapshot(1, IndexStats::default(), 0, MutationStats::default());
         assert_eq!(stats.mean_batch, 2.0);
         assert_eq!(stats.max_batch, 3);
         assert_eq!(stats.queue_depth, 1);
@@ -318,7 +372,7 @@ mod tests {
     #[test]
     fn stats_serialize_to_json() {
         let inner = StatsInner::new(2, 3);
-        let json = inner.snapshot(0, IndexStats::default()).to_json().to_string();
+        let json = inner.snapshot(0, IndexStats::default(), 0, MutationStats::default()).to_json().to_string();
         assert!(json.contains("\"served\":0"), "{json}");
         assert!(json.contains("\"batch_hist\":[0,0,0]"), "{json}");
         assert!(json.contains("\"latency_p95_us\":0"), "{json}");
@@ -339,7 +393,7 @@ mod tests {
             audit_hits: 19,
             audit_expected: 20,
         };
-        let stats = inner.snapshot(0, index);
+        let stats = inner.snapshot(0, index, 0, MutationStats::default());
         assert_eq!(stats.index_queries, 10);
         assert_eq!(stats.index_mean_probes, 4.0);
         assert_eq!(stats.recall_audits, 2);
@@ -359,7 +413,7 @@ mod tests {
         t.node_failures[1] = 2;
         inner.absorb(&t);
         inner.absorb(&t);
-        let stats = inner.snapshot(0, IndexStats::default());
+        let stats = inner.snapshot(0, IndexStats::default(), 0, MutationStats::default());
         assert_eq!(stats.retries, 6);
         assert_eq!(stats.hedges, 2);
         assert_eq!(stats.node_timeouts, 4);

@@ -183,8 +183,7 @@ fn node_failure_mid_stream_degrades_then_recovers() {
     // the surviving shards, and lost gallery entries simply drop out.
     service.system().nodes()[1].set_offline();
     let degraded: Vec<_> = videos.iter().map(|v| client.retrieve(v).unwrap()).collect();
-    let offline_ids: Vec<VideoId> =
-        service.system().nodes()[1].entries().iter().map(|(id, _)| *id).collect();
+    let offline_ids: Vec<VideoId> = service.system().nodes()[1].snapshot().ids().to_vec();
     for list in &degraded {
         assert!(!list.is_empty(), "surviving shards must still answer");
         for id in list {
@@ -358,10 +357,66 @@ fn expired_deadlines_shed_and_refund_the_charge() {
     assert_eq!(list.len(), 5);
     assert_eq!(client.queries_used(), 1);
 
+    // Drift guard: every shed refunded exactly once, and the net charge
+    // equals served + failed.
+    let mine = client.stats().unwrap();
+    assert_eq!(mine.refunded, mine.deadline_misses);
+    assert_eq!(mine.charged, mine.served + mine.failed);
+
     let stats = service.shutdown();
     assert_eq!(stats.deadline_misses, 3);
+    assert_eq!(stats.refunded, 3);
     assert_eq!(stats.served, 1);
     assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn mutations_swap_epochs_under_live_queries() {
+    let (system, ds) = make_system(514, false);
+    let video = ds.video(ds.test()[0]);
+    let service = RetrievalService::start(system, ServeConfig::default()).unwrap();
+    let client = service.client(Some(20), None);
+    let mutator = service.mutator();
+
+    let before = client.retrieve(&video).unwrap();
+    assert_eq!(mutator.current_epoch(), Some(0));
+
+    // Plant a gallery entry exactly on the query's embedding: after the
+    // epoch swap it must rank first, without restarting the service.
+    let mut q = video.clone();
+    q.quantize();
+    let feature = service.system().embed(&q).unwrap();
+    let planted = VideoId { class: 77, instance: 0 };
+    let t = mutator.insert(planted, feature).unwrap();
+    assert_eq!(t.epoch, 1);
+    let after = client.retrieve(&video).unwrap();
+    assert_eq!(after[0], planted, "planted duplicate embedding must rank first");
+    assert_ne!(before[0], planted);
+
+    // Deleting it restores the original ranking.
+    mutator.delete(planted).unwrap();
+    assert_eq!(client.retrieve(&video).unwrap(), before);
+
+    let stats = service.stats();
+    assert_eq!(stats.current_epoch, 2);
+    assert_eq!(stats.max_epoch_served, 2);
+    assert_eq!(stats.epochs_published, 2);
+    assert_eq!(stats.mutations_applied, 2);
+
+    // Drift guard across the swaps: charges stayed consistent.
+    let mine = client.stats().unwrap();
+    assert_eq!(mine.charged, mine.served + mine.failed);
+    assert_eq!(mine.refunded, mine.deadline_misses);
+
+    let (recovered, final_stats) = service.shutdown_into();
+    assert_eq!(final_stats.served, 3);
+    assert!(recovered.is_some());
+
+    // Outstanding mutator handles observe the shutdown.
+    match mutator.insert(planted, duo_tensor::Tensor::from_vec(vec![0.0], &[1]).unwrap()) {
+        Err(ServeError::Stopped) => {}
+        other => panic!("expected Stopped, got {other:?}"),
+    }
 }
 
 #[test]

@@ -19,6 +19,12 @@ cargo run --release --offline --example serve_demo
 # nonzero on any drift.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin chaos_serve
 
+# Mutation smoke: a live service absorbing inserts, deletes, and a
+# mid-flap rebalance while the fault schedule rages. The binary asserts
+# same-seed bit-identical replay of the whole mutate+query+fault trace
+# and zero budget drift (charged == served + failed, refunds exact).
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin mutate_serve
+
 # Documentation gate: every public item documented, every doc-example
 # compiles. Warnings are errors so rustdoc regressions fail tier-1.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
@@ -31,12 +37,14 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench index
 # exact) and that recall audits fire on live IVF traffic.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_sweep
 
-# Kernel + serving bench smokes: the GEMM bench asserts bit-identity on
-# every variant (reference, serial, each thread count, fused bias)
-# before timing, and both benches write their BENCH_*.json artifacts at
-# the repo root.
+# Kernel + serving + epoch bench smokes: the GEMM bench asserts
+# bit-identity on every variant (reference, serial, each thread count,
+# fused bias) before timing, the mutate bench asserts the epoch path
+# ranks identically to the frozen-snapshot baseline, and all three write
+# their BENCH_*.json artifacts at the repo root.
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench gemm
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench serve
+DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench mutate
 
 # Campaign smoke: the full attacker zoo (DUO, Vanilla, TIMI, HEU-Nes,
 # HEU-Sim, sparse-RL, feature-map) as 8 concurrent metered clients
@@ -45,7 +53,8 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench serve
 # and writes BENCH_campaign.json for the gate below.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin campaign
 
-# Artifact + threshold gate: every emitted file (gemm, serve, campaign)
+# Artifact + threshold gate: every emitted file (gemm, serve, campaign,
+# mutate)
 # must parse and carry every required field (name, samples, min/median/
 # p95/mean/trimmed_mean/max), and the smoke-scale rules in
 # BENCH_thresholds.txt must hold on the trimmed means — a kernel perf

@@ -86,12 +86,14 @@ pub mod prelude {
     pub use duo_retrieval::{
         ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m, shard_seed, BlackBox,
         BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, Coverage, DataNode,
-        FaultDecision, FaultPlan, FlapWindow, GalleryIndex, IndexMode, IndexStats, NodeAnswer,
-        NodeFault, QueryLedger, QueryOracle, QueryTelemetry, ResilienceConfig, RetrievalConfig,
-        RetrievalSystem, Retrieved, ShardIndex,
+        EpochTransition, FaultDecision, FaultPlan, FlapWindow, GalleryIndex, IndexMode,
+        IndexStats, Mutation, MutationBatch, MutationStats, NodeAnswer, NodeFault, QueryLedger,
+        QueryOracle, QueryTelemetry, ResilienceConfig, RetrievalConfig, RetrievalSystem,
+        Retrieved, ShardIndex,
     };
     pub use duo_serve::{
-        ClientStats, RateLimit, RetrievalService, ServeConfig, ServiceOracle, ServiceStats,
+        ClientStats, MutatorHandle, RateLimit, RetrievalService, ServeConfig, ServiceOracle,
+        ServiceStats,
     };
     pub use duo_tensor::{Rng64, Tensor};
     pub use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};

@@ -1,0 +1,175 @@
+//! Property-based coverage of live gallery mutation: epoch transactions
+//! racing chaotic queries, and rebalances racing breaker flaps.
+//!
+//! This suite persists failing case seeds to
+//! `tests/mutation_properties.regressions` (see [`duo_check`]); past
+//! failures replay before fresh generation.
+
+use duo::prelude::*;
+use duo_check::{check, prop_assert, prop_assert_eq, Config};
+
+fn config() -> Config {
+    Config::default().with_cases(24).with_regressions(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/mutation_properties.regressions"
+    ))
+}
+
+/// A 3-shard system whose nodes flap open→half-open→closed on a seeded
+/// schedule, with breakers armed — the PR 3 chaos stack — plus enough
+/// gallery to make rebalances move real rows.
+fn chaotic_system(seed: u64, threaded: bool) -> (RetrievalSystem, SyntheticDataset) {
+    let mut rng = Rng64::new(seed);
+    let ds = SyntheticDataset::subsampled(DatasetKind::Hmdb51Like, ClipSpec::tiny(), seed, 2, 1);
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 9).copied().collect();
+    let victim = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let mut system = RetrievalSystem::build(
+        victim,
+        &ds,
+        &gallery,
+        RetrievalConfig { m: 5, nodes: 3, threaded, ..Default::default() },
+    )
+    .unwrap();
+    for (i, node) in system.nodes().iter().enumerate() {
+        node.set_fault_plan(Some(
+            FaultPlan::transient(seed ^ (0xEB0C + i as u64), 0.25)
+                .with_latency(300, 250, 0.1, 8_000)
+                .with_flap(2 + 2 * i as u64, 6 + 2 * i as u64),
+        ));
+    }
+    system.set_resilience(ResilienceConfig::hardened(seed ^ 0xEB0C0FF));
+    (system, ds)
+}
+
+/// Every id in every shard, sorted — the row-conservation ledger.
+fn all_rows(system: &RetrievalSystem) -> Vec<VideoId> {
+    let mut ids: Vec<VideoId> =
+        system.nodes().iter().flat_map(|n| n.snapshot().ids().to_vec()).collect();
+    ids.sort_by_key(|id| (id.class, id.instance));
+    ids
+}
+
+check! {
+    #![config(config())]
+
+    /// A node flapping open→half-open→closed while a rebalance is in
+    /// flight neither loses rows nor lets a query observe an unpublished
+    /// epoch: the id multiset is conserved move-for-move, every ranked
+    /// list is drawn from ids that were published when the query was
+    /// admitted, and each query's served epoch sits inside the
+    /// [admission, completion] epoch window.
+    fn flap_during_rebalance_conserves_rows_and_epochs(
+        seed in 0u64..100_000,
+        unbalance in 1usize..5,
+        queries in 4usize..12,
+    ) {
+        let (system, ds) = chaotic_system(seed, false);
+        let before = all_rows(&system);
+
+        // Unbalance shard 0 so the rebalance has rows to move, then
+        // prepare query features up front (embedding is fault-free).
+        let victims: Vec<VideoId> =
+            system.nodes()[0].snapshot().ids().iter().copied().take(unbalance).collect();
+        let mut batch = MutationBatch::new();
+        for &id in &victims {
+            batch.push(Mutation::Delete { id });
+        }
+        let t = system.apply(&batch).unwrap();
+        prop_assert_eq!(t.deleted as usize, victims.len());
+        let surviving = all_rows(&system);
+        let probes: Vec<Tensor> = ds
+            .test()
+            .iter()
+            .filter(|id| id.class < 9)
+            .take(queries)
+            .map(|&id| system.embed(&ds.video(id)).unwrap())
+            .collect();
+
+        // Race the rebalance against chaotic queries. The fault plans
+        // count per-node queries, so the flap windows open and close
+        // *while* the writer is staging and publishing.
+        let outcomes = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| system.rebalance().unwrap());
+            let mut outcomes = Vec::new();
+            for feature in &probes {
+                let admitted = system.current_epoch();
+                let got = system.retrieve_resilient(feature).unwrap();
+                let completed = system.current_epoch();
+                outcomes.push((admitted, got, completed));
+            }
+            (writer.join().unwrap(), outcomes)
+        });
+        let (transition, outcomes) = outcomes;
+        prop_assert!(transition.rows_moved > 0, "unbalanced gallery must move rows");
+
+        // Row conservation: nothing lost, nothing double-counted, exactly
+        // the pre-rebalance survivors.
+        prop_assert_eq!(all_rows(&system), surviving.clone());
+        prop_assert_eq!(surviving.len(), before.len() - victims.len());
+
+        // Epoch hygiene: a query never reports an epoch that was not yet
+        // published when it completed, never one older than its admission
+        // cut, and never returns an id outside the published gallery.
+        for (admitted, got, completed) in &outcomes {
+            prop_assert!(got.epoch >= *admitted, "epoch ran backwards");
+            prop_assert!(got.epoch <= *completed, "unpublished epoch observed");
+            for id in &got.ids {
+                prop_assert!(surviving.contains(id), "query leaked an unpublished row");
+                prop_assert!(!victims.contains(id), "deleted row resurfaced");
+            }
+        }
+
+        // The flap schedule must have actually fired for the race to
+        // mean anything (transients/timeouts/breaker activity count too).
+        let touched: u64 = outcomes
+            .iter()
+            .map(|(_, got, _)| {
+                got.telemetry.transient_faults
+                    + got.telemetry.node_timeouts
+                    + got.telemetry.breaker_skips
+                    + got.telemetry.node_failures.iter().sum::<u64>()
+            })
+            .sum();
+        prop_assert!(touched > 0, "chaos schedule never fired; weaken the seed filter");
+    }
+
+    /// Mutation + rebalance + chaotic queries replay bit-identically when
+    /// run serially with the same seed: the epoch trail, every receipt,
+    /// and every ranked list are pure functions of the seed.
+    fn serial_mutate_query_trace_replays_bit_identically(
+        seed in 0u64..100_000,
+        inserts in 1usize..4,
+    ) {
+        let run = |threaded: bool| {
+            let (system, ds) = chaotic_system(seed, threaded);
+            let dim = system.nodes()[0].snapshot().dim();
+            let mut receipts = Vec::new();
+            let mut lists = Vec::new();
+            let probes: Vec<Tensor> = ds
+                .test()
+                .iter()
+                .filter(|id| id.class < 9)
+                .take(4)
+                .map(|&id| system.embed(&ds.video(id)).unwrap())
+                .collect();
+            for k in 0..inserts {
+                let id = VideoId { class: 200 + k as u32, instance: 0 };
+                let feat = Tensor::from_vec(vec![k as f32 * 0.25; dim], &[dim]).unwrap();
+                receipts.push(system.insert(id, feat).unwrap());
+                for p in &probes {
+                    lists.push(system.retrieve_resilient(p).unwrap());
+                }
+            }
+            receipts.push(system.rebalance().unwrap());
+            for p in &probes {
+                lists.push(system.retrieve_resilient(p).unwrap());
+            }
+            (receipts, lists, system.current_epoch(), system.mutation_stats())
+        };
+        let a = run(false);
+        let b = run(false);
+        prop_assert_eq!(&a, &b, "same-seed serial replay diverged");
+        let c = run(true);
+        prop_assert_eq!(&a, &c, "threaded fan-out changed the trace");
+    }
+}
