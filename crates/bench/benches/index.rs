@@ -1,7 +1,8 @@
 //! Shard-index benchmarks: the exact SoA + bounded top-m path against the
-//! seed per-entry scan, and the IVF latency/recall trade-off.
+//! seed per-entry scan, the IVF latency/recall trade-off, and the
+//! compressed-residual (PQ/SQ8) sweep behind `BENCH_index.json`.
 //!
-//! Three measurement families per gallery size:
+//! Five measurement families per gallery size:
 //!
 //! * `index/seed_scan_*` — the pre-index `DataNode::scan` implementation,
 //!   verbatim: one `Tensor::sq_distance` (with its per-entry shape check)
@@ -11,22 +12,50 @@
 //!   max-heap. Bit-identical results to the seed scan.
 //! * `index/ivf_*` — `ShardIndex` in IVF mode at several `nprobe`
 //!   settings. Approximate: each run prints its measured recall@10
-//!   against the exact answer, which also lands in the
-//!   `DUO_BENCH_JSON` sidecar rows printed at the end.
+//!   against the exact answer.
+//! * `index/pq_*` — IVF-PQ at the headline code shape (`m_sub = dim/8`
+//!   subspaces, 8-bit codes, rerank 32): LUT-driven ADC scan over the
+//!   probed lists, exact f32 rescore of the top candidates.
+//! * `index/sq8_*` — per-dimension 8-bit scalar quantization of the
+//!   residuals, same probe/rerank settings.
+//!
+//! Besides wall-clock entries, the artifact carries **pseudo-metric**
+//! rows in the same schema (single-sample `trimmed_mean_s`), so the
+//! committed `BENCH_thresholds.txt` rules can gate the compression
+//! contract, not just latency:
+//!
+//! * `index/{exact,pq,sq8}_bytes_per_vec_<n>` — hot-path bytes touched
+//!   per scanned row ([`ShardIndex::scan_bytes_per_row`]: packed codes
+//!   plus codec tables and coarse centroids amortized over the gallery;
+//!   `dim * 4` for the uncompressed f32 matrix).
+//! * `index/{pq,sq8}_recall_loss_<n>` — `1 − recall@10` from the index's
+//!   own every-16th-query **audit** counters accumulated across the
+//!   timed runs (the same machinery live services report through
+//!   `ServiceStats`), so the gate exercises the production audit path.
+//! * `index/unit_<n>` — the constant 1.0, the denominator the recall
+//!   rules compare against (rules are ratio-only, and the scale suffix
+//!   keeps smoke and full-scale artifacts from matching one-sided).
+//!
+//! The bench asserts audits actually fired for every compressed
+//! configuration before recording the loss row, so a broken audit path
+//! fails here rather than silently gating on a vacuous 0.
 //!
 //! The gallery is clustered (points = cluster center + small noise, the
 //! regime IVF is built for, and roughly what a trained metric embedding
 //! produces) and queries are perturbed gallery points. `DUO_SCALE=smoke`
-//! shrinks sizes/dim for the tier-1 gate in `scripts/verify.sh`.
+//! shrinks sizes/dim for the tier-1 gate in `scripts/verify.sh`; both
+//! scales write `BENCH_index.json` at the repo root for `bench_check`.
 
-use duo_bench::{bench_group, bench_main, Runner};
+use duo_bench::{BenchResult, Runner};
 use duo_retrieval::{recall_at_m, IndexMode, ScoredId, ShardIndex};
 use duo_tensor::{Rng64, Tensor};
 use duo_video::VideoId;
 use std::hint::black_box;
 
 const TOP_M: usize = 10;
-const QUERIES: usize = 16;
+/// Coprime with the index's 16-search audit period, so the every-16th
+/// recall audits cycle through all queries instead of resampling one.
+const QUERIES: usize = 17;
 
 fn smoke() -> bool {
     std::env::var("DUO_SCALE").as_deref() == Ok("smoke")
@@ -94,28 +123,50 @@ fn seed_scan(entries: &[(VideoId, Tensor)], q: &Tensor, m: usize) -> Vec<ScoredI
     scored
 }
 
-fn bench_index(c: &mut Runner) {
+/// Mean recall@`TOP_M` of `idx` against the exact answers.
+fn measured_recall(idx: &ShardIndex, qs: &[Tensor], exact_ids: &[Vec<VideoId>]) -> f32 {
+    qs.iter()
+        .zip(exact_ids)
+        .map(|(q, exact)| {
+            let got: Vec<VideoId> =
+                idx.search(q.as_slice(), TOP_M).into_iter().map(|s| s.id).collect();
+            recall_at_m(&got, exact)
+        })
+        .sum::<f32>()
+        / qs.len() as f32
+}
+
+fn main() {
+    let mut runner = Runner::default().sample_size(20);
+    runner.apply_cli_args();
     let d = dim();
-    let mut recall_rows: Vec<String> = Vec::new();
+    // Pseudo-metric rows appended to the artifact after the timed runs.
+    let mut extra: Vec<BenchResult> = Vec::new();
+
     for n in sizes() {
         let entries = clustered_gallery(n, d, 0x1D5EED ^ n as u64);
         let qs = queries(&entries, n as u64);
         let exact = ShardIndex::build(&entries, IndexMode::Exact, 0).unwrap();
 
-        c.bench_function(&format!("index/seed_scan_{n}"), |bench| {
+        runner.bench_function(&format!("index/seed_scan_{n}"), |bench| {
             bench.iter(|| {
                 for q in &qs {
                     black_box(seed_scan(&entries, q, TOP_M));
                 }
             })
         });
-        c.bench_function(&format!("index/exact_soa_{n}"), |bench| {
+        runner.bench_function(&format!("index/exact_soa_{n}"), |bench| {
             bench.iter(|| {
                 for q in &qs {
                     black_box(exact.search(q.as_slice(), TOP_M));
                 }
             })
         });
+        extra.push(BenchResult::from_times(
+            &format!("index/exact_bytes_per_vec_{n}"),
+            vec![exact.scan_bytes_per_row()],
+        ));
+        extra.push(BenchResult::from_times(&format!("index/unit_{n}"), vec![1.0]));
 
         let exact_ids: Vec<Vec<VideoId>> = qs
             .iter()
@@ -126,40 +177,65 @@ fn bench_index(c: &mut Runner) {
         for nprobe in [nlist / 8, nlist / 4].into_iter().filter(|&p| p >= 1) {
             let ivf =
                 ShardIndex::build(&entries, IndexMode::ivf(nlist, nprobe), 7).unwrap();
-            let recall: f32 = qs
-                .iter()
-                .zip(&exact_ids)
-                .map(|(q, exact)| {
-                    let got: Vec<VideoId> =
-                        ivf.search(q.as_slice(), TOP_M).into_iter().map(|s| s.id).collect();
-                    recall_at_m(&got, exact)
-                })
-                .sum::<f32>()
-                / qs.len() as f32;
+            let recall = measured_recall(&ivf, &qs, &exact_ids);
             let name = format!("index/ivf_{n}_nlist{nlist}_nprobe{nprobe}");
-            c.bench_function(&name, |bench| {
+            runner.bench_function(&name, |bench| {
                 bench.iter(|| {
                     for q in &qs {
                         black_box(ivf.search(q.as_slice(), TOP_M));
                     }
                 })
             });
-            recall_rows.push(format!(
-                "{{\"bench\":\"{name}\",\"gallery\":{n},\"nlist\":{nlist},\
-                 \"nprobe\":{nprobe},\"recall_at_{TOP_M}\":{recall:.4}}}"
-            ));
             println!("  {name}: recall@{TOP_M} {recall:.4} over {QUERIES} queries");
         }
-    }
-    println!("index recall rows:");
-    for row in &recall_rows {
-        println!("  {row}");
-    }
-}
 
-bench_group! {
-    name = benches;
-    config = Runner::default().sample_size(20);
-    targets = bench_index
+        // Compressed modes at the headline code shape: dim/8 subspaces of
+        // 8-bit codes for PQ, per-dimension 8-bit residuals for SQ8, both
+        // with an exact rerank tail over the top 64 ADC candidates.
+        let nprobe = (nlist / 8).max(1);
+        let m_sub = (d / 8).max(1);
+        let compressed = [
+            ("pq", IndexMode::pq(nlist, nprobe, m_sub, 8, 64)),
+            ("sq8", IndexMode::sq8(nlist, nprobe, 64)),
+        ];
+        for (tag, mode) in compressed {
+            let idx = ShardIndex::build(&entries, mode, 7).unwrap();
+            let recall = measured_recall(&idx, &qs, &exact_ids);
+            let name = format!("index/{tag}_{n}_nlist{nlist}_nprobe{nprobe}");
+            runner.bench_function(&name, |bench| {
+                bench.iter(|| {
+                    for q in &qs {
+                        black_box(idx.search(q.as_slice(), TOP_M));
+                    }
+                })
+            });
+            let stats = idx.stats();
+            let audited = stats.recall_at_m().unwrap_or_else(|| {
+                panic!("index/{tag}_{n}: no recall audits fired across the timed runs")
+            });
+            let bytes = idx.scan_bytes_per_row();
+            println!(
+                "  {name}: recall@{TOP_M} {recall:.4} (audited {audited:.4} over {} audits), \
+                 {bytes:.1} scan B/vec vs {} f32 B/vec, {} reranked rows",
+                stats.audit_queries,
+                d * 4,
+                stats.reranked_rows,
+            );
+            extra.push(BenchResult::from_times(
+                &format!("index/{tag}_bytes_per_vec_{n}"),
+                vec![bytes],
+            ));
+            extra.push(BenchResult::from_times(
+                &format!("index/{tag}_recall_loss_{n}"),
+                vec![f64::from(1.0 - audited)],
+            ));
+        }
+    }
+
+    let mut results = runner.results().to_vec();
+    results.extend(extra);
+    let path = duo_bench::repo_root_bench_path("index");
+    duo_bench::write_bench_json(&path, &results).expect("write BENCH_index.json");
+    println!("wrote {}", path.display());
+    runner.finish();
 }
-bench_main!(benches);

@@ -221,6 +221,7 @@ tuple_strategy! {
     (A / 0, B / 1)
     (A / 0, B / 1, C / 2)
     (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
 }
 
 #[cfg(test)]

@@ -1,12 +1,17 @@
-//! Index-layer experiment: the exact-vs-IVF latency/recall trade-off on a
-//! clustered feature gallery, plus an end-to-end pass through
-//! [`duo_retrieval::RetrievalSystem`] in IVF mode exercising the recall
-//! audit counters that `duo-serve` surfaces in its `ServiceStats`.
+//! Index-layer experiment: the exact-vs-IVF-vs-compressed latency/recall
+//! trade-off on a clustered feature gallery, plus an end-to-end pass
+//! through [`duo_retrieval::RetrievalSystem`] in IVF and PQ modes
+//! exercising the recall audit counters that `duo-serve` surfaces in its
+//! `ServiceStats` (now split per-mode via `IndexBreakdown`).
 //!
 //! Unlike `benches/index.rs` (which times the shard kernel in isolation
 //! with the in-tree bench runner), this run measures wall-clock medians
 //! over a probe batch at experiment scale and emits one JSON row per
-//! `(gallery, nlist, nprobe)` point, paper-style.
+//! `(gallery, nlist, nprobe)` point, paper-style. The compressed sweep
+//! adds PQ/SQ8 points at several probe depths with their hot-path
+//! bytes-per-vector, and asserts the equivalence contract at experiment
+//! scale: full probe + full-depth exact rerank must reproduce the exact
+//! scan answer for answer (distance bits included).
 
 use super::RunResult;
 use crate::Scale;
@@ -116,6 +121,81 @@ pub fn run(scale: Scale) -> RunResult {
         }
     }
 
+    // Compressed residual codes: PQ (dim/8 subspaces, 8-bit codebooks)
+    // and SQ8 (per-dimension 8-bit residuals), both with an exact rerank
+    // tail of 64 at the partial probe depths.
+    let m_sub = (dim / 8).max(1);
+    for tag in ["pq", "sq8"] {
+        for nprobe in [(nlist / 16).max(1), (nlist / 8).max(1), nlist] {
+            let full = nprobe == nlist;
+            let rerank = if full { n } else { 64 };
+            let mode = match tag {
+                "pq" => IndexMode::pq(nlist, nprobe, m_sub, 8, rerank),
+                _ => IndexMode::sq8(nlist, nprobe, rerank),
+            };
+            let idx = ShardIndex::build(&entries, mode, 7)?;
+            let recall: f32 = queries
+                .iter()
+                .zip(&exact_ids)
+                .map(|(q, want)| {
+                    let got: Vec<VideoId> = idx.search(q, m).into_iter().map(|s| s.id).collect();
+                    recall_at_m(&got, want)
+                })
+                .sum::<f32>()
+                / queries.len() as f32;
+            let us = median_us(
+                || {
+                    for q in &queries {
+                        std::hint::black_box(idx.search(q, m));
+                    }
+                },
+                reps,
+                queries.len(),
+            );
+            let bytes = idx.scan_bytes_per_row();
+            println!(
+                "{:<34}{:>12}{:>12.4}   {bytes:.1} B/vec",
+                format!("{tag} n={n} {nlist}/{nprobe}"),
+                us,
+                recall
+            );
+            println!(
+                "row JSON: {{\"gallery\":{n},\"dim\":{dim},\"mode\":\"{tag}\",\"nlist\":{nlist},\
+                 \"nprobe\":{nprobe},\"exact_us\":{exact_us},\"{tag}_us\":{us},\
+                 \"recall_at_{m}\":{recall:.4},\"scan_bytes_per_vec\":{bytes:.2}}}"
+            );
+            if full {
+                // The equivalence contract at experiment scale: full
+                // probe + full-depth exact rerank is an exhaustive exact
+                // scan, answer for answer.
+                for (q, want) in queries.iter().zip(&exact_ids) {
+                    let got = idx.search(q, m);
+                    assert_eq!(
+                        got.len(),
+                        want.len(),
+                        "{tag} full probe + full rerank must match exact"
+                    );
+                    assert_eq!(
+                        got.iter().map(|s| s.id).collect::<Vec<_>>(),
+                        *want,
+                        "{tag} full probe + full rerank must match exact ids"
+                    );
+                }
+                assert_eq!(
+                    queries
+                        .iter()
+                        .map(|q| idx.search(q, m).iter().map(|s| s.distance.to_bits()).collect())
+                        .collect::<Vec<Vec<u32>>>(),
+                    queries
+                        .iter()
+                        .map(|q| exact.search(q, m).iter().map(|s| s.distance.to_bits()).collect())
+                        .collect::<Vec<Vec<u32>>>(),
+                    "{tag} full-rerank distances must be bit-identical to exact"
+                );
+            }
+        }
+    }
+
     // End to end: a real retrieval system in IVF mode over embedded
     // videos, exercising the per-shard recall audits the serving layer
     // reports. Tiny world — the point is the counters, not the mAP.
@@ -145,5 +225,39 @@ pub fn run(scale: Scale) -> RunResult {
     );
     println!("index stats JSON: {}", stats.to_json());
     assert!(stats.audit_queries > 0, "audits must fire on IVF traffic");
+
+    // Same world in PQ mode: the audits must attribute to the pq bucket
+    // of the per-mode breakdown the serving layer now reports, and the
+    // compressed footprint counters must be live.
+    let mut prng = Rng64::new(0x1D_5EED ^ 7);
+    let backbone = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut prng)?;
+    let pq_config = RetrievalConfig {
+        m: 5,
+        nodes: 3,
+        index: IndexMode::pq(4, 2, 4, 8, 16),
+        ..RetrievalConfig::default()
+    };
+    let pq_system = RetrievalSystem::build(backbone, &ds, &gallery, pq_config)?;
+    for &id in ds.test().iter().filter(|id| id.class < 10) {
+        pq_system.retrieve(&ds.video(id))?;
+    }
+    let breakdown = pq_system.index_breakdown();
+    println!(
+        "system PQ pass: {} shard searches, recall@m {} over {} pq audits, \
+         {} feature bytes vs {} code bytes, {} reranked rows",
+        breakdown.total.queries,
+        breakdown.pq.recall_at_m().map_or("n/a".to_string(), |r| format!("{r:.4}")),
+        breakdown.pq.audit_queries,
+        breakdown.feature_bytes,
+        breakdown.code_bytes,
+        breakdown.total.reranked_rows,
+    );
+    println!("index breakdown JSON: {}", breakdown.to_json());
+    assert!(breakdown.pq.audit_queries > 0, "audits must land in the pq bucket");
+    assert_eq!(
+        breakdown.ivf.audit_queries, 0,
+        "a pq-only fleet must not attribute audits to the ivf bucket"
+    );
+    assert!(breakdown.code_bytes > 0, "compressed shards must report code bytes");
     Ok(())
 }

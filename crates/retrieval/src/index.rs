@@ -18,6 +18,18 @@
 //!   shard into `nlist` inverted lists; a query scans only the `nprobe`
 //!   nearest lists with *exact* distances (probed candidates are fully
 //!   re-ranked, never approximated).
+//! * **Compressed residual codes** — [`IndexMode::Pq`] and
+//!   [`IndexMode::Sq8`] keep the IVF coarse quantizer but score probed
+//!   candidates against quantized *residuals* (row − assigned centroid).
+//!   PQ splits each residual into `m_sub` subspaces, each encoded as one
+//!   byte against a seeded per-subspace codebook, and scores rows through
+//!   a per-probed-list lookup table (asymmetric distance computation:
+//!   `m_sub` table adds per row, `m_sub` bytes per row on the scan path).
+//!   SQ8 stores one affine byte per dimension (`dim` bytes per row). An
+//!   optional exact-rerank tail rescores the top ADC candidates from the
+//!   retained f32 matrix, so full-depth rerank at full probe is
+//!   bit-identical to [`IndexMode::Exact`]. The byte-level on-disk
+//!   layout (`DUOINDX3`) and the ADC walkthrough live in DESIGN.md §6h.
 //!
 //! # Determinism
 //!
@@ -29,8 +41,12 @@
 //! final ascending order coincide with sort-and-truncate. IVF is
 //! deterministic too: k-means is seeded ([`shard_seed`] per shard),
 //! assignment and probe ties break on the lower list index, and result
-//! ties break by id. Same shard contents + same seed ⇒ same index, same
-//! rankings, on every run and thread interleaving.
+//! ties break by id. PQ codebooks extend the same doctrine: subspace `s`
+//! trains with the derived seed [`pq_subspace_seed`]`(seed, s)` and
+//! encoding is a final explicit nearest-codeword pass (lowest index on
+//! ties), so same shard contents + same seed ⇒ same codebooks, same
+//! codes, same rankings, on every run and thread interleaving — the
+//! property every epoch rebuild and every persistence reload relies on.
 //!
 //! # Example
 //!
@@ -94,6 +110,41 @@ pub enum IndexMode {
         /// Lists scanned per query, nearest centroid first.
         nprobe: usize,
     },
+    /// IVF with product-quantized residual codes: probed candidates are
+    /// scored by asymmetric distance computation (a per-list lookup
+    /// table over `m_sub` seeded subspace codebooks) instead of the f32
+    /// rows, touching `m_sub` bytes per row on the scan path. `rerank`
+    /// exact-rescores the top ADC candidates from the retained f32
+    /// matrix. The feature dimension must be divisible by `m_sub`
+    /// (checked at build time).
+    Pq {
+        /// Number of inverted lists (k-means centroids) per shard.
+        nlist: usize,
+        /// Lists scanned per query, nearest centroid first.
+        nprobe: usize,
+        /// Residual subspaces per vector — also the code bytes per row.
+        m_sub: usize,
+        /// Bits per sub-code, `1..=8`; each subspace codebook holds
+        /// `2^nbits` codewords (capped at the row count). Codes are
+        /// stored byte-packed regardless of `nbits`.
+        nbits: u32,
+        /// Exact-rerank depth: `0` ranks by ADC distance alone; `r > 0`
+        /// rescores the `max(r, m)` best ADC candidates exactly.
+        rerank: usize,
+    },
+    /// IVF with 8-bit scalar-quantized residual codes: one affine byte
+    /// per dimension (`code = round((x − min_d) / step_d)`), so probed
+    /// rows decode inline at `dim` bytes per row — 1/4 of the f32 scan
+    /// footprint before table overheads. `rerank` as for
+    /// [`IndexMode::Pq`].
+    Sq8 {
+        /// Number of inverted lists (k-means centroids) per shard.
+        nlist: usize,
+        /// Lists scanned per query, nearest centroid first.
+        nprobe: usize,
+        /// Exact-rerank depth: `0` ranks by quantized distance alone.
+        rerank: usize,
+    },
 }
 
 impl Default for IndexMode {
@@ -108,19 +159,89 @@ impl IndexMode {
         IndexMode::Ivf { nlist, nprobe }
     }
 
+    /// Shorthand for [`IndexMode::Pq`].
+    ///
+    /// ```
+    /// use duo_retrieval::{IndexMode, ShardIndex};
+    /// use duo_tensor::Tensor;
+    /// use duo_video::VideoId;
+    ///
+    /// let entries: Vec<(VideoId, Tensor)> = (0..32)
+    ///     .map(|i| {
+    ///         let feat = Tensor::from_vec(vec![i as f32, -(i as f32), 1.0, 0.0], &[4]).unwrap();
+    ///         (VideoId { class: i, instance: 0 }, feat)
+    ///     })
+    ///     .collect();
+    /// // 4 lists, probe all 4, 2 subspaces of 2 dims, 8-bit codes,
+    /// // exact-rerank the full shard: bit-identical to an exact scan.
+    /// let pq = ShardIndex::build(&entries, IndexMode::pq(4, 4, 2, 8, 32), 7)?;
+    /// let exact = ShardIndex::build(&entries, IndexMode::Exact, 0)?;
+    /// let q = [5.2f32, -5.2, 1.0, 0.0];
+    /// assert_eq!(pq.search(&q, 3), exact.search(&q, 3));
+    /// # Ok::<(), duo_retrieval::RetrievalError>(())
+    /// ```
+    pub fn pq(nlist: usize, nprobe: usize, m_sub: usize, nbits: u32, rerank: usize) -> Self {
+        IndexMode::Pq { nlist, nprobe, m_sub, nbits, rerank }
+    }
+
+    /// Shorthand for [`IndexMode::Sq8`].
+    ///
+    /// ```
+    /// use duo_retrieval::{IndexMode, ShardIndex};
+    /// use duo_tensor::Tensor;
+    /// use duo_video::VideoId;
+    ///
+    /// let entries: Vec<(VideoId, Tensor)> = (0..16)
+    ///     .map(|i| {
+    ///         let feat = Tensor::from_vec(vec![i as f32, 0.5], &[2]).unwrap();
+    ///         (VideoId { class: i, instance: 0 }, feat)
+    ///     })
+    ///     .collect();
+    /// let sq8 = ShardIndex::build(&entries, IndexMode::sq8(2, 2, 16), 3)?;
+    /// // Full probe + full-depth rerank: exact answers from 1-byte codes.
+    /// assert_eq!(sq8.search(&[6.1, 0.5], 1)[0].id.class, 6);
+    /// # Ok::<(), duo_retrieval::RetrievalError>(())
+    /// ```
+    pub fn sq8(nlist: usize, nprobe: usize, rerank: usize) -> Self {
+        IndexMode::Sq8 { nlist, nprobe, rerank }
+    }
+
     /// Whether this mode scans the whole shard (no coarse quantizer).
     pub fn is_exact(&self) -> bool {
         matches!(self, IndexMode::Exact)
+    }
+
+    /// The coarse quantizer's `(nlist, nprobe)`, or `None` in exact mode.
+    pub fn coarse_params(&self) -> Option<(usize, usize)> {
+        match *self {
+            IndexMode::Exact => None,
+            IndexMode::Ivf { nlist, nprobe }
+            | IndexMode::Pq { nlist, nprobe, .. }
+            | IndexMode::Sq8 { nlist, nprobe, .. } => Some((nlist, nprobe)),
+        }
+    }
+
+    /// The exact-rerank depth (0 for modes that never rerank).
+    pub fn rerank_depth(&self) -> usize {
+        match *self {
+            IndexMode::Pq { rerank, .. } | IndexMode::Sq8 { rerank, .. } => rerank,
+            _ => 0,
+        }
+    }
+
+    /// Whether this mode scores quantized residual codes (PQ or SQ8).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, IndexMode::Pq { .. } | IndexMode::Sq8 { .. })
     }
 
     /// Validates the mode's parameters.
     ///
     /// # Errors
     ///
-    /// Returns [`RetrievalError::BadConfig`] for zero `nlist`/`nprobe` or
-    /// `nprobe > nlist`.
+    /// Returns [`RetrievalError::BadConfig`] for zero `nlist`/`nprobe`,
+    /// `nprobe > nlist`, zero `m_sub`, or `nbits` outside `1..=8`.
     pub fn validate(&self) -> Result<()> {
-        if let IndexMode::Ivf { nlist, nprobe } = *self {
+        if let Some((nlist, nprobe)) = self.coarse_params() {
             if nlist == 0 || nprobe == 0 {
                 return Err(RetrievalError::BadConfig(format!(
                     "nlist and nprobe must be positive, got {self:?}"
@@ -129,6 +250,18 @@ impl IndexMode {
             if nprobe > nlist {
                 return Err(RetrievalError::BadConfig(format!(
                     "nprobe must not exceed nlist, got {self:?}"
+                )));
+            }
+        }
+        if let IndexMode::Pq { m_sub, nbits, .. } = *self {
+            if m_sub == 0 {
+                return Err(RetrievalError::BadConfig(format!(
+                    "m_sub must be positive, got {self:?}"
+                )));
+            }
+            if nbits == 0 || nbits > 8 {
+                return Err(RetrievalError::BadConfig(format!(
+                    "nbits must be in 1..=8, got {self:?}"
                 )));
             }
         }
@@ -147,6 +280,20 @@ impl ToJson for IndexMode {
                 ("nlist".to_string(), Json::Int(nlist as i128)),
                 ("nprobe".to_string(), Json::Int(nprobe as i128)),
             ]),
+            IndexMode::Pq { nlist, nprobe, m_sub, nbits, rerank } => Json::object(vec![
+                ("mode".to_string(), Json::Str("pq".to_string())),
+                ("nlist".to_string(), Json::Int(nlist as i128)),
+                ("nprobe".to_string(), Json::Int(nprobe as i128)),
+                ("m_sub".to_string(), Json::Int(m_sub as i128)),
+                ("nbits".to_string(), Json::Int(i128::from(nbits))),
+                ("rerank".to_string(), Json::Int(rerank as i128)),
+            ]),
+            IndexMode::Sq8 { nlist, nprobe, rerank } => Json::object(vec![
+                ("mode".to_string(), Json::Str("sq8".to_string())),
+                ("nlist".to_string(), Json::Int(nlist as i128)),
+                ("nprobe".to_string(), Json::Int(nprobe as i128)),
+                ("rerank".to_string(), Json::Int(rerank as i128)),
+            ]),
         }
     }
 }
@@ -156,6 +303,15 @@ impl ToJson for IndexMode {
 /// identical contents trains the identical quantizer.
 pub fn shard_seed(shard: usize) -> u64 {
     (0x1DF5_EED0_u64.wrapping_add(shard as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The deterministic k-means seed for PQ subspace `sub` of a shard
+/// trained with `seed`. Every codebook retrain — fresh build, epoch
+/// rebuild of a dirty shard, `DUOINDX2` reload — derives subspace seeds
+/// through this one function, so identical residuals always train
+/// identical codebooks (the determinism doctrine, DESIGN.md §6h).
+pub fn pq_subspace_seed(seed: u64, sub: usize) -> u64 {
+    seed ^ (0xA5C0_0B00_u64.wrapping_add(sub as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Bounded top-`m` selection: a max-heap of capacity `m` keeping the `m`
@@ -248,7 +404,8 @@ fn sq_distance_row(row: &[f32], query: &[f32]) -> f32 {
 }
 
 /// A trained inverted-file structure: `nlist` centroids plus the row
-/// indices assigned to each.
+/// indices assigned to each. Shared by the IVF, PQ, and SQ8 modes as the
+/// coarse quantizer.
 #[derive(Debug, Clone)]
 struct Ivf {
     nprobe: usize,
@@ -256,6 +413,119 @@ struct Ivf {
     centroids: Vec<f32>,
     /// Member rows per list, ascending (assignment iterates in row order).
     lists: Vec<Vec<u32>>,
+}
+
+/// A trained product quantizer over coarse residuals: `m_sub` subspace
+/// codebooks of `ksub` codewords each, `dsub = dim / m_sub` dims apiece.
+#[derive(Debug, Clone)]
+struct PqCodec {
+    m_sub: usize,
+    ksub: usize,
+    dsub: usize,
+    /// `m_sub × ksub × dsub`, subspace-major: codeword `k` of subspace
+    /// `s` at `[(s*ksub + k)*dsub ..][..dsub]`.
+    codebooks: Vec<f32>,
+    rerank: usize,
+}
+
+/// A trained per-dimension affine scalar quantizer over coarse
+/// residuals: `code = round((x − mins[d]) / steps[d])`, clamped to a
+/// byte; decode is `mins[d] + steps[d] * code`.
+#[derive(Debug, Clone)]
+struct Sq8Codec {
+    mins: Vec<f32>,
+    steps: Vec<f32>,
+    rerank: usize,
+}
+
+/// The residual codec of a compressed index. The per-row coarse
+/// assignment the residuals were taken against lives on the
+/// [`ShardIndex`] (`coarse_assign`), shared with the plain IVF mode.
+#[derive(Debug, Clone)]
+enum Codec {
+    Pq(PqCodec),
+    Sq8(Sq8Codec),
+}
+
+/// Bounded top-`cap` row selection by approximate distance — the rerank
+/// staging heap. Same mechanics as [`TopM`], ordered by
+/// `(distance, row)` so the retained candidate *set* is independent of
+/// scan order.
+struct TopRows {
+    cap: usize,
+    heap: BinaryHeap<RowCand>,
+}
+
+#[derive(PartialEq)]
+struct RowCand {
+    distance: f32,
+    row: u32,
+}
+
+impl Eq for RowCand {}
+
+impl Ord for RowCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.distance.total_cmp(&other.distance).then_with(|| self.row.cmp(&other.row))
+    }
+}
+
+impl PartialOrd for RowCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopRows {
+    fn new(cap: usize) -> Self {
+        TopRows { cap, heap: BinaryHeap::with_capacity(cap.saturating_add(1)) }
+    }
+
+    #[inline]
+    fn push(&mut self, distance: f32, row: u32) {
+        if self.cap == 0 {
+            return;
+        }
+        let cand = RowCand { distance, row };
+        if self.heap.len() < self.cap {
+            self.heap.push(cand);
+        } else if let Some(worst) = self.heap.peek() {
+            if cand < *worst {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    fn rows(self) -> impl Iterator<Item = u32> {
+        self.heap.into_iter().map(|c| c.row)
+    }
+}
+
+/// Where a compressed scan's candidates go: straight into the result
+/// heap when `rerank == 0`, or into the rerank staging heap (capacity
+/// `max(rerank, m)`) for exact rescoring.
+enum CandidateSink {
+    Direct(TopM),
+    Rerank(TopRows),
+}
+
+impl CandidateSink {
+    fn new(m: usize, rerank: usize) -> Self {
+        if rerank == 0 {
+            CandidateSink::Direct(TopM::new(m))
+        } else {
+            CandidateSink::Rerank(TopRows::new(rerank.max(m)))
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, distance: f32, row: u32, ids: &[VideoId]) {
+        match self {
+            CandidateSink::Direct(top) => top.push(distance, ids[row as usize]),
+            CandidateSink::Rerank(rows) => rows.push(distance, row),
+        }
+    }
 }
 
 /// Aggregated scan counters for one index (or, merged, for a whole
@@ -269,7 +539,11 @@ pub struct IndexStats {
     pub probed_lists: u64,
     /// Feature rows pushed through the distance kernel.
     pub scanned_rows: u64,
-    /// IVF queries that were recall-audited against an exact scan.
+    /// ADC candidates exact-rescored by the rerank tail (0 outside
+    /// compressed modes or with `rerank == 0`).
+    pub reranked_rows: u64,
+    /// Coarse-mode queries that were recall-audited against an exact
+    /// scan.
     pub audit_queries: u64,
     /// Audited result ids that the exact answer also contained.
     pub audit_hits: u64,
@@ -278,7 +552,7 @@ pub struct IndexStats {
 }
 
 duo_tensor::impl_to_json!(struct IndexStats {
-    queries, probed_lists, scanned_rows, audit_queries, audit_hits, audit_expected
+    queries, probed_lists, scanned_rows, reranked_rows, audit_queries, audit_hits, audit_expected
 });
 
 impl IndexStats {
@@ -287,6 +561,7 @@ impl IndexStats {
         self.queries += other.queries;
         self.probed_lists += other.probed_lists;
         self.scanned_rows += other.scanned_rows;
+        self.reranked_rows += other.reranked_rows;
         self.audit_queries += other.audit_queries;
         self.audit_hits += other.audit_hits;
         self.audit_expected += other.audit_expected;
@@ -313,6 +588,49 @@ impl IndexStats {
     }
 }
 
+/// Per-mode scan counters for a whole system: the aggregate plus one
+/// [`IndexStats`] bucket per index mode, so mixed-mode fleets attribute
+/// recall (and probe/rerank volume) to the mode that produced it, plus
+/// the system's resident byte footprint split into f32 features and
+/// compressed-code bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexBreakdown {
+    /// All shards' counters merged (what [`IndexStats`] alone reported
+    /// before the split).
+    pub total: IndexStats,
+    /// Counters of shards serving [`IndexMode::Exact`].
+    pub exact: IndexStats,
+    /// Counters of shards serving [`IndexMode::Ivf`].
+    pub ivf: IndexStats,
+    /// Counters of shards serving [`IndexMode::Pq`].
+    pub pq: IndexStats,
+    /// Counters of shards serving [`IndexMode::Sq8`].
+    pub sq8: IndexStats,
+    /// Bytes of retained f32 feature matrix across shards.
+    pub feature_bytes: u64,
+    /// Bytes of compressed codes plus codec tables across shards (0 for
+    /// uncompressed modes).
+    pub code_bytes: u64,
+}
+
+duo_tensor::impl_to_json!(struct IndexBreakdown {
+    total, exact, ivf, pq, sq8, feature_bytes, code_bytes
+});
+
+impl IndexBreakdown {
+    /// Merges one shard's counters into the aggregate and into the
+    /// bucket for `mode`.
+    pub fn absorb(&mut self, mode: IndexMode, stats: &IndexStats) {
+        self.total.merge(stats);
+        match mode {
+            IndexMode::Exact => self.exact.merge(stats),
+            IndexMode::Ivf { .. } => self.ivf.merge(stats),
+            IndexMode::Pq { .. } => self.pq.merge(stats),
+            IndexMode::Sq8 { .. } => self.sq8.merge(stats),
+        }
+    }
+}
+
 /// The per-shard nearest-neighbour index: SoA feature storage plus an
 /// optional IVF coarse quantizer. See the [module docs](self) for the
 /// layout and determinism contract.
@@ -324,9 +642,18 @@ pub struct ShardIndex {
     dim: usize,
     mode: IndexMode,
     ivf: Option<Ivf>,
+    /// Per-row coarse list assignment (empty in exact mode). Redundant
+    /// with `ivf.lists` but kept flat for residual decoding and the
+    /// `DUOINDX3` writer.
+    coarse_assign: Vec<u32>,
+    codec: Option<Codec>,
+    /// Row-major residual codes: `m_sub` bytes per row (PQ) or `dim`
+    /// bytes per row (SQ8); empty for uncompressed modes.
+    codes: Vec<u8>,
     queries: AtomicU64,
     probed_lists: AtomicU64,
     scanned_rows: AtomicU64,
+    reranked_rows: AtomicU64,
     audit_queries: AtomicU64,
     audit_hits: AtomicU64,
     audit_expected: AtomicU64,
@@ -388,11 +715,40 @@ impl ShardIndex {
                 feats.len()
             )));
         }
-        let ivf = match mode {
-            IndexMode::Ivf { nlist, nprobe } if !ids.is_empty() => {
-                Some(train_ivf(&feats, dim, ids.len(), nlist, nprobe, seed))
+        if let IndexMode::Pq { m_sub, .. } = mode {
+            if !ids.is_empty() && dim % m_sub != 0 {
+                return Err(RetrievalError::BadConfig(format!(
+                    "PQ m_sub must divide the feature dimension: {dim} % {m_sub} != 0"
+                )));
             }
-            _ => None,
+        }
+        let (ivf, coarse_assign) = match mode.coarse_params() {
+            Some((nlist, nprobe)) if !ids.is_empty() => {
+                let (ivf, assign) = train_ivf(&feats, dim, ids.len(), nlist, nprobe, seed);
+                (Some(ivf), assign)
+            }
+            _ => (None, Vec::new()),
+        };
+        let (codec, codes) = match (mode, &ivf) {
+            (IndexMode::Pq { m_sub, nbits, rerank, .. }, Some(ivf)) => {
+                let (pq, codes) = train_pq(
+                    &feats,
+                    dim,
+                    &ivf.centroids,
+                    &coarse_assign,
+                    m_sub,
+                    nbits,
+                    rerank,
+                    seed,
+                );
+                (Some(Codec::Pq(pq)), codes)
+            }
+            (IndexMode::Sq8 { rerank, .. }, Some(ivf)) => {
+                let (sq, codes) =
+                    train_sq8(&feats, dim, &ivf.centroids, &coarse_assign, rerank);
+                (Some(Codec::Sq8(sq)), codes)
+            }
+            _ => (None, Vec::new()),
         };
         Ok(ShardIndex {
             ids,
@@ -400,9 +756,13 @@ impl ShardIndex {
             dim,
             mode,
             ivf,
+            coarse_assign,
+            codec,
+            codes,
             queries: AtomicU64::new(0),
             probed_lists: AtomicU64::new(0),
             scanned_rows: AtomicU64::new(0),
+            reranked_rows: AtomicU64::new(0),
             audit_queries: AtomicU64::new(0),
             audit_hits: AtomicU64::new(0),
             audit_expected: AtomicU64::new(0),
@@ -455,6 +815,7 @@ impl ShardIndex {
             queries: self.queries.load(Ordering::Relaxed),
             probed_lists: self.probed_lists.load(Ordering::Relaxed),
             scanned_rows: self.scanned_rows.load(Ordering::Relaxed),
+            reranked_rows: self.reranked_rows.load(Ordering::Relaxed),
             audit_queries: self.audit_queries.load(Ordering::Relaxed),
             audit_hits: self.audit_hits.load(Ordering::Relaxed),
             audit_expected: self.audit_expected.load(Ordering::Relaxed),
@@ -486,7 +847,11 @@ impl ShardIndex {
                 self.scan_all(query, m)
             }
             Some(ivf) => {
-                let results = self.scan_ivf(ivf, query, m);
+                let results = match &self.codec {
+                    None => self.scan_ivf(ivf, query, m),
+                    Some(Codec::Pq(pq)) => self.scan_pq(ivf, pq, query, m),
+                    Some(Codec::Sq8(sq)) => self.scan_sq8(ivf, sq, query, m),
+                };
                 if qidx % AUDIT_PERIOD == 0 {
                     // Recall audit: compare against the exact answer
                     // (counted separately; audit scans do not inflate the
@@ -524,16 +889,23 @@ impl ShardIndex {
         top.into_sorted()
     }
 
-    /// IVF probe: rank centroids by exact distance, scan the `nprobe`
-    /// nearest lists exhaustively.
-    fn scan_ivf(&self, ivf: &Ivf, query: &[f32], m: usize) -> Vec<ScoredId> {
+    /// Centroid ranking shared by every coarse mode: exact distances,
+    /// ties toward the lower list index.
+    fn rank_centroids(&self, ivf: &Ivf, query: &[f32]) -> Vec<(f32, usize)> {
         let nlist = ivf.lists.len();
         let mut order: Vec<(f32, usize)> = (0..nlist)
             .map(|c| (sq_distance_row(&ivf.centroids[c * self.dim..(c + 1) * self.dim], query), c))
             .collect();
         // Ties on centroid distance break toward the lower list index.
         order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let probe = ivf.nprobe.min(nlist);
+        order
+    }
+
+    /// IVF probe: rank centroids by exact distance, scan the `nprobe`
+    /// nearest lists exhaustively.
+    fn scan_ivf(&self, ivf: &Ivf, query: &[f32], m: usize) -> Vec<ScoredId> {
+        let order = self.rank_centroids(ivf, query);
+        let probe = ivf.nprobe.min(ivf.lists.len());
         let mut top = TopM::new(m);
         let mut scanned = 0u64;
         for &(_, list) in &order[..probe] {
@@ -547,6 +919,130 @@ impl ShardIndex {
         self.probed_lists.fetch_add(probe as u64, Ordering::Relaxed);
         self.scanned_rows.fetch_add(scanned, Ordering::Relaxed);
         top.into_sorted()
+    }
+
+    /// PQ probe: per probed list, build the ADC lookup table for the
+    /// residual query `q − centroid`, then score the list's rows as
+    /// `m_sub` table adds each. Candidates go straight into the top-`m`
+    /// heap (`rerank == 0`) or through the exact-rerank tail.
+    fn scan_pq(&self, ivf: &Ivf, pq: &PqCodec, query: &[f32], m: usize) -> Vec<ScoredId> {
+        let order = self.rank_centroids(ivf, query);
+        let probe = ivf.nprobe.min(ivf.lists.len());
+        let mut sink = CandidateSink::new(m, pq.rerank);
+        let mut scanned = 0u64;
+        let mut rq = vec![0.0f32; self.dim];
+        let mut lut = vec![0.0f32; pq.m_sub * pq.ksub];
+        for &(_, list) in &order[..probe] {
+            if ivf.lists[list].is_empty() {
+                continue;
+            }
+            let centroid = &ivf.centroids[list * self.dim..(list + 1) * self.dim];
+            for (d, (q, c)) in rq.iter_mut().zip(query.iter().zip(centroid)) {
+                *d = q - c;
+            }
+            for s in 0..pq.m_sub {
+                let q_sub = &rq[s * pq.dsub..(s + 1) * pq.dsub];
+                for k in 0..pq.ksub {
+                    let word = &pq.codebooks[(s * pq.ksub + k) * pq.dsub..][..pq.dsub];
+                    lut[s * pq.ksub + k] = sq_distance_row(word, q_sub);
+                }
+            }
+            for &row in &ivf.lists[list] {
+                let r = row as usize;
+                let code = &self.codes[r * pq.m_sub..(r + 1) * pq.m_sub];
+                let mut adc = 0.0f32;
+                for (s, &c) in code.iter().enumerate() {
+                    adc += lut[s * pq.ksub + c as usize];
+                }
+                sink.push(adc, row, &self.ids);
+            }
+            scanned += ivf.lists[list].len() as u64;
+        }
+        self.probed_lists.fetch_add(probe as u64, Ordering::Relaxed);
+        self.scanned_rows.fetch_add(scanned, Ordering::Relaxed);
+        self.finish_sink(sink, query, m)
+    }
+
+    /// SQ8 probe: per probed list, decode each row's residual bytes
+    /// inline against the residual query (`dim` bytes per row).
+    ///
+    /// The decode is algebraically folded so the hot loop stays lean:
+    /// `q − (min + step·c) = (q − centroid − min) − step·c`, and the
+    /// parenthesized shift depends only on the probed list, so it is
+    /// hoisted into `tq` once per list. The squared-diff accumulation
+    /// runs in eight independent lanes (summed in a fixed order at the
+    /// end, so ADC distances stay deterministic) to break the serial
+    /// float dependency chain and let the compiler vectorize the
+    /// byte→f32 decode.
+    fn scan_sq8(&self, ivf: &Ivf, sq: &Sq8Codec, query: &[f32], m: usize) -> Vec<ScoredId> {
+        const LANES: usize = 8;
+        let order = self.rank_centroids(ivf, query);
+        let probe = ivf.nprobe.min(ivf.lists.len());
+        let mut sink = CandidateSink::new(m, sq.rerank);
+        let mut scanned = 0u64;
+        let mut tq = vec![0.0f32; self.dim];
+        let tail = self.dim - self.dim % LANES;
+        for &(_, list) in &order[..probe] {
+            if ivf.lists[list].is_empty() {
+                continue;
+            }
+            let centroid = &ivf.centroids[list * self.dim..(list + 1) * self.dim];
+            for (t, ((q, c), min)) in
+                tq.iter_mut().zip(query.iter().zip(centroid).zip(&sq.mins))
+            {
+                *t = (q - c) - min;
+            }
+            for &row in &ivf.lists[list] {
+                let r = row as usize;
+                let code = &self.codes[r * self.dim..(r + 1) * self.dim];
+                let mut lanes = [0.0f32; LANES];
+                for ((cs, ts), ss) in code
+                    .chunks_exact(LANES)
+                    .zip(tq.chunks_exact(LANES))
+                    .zip(sq.steps.chunks_exact(LANES))
+                {
+                    for j in 0..LANES {
+                        let diff = ts[j] - ss[j] * f32::from(cs[j]);
+                        lanes[j] += diff * diff;
+                    }
+                }
+                let mut acc = lanes.iter().sum::<f32>();
+                for ((&c, &t), &s) in
+                    code[tail..].iter().zip(&tq[tail..]).zip(&sq.steps[tail..])
+                {
+                    let diff = t - s * f32::from(c);
+                    acc += diff * diff;
+                }
+                sink.push(acc, row, &self.ids);
+            }
+            scanned += ivf.lists[list].len() as u64;
+        }
+        self.probed_lists.fetch_add(probe as u64, Ordering::Relaxed);
+        self.scanned_rows.fetch_add(scanned, Ordering::Relaxed);
+        self.finish_sink(sink, query, m)
+    }
+
+    /// Resolves a compressed scan's candidate sink: either the ADC
+    /// ranking directly, or the exact-rerank tail — rescore the retained
+    /// rows from the f32 matrix into a fresh top-`m` heap. Both heaps
+    /// select under total orders, so results are independent of scan
+    /// order.
+    fn finish_sink(&self, sink: CandidateSink, query: &[f32], m: usize) -> Vec<ScoredId> {
+        match sink {
+            CandidateSink::Direct(top) => top.into_sorted(),
+            CandidateSink::Rerank(rows) => {
+                let mut top = TopM::new(m);
+                let mut rescored = 0u64;
+                for row in rows.rows() {
+                    let r = row as usize;
+                    let d = sq_distance_row(&self.feats[r * self.dim..(r + 1) * self.dim], query);
+                    top.push(d, self.ids[r]);
+                    rescored += 1;
+                }
+                self.reranked_rows.fetch_add(rescored, Ordering::Relaxed);
+                top.into_sorted()
+            }
+        }
     }
 
     /// Materializes `(id, feature)` pairs in row order. This clones every
@@ -574,35 +1070,256 @@ impl ShardIndex {
     }
 
     /// The raw flattened feature matrix (row-major `len() × dim`).
+    ///
+    /// Retained in *every* mode — compressed modes scan codes but keep
+    /// the f32 matrix as the writer-side source of truth: mutation
+    /// staging, recall audits, the exact-rerank tail, and byte-stable
+    /// persistence all read it (DESIGN.md §6h).
     pub fn features(&self) -> &[f32] {
         &self.feats
     }
+
+    /// Bytes of retained f32 feature matrix.
+    pub fn feature_bytes(&self) -> u64 {
+        (self.feats.len() * 4) as u64
+    }
+
+    /// Bytes of compressed residual codes plus codec tables (codebooks
+    /// for PQ, min/step tables for SQ8); 0 for uncompressed modes.
+    pub fn code_bytes(&self) -> u64 {
+        let aux = match &self.codec {
+            None => 0,
+            Some(Codec::Pq(pq)) => pq.codebooks.len() * 4,
+            Some(Codec::Sq8(sq)) => (sq.mins.len() + sq.steps.len()) * 4,
+        };
+        (self.codes.len() + aux) as u64
+    }
+
+    /// Resident bytes the hot scan path touches, amortized per row:
+    /// `dim × 4` for exact/IVF (the f32 matrix), or codes + codec tables
+    /// + coarse centroids divided by the row count for compressed modes
+    /// (the f32 matrix stays resident for writers and audits but is off
+    /// the scan path). 0 for an empty index.
+    pub fn scan_bytes_per_row(&self) -> f64 {
+        let rows = self.ids.len();
+        if rows == 0 {
+            return 0.0;
+        }
+        match &self.codec {
+            None => (self.dim * 4) as f64,
+            Some(_) => {
+                let centroids =
+                    self.ivf.as_ref().map_or(0, |ivf| ivf.centroids.len() * 4);
+                (self.code_bytes() as usize + centroids) as f64 / rows as f64
+            }
+        }
+    }
+
+    /// The quantized reconstruction of one row — what the compressed
+    /// scan path effectively scores (`centroid + decoded residual`). For
+    /// uncompressed modes this is the exact f32 row. The SQ8 error bound
+    /// (`|x − decode(x)| ≤ step_d / 2` per dimension) is a duo-check
+    /// property over this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row >= self.len()`.
+    pub fn decode_row(&self, row: usize) -> Vec<f32> {
+        let Some(codec) = &self.codec else {
+            return self.feature(row).to_vec();
+        };
+        let ivf = self.ivf.as_ref().expect("compressed indexes always train a coarse quantizer");
+        let c = self.coarse_assign[row] as usize;
+        let centroid = &ivf.centroids[c * self.dim..(c + 1) * self.dim];
+        match codec {
+            Codec::Pq(pq) => {
+                let code = &self.codes[row * pq.m_sub..(row + 1) * pq.m_sub];
+                let mut out = centroid.to_vec();
+                for (s, &k) in code.iter().enumerate() {
+                    let word = &pq.codebooks[(s * pq.ksub + k as usize) * pq.dsub..][..pq.dsub];
+                    for (o, &w) in out[s * pq.dsub..(s + 1) * pq.dsub].iter_mut().zip(word) {
+                        *o += w;
+                    }
+                }
+                out
+            }
+            Codec::Sq8(sq) => {
+                let code = &self.codes[row * self.dim..(row + 1) * self.dim];
+                centroid
+                    .iter()
+                    .zip(code)
+                    .zip(sq.mins.iter().zip(&sq.steps))
+                    .map(|((&cent, &c), (&min, &step))| cent + min + step * f32::from(c))
+                    .collect()
+            }
+        }
+    }
+
+    /// The SQ8 quantizer's per-dimension `(mins, steps)` tables, or
+    /// `None` outside [`IndexMode::Sq8`]. Exposed so the quantization
+    /// error bound is checkable from outside the crate.
+    pub fn sq8_params(&self) -> Option<(&[f32], &[f32])> {
+        match &self.codec {
+            Some(Codec::Sq8(sq)) => Some((&sq.mins, &sq.steps)),
+            _ => None,
+        }
+    }
+
+    /// Dismantles the trained index into the flat arrays the `DUOINDX3`
+    /// writer serializes. Centroids/aux/codes are empty slices or
+    /// vectors where the mode has none.
+    pub(crate) fn parts(&self) -> IndexParts<'_> {
+        let aux = match &self.codec {
+            None => Vec::new(),
+            Some(Codec::Pq(pq)) => pq.codebooks.clone(),
+            Some(Codec::Sq8(sq)) => {
+                let mut aux = sq.mins.clone();
+                aux.extend_from_slice(&sq.steps);
+                aux
+            }
+        };
+        IndexParts {
+            ids: &self.ids,
+            feats: &self.feats,
+            centroids: self.ivf.as_ref().map_or(&[], |ivf| &ivf.centroids),
+            assign: &self.coarse_assign,
+            aux,
+            codes: &self.codes,
+        }
+    }
+
+    /// Reassembles an index from persisted `DUOINDX3` arrays without
+    /// retraining: inverted lists rebuild from the stored assignment in
+    /// ascending row order (the training construction), codebooks/codes
+    /// are taken verbatim. The stored structures equal what retraining
+    /// would produce — k-means is seeded — so this is purely a load-time
+    /// shortcut, not a second source of truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetrievalError::BadConfig`] for invalid modes or array
+    /// lengths that disagree with `mode`/`dim`/row count.
+    pub(crate) fn from_parts(
+        ids: Vec<VideoId>,
+        feats: Vec<f32>,
+        dim: usize,
+        mode: IndexMode,
+        centroids: Vec<f32>,
+        assign: Vec<u32>,
+        aux: Vec<f32>,
+        codes: Vec<u8>,
+    ) -> Result<Self> {
+        mode.validate()?;
+        let rows = ids.len();
+        if feats.len() != rows * dim {
+            return Err(RetrievalError::BadConfig(format!(
+                "flattened feature matrix must hold ids*dim floats: {rows} ids x {dim} != {}",
+                feats.len()
+            )));
+        }
+        let bad = |what: &str| RetrievalError::BadConfig(format!("DUOINDX3 {what} length mismatch"));
+        let (ivf, coarse_assign) = match mode.coarse_params() {
+            Some((_, nprobe)) if rows > 0 => {
+                if dim == 0 || centroids.len() % dim != 0 || assign.len() != rows {
+                    return Err(bad("coarse section"));
+                }
+                let k = centroids.len() / dim;
+                let mut lists: Vec<Vec<u32>> = vec![Vec::new(); k];
+                for (row, &c) in assign.iter().enumerate() {
+                    if c as usize >= k {
+                        return Err(bad("coarse assignment"));
+                    }
+                    lists[c as usize].push(row as u32);
+                }
+                (Some(Ivf { nprobe, centroids, lists }), assign)
+            }
+            _ => (None, Vec::new()),
+        };
+        let codec = match (mode, &ivf) {
+            (IndexMode::Pq { m_sub, rerank, .. }, Some(_)) => {
+                if m_sub == 0 || dim % m_sub != 0 || codes.len() != rows * m_sub {
+                    return Err(bad("pq codes"));
+                }
+                let dsub = dim / m_sub;
+                if dsub == 0 || aux.len() % (m_sub * dsub) != 0 {
+                    return Err(bad("pq codebooks"));
+                }
+                let ksub = aux.len() / (m_sub * dsub);
+                if ksub == 0 || ksub > 256 {
+                    return Err(bad("pq codebooks"));
+                }
+                Some(Codec::Pq(PqCodec { m_sub, ksub, dsub, codebooks: aux, rerank }))
+            }
+            (IndexMode::Sq8 { rerank, .. }, Some(_)) => {
+                if aux.len() != 2 * dim || codes.len() != rows * dim {
+                    return Err(bad("sq8 tables"));
+                }
+                let steps = aux[dim..].to_vec();
+                let mut mins = aux;
+                mins.truncate(dim);
+                Some(Codec::Sq8(Sq8Codec { mins, steps, rerank }))
+            }
+            _ => None,
+        };
+        let codes = if codec.is_some() { codes } else { Vec::new() };
+        Ok(ShardIndex {
+            ids,
+            feats,
+            dim,
+            mode,
+            ivf,
+            coarse_assign,
+            codec,
+            codes,
+            queries: AtomicU64::new(0),
+            probed_lists: AtomicU64::new(0),
+            scanned_rows: AtomicU64::new(0),
+            reranked_rows: AtomicU64::new(0),
+            audit_queries: AtomicU64::new(0),
+            audit_hits: AtomicU64::new(0),
+            audit_expected: AtomicU64::new(0),
+        })
+    }
 }
 
-/// Seeded Lloyd k-means over the flattened feature matrix. Every step is
-/// a pure function of `(feats, seed)`: seeded sampling for the initial
+/// Borrowed flat views of a trained index, in the section order the
+/// `DUOINDX3` writer lays them out.
+pub(crate) struct IndexParts<'a> {
+    /// Indexed ids, row order.
+    pub ids: &'a [VideoId],
+    /// Row-major f32 feature matrix.
+    pub feats: &'a [f32],
+    /// Coarse centroid matrix (empty in exact mode).
+    pub centroids: &'a [f32],
+    /// Per-row coarse list assignment (empty in exact mode).
+    pub assign: &'a [u32],
+    /// Codec tables: PQ codebooks, or SQ8 `mins ‖ steps` (owned — the
+    /// SQ8 concatenation has no contiguous borrow).
+    pub aux: Vec<f32>,
+    /// Row-major residual codes (empty for uncompressed modes).
+    pub codes: &'a [u8],
+}
+
+/// Seeded Lloyd k-means over a flattened row-major matrix. Every step is
+/// a pure function of `(data, seed)`: seeded sampling for the initial
 /// centroids, sequential assignment with lower-index tie-breaks, and
-/// fixed-order mean recomputation.
-fn train_ivf(
-    feats: &[f32],
-    dim: usize,
-    rows: usize,
-    nlist: usize,
-    nprobe: usize,
-    seed: u64,
-) -> Ivf {
-    let k = nlist.min(rows);
+/// fixed-order f64 mean recomputation (empty clusters keep their
+/// previous centroid). Returns the trained `k × dim` centroid matrix and
+/// the final per-row assignment. The IVF coarse quantizer and every PQ
+/// subspace codebook train through this one function.
+fn kmeans(data: &[f32], dim: usize, rows: usize, k: usize, seed: u64) -> (Vec<f32>, Vec<u32>) {
+    let k = k.min(rows);
     let mut rng = Rng64::new(seed);
     let mut centroids = Vec::with_capacity(k * dim);
     for row in rng.sample_indices(rows, k) {
-        centroids.extend_from_slice(&feats[row * dim..(row + 1) * dim]);
+        centroids.extend_from_slice(&data[row * dim..(row + 1) * dim]);
     }
     let mut assign = vec![0u32; rows];
     for round in 0..KMEANS_ROUNDS {
         // Assignment: nearest centroid, first (lowest-index) winner on ties.
         let mut changed = false;
         for row in 0..rows {
-            let rf = &feats[row * dim..(row + 1) * dim];
+            let rf = &data[row * dim..(row + 1) * dim];
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for c in 0..k {
@@ -628,7 +1345,7 @@ fn train_ivf(
             let c = assign[row] as usize;
             counts[c] += 1;
             for j in 0..dim {
-                sums[c * dim + j] += f64::from(feats[row * dim + j]);
+                sums[c * dim + j] += f64::from(data[row * dim + j]);
             }
         }
         for c in 0..k {
@@ -639,11 +1356,130 @@ fn train_ivf(
             }
         }
     }
+    (centroids, assign)
+}
+
+/// Trains the IVF coarse quantizer: seeded k-means, inverted lists in
+/// ascending row order. Returns the structure plus the flat per-row
+/// assignment (kept for residual decoding and persistence).
+fn train_ivf(
+    feats: &[f32],
+    dim: usize,
+    rows: usize,
+    nlist: usize,
+    nprobe: usize,
+    seed: u64,
+) -> (Ivf, Vec<u32>) {
+    let (centroids, assign) = kmeans(feats, dim, rows, nlist, seed);
+    let k = nlist.min(rows);
     let mut lists: Vec<Vec<u32>> = vec![Vec::new(); k];
     for (row, &c) in assign.iter().enumerate() {
         lists[c as usize].push(row as u32);
     }
-    Ivf { nprobe, centroids, lists }
+    (Ivf { nprobe, centroids, lists }, assign)
+}
+
+/// The per-row coarse residuals `x − centroid[assign[row]]`, flattened
+/// row-major.
+fn coarse_residuals(feats: &[f32], dim: usize, centroids: &[f32], assign: &[u32]) -> Vec<f32> {
+    let mut residuals = vec![0.0f32; feats.len()];
+    for (row, &c) in assign.iter().enumerate() {
+        let x = &feats[row * dim..(row + 1) * dim];
+        let cent = &centroids[c as usize * dim..(c as usize + 1) * dim];
+        let out = &mut residuals[row * dim..(row + 1) * dim];
+        for ((o, &a), &b) in out.iter_mut().zip(x).zip(cent) {
+            *o = a - b;
+        }
+    }
+    residuals
+}
+
+/// Trains the product quantizer over coarse residuals and encodes every
+/// row. Subspace `s` trains its own seeded k-means
+/// ([`pq_subspace_seed`]) on the rows' `dsub`-dim residual slices;
+/// encoding is a final explicit nearest-codeword pass (lowest index on
+/// ties) against the trained codebook, so codes are a pure function of
+/// `(feats, seed)`.
+#[allow(clippy::too_many_arguments)]
+fn train_pq(
+    feats: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    assign: &[u32],
+    m_sub: usize,
+    nbits: u32,
+    rerank: usize,
+    seed: u64,
+) -> (PqCodec, Vec<u8>) {
+    let rows = assign.len();
+    let dsub = dim / m_sub;
+    let ksub = (1usize << nbits).min(rows);
+    let residuals = coarse_residuals(feats, dim, centroids, assign);
+    let mut codebooks = vec![0.0f32; m_sub * ksub * dsub];
+    let mut codes = vec![0u8; rows * m_sub];
+    let mut sub_data = vec![0.0f32; rows * dsub];
+    for s in 0..m_sub {
+        for row in 0..rows {
+            sub_data[row * dsub..(row + 1) * dsub]
+                .copy_from_slice(&residuals[row * dim + s * dsub..row * dim + (s + 1) * dsub]);
+        }
+        let (book, _) = kmeans(&sub_data, dsub, rows, ksub, pq_subspace_seed(seed, s));
+        // Encode: explicit nearest-codeword pass against the *final*
+        // codebook (k-means assignment may lag one update round).
+        for row in 0..rows {
+            let rf = &sub_data[row * dsub..(row + 1) * dsub];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for k in 0..ksub {
+                let d = sq_distance_row(&book[k * dsub..(k + 1) * dsub], rf);
+                if d < best_d {
+                    best_d = d;
+                    best = k;
+                }
+            }
+            codes[row * m_sub + s] = best as u8;
+        }
+        codebooks[s * ksub * dsub..(s + 1) * ksub * dsub].copy_from_slice(&book);
+    }
+    (PqCodec { m_sub, ksub, dsub, codebooks, rerank }, codes)
+}
+
+/// Trains the per-dimension affine scalar quantizer over coarse
+/// residuals and encodes every row: `steps[d] = (max_d − min_d) / 255`,
+/// `code = round((x − min_d) / step_d)` clamped to a byte. A constant
+/// dimension gets `step = 0` and decodes exactly to its minimum.
+fn train_sq8(
+    feats: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    assign: &[u32],
+    rerank: usize,
+) -> (Sq8Codec, Vec<u8>) {
+    let rows = assign.len();
+    let residuals = coarse_residuals(feats, dim, centroids, assign);
+    let mut mins = vec![f32::INFINITY; dim];
+    let mut maxs = vec![f32::NEG_INFINITY; dim];
+    for row in 0..rows {
+        for d in 0..dim {
+            let x = residuals[row * dim + d];
+            mins[d] = mins[d].min(x);
+            maxs[d] = maxs[d].max(x);
+        }
+    }
+    let steps: Vec<f32> = mins.iter().zip(&maxs).map(|(&lo, &hi)| (hi - lo) / 255.0).collect();
+    let mut codes = vec![0u8; rows * dim];
+    for row in 0..rows {
+        for d in 0..dim {
+            let step = steps[d];
+            codes[row * dim + d] = if step > 0.0 {
+                let q = ((residuals[row * dim + d] - mins[d]) / step).round();
+                q.clamp(0.0, 255.0) as u8
+            } else {
+                0
+            };
+        }
+    }
+    (Sq8Codec { mins, steps, rerank }, codes)
 }
 
 #[cfg(test)]
@@ -797,5 +1633,185 @@ mod tests {
             IndexMode::ivf(16, 4).to_json().to_string(),
             r#"{"mode":"ivf","nlist":16,"nprobe":4}"#
         );
+        assert_eq!(
+            IndexMode::pq(16, 4, 8, 8, 32).to_json().to_string(),
+            r#"{"mode":"pq","nlist":16,"nprobe":4,"m_sub":8,"nbits":8,"rerank":32}"#
+        );
+        assert_eq!(
+            IndexMode::sq8(16, 4, 0).to_json().to_string(),
+            r#"{"mode":"sq8","nlist":16,"nprobe":4,"rerank":0}"#
+        );
+    }
+
+    /// A 2-D gallery whose points spread over both axes, so residuals
+    /// are nontrivial in every PQ subspace.
+    fn grid_gallery(n: u32) -> Vec<(VideoId, Tensor)> {
+        entries(
+            &(0..n)
+                .map(|i| (i, vec![(i % 7) as f32, (i / 7) as f32 * 0.5]))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn pq_full_probe_full_rerank_equals_exact() {
+        let gallery = grid_gallery(60);
+        let exact = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        let pq = ShardIndex::build(&gallery, IndexMode::pq(4, 4, 2, 4, 60), 21).unwrap();
+        for q in [[0.3, 0.1], [5.8, 3.3], [2.0, 4.0]] {
+            let e = exact.search(&q, 6);
+            let p = pq.search(&q, 6);
+            assert_eq!(p.len(), e.len());
+            for (a, b) in p.iter().zip(&e) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "bit-identical rerank");
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_full_probe_full_rerank_equals_exact() {
+        let gallery = grid_gallery(48);
+        let exact = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        let sq8 = ShardIndex::build(&gallery, IndexMode::sq8(4, 4, 48), 9).unwrap();
+        for q in [[1.1, 0.0], [6.0, 3.0]] {
+            assert_eq!(sq8.search(&q, 5), exact.search(&q, 5));
+        }
+    }
+
+    #[test]
+    fn pq_adc_without_rerank_finds_local_neighbours() {
+        // Two tight, well-separated clusters: ADC distances are
+        // approximate but the cluster structure must survive.
+        let mut points = Vec::new();
+        for i in 0..24u32 {
+            points.push((i, vec![i as f32 * 0.01, 1.0]));
+            points.push((100 + i, vec![500.0 + i as f32 * 0.01, -3.0]));
+        }
+        let index =
+            ShardIndex::build(&entries(&points), IndexMode::pq(2, 1, 2, 8, 0), 5).unwrap();
+        let got = index.search(&[0.05, 1.0], 4);
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|s| s.id.class < 100), "all answers from the near cluster");
+        assert_eq!(index.stats().reranked_rows, 0, "rerank 0 never rescores");
+    }
+
+    #[test]
+    fn rerank_counter_tracks_rescored_rows() {
+        let gallery = grid_gallery(40);
+        let index = ShardIndex::build(&gallery, IndexMode::sq8(4, 2, 12), 3).unwrap();
+        index.search(&[1.0, 1.0], 5);
+        let stats = index.stats();
+        assert!(stats.reranked_rows > 0);
+        assert!(stats.reranked_rows <= 12.max(5) as u64, "at most max(rerank, m) rescored");
+    }
+
+    #[test]
+    fn sq8_decode_respects_quantization_error_bound() {
+        let gallery = grid_gallery(50);
+        let index = ShardIndex::build(&gallery, IndexMode::sq8(4, 4, 0), 7).unwrap();
+        let (_, steps) = index.sq8_params().unwrap();
+        for row in 0..index.len() {
+            let decoded = index.decode_row(row);
+            for (d, (&got, &want)) in decoded.iter().zip(index.feature(row)).enumerate() {
+                let bound = steps[d] * 0.5001 + 1e-5;
+                assert!(
+                    (got - want).abs() <= bound,
+                    "row {row} dim {d}: |{got} - {want}| > {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_modes_shrink_the_scan_footprint() {
+        let gallery: Vec<(VideoId, Tensor)> = (0..400u32)
+            .map(|i| {
+                let v: Vec<f32> = (0..8).map(|d| ((i * 31 + d * 7) % 97) as f32).collect();
+                (VideoId { class: i, instance: 0 }, Tensor::from_vec(v, &[8]).unwrap())
+            })
+            .collect();
+        let exact = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        // 4-bit codes: at this tiny scale an 8-bit codebook (256
+        // codewords) would outweigh the codes themselves.
+        let pq = ShardIndex::build(&gallery, IndexMode::pq(8, 2, 4, 4, 0), 1).unwrap();
+        let sq8 = ShardIndex::build(&gallery, IndexMode::sq8(8, 2, 0), 1).unwrap();
+        assert_eq!(exact.code_bytes(), 0);
+        assert_eq!(exact.scan_bytes_per_row(), 32.0, "8 dims x 4 bytes");
+        assert!(pq.code_bytes() > 0);
+        assert!(pq.scan_bytes_per_row() < exact.scan_bytes_per_row() / 4.0);
+        assert!(sq8.scan_bytes_per_row() < exact.scan_bytes_per_row() / 2.0);
+        // The f32 matrix stays resident in every mode (writer-side truth).
+        assert_eq!(pq.feature_bytes(), exact.feature_bytes());
+    }
+
+    #[test]
+    fn rejects_bad_pq_parameters() {
+        let gallery = grid_gallery(8);
+        assert!(ShardIndex::build(&gallery, IndexMode::pq(2, 1, 0, 8, 0), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::pq(2, 1, 2, 0, 0), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::pq(2, 1, 2, 9, 0), 0).is_err());
+        // dim 2 is not divisible by m_sub 3.
+        assert!(ShardIndex::build(&gallery, IndexMode::pq(2, 1, 3, 8, 0), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::sq8(0, 1, 0), 0).is_err());
+        assert!(ShardIndex::build(&gallery, IndexMode::sq8(2, 3, 0), 0).is_err());
+    }
+
+    #[test]
+    fn compressed_queries_are_audited() {
+        let gallery = grid_gallery(40);
+        let index = ShardIndex::build(&gallery, IndexMode::pq(4, 2, 2, 8, 0), 11).unwrap();
+        index.search(&[1.0, 1.0], 5);
+        let stats = index.stats();
+        assert_eq!(stats.audit_queries, 1, "first compressed query is audited");
+        assert!(stats.recall_at_m().is_some());
+    }
+
+    #[test]
+    fn breakdown_buckets_by_mode() {
+        let gallery = grid_gallery(30);
+        let exact = ShardIndex::build(&gallery, IndexMode::Exact, 0).unwrap();
+        let pq = ShardIndex::build(&gallery, IndexMode::pq(3, 2, 2, 8, 0), 1).unwrap();
+        exact.search(&[1.0, 1.0], 3);
+        pq.search(&[1.0, 1.0], 3);
+        pq.search(&[2.0, 1.0], 3);
+        let mut b = IndexBreakdown::default();
+        b.absorb(exact.mode(), &exact.stats());
+        b.absorb(pq.mode(), &pq.stats());
+        assert_eq!(b.total.queries, 3);
+        assert_eq!(b.exact.queries, 1);
+        assert_eq!(b.pq.queries, 2);
+        assert_eq!(b.ivf.queries, 0);
+        assert!(b.pq.recall_at_m().is_some());
+        assert_eq!(b.exact.recall_at_m(), None);
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_trained_index() {
+        for mode in [
+            IndexMode::Exact,
+            IndexMode::ivf(4, 2),
+            IndexMode::pq(4, 2, 2, 8, 6),
+            IndexMode::sq8(4, 2, 0),
+        ] {
+            let gallery = grid_gallery(36);
+            let built = ShardIndex::build(&gallery, mode, 17).unwrap();
+            let parts = built.parts();
+            let back = ShardIndex::from_parts(
+                parts.ids.to_vec(),
+                parts.feats.to_vec(),
+                built.dim(),
+                mode,
+                parts.centroids.to_vec(),
+                parts.assign.to_vec(),
+                parts.aux.clone(),
+                parts.codes.to_vec(),
+            )
+            .unwrap();
+            for q in [[0.4, 0.2], [5.0, 3.0], [2.5, 1.5]] {
+                assert_eq!(back.search(&q, 5), built.search(&q, 5), "{mode:?}");
+            }
+            assert_eq!(back.code_bytes(), built.code_bytes());
+        }
     }
 }

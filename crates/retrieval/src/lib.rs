@@ -48,7 +48,7 @@ pub use blackbox::BlackBox;
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker};
 pub use chaos::{FaultDecision, FaultPlan, FlapWindow};
 pub use error::RetrievalError;
-pub use index::{shard_seed, IndexMode, IndexStats, ShardIndex, TopM};
+pub use index::{pq_subspace_seed, shard_seed, IndexBreakdown, IndexMode, IndexStats, ShardIndex, TopM};
 pub use ledger::QueryLedger;
 pub use metrics::{ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m};
 pub use mutation::{EpochTransition, Mutation, MutationBatch, MutationStats};

@@ -121,6 +121,26 @@ impl DataNode {
         })
     }
 
+    /// Creates an online node serving an already-built index generation
+    /// (the `DUOINDX3` load path: the trained structure comes off disk,
+    /// so nothing retrains). `seed` must be the seed the index was
+    /// trained with — later epoch rebuilds of this shard reuse it.
+    pub(crate) fn from_prebuilt(
+        name: impl Into<String>,
+        index: ShardIndex,
+        seed: u64,
+    ) -> Self {
+        DataNode {
+            name: name.into(),
+            index: RwLock::new(Arc::new(index)),
+            seed,
+            status: RwLock::new(NodeStatus::Online),
+            fault_plan: RwLock::new(None),
+            queries_seen: AtomicU64::new(0),
+            retired_stats: Mutex::new(IndexStats::default()),
+        }
+    }
+
     /// Node name (for diagnostics).
     pub fn name(&self) -> &str {
         &self.name

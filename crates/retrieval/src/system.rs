@@ -22,9 +22,12 @@ pub struct RetrievalConfig {
     /// inline is faster on a single core.
     pub threaded: bool,
     /// How each shard indexes its gallery slice: [`IndexMode::Exact`]
-    /// (the default; bit-identical to an exhaustive scan) or
+    /// (the default; bit-identical to an exhaustive scan),
     /// [`IndexMode::Ivf`] (sublinear approximate search with exact
-    /// re-ranking inside the probed lists). See [`crate::index`].
+    /// re-ranking inside the probed lists), or the compressed modes
+    /// [`IndexMode::Pq`] / [`IndexMode::Sq8`] (residual codes scanned
+    /// in place of the f32 features, with an optional exact rerank
+    /// tail). See [`crate::index`].
     pub index: IndexMode,
 }
 duo_tensor::impl_to_json!(struct RetrievalConfig { m, nodes, threaded, index });
@@ -255,6 +258,30 @@ impl RetrievalSystem {
             total.merge(&node.index_stats());
         }
         total
+    }
+
+    /// Scan counters split per index mode, plus the system's resident
+    /// byte footprint (f32 features vs compressed codes) — the shape
+    /// [`crate::IndexBreakdown`] documents. Recall audits attribute to
+    /// the mode of the shard that answered, so a mixed-mode fleet
+    /// reports exact/IVF/PQ recall separately.
+    pub fn index_breakdown(&self) -> crate::IndexBreakdown {
+        let mut breakdown = crate::IndexBreakdown::default();
+        for node in &self.nodes {
+            breakdown.absorb(node.index_mode(), &node.index_stats());
+            let snap = node.snapshot();
+            breakdown.feature_bytes += snap.feature_bytes();
+            breakdown.code_bytes += snap.code_bytes();
+        }
+        breakdown
+    }
+
+    /// Restores the epoch counter from a persisted image (the
+    /// `DUOINDX3` load path), so a reloaded system continues the saved
+    /// system's epoch sequence and replays traces with identical
+    /// telemetry.
+    pub(crate) fn restore_epoch(&self, epoch: u64) {
+        *self.epoch.write().unwrap_or_else(|e| e.into_inner()) = epoch;
     }
 
     /// Read access to the victim backbone (white-box evaluations and

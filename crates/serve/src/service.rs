@@ -176,7 +176,7 @@ impl RetrievalService {
     /// A live snapshot of the service counters.
     pub fn stats(&self) -> crate::ServiceStats {
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
-        let index = self.shared.system.index_stats();
+        let index = self.shared.system.index_breakdown();
         let epoch = self.shared.system.current_epoch();
         let mutation = self.shared.system.mutation_stats();
         self.shared.stats.lock().expect("stats lock").snapshot(queue_depth, index, epoch, mutation)
@@ -217,7 +217,7 @@ impl RetrievalService {
             let _ = handle.join();
         }
         let queue_depth = self.shared.queue_depth.load(Ordering::SeqCst);
-        let index = self.shared.system.index_stats();
+        let index = self.shared.system.index_breakdown();
         let epoch = self.shared.system.current_epoch();
         let mutation = self.shared.system.mutation_stats();
         let stats =

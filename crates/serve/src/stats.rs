@@ -2,7 +2,7 @@
 //! quantiles.
 
 use crate::LatencyHistogram;
-use duo_retrieval::{IndexStats, MutationStats, QueryTelemetry};
+use duo_retrieval::{IndexBreakdown, MutationStats, QueryTelemetry};
 
 /// Mutable counters maintained by the service under its stats lock.
 #[derive(Debug)]
@@ -81,8 +81,9 @@ impl StatsInner {
         }
     }
 
-    /// Builds the public snapshot. `index` is the system's summed
-    /// shard-index counters ([`duo_retrieval::RetrievalSystem::index_stats`]),
+    /// Builds the public snapshot. `index` is the system's per-mode
+    /// shard-index breakdown
+    /// ([`duo_retrieval::RetrievalSystem::index_breakdown`]),
     /// `epoch`/`mutation` the gallery's epoch counter and mutation totals
     /// ([`duo_retrieval::RetrievalSystem::mutation_stats`]) — all sampled
     /// by the caller at snapshot time; the system maintains them on its
@@ -90,7 +91,7 @@ impl StatsInner {
     pub fn snapshot(
         &self,
         queue_depth: usize,
-        index: IndexStats,
+        index: IndexBreakdown,
         epoch: u64,
         mutation: MutationStats,
     ) -> ServiceStats {
@@ -141,12 +142,21 @@ impl StatsInner {
             breaker_half_opens: self.breaker_half_opens,
             breaker_closes: self.breaker_closes,
             node_failures: self.node_failures.clone(),
-            index_queries: index.queries,
-            index_probed_lists: index.probed_lists,
-            index_scanned_rows: index.scanned_rows,
-            index_mean_probes: index.mean_probes(),
-            recall_audits: index.audit_queries,
-            recall_at_m: index.recall_at_m(),
+            index_queries: index.total.queries,
+            index_probed_lists: index.total.probed_lists,
+            index_scanned_rows: index.total.scanned_rows,
+            index_reranked_rows: index.total.reranked_rows,
+            index_mean_probes: index.total.mean_probes(),
+            index_feature_bytes: index.feature_bytes,
+            index_code_bytes: index.code_bytes,
+            recall_audits: index.total.audit_queries,
+            recall_at_m: index.total.recall_at_m(),
+            recall_audits_ivf: index.ivf.audit_queries,
+            recall_at_m_ivf: index.ivf.recall_at_m(),
+            recall_audits_pq: index.pq.audit_queries,
+            recall_at_m_pq: index.pq.recall_at_m(),
+            recall_audits_sq8: index.sq8.audit_queries,
+            recall_at_m_sq8: index.sq8.recall_at_m(),
         }
     }
 }
@@ -281,14 +291,35 @@ pub struct ServiceStats {
     pub index_probed_lists: u64,
     /// Feature rows pushed through the distance kernel.
     pub index_scanned_rows: u64,
+    /// Candidate rows rescored at exact f32 precision by the compressed
+    /// modes' rerank tail.
+    pub index_reranked_rows: u64,
     /// Mean inverted lists probed per shard search.
     pub index_mean_probes: f32,
-    /// IVF searches recall-audited against an exact scan.
+    /// Bytes of retained f32 feature matrix across all shards.
+    pub index_feature_bytes: u64,
+    /// Bytes of compressed codes plus codec tables across all shards
+    /// (0 when no shard runs a compressed mode).
+    pub index_code_bytes: u64,
+    /// Coarse (IVF/PQ/SQ8) searches recall-audited against an exact scan,
+    /// summed over all modes.
     pub recall_audits: u64,
-    /// Running recall@m estimate from the audited IVF searches; `None`
+    /// Running recall@m estimate from the audited coarse searches; `None`
     /// until the first audit (always `None` for exact-only traffic,
     /// whose recall is 1 by construction).
     pub recall_at_m: Option<f32>,
+    /// Audited searches served by uncompressed [`duo_retrieval::IndexMode::Ivf`] shards.
+    pub recall_audits_ivf: u64,
+    /// Recall@m over the IVF-audited searches only.
+    pub recall_at_m_ivf: Option<f32>,
+    /// Audited searches served by [`duo_retrieval::IndexMode::Pq`] shards.
+    pub recall_audits_pq: u64,
+    /// Recall@m over the PQ-audited searches only.
+    pub recall_at_m_pq: Option<f32>,
+    /// Audited searches served by [`duo_retrieval::IndexMode::Sq8`] shards.
+    pub recall_audits_sq8: u64,
+    /// Recall@m over the SQ8-audited searches only.
+    pub recall_at_m_sq8: Option<f32>,
 }
 duo_tensor::impl_to_json!(struct ServiceStats {
     served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
@@ -299,8 +330,13 @@ duo_tensor::impl_to_json!(struct ServiceStats {
     degraded, retries, hedges, node_timeouts, transient_faults,
     contained_panics, breaker_skips, breaker_opens, breaker_half_opens,
     breaker_closes, node_failures,
-    index_queries, index_probed_lists, index_scanned_rows, index_mean_probes,
-    recall_audits, recall_at_m
+    index_queries, index_probed_lists, index_scanned_rows,
+    index_reranked_rows, index_mean_probes,
+    index_feature_bytes, index_code_bytes,
+    recall_audits, recall_at_m,
+    recall_audits_ivf, recall_at_m_ivf,
+    recall_audits_pq, recall_at_m_pq,
+    recall_audits_sq8, recall_at_m_sq8
 });
 
 impl std::fmt::Display for ServiceStats {
@@ -338,16 +374,27 @@ impl std::fmt::Display for ServiceStats {
             self.mutations_applied, self.rebalances, self.rows_rebalanced,
             self.refunded
         )?;
+        let per_mode = |r: Option<f32>, n: u64| match r {
+            Some(r) => format!("{r:.3} ({n} audits)"),
+            None => "n/a".to_string(),
+        };
         write!(
             f,
-            "index: {} searches, {} rows scanned, {:.2} mean probes, recall@m {}",
+            "index: {} searches, {} rows scanned ({} reranked), {:.2} mean probes, \
+             {} feat B + {} code B, recall@m {} [ivf {}, pq {}, sq8 {}]",
             self.index_queries,
             self.index_scanned_rows,
+            self.index_reranked_rows,
             self.index_mean_probes,
+            self.index_feature_bytes,
+            self.index_code_bytes,
             match self.recall_at_m {
                 Some(r) => format!("{r:.3} ({} audits)", self.recall_audits),
                 None => "n/a (exact)".to_string(),
-            }
+            },
+            per_mode(self.recall_at_m_ivf, self.recall_audits_ivf),
+            per_mode(self.recall_at_m_pq, self.recall_audits_pq),
+            per_mode(self.recall_at_m_sq8, self.recall_audits_sq8),
         )
     }
 }
@@ -355,6 +402,7 @@ impl std::fmt::Display for ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use duo_retrieval::{IndexMode, IndexStats};
     use duo_tensor::ToJson;
 
     #[test]
@@ -363,7 +411,7 @@ mod tests {
         inner.batch_hist[1] = 2;
         inner.batch_hist[3] = 2;
         inner.batches = 4;
-        let stats = inner.snapshot(1, IndexStats::default(), 0, MutationStats::default());
+        let stats = inner.snapshot(1, IndexBreakdown::default(), 0, MutationStats::default());
         assert_eq!(stats.mean_batch, 2.0);
         assert_eq!(stats.max_batch, 3);
         assert_eq!(stats.queue_depth, 1);
@@ -372,34 +420,90 @@ mod tests {
     #[test]
     fn stats_serialize_to_json() {
         let inner = StatsInner::new(2, 3);
-        let json = inner.snapshot(0, IndexStats::default(), 0, MutationStats::default()).to_json().to_string();
+        let json = inner.snapshot(0, IndexBreakdown::default(), 0, MutationStats::default()).to_json().to_string();
         assert!(json.contains("\"served\":0"), "{json}");
         assert!(json.contains("\"batch_hist\":[0,0,0]"), "{json}");
         assert!(json.contains("\"latency_p95_us\":0"), "{json}");
         assert!(json.contains("\"node_failures\":[0,0,0]"), "{json}");
         assert!(json.contains("\"deadline_misses\":0"), "{json}");
         assert!(json.contains("\"index_queries\":0"), "{json}");
+        assert!(json.contains("\"index_code_bytes\":0"), "{json}");
         assert!(json.contains("\"recall_at_m\":null"), "{json}");
+        assert!(json.contains("\"recall_at_m_pq\":null"), "{json}");
     }
 
     #[test]
     fn snapshot_carries_index_counters() {
         let inner = StatsInner::new(2, 2);
-        let index = IndexStats {
-            queries: 10,
-            probed_lists: 40,
-            scanned_rows: 500,
-            audit_queries: 2,
-            audit_hits: 19,
-            audit_expected: 20,
+        let mut index = IndexBreakdown {
+            feature_bytes: 4096,
+            code_bytes: 1024,
+            ..IndexBreakdown::default()
         };
+        index.absorb(
+            IndexMode::ivf(8, 2),
+            &IndexStats {
+                queries: 10,
+                probed_lists: 40,
+                scanned_rows: 500,
+                reranked_rows: 0,
+                audit_queries: 2,
+                audit_hits: 19,
+                audit_expected: 20,
+            },
+        );
         let stats = inner.snapshot(0, index, 0, MutationStats::default());
         assert_eq!(stats.index_queries, 10);
         assert_eq!(stats.index_mean_probes, 4.0);
+        assert_eq!(stats.index_feature_bytes, 4096);
+        assert_eq!(stats.index_code_bytes, 1024);
         assert_eq!(stats.recall_audits, 2);
         assert_eq!(stats.recall_at_m, Some(0.95));
         let json = stats.to_json().to_string();
         assert!(json.contains("\"recall_at_m\":0.95"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_splits_recall_per_mode() {
+        let inner = StatsInner::new(2, 2);
+        let mut index = IndexBreakdown::default();
+        // An IVF shard at perfect audited recall and a PQ shard losing
+        // hits must land in separate buckets while the aggregate blends
+        // them.
+        index.absorb(
+            IndexMode::ivf(8, 2),
+            &IndexStats {
+                queries: 8,
+                audit_queries: 2,
+                audit_hits: 10,
+                audit_expected: 10,
+                ..IndexStats::default()
+            },
+        );
+        index.absorb(
+            IndexMode::pq(8, 2, 4, 8, 16),
+            &IndexStats {
+                queries: 8,
+                reranked_rows: 64,
+                audit_queries: 2,
+                audit_hits: 8,
+                audit_expected: 10,
+                ..IndexStats::default()
+            },
+        );
+        let stats = inner.snapshot(0, index, 0, MutationStats::default());
+        assert_eq!(stats.recall_audits, 4);
+        assert_eq!(stats.recall_at_m, Some(0.9));
+        assert_eq!(stats.recall_audits_ivf, 2);
+        assert_eq!(stats.recall_at_m_ivf, Some(1.0));
+        assert_eq!(stats.recall_audits_pq, 2);
+        assert_eq!(stats.recall_at_m_pq, Some(0.8));
+        assert_eq!(stats.recall_audits_sq8, 0);
+        assert_eq!(stats.recall_at_m_sq8, None);
+        assert_eq!(stats.index_reranked_rows, 64);
+        let shown = stats.to_string();
+        assert!(shown.contains("pq 0.800"), "{shown}");
+        assert!(shown.contains("64 reranked"), "{shown}");
     }
 
     #[test]
@@ -413,7 +517,7 @@ mod tests {
         t.node_failures[1] = 2;
         inner.absorb(&t);
         inner.absorb(&t);
-        let stats = inner.snapshot(0, IndexStats::default(), 0, MutationStats::default());
+        let stats = inner.snapshot(0, IndexBreakdown::default(), 0, MutationStats::default());
         assert_eq!(stats.retries, 6);
         assert_eq!(stats.hedges, 2);
         assert_eq!(stats.node_timeouts, 4);

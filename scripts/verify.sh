@@ -30,11 +30,17 @@ DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin mutate_se
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 # Index smoke: the shard-index bench at tiny scale — exercises the seed
-# scan vs SoA vs IVF paths end to end and prints recall@10 rows.
+# scan vs SoA vs IVF vs compressed (PQ ADC, SQ8) paths end to end,
+# asserts the audited recall floor on the compressed entries, and writes
+# BENCH_index.json (timed rows plus bytes-per-vector and recall-loss
+# pseudo-metric rows) for the threshold gate below.
 DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench index
 
-# Index sweep smoke: asserts the IVF equivalence contract (full probe ==
-# exact) and that recall audits fire on live IVF traffic.
+# Index sweep smoke: asserts the equivalence contracts (IVF full probe
+# == exact; PQ/SQ8 full probe + full-depth rerank bit-identical to
+# exact), that recall audits fire on live IVF traffic, and that the
+# per-mode breakdown attributes PQ audits to the pq bucket with live
+# code-byte counters.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin index_sweep
 
 # Kernel + serving + epoch bench smokes: the GEMM bench asserts
@@ -54,12 +60,13 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench mutate
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin campaign
 
 # Artifact + threshold gate: every emitted file (gemm, serve, campaign,
-# mutate)
-# must parse and carry every required field (name, samples, min/median/
-# p95/mean/trimmed_mean/max), and the smoke-scale rules in
-# BENCH_thresholds.txt must hold on the trimmed means — a kernel perf
-# regression or a broken attack contract (zero-query family charging
-# queries, sparse family going dense) fails tier-1 here, not just a
+# mutate, index) must parse and carry every required field (name,
+# samples, min/median/p95/mean/trimmed_mean/max), and the smoke-scale
+# rules in BENCH_thresholds.txt must hold on the trimmed means — a
+# kernel perf regression, a broken attack contract (zero-query family
+# charging queries, sparse family going dense), or a compressed-index
+# contract break (PQ/SQ8 slower than the wall, code footprint above the
+# ratio, audited recall loss over 0.05) fails tier-1 here, not just a
 # schema break. (Full-scale rules are skipped at smoke scale; they gate
-# the committed BENCH_gemm.json instead.)
+# the committed BENCH_*.json artifacts instead.)
 cargo run --release --offline -p duo-bench --bin bench_check

@@ -86,8 +86,8 @@ pub mod prelude {
     pub use duo_retrieval::{
         ap_at_m, mean_average_precision, ndcg_cooccurrence, recall_at_m, shard_seed, BlackBox,
         BreakerConfig, BreakerState, BreakerTransitions, CircuitBreaker, Coverage, DataNode,
-        EpochTransition, FaultDecision, FaultPlan, FlapWindow, GalleryIndex, IndexMode,
-        IndexStats, Mutation, MutationBatch, MutationStats, NodeAnswer, NodeFault, QueryLedger,
+        EpochTransition, FaultDecision, FaultPlan, FlapWindow, GalleryIndex, IndexBreakdown,
+        IndexMode, IndexStats, Mutation, MutationBatch, MutationStats, NodeAnswer, NodeFault, QueryLedger,
         QueryOracle, QueryTelemetry, ResilienceConfig, RetrievalConfig, RetrievalSystem,
         Retrieved, ShardIndex,
     };
