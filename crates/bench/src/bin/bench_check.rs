@@ -3,8 +3,8 @@
 //! Two layers, both of which must pass:
 //!
 //! 1. **Structure** — each `BENCH_*.json` file (default: `BENCH_gemm.json`,
-//!    `BENCH_serve.json`, `BENCH_campaign.json`, `BENCH_mutate.json`, and
-//!    `BENCH_index.json` at the repo root; or
+//!    `BENCH_serve.json`, `BENCH_campaign.json`, `BENCH_mutate.json`,
+//!    `BENCH_index.json`, and `BENCH_defense.json` at the repo root; or
 //!    explicit paths as arguments) exists, parses as JSON, and carries
 //!    every required result field (`name`, `samples`, `min_s`,
 //!    `median_s`, `p95_s`, `mean_s`, `trimmed_mean_s`, `max_s`).
@@ -35,6 +35,7 @@ fn main() {
             duo_bench::repo_root_bench_path("campaign"),
             duo_bench::repo_root_bench_path("mutate"),
             duo_bench::repo_root_bench_path("index"),
+            duo_bench::repo_root_bench_path("defense"),
         ]
     } else {
         args

@@ -92,6 +92,11 @@ pub struct ClientOutcome {
     /// Whether the attack ran out of budget before finishing (the
     /// degenerate outcome keeps `ap_drop`/`spa`/`pscore` at 0).
     pub exhausted: bool,
+    /// Whether the service's streaming defense quarantined the account
+    /// mid-attack ([`duo_retrieval::RetrievalError::Quarantined`]) — the
+    /// blue team cut the lane off. Like `exhausted`, a recorded outcome
+    /// (metrics stay 0), never a campaign failure.
+    pub quarantined: bool,
     /// The attack client's serving counters at campaign end.
     pub stats: ClientStats,
     /// Queries issued by the unbudgeted grader client (not part of the
@@ -147,6 +152,20 @@ fn dist_of(metric: &'static str, mut xs: Vec<f64>) -> MetricDist {
     }
 }
 
+impl MetricDist {
+    /// Summarizes raw samples under the `duo-bench` trimming and quantile
+    /// rules — public so experiment binaries (e.g. `red_vs_blue`) can
+    /// emit custom metrics in the same `BENCH_*.json` schema the
+    /// leaderboard uses.
+    ///
+    /// # Panics
+    ///
+    /// On an empty sample set.
+    pub fn of(metric: &'static str, xs: Vec<f64>) -> MetricDist {
+        dist_of(metric, xs)
+    }
+}
+
 /// One attack family's aggregated leaderboard row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FamilyRow {
@@ -156,6 +175,12 @@ pub struct FamilyRow {
     pub clients: usize,
     /// Clients that completed without exhausting their budget.
     pub completed: usize,
+    /// Clients the streaming defense caught: flagged at least once or
+    /// quarantined outright. 0 against an undefended service.
+    pub detected: usize,
+    /// Clients the defense never flagged (`clients - detected`) — for a
+    /// zero-query family this is every client, by construction.
+    pub evaded: usize,
     /// Per-metric distributions, in fixed emission order.
     pub metrics: Vec<MetricDist>,
 }
@@ -197,11 +222,23 @@ impl Leaderboard {
                     dist_of("pscore", pull(&|o| f64::from(o.pscore))),
                     dist_of("rejected_budget", pull(&|o| o.stats.rejected_budget as f64)),
                     dist_of("deadline_misses", pull(&|o| o.stats.deadline_misses as f64)),
+                    dist_of(
+                        "detection_rate",
+                        pull(&|o| {
+                            o.stats.defense_flagged as f64 / o.stats.defense_observed.max(1) as f64
+                        }),
+                    ),
                 ];
+                let detected = of
+                    .iter()
+                    .filter(|o| o.quarantined || o.stats.defense_flagged > 0)
+                    .count();
                 FamilyRow {
                     family,
                     clients: of.len(),
                     completed: of.iter().filter(|o| !o.exhausted).count(),
+                    detected,
+                    evaded: of.len() - detected,
                     metrics,
                 }
             })
@@ -308,17 +345,22 @@ pub fn run_campaign(
                     };
                     let r_v = grader.retrieve(v).map_err(|e| fail(e.to_string()))?;
                     let attacked = attacker.attack(&mut oracle, v, v_t, &mut rng);
-                    let (ap_drop, spa, pscore, exhausted) = match attacked {
+                    let (ap_drop, spa, pscore, exhausted, quarantined) = match attacked {
                         Ok(outcome) => {
                             let r_adv = grader
                                 .retrieve(&outcome.adversarial)
                                 .map_err(|e| fail(e.to_string()))?;
                             let ap_drop = (100.0 - ap_at_m(&r_adv, &r_v)).max(0.0);
-                            (ap_drop, outcome.spa(), outcome.pscore(), false)
+                            (ap_drop, outcome.spa(), outcome.pscore(), false, false)
                         }
                         Err(AttackError::Retrieval(RetrievalError::BudgetExhausted {
                             ..
-                        })) => (0.0, 0, 0.0, true),
+                        })) => (0.0, 0, 0.0, true, false),
+                        // The blue team cut this lane off: a recorded
+                        // outcome, like budget exhaustion.
+                        Err(AttackError::Retrieval(RetrievalError::Quarantined { .. })) => {
+                            (0.0, 0, 0.0, false, true)
+                        }
                         Err(e) => return Err(fail(e.to_string())),
                     };
                     Ok(ClientOutcome {
@@ -329,6 +371,7 @@ pub fn run_campaign(
                         spa,
                         pscore,
                         exhausted,
+                        quarantined,
                         stats: attack_client.stats().unwrap_or_default(),
                         grader_queries: grader_client.queries_used(),
                     })
@@ -470,6 +513,7 @@ mod tests {
                 spa: 120,
                 pscore: 3.0,
                 exhausted: false,
+                quarantined: false,
                 stats: ClientStats::default(),
                 grader_queries: 2,
             },
@@ -481,6 +525,7 @@ mod tests {
                 spa: 120,
                 pscore: 4.0,
                 exhausted: false,
+                quarantined: false,
                 stats: ClientStats::default(),
                 grader_queries: 2,
             },

@@ -90,8 +90,40 @@ impl EnsembleDetector {
     /// Propagates retrieval failures.
     pub fn score(&mut self, primary: &mut RetrievalSystem, video: &Video) -> Result<f32> {
         let primary_list = primary.retrieve(video)?;
+        self.score_against(&primary_list, video)
+    }
+
+    /// Disagreement score against a retrieval list obtained elsewhere —
+    /// e.g. from a `duo-serve` client, so the detector composes with the
+    /// live serving surface instead of requiring in-process
+    /// [`RetrievalSystem`] access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates secondary feature-extraction failures.
+    pub fn score_against(&mut self, primary_list: &[VideoId], video: &Video) -> Result<f32> {
         let secondary_list = self.secondary_retrieve(video)?;
-        Ok(1.0 - ndcg_cooccurrence(&primary_list, &secondary_list))
+        Ok(1.0 - ndcg_cooccurrence(primary_list, &secondary_list))
+    }
+
+    /// Whether a query is flagged, judged against an externally obtained
+    /// primary retrieval list (see [`EnsembleDetector::score_against`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates secondary feature-extraction failures.
+    pub fn is_flagged_against(
+        &mut self,
+        primary_list: &[VideoId],
+        video: &Video,
+    ) -> Result<bool> {
+        Ok(self.score_against(primary_list, video)? > self.threshold)
+    }
+
+    /// Overrides the decision threshold (e.g. from a calibration done
+    /// against served lists rather than an in-process system).
+    pub fn set_threshold(&mut self, threshold: f32) {
+        self.threshold = threshold;
     }
 
     /// Calibrates the flag threshold to a clean false-positive rate.

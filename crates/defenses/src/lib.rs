@@ -36,12 +36,17 @@ mod error;
 mod harness;
 mod noise2self;
 mod squeeze;
+mod streaming;
 
 pub use ensemble::EnsembleDetector;
 pub use error::DefenseError;
 pub use harness::DetectionHarness;
 pub use noise2self::Noise2Self;
 pub use squeeze::FeatureSqueezing;
+pub use streaming::{
+    ClipSketch, DetectorAction, StreamConfig, StreamDetector, StreamVerdict, SKETCH_CELLS,
+    SKETCH_T, SKETCH_X, SKETCH_Y,
+};
 
 use duo_video::Video;
 

@@ -31,13 +31,15 @@ use duo_serve::{RetrievalService, ServeConfig};
 use duo_tensor::{Rng64, ToJson};
 use duo_video::{DatasetKind, Video};
 
-/// Zoo order; client `i` runs family `i % 7`.
-const FAMILIES: [&str; 7] =
+/// Zoo order; client `i` runs family `i % 7`. Shared with the
+/// `red_vs_blue` experiment so the defended and undefended fleets field
+/// the identical attacker mix.
+pub(crate) const FAMILIES: [&str; 7] =
     ["duo", "vanilla", "timi", "heu_nes", "heu_sim", "sparse_rl", "feature_map"];
 
 /// Builds the attacker for fleet slot `client`, cloning the stolen
 /// surrogate for the families that need one.
-fn zoo(client: usize, surrogate: &Backbone, scale: Scale) -> Box<dyn Attacker> {
+pub(crate) fn zoo(client: usize, surrogate: &Backbone, scale: Scale) -> Box<dyn Attacker> {
     let k = scale.default_k();
     match FAMILIES[client % FAMILIES.len()] {
         "duo" => Box::new(DuoAttacker::new(surrogate.clone(), scale.duo_config())),

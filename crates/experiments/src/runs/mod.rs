@@ -11,6 +11,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod index_sweep;
 pub mod mutate_serve;
+pub mod red_vs_blue;
 pub mod serve;
 pub mod table10;
 pub mod table2;

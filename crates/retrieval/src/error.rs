@@ -35,6 +35,17 @@ pub enum RetrievalError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// The serving layer's streaming defense escalated this account to
+    /// hard rejection; the query was not executed and not charged.
+    ///
+    /// A dedicated variant for the same reason as
+    /// [`RetrievalError::BudgetExhausted`]: campaign runners match on it
+    /// to record "the blue team cut this lane off" as an outcome, not an
+    /// infrastructure failure.
+    Quarantined {
+        /// Accumulated detector flags on the account at rejection time.
+        flags: u64,
+    },
 }
 
 impl fmt::Display for RetrievalError {
@@ -51,6 +62,9 @@ impl fmt::Display for RetrievalError {
             }
             RetrievalError::BudgetExhausted { budget } => {
                 write!(f, "query budget of {budget} exhausted")
+            }
+            RetrievalError::Quarantined { flags } => {
+                write!(f, "account quarantined by streaming defense ({flags} flags)")
             }
         }
     }

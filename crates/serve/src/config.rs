@@ -1,5 +1,7 @@
 //! Service and client configuration.
 
+use duo_defenses::{Defense, FeatureSqueezing, Noise2Self, StreamConfig};
+use duo_video::Video;
 use std::time::Duration;
 
 /// Configuration of the serving layer.
@@ -37,7 +39,7 @@ use std::time::Duration;
 /// assert_eq!(stats.served, 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Retrieval worker threads draining the batched work queue.
     pub workers: usize,
@@ -65,6 +67,10 @@ pub struct ServeConfig {
     /// batch-heavy deployments favour `workers`, latency-sensitive ones
     /// give the spare cores to `intra_op_threads`.
     pub intra_op_threads: usize,
+    /// Optional blue-team stage: per-account streaming detection at
+    /// admission plus optional input purification on the inference path.
+    /// `None` (the default) serves undefended.
+    pub defense: Option<DefenseConfig>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +82,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             default_deadline: None,
             intra_op_threads: 0,
+            defense: None,
         }
     }
 }
@@ -93,7 +100,68 @@ impl ServeConfig {
                 "workers, batch_max and queue_cap must be positive, got {self:?}"
             )));
         }
+        if let Some(defense) = &self.defense {
+            defense
+                .stream
+                .validate()
+                .map_err(|e| crate::ServeError::BadConfig(format!("defense stage: {e}")))?;
+        }
         Ok(())
+    }
+}
+
+/// Configuration of the optional serving-side defense stage.
+///
+/// Two sub-stages, both off the model's hot path:
+///
+/// * **Streaming detection** (`stream`): a per-account
+///   [`duo_defenses::StreamDetector`] observes every admission attempt
+///   and drives the flag → throttle → reject escalation ladder. Rejected
+///   attempts are never charged, so the budget-drift invariant
+///   (`charged == served + failed`) is untouched.
+/// * **Input purification** (`purify`): an input transform applied to
+///   admitted queries on the inference path, *before* the batched embed.
+///   Its latency is charged against the request's end-to-end deadline —
+///   a request whose deadline expires during purification is shed and
+///   refunded exactly like a queue-expired one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseConfig {
+    /// Per-account streaming-detector configuration.
+    pub stream: StreamConfig,
+    /// Purification transform for admitted queries.
+    pub purify: Purify,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig { stream: StreamConfig::default(), purify: Purify::None }
+    }
+}
+
+/// The purification transform applied to admitted queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Purify {
+    /// No purification; detection only.
+    None,
+    /// Bit-depth squeeze + median smoothing ([`FeatureSqueezing`]).
+    Squeeze(FeatureSqueezing),
+    /// J-invariant masked denoising ([`Noise2Self`]).
+    Noise2Self(Noise2Self),
+}
+
+impl Purify {
+    /// Applies the transform (identity for [`Purify::None`]).
+    pub fn apply(&self, video: &Video) -> Video {
+        match self {
+            Purify::None => video.clone(),
+            Purify::Squeeze(squeeze) => squeeze.transform(video),
+            Purify::Noise2Self(denoise) => denoise.transform(video),
+        }
+    }
+
+    /// Whether the transform is a no-op.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Purify::None)
     }
 }
 

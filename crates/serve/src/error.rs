@@ -6,7 +6,8 @@ use std::fmt;
 /// Errors a service client can observe.
 ///
 /// Admission failures ([`ServeError::BudgetExhausted`],
-/// [`ServeError::RateLimited`], [`ServeError::Overloaded`]) mean the query
+/// [`ServeError::RateLimited`], [`ServeError::Overloaded`],
+/// [`ServeError::Throttled`], [`ServeError::Quarantined`]) mean the query
 /// never reached the model and was **not** charged against the client's
 /// budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,20 @@ pub enum ServeError {
     /// model; it was shed from the queue and the admission-time charge
     /// was refunded (deadline-shed queries are never billed).
     DeadlineExceeded,
+    /// The streaming defense has this account in its throttle band and
+    /// this admission attempt was not a stride slot. Not charged;
+    /// retrying is allowed (1 in `throttle_stride` attempts is admitted).
+    Throttled {
+        /// Accumulated detector flags on the account.
+        flags: u64,
+    },
+    /// The streaming defense escalated this account past its reject
+    /// threshold; every further admission attempt is rejected. Not
+    /// charged.
+    Quarantined {
+        /// Accumulated detector flags on the account.
+        flags: u64,
+    },
     /// The service has been shut down (or dropped).
     Stopped,
     /// The retrieval system itself failed to answer.
@@ -54,6 +69,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::DeadlineExceeded => {
                 write!(f, "request deadline expired before service; charge refunded")
+            }
+            ServeError::Throttled { flags } => {
+                write!(f, "throttled by streaming defense ({flags} flags); retry later")
+            }
+            ServeError::Quarantined { flags } => {
+                write!(f, "account quarantined by streaming defense ({flags} flags)")
             }
             ServeError::Stopped => write!(f, "service stopped"),
             ServeError::Retrieval(e) => write!(f, "retrieval error: {e}"),

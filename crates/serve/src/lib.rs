@@ -30,6 +30,11 @@
 //! * **Attack-compatible.** [`ServiceOracle`] implements
 //!   [`duo_retrieval::QueryOracle`], so every attack in the workspace
 //!   runs unchanged against the service.
+//! * **Optionally defended.** [`ServeConfig::defense`] arms a blue-team
+//!   stage: a per-account [`duo_defenses::StreamDetector`] at admission
+//!   (flag → throttle → reject escalation, rejections never charged) and
+//!   an optional input-purification transform before the batched embed,
+//!   whose latency is charged against the request's end-to-end deadline.
 //!
 //! # Example
 //!
@@ -66,7 +71,7 @@ mod service;
 mod stats;
 
 pub use bucket::TokenBucket;
-pub use config::{RateLimit, ServeConfig};
+pub use config::{DefenseConfig, Purify, RateLimit, ServeConfig};
 pub use error::ServeError;
 pub use histogram::LatencyHistogram;
 pub use oracle::ServiceOracle;

@@ -43,6 +43,7 @@ impl ServiceOracle {
 fn to_retrieval_error(e: ServeError) -> RetrievalError {
     match e {
         ServeError::BudgetExhausted { budget } => RetrievalError::BudgetExhausted { budget },
+        ServeError::Quarantined { flags } => RetrievalError::Quarantined { flags },
         ServeError::Retrieval(inner) => inner,
         other => RetrievalError::BadConfig(format!("serving error: {other}")),
     }
@@ -67,6 +68,13 @@ impl QueryOracle for ServiceOracle {
                 // resubmitting costs the attacker nothing extra.
                 Err(ServeError::DeadlineExceeded) if attempt < self.max_retries => {
                     attempt += 1;
+                }
+                // Throttle-band rejections admit 1 in `throttle_stride`
+                // attempts, so bounded retries make progress; the stride
+                // math is deterministic, the sleep only eases contention.
+                Err(ServeError::Throttled { .. }) if attempt < self.max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(e) => return Err(to_retrieval_error(e)),
             }

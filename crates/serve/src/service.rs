@@ -14,6 +14,7 @@
 //! behind its own mutex that is never held across model work.
 
 use crate::{ClientStats, ServeConfig, ServeError, StatsInner, TokenBucket};
+use duo_defenses::{ClipSketch, DetectorAction, StreamDetector, StreamVerdict};
 use duo_retrieval::{QueryLedger, RetrievalSystem};
 use duo_tensor::Tensor;
 use duo_video::{Video, VideoId};
@@ -29,6 +30,12 @@ use std::time::Instant;
 pub(crate) struct ClientAccount {
     ledger: QueryLedger,
     bucket: Option<TokenBucket>,
+    /// Streaming blue-team detector, present when the service was started
+    /// with [`crate::DefenseConfig`]. Observes under the clients lock at
+    /// admission, so the verdict sequence is a pure function of this
+    /// account's own submission order — worker count and cross-client
+    /// interleaving never change it.
+    detector: Option<StreamDetector>,
     /// Per-client counters, maintained under the clients lock. `charged`
     /// is filled in from the ledger at snapshot time so the two can never
     /// disagree.
@@ -151,6 +158,7 @@ impl RetrievalService {
         clients.push(ClientAccount {
             ledger: QueryLedger::new(budget),
             bucket: rate.map(TokenBucket::new),
+            detector: self.config.defense.map(|d| StreamDetector::new(d.stream)),
             stats: ClientStats::default(),
         });
         ClientHandle {
@@ -159,6 +167,7 @@ impl RetrievalService {
             slot,
             queue_cap: self.config.queue_cap,
             default_deadline: self.config.default_deadline,
+            defended: self.config.defense.is_some(),
         }
     }
 
@@ -293,13 +302,36 @@ fn flush_batch(shared: &Shared, batch: Vec<Request>, work_tx: &SyncSender<Work>,
     shared.queue_depth.fetch_sub(batch.len(), Ordering::SeqCst);
     // Deadline check at dequeue: expired requests never reach the model.
     let now = Instant::now();
-    let (batch, dead): (Vec<Request>, Vec<Request>) =
+    let (mut batch, dead): (Vec<Request>, Vec<Request>) =
         batch.into_iter().partition(|r| !expired(r, now));
     for request in dead {
         shed(shared, request);
     }
     if batch.is_empty() {
         return;
+    }
+    // Input purification on the inference path, before the batched embed.
+    // Its latency is charged against each request's end-to-end deadline:
+    // the re-partition below sheds (and refunds) any request whose
+    // deadline expired while its batch was being purified, exactly like a
+    // queue-expired one.
+    if let Some(defense) = &config.defense {
+        if !defense.purify.is_none() {
+            for request in &mut batch {
+                request.video = defense.purify.apply(&request.video);
+            }
+            shared.stats.lock().expect("stats lock").purified += batch.len() as u64;
+            let now = Instant::now();
+            let (kept, dead): (Vec<Request>, Vec<Request>) =
+                batch.into_iter().partition(|r| !expired(r, now));
+            for request in dead {
+                shed(shared, request);
+            }
+            batch = kept;
+            if batch.is_empty() {
+                return;
+            }
+        }
     }
     {
         let mut stats = shared.stats.lock().expect("stats lock");
@@ -404,6 +436,9 @@ pub struct ClientHandle {
     slot: usize,
     queue_cap: usize,
     default_deadline: Option<std::time::Duration>,
+    /// Whether the service runs a defense stage (so the clip sketch is
+    /// computed outside the locks only when someone will consume it).
+    defended: bool,
 }
 
 impl ClientHandle {
@@ -416,10 +451,11 @@ impl ClientHandle {
     /// # Errors
     ///
     /// [`ServeError::BudgetExhausted`] / [`ServeError::RateLimited`] /
-    /// [`ServeError::Overloaded`] when admission rejects the query (never
-    /// charged), [`ServeError::Stopped`] when the service is gone, and
-    /// [`ServeError::Retrieval`] for model/node failures (charged: the
-    /// query reached the model).
+    /// [`ServeError::Overloaded`] / [`ServeError::Throttled`] /
+    /// [`ServeError::Quarantined`] when admission rejects the query
+    /// (never charged), [`ServeError::Stopped`] when the service is gone,
+    /// and [`ServeError::Retrieval`] for model/node failures (charged:
+    /// the query reached the model).
     pub fn retrieve(&self, video: &Video) -> Result<Vec<VideoId>, ServeError> {
         self.retrieve_inner(video, self.default_deadline)
     }
@@ -453,6 +489,10 @@ impl ClientHandle {
         }
         let mut submitted = video.clone();
         submitted.quantize();
+        // Sketch the quantized clip outside every lock: the detector sees
+        // exactly what the model would, and the O(pixels) pooling pass
+        // never serializes other clients.
+        let sketch = self.defended.then(|| ClipSketch::of(&submitted));
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
         {
             // The admission decision (budget check → rate check → enqueue
@@ -473,6 +513,42 @@ impl ClientHandle {
                     drop(clients);
                     shared.stats.lock().expect("stats lock").rejected_rate += 1;
                     return Err(ServeError::RateLimited { retry_after_ms });
+                }
+            }
+            // Streaming detection, after the budget/rate gates so only
+            // bankable attempts feed the ring, before the charge so a
+            // throttled or quarantined attempt is never billed. The
+            // observe happens under the clients lock: the per-account
+            // verdict sequence depends only on this client's own
+            // submission order.
+            if let Some(detector) = account.detector.as_mut() {
+                let sketch = sketch.as_ref().expect("sketch computed when defended");
+                let verdict = detector.observe(sketch);
+                account.stats.defense_observed += 1;
+                if verdict.flagged {
+                    account.stats.defense_flagged += 1;
+                }
+                {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.defense_observed += 1;
+                    if verdict.flagged {
+                        stats.defense_flagged += 1;
+                    }
+                }
+                match verdict.action {
+                    DetectorAction::Admit => {}
+                    DetectorAction::Throttle => {
+                        account.stats.defense_throttled += 1;
+                        drop(clients);
+                        shared.stats.lock().expect("stats lock").defense_throttled += 1;
+                        return Err(ServeError::Throttled { flags: verdict.flags_total });
+                    }
+                    DetectorAction::Reject => {
+                        account.stats.defense_rejected += 1;
+                        drop(clients);
+                        shared.stats.lock().expect("stats lock").defense_rejected += 1;
+                        return Err(ServeError::Quarantined { flags: verdict.flags_total });
+                    }
                 }
             }
             let now = Instant::now();
@@ -533,6 +609,25 @@ impl ClientHandle {
         self.shared
             .upgrade()
             .map(|s| s.clients.lock().expect("clients lock")[self.slot].snapshot())
+    }
+
+    /// This client's recorded streaming-defense verdicts, in submission
+    /// order. `None` when the service is undefended, shut down, or the
+    /// detector was configured without
+    /// [`duo_defenses::StreamConfig::record_verdicts`].
+    pub fn defense_verdicts(&self) -> Option<Vec<StreamVerdict>> {
+        let shared = self.shared.upgrade()?;
+        let clients = shared.clients.lock().expect("clients lock");
+        let detector = clients[self.slot].detector.as_ref()?;
+        detector.config().record_verdicts.then(|| detector.verdicts().to_vec())
+    }
+
+    /// Accumulated streaming-defense flags on this client's account, or
+    /// `None` when the service is undefended or shut down.
+    pub fn defense_flags(&self) -> Option<u64> {
+        let shared = self.shared.upgrade()?;
+        let clients = shared.clients.lock().expect("clients lock");
+        clients[self.slot].detector.as_ref().map(StreamDetector::flags)
     }
 
     /// Length `m` of retrieval lists served by this service, or `None`

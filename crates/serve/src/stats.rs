@@ -34,6 +34,11 @@ pub(crate) struct StatsInner {
     pub breaker_closes: u64,
     /// Per-node failed-query counters, indexed like the system's shards.
     pub node_failures: Vec<u64>,
+    pub defense_observed: u64,
+    pub defense_flagged: u64,
+    pub defense_throttled: u64,
+    pub defense_rejected: u64,
+    pub purified: u64,
 }
 
 impl StatsInner {
@@ -62,6 +67,11 @@ impl StatsInner {
             breaker_half_opens: 0,
             breaker_closes: 0,
             node_failures: vec![0; nodes],
+            defense_observed: 0,
+            defense_flagged: 0,
+            defense_throttled: 0,
+            defense_rejected: 0,
+            purified: 0,
         }
     }
 
@@ -142,6 +152,11 @@ impl StatsInner {
             breaker_half_opens: self.breaker_half_opens,
             breaker_closes: self.breaker_closes,
             node_failures: self.node_failures.clone(),
+            defense_observed: self.defense_observed,
+            defense_flagged: self.defense_flagged,
+            defense_throttled: self.defense_throttled,
+            defense_rejected: self.defense_rejected,
+            purified: self.purified,
             index_queries: index.total.queries,
             index_probed_lists: index.total.probed_lists,
             index_scanned_rows: index.total.scanned_rows,
@@ -199,10 +214,21 @@ pub struct ClientStats {
     /// so `refunded == deadline_misses` once in-flight requests drain —
     /// the budget-drift invariant extended to epoch-swap sheds.
     pub refunded: u64,
+    /// Admission attempts observed by this client's streaming detector
+    /// (every attempt that passed the budget and rate gates, including
+    /// later-throttled/rejected ones). 0 when the service is undefended.
+    pub defense_observed: u64,
+    /// Observations the detector flagged as adversarial-looking.
+    pub defense_flagged: u64,
+    /// Admission attempts bounced by the throttle band (not charged).
+    pub defense_throttled: u64,
+    /// Admission attempts hard-rejected after quarantine (not charged).
+    pub defense_rejected: u64,
 }
 duo_tensor::impl_to_json!(struct ClientStats {
     charged, served, failed, rejected_budget, rejected_rate,
-    rejected_overload, deadline_misses, refunded
+    rejected_overload, deadline_misses, refunded,
+    defense_observed, defense_flagged, defense_throttled, defense_rejected
 });
 
 /// A point-in-time snapshot of service counters.
@@ -320,6 +346,18 @@ pub struct ServiceStats {
     pub recall_audits_sq8: u64,
     /// Recall@m over the SQ8-audited searches only.
     pub recall_at_m_sq8: Option<f32>,
+    /// Admission attempts observed by the streaming defense across all
+    /// clients (0 when the service runs undefended).
+    pub defense_observed: u64,
+    /// Observations the streaming defense flagged as adversarial-looking.
+    pub defense_flagged: u64,
+    /// Admission attempts bounced by the throttle band; never charged.
+    pub defense_throttled: u64,
+    /// Admission attempts hard-rejected after quarantine; never charged.
+    pub defense_rejected: u64,
+    /// Admitted queries run through the configured purification transform
+    /// before the batched embed.
+    pub purified: u64,
 }
 duo_tensor::impl_to_json!(struct ServiceStats {
     served, failed, rejected_budget, rejected_rate, rejected_overload, batches,
@@ -336,7 +374,9 @@ duo_tensor::impl_to_json!(struct ServiceStats {
     recall_audits, recall_at_m,
     recall_audits_ivf, recall_at_m_ivf,
     recall_audits_pq, recall_at_m_pq,
-    recall_audits_sq8, recall_at_m_sq8
+    recall_audits_sq8, recall_at_m_sq8,
+    defense_observed, defense_flagged, defense_throttled, defense_rejected,
+    purified
 });
 
 impl std::fmt::Display for ServiceStats {
@@ -373,6 +413,12 @@ impl std::fmt::Display for ServiceStats {
             self.current_epoch, self.max_epoch_served, self.epochs_published,
             self.mutations_applied, self.rebalances, self.rows_rebalanced,
             self.refunded
+        )?;
+        writeln!(
+            f,
+            "defense: {} observed, {} flagged, {} throttled, {} rejected, {} purified",
+            self.defense_observed, self.defense_flagged, self.defense_throttled,
+            self.defense_rejected, self.purified
         )?;
         let per_mode = |r: Option<f32>, n: u64| match r {
             Some(r) => format!("{r:.3} ({n} audits)"),
@@ -430,6 +476,8 @@ mod tests {
         assert!(json.contains("\"index_code_bytes\":0"), "{json}");
         assert!(json.contains("\"recall_at_m\":null"), "{json}");
         assert!(json.contains("\"recall_at_m_pq\":null"), "{json}");
+        assert!(json.contains("\"defense_observed\":0"), "{json}");
+        assert!(json.contains("\"purified\":0"), "{json}");
     }
 
     #[test]

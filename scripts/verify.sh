@@ -59,8 +59,22 @@ DUO_SCALE=smoke cargo bench --offline -p duo-bench --bench mutate
 # and writes BENCH_campaign.json for the gate below.
 DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin campaign
 
+# Red-vs-blue smoke: the attacker zoo against the *defended* service —
+# streaming detection at admission, squeeze purification on the
+# inference path, benign control lanes, and a fault-injected accounting
+# phase. The binary itself asserts two same-seed defended runs produce a
+# byte-identical artifact before writing BENCH_defense.json; running it
+# twice here proves the whole experiment (not just the in-process
+# replay) is deterministic end to end.
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin red_vs_blue
+cp BENCH_defense.json BENCH_defense.json.replay
+DUO_SCALE=smoke cargo run --release --offline -p duo-experiments --bin red_vs_blue
+cmp BENCH_defense.json BENCH_defense.json.replay \
+  || { echo "red_vs_blue: same-seed reruns diverged" >&2; exit 1; }
+rm -f BENCH_defense.json.replay
+
 # Artifact + threshold gate: every emitted file (gemm, serve, campaign,
-# mutate, index) must parse and carry every required field (name,
+# mutate, index, defense) must parse and carry every required field (name,
 # samples, min/median/p95/mean/trimmed_mean/max), and the smoke-scale
 # rules in BENCH_thresholds.txt must hold on the trimmed means — a
 # kernel perf regression, a broken attack contract (zero-query family

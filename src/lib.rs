@@ -77,7 +77,8 @@ pub mod prelude {
         VanillaAttacker,
     };
     pub use duo_defenses::{
-        Defense, DetectionHarness, EnsembleDetector, FeatureSqueezing, Noise2Self,
+        ClipSketch, Defense, DetectionHarness, DetectorAction, EnsembleDetector,
+        FeatureSqueezing, Noise2Self, StreamConfig, StreamDetector, StreamVerdict,
     };
     pub use duo_models::{
         train_embedding_model, Architecture, Backbone, BackboneConfig, LossKind, TrainConfig,
@@ -92,8 +93,8 @@ pub mod prelude {
         Retrieved, ShardIndex,
     };
     pub use duo_serve::{
-        ClientStats, MutatorHandle, RateLimit, RetrievalService, ServeConfig, ServiceOracle,
-        ServiceStats,
+        ClientHandle, ClientStats, DefenseConfig, MutatorHandle, Purify, RateLimit,
+        RetrievalService, ServeConfig, ServiceOracle, ServiceStats,
     };
     pub use duo_tensor::{Rng64, Tensor};
     pub use duo_video::{ClipSpec, DatasetKind, SyntheticDataset, Video, VideoId};

@@ -1,6 +1,10 @@
-//! Integration tests for the defense stack against real attack outputs.
+//! Integration tests for the defense stack against real attack outputs
+//! and, for the streaming blue-team stage, end to end through `duo-serve`.
 
 use duo::prelude::*;
+use duo::serve::ServeError;
+use duo_tensor::RandomSource;
+use std::time::Duration;
 
 fn trained_world(seed: u64) -> (RetrievalSystem, SyntheticDataset) {
     let mut rng = Rng64::new(seed);
@@ -87,6 +91,146 @@ fn detection_scores_separate_heavy_noise_from_clean() {
         let rate = harness.detection_rate(&mut system, &defense, batch).unwrap();
         assert!((0.0..=100.0).contains(&rate));
     }
+}
+
+/// Starts a defended service over the trained world.
+fn defended_service(seed: u64, purify: Purify) -> (RetrievalService, SyntheticDataset) {
+    let (system, ds) = trained_world(seed);
+    let config = ServeConfig {
+        workers: 2,
+        defense: Some(DefenseConfig { stream: StreamConfig::default(), purify }),
+        ..ServeConfig::default()
+    };
+    (RetrievalService::start(system, config).unwrap(), ds)
+}
+
+/// `base` with a few seeded pixels nudged — one optimizer candidate.
+fn near_dup(base: &Video, rng: &mut Rng64) -> Video {
+    let mut v = base.clone();
+    let px = v.tensor_mut().as_mut_slice();
+    for _ in 0..150 {
+        let i = (rng.next_u64() % px.len() as u64) as usize;
+        px[i] = (px[i] + 20.0 * (2.0 * rng.uniform() - 1.0)).clamp(0.0, 255.0);
+    }
+    v
+}
+
+#[test]
+fn purification_latency_is_charged_against_the_deadline() {
+    // Purification runs on the inference path, inside the request's
+    // end-to-end deadline. A deadline far below the purify+embed cost
+    // must shed the request (refunded, never billed); an ample deadline
+    // must serve it through the purifier.
+    let (svc, ds) = defended_service(431, Purify::Squeeze(FeatureSqueezing::default()));
+    let client = svc.client(None, None);
+    let v = ds.video(VideoId { class: 0, instance: 0 });
+
+    let err = client.retrieve_with_deadline(&v, Duration::from_nanos(1)).unwrap_err();
+    assert!(
+        matches!(err, ServeError::DeadlineExceeded),
+        "sub-purification deadline must shed: got {err}"
+    );
+    let tight = client.stats().unwrap();
+    assert_eq!(tight.deadline_misses, 1, "the shed must be recorded as a deadline miss");
+    assert_eq!(tight.refunded, tight.deadline_misses, "every shed query must be refunded");
+    assert_eq!(
+        tight.charged,
+        tight.served + tight.failed,
+        "ledger drift with defense on: {tight:?}"
+    );
+
+    // A distinct clip (not a near-duplicate of the shed one's sketch is
+    // fine — the shed attempt is already in the ring) with a generous
+    // deadline flows through purification and serves.
+    let list = client.retrieve_with_deadline(&ds.video(VideoId { class: 1, instance: 0 }), Duration::from_secs(30)).unwrap();
+    assert!(!list.is_empty());
+    let ample = client.stats().unwrap();
+    assert_eq!(ample.served, 1);
+    assert_eq!(ample.refunded, ample.deadline_misses);
+    assert_eq!(ample.charged, ample.served + ample.failed, "ledger drift: {ample:?}");
+
+    let service_stats = svc.shutdown();
+    assert!(
+        service_stats.purified >= service_stats.served,
+        "every served request must have passed the purifier: {service_stats}"
+    );
+}
+
+#[test]
+fn benign_lane_stays_clean_while_concurrent_duo_lane_is_flagged() {
+    // Per-account detector isolation: an adversarial near-duplicate lane
+    // escalates while a concurrently-driven benign lane on the same
+    // service accumulates zero flags.
+    let (svc, ds) = defended_service(433, Purify::None);
+    let red = svc.client(None, None);
+    let blue = svc.client(None, None);
+    let base = ds.video(VideoId { class: 0, instance: 0 });
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut rng = Rng64::new(434);
+            for _ in 0..12 {
+                // Throttle/quarantine rejections are the expected
+                // escalation for this lane.
+                let _ = red.retrieve(&near_dup(&base, &mut rng));
+            }
+        });
+        scope.spawn(|| {
+            for c in 0..8u32 {
+                blue.retrieve(&ds.video(VideoId { class: c, instance: 1 }))
+                    .expect("benign lane must never be rejected");
+            }
+        });
+    });
+    let red_stats = red.stats().unwrap();
+    let blue_stats = blue.stats().unwrap();
+    assert!(
+        red_stats.defense_flagged >= 8,
+        "near-duplicate lane must be flagged persistently: {red_stats:?}"
+    );
+    assert!(red.defense_flags().unwrap() >= 8);
+    assert_eq!(
+        blue_stats.defense_flagged, 0,
+        "benign lane must not inherit the red lane's flags: {blue_stats:?}"
+    );
+    assert_eq!(blue_stats.defense_observed, 8);
+    assert_eq!(blue_stats.served, 8, "benign lane must be fully served");
+    svc.shutdown();
+}
+
+#[test]
+fn ensemble_detector_composes_with_served_retrieval_lists() {
+    // The offline ensemble detector judges disagreement between a primary
+    // retrieval list and its own secondary backbone. Here the primary
+    // lists come from a live duo-serve client instead of an in-process
+    // RetrievalSystem — the `score_against` composition path.
+    let (svc, ds) = defended_service(437, Purify::None);
+    let client = svc.client(None, None);
+    let mut rng = Rng64::new(438);
+    let secondary = Backbone::new(Architecture::C3d, BackboneConfig::tiny(), &mut rng).unwrap();
+    let gallery: Vec<VideoId> = ds.train().iter().filter(|id| id.class < 8).copied().collect();
+    let mut ensemble = EnsembleDetector::build(secondary, &ds, &gallery, 5).unwrap();
+
+    // Calibrate a served-surface threshold: max clean disagreement.
+    let mut clean_max = 0.0f32;
+    for c in 0..4u32 {
+        let v = ds.video(VideoId { class: c, instance: 1 });
+        let list = client.retrieve(&v).expect("clean queries serve");
+        clean_max = clean_max.max(ensemble.score_against(&list, &v).unwrap());
+    }
+    ensemble.set_threshold(clean_max);
+
+    for c in 4..8u32 {
+        let v = ds.video(VideoId { class: c, instance: 1 });
+        let list = client.retrieve(&v).expect("clean queries serve");
+        let score = ensemble.score_against(&list, &v).unwrap();
+        assert!((0.0..=1.0).contains(&score), "disagreement must be a [0,1] score: {score}");
+        assert_eq!(
+            ensemble.is_flagged_against(&list, &v).unwrap(),
+            score > clean_max,
+            "flag decision must follow the served-list score against the threshold"
+        );
+    }
+    svc.shutdown();
 }
 
 #[test]
